@@ -1,0 +1,45 @@
+"""Ablation: m-estimate smoothing weight of the Naive Bayes models (§5.2).
+
+``m = 0`` is maximum likelihood (brittle on unseen evidence), moderate m is
+the paper's standard practice, huge m washes the posterior towards the
+feature-domain prior.  Expected shape: accuracy peaks at small-but-nonzero m
+and degrades at the extremes.
+"""
+
+from repro.datasets import generate_cars
+from repro.evaluation import build_environment, classification_accuracy, render_series
+from repro.mining import MiningConfig
+
+M_VALUES = (0.0, 0.5, 1.0, 5.0, 50.0, 500.0)
+
+
+def _run():
+    accuracies = {}
+    cars = generate_cars(6000, seed=7)
+    for m in M_VALUES:
+        env = build_environment(
+            cars,
+            seed=47,
+            mining=MiningConfig(smoothing_m=m),
+            name=f"cars-m{m}",
+        )
+        accuracies[m] = classification_accuracy(env, "hybrid-one-afd", limit=250)
+    return accuracies
+
+
+def test_ablation_m_estimate_smoothing(benchmark, report):
+    accuracies = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    text = render_series(
+        "Ablation — null prediction accuracy vs m-estimate weight",
+        [(m, accuracy) for m, accuracy in accuracies.items()],
+        x_label="m",
+        y_label="accuracy",
+    )
+    report.emit(text)
+
+    moderate = max(accuracies[m] for m in (0.5, 1.0, 5.0))
+    # Moderate smoothing is at least as good as the extremes.
+    assert moderate >= accuracies[500.0]
+    assert moderate >= accuracies[0.0] - 0.02
+    assert all(0.0 <= accuracy <= 1.0 for accuracy in accuracies.values())

@@ -1,0 +1,55 @@
+"""Figure 4: precision-recall, QPIAD vs AllReturned, Census
+``Family Relation = Own Child``.
+
+Same shape as Figure 3 on the second dataset: QPIAD keeps precision high
+while AllReturned dumps the unranked NULL population.
+"""
+
+from repro.core import QpiadConfig
+from repro.evaluation import (
+    precision_at_recall,
+    precision_recall_curve,
+    render_curves,
+    run_all_returned,
+    run_qpiad,
+)
+from repro.query import SelectionQuery
+
+RECALL_LEVELS = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def _curves(env):
+    query = SelectionQuery.equals("relationship", "Own-child")
+    qpiad = run_qpiad(env, query, QpiadConfig(alpha=0.0, k=30))
+    baseline = run_all_returned(env, query)
+    return query, qpiad, baseline
+
+
+def test_fig04_precision_recall_census(benchmark, census_env, report):
+    query, qpiad, baseline = benchmark.pedantic(
+        _curves, args=(census_env,), rounds=1, iterations=1
+    )
+
+    total = qpiad.total_relevant
+    qpiad_at = precision_at_recall(
+        precision_recall_curve(qpiad.relevance, total), RECALL_LEVELS
+    )
+    baseline_at = precision_at_recall(
+        precision_recall_curve(baseline.relevance, total), RECALL_LEVELS
+    )
+
+    text = render_curves(
+        f"Figure 4 analogue — {query!r} on Census ({total} relevant possible answers)",
+        {
+            "QPIAD": list(zip(RECALL_LEVELS, qpiad_at)),
+            "AllReturned": list(zip(RECALL_LEVELS, baseline_at)),
+        },
+        x_label="recall",
+        y_label="precision",
+    )
+    report.emit(text)
+
+    reached = [(q, b) for q, b in zip(qpiad_at, baseline_at) if q > 0.0]
+    assert reached
+    assert all(q >= b for q, b in reached)
+    assert qpiad_at[0] > baseline_at[0]

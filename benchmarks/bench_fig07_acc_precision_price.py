@@ -1,0 +1,55 @@
+"""Figure 7: average accumulated precision after the Kth tuple, 10 queries
+on Price, QPIAD vs AllReturned.
+
+Same metric as Figure 6 on the harder numeric attribute.  Absolute precision
+is lower than for Body Style (predicting an exact price point is harder than
+a body style), but QPIAD must still dominate AllReturned.
+"""
+
+from repro.core import QpiadConfig
+from repro.evaluation import (
+    average_accumulated_precision,
+    render_curves,
+    run_all_returned,
+    run_qpiad,
+    selection_workload,
+)
+
+K_POINTS = (1, 5, 10, 25, 50, 100, 150, 200)
+
+
+def _run(env):
+    queries = selection_workload(env, "price", 10, seed=71, min_relevant=2)
+    qpiad_runs = [
+        run_qpiad(env, query, QpiadConfig(alpha=0.0, k=15)).relevance
+        for query in queries
+    ]
+    baseline_runs = [run_all_returned(env, query).relevance for query in queries]
+    return queries, qpiad_runs, baseline_runs
+
+
+def test_fig07_accumulated_precision_price(benchmark, cars_env_price_heavy, report):
+    queries, qpiad_runs, baseline_runs = benchmark.pedantic(
+        _run, args=(cars_env_price_heavy,), rounds=1, iterations=1
+    )
+
+    qpiad_curve = average_accumulated_precision(qpiad_runs, length=max(K_POINTS))
+    baseline_curve = average_accumulated_precision(baseline_runs, length=max(K_POINTS))
+
+    text = render_curves(
+        f"Figure 7 analogue — avg accumulated precision after Kth tuple "
+        f"({len(queries)} queries on price)",
+        {
+            "QPIAD": [(k, qpiad_curve[k - 1]) for k in K_POINTS],
+            "AllReturned": [(k, baseline_curve[k - 1]) for k in K_POINTS],
+        },
+        x_label="K",
+        y_label="avg precision",
+    )
+    report.emit(text)
+
+    dominated = sum(
+        1 for k in K_POINTS if qpiad_curve[k - 1] >= baseline_curve[k - 1]
+    )
+    assert dominated >= len(K_POINTS) - 1
+    assert qpiad_curve[0] > baseline_curve[0]

@@ -1,0 +1,66 @@
+"""Figure 10: robustness to training-sample size (3%, 5%, 10%, 15%).
+
+Paper shape: the accumulated precision of the rewritten-query stream
+fluctuates in a narrow band — there is no significant quality drop when the
+sample shrinks from 15% to 3%.
+"""
+
+from repro.core import QpiadConfig
+from repro.datasets import generate_cars
+from repro.evaluation import (
+    accumulated_precision,
+    build_environment,
+    render_curves,
+    run_qpiad,
+)
+from repro.query import SelectionQuery
+
+SAMPLE_FRACTIONS = (0.03, 0.05, 0.10, 0.15)
+K_POINTS = (1, 5, 10, 20, 40)
+
+
+def _run():
+    cars = generate_cars(10000, seed=7)
+    curves = {}
+    finals = {}
+    for fraction in SAMPLE_FRACTIONS:
+        env = build_environment(
+            cars,
+            seed=46,
+            train_fraction=fraction,
+            attribute_weights={"body_style": 6.0},
+            name=f"cars-{int(fraction * 100)}pct",
+        )
+        outcome = run_qpiad(
+            env,
+            SelectionQuery.equals("body_style", "Convt"),
+            QpiadConfig(alpha=0.0, k=15),
+        )
+        curve = accumulated_precision(outcome.relevance)
+        curves[fraction] = curve
+        finals[fraction] = curve[-1] if curve else 0.0
+    return curves, finals
+
+
+def test_fig10_sample_size_robustness(benchmark, report):
+    curves, finals = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rendered = {}
+    for fraction, curve in curves.items():
+        rendered[f"{int(fraction * 100)}% sample"] = [
+            (k, curve[min(k, len(curve)) - 1] if curve else 0.0) for k in K_POINTS
+        ]
+    text = render_curves(
+        "Figure 10 analogue — accumulated precision vs training sample size "
+        "(Cars, body_style=Convt)",
+        rendered,
+        x_label="K",
+        y_label="precision",
+    )
+    report.emit(text)
+
+    # Shape: quality varies in a narrow band; 3% is not catastrophically
+    # worse than 15%.
+    values = list(finals.values())
+    assert max(values) - min(values) < 0.35
+    assert finals[0.03] > 0.3

@@ -1,0 +1,38 @@
+"""Scalability micro-benchmarks (not a paper figure).
+
+Times the two hot paths of the system with real repeated measurement:
+
+* knowledge mining (TANE + pruning + selectivity) over growing samples, and
+* one mediated selection query (base set + 10 rewritten queries +
+  post-filtering) over growing databases.
+
+These are the numbers a downstream adopter asks first; the paper's own cost
+discussion (Section 6.4) is in tuples, covered by Fig. 8.
+"""
+
+import pytest
+
+from repro.core import QpiadConfig, QpiadMediator
+from repro.datasets import generate_cars, make_incomplete
+from repro.mining import KnowledgeBase
+from repro.query import SelectionQuery
+from repro.sources import AutonomousSource
+
+
+@pytest.mark.parametrize("sample_size", [250, 1000, 4000])
+def test_mining_scales_with_sample_size(benchmark, sample_size):
+    cars = make_incomplete(generate_cars(sample_size, seed=7), seed=8).incomplete
+    result = benchmark(lambda: KnowledgeBase(cars, database_size=10 * sample_size))
+    assert result.afds  # sanity: mining found something at every size
+
+
+@pytest.mark.parametrize("database_size", [2000, 8000, 32000])
+def test_mediated_query_scales_with_database_size(benchmark, database_size):
+    dataset = make_incomplete(generate_cars(database_size, seed=7), seed=9)
+    source = AutonomousSource("cars", dataset.incomplete)
+    knowledge = KnowledgeBase(dataset.incomplete.take(500), database_size=database_size)
+    mediator = QpiadMediator(source, knowledge, QpiadConfig(k=10))
+    query = SelectionQuery.equals("body_style", "Convt")
+
+    result = benchmark(lambda: mediator.query(query))
+    assert len(result.certain) > 0

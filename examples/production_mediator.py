@@ -1,0 +1,85 @@
+"""Production-mediator patterns: persistence, caching, streaming, relaxation.
+
+Beyond the paper's core algorithms, a deployed mediator needs to
+
+* mine once and *persist* the knowledge base across sessions,
+* *cache* repeated (rewritten) queries to respect source rate limits,
+* *stream* ranked answers so impatient users stop early and save budget, and
+* *relax* over-constrained queries that return nothing.
+
+Run:  python examples/production_mediator.py
+"""
+
+import tempfile
+from itertools import islice
+from pathlib import Path
+
+from repro import (
+    CachingSource,
+    Equals,
+    QpiadConfig,
+    QpiadMediator,
+    QueryRelaxer,
+    SelectionQuery,
+    build_environment,
+    generate_cars,
+    load_knowledge,
+    save_knowledge,
+)
+from repro.query import Between
+
+
+def main() -> None:
+    env = build_environment(generate_cars(6000), name="cars.com")
+
+    # --- persistence: mine once, reuse forever -------------------------
+    kb_path = Path(tempfile.gettempdir()) / "cars.kb.json"
+    save_knowledge(env.knowledge, kb_path)
+    knowledge = load_knowledge(kb_path)
+    print(f"knowledge base saved and reloaded from {kb_path}")
+    print(f"  {len(knowledge.afds)} AFDs, sample of {len(knowledge.sample)} tuples\n")
+
+    # --- caching: repeated rewritten queries are free -------------------
+    source = CachingSource(env.web_source(), capacity=256)
+    mediator = QpiadMediator(source, knowledge, QpiadConfig(alpha=0.0, k=10))
+    query = SelectionQuery.equals("body_style", "Convt")
+    mediator.query(query)
+    backend_before = source.inner.statistics.queries_answered
+    mediator.query(query)  # every query now served from the cache
+    print("caching:")
+    print(f"  backend queries for 1st run : {backend_before}")
+    print(
+        f"  backend queries for 2nd run : "
+        f"{source.inner.statistics.queries_answered - backend_before}"
+    )
+    print(f"  cache hit rate              : {source.statistics.hit_rate:.2f}\n")
+
+    # --- streaming: stop after 3 answers, keep the budget ---------------
+    fresh = env.web_source()
+    stream_mediator = QpiadMediator(fresh, knowledge, QpiadConfig(k=10))
+    first_three = list(islice(stream_mediator.iter_possible(query), 3))
+    print("streaming:")
+    for answer in first_three:
+        print(f"  conf={answer.confidence:.3f}  {answer.row}")
+    print(
+        f"  queries spent: {fresh.statistics.queries_answered} "
+        f"(a full run would spend 11)\n"
+    )
+
+    # --- relaxation: an over-constrained query returns nothing ----------
+    impossible = SelectionQuery.conjunction(
+        [Equals("make", "Porsche"), Between("price", 6000, 9000), Equals("certified", "Yes")]
+    )
+    relaxer = QueryRelaxer(env.web_source(), knowledge)
+    answers = relaxer.query(impossible, target_count=5)
+    print(f"relaxation of {impossible}:")
+    for answer in answers[:5]:
+        violated = ", ".join(answer.violated) or "nothing"
+        print(
+            f"  similarity={answer.similarity:.2f}  violates: {violated}"
+        )
+        print(f"    {answer.row}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,334 @@
+"""Command-line interface to the QPIAD reproduction.
+
+Installed as ``qpiad``.  Subcommands mirror the mediator's life cycle:
+
+* ``qpiad generate cars --size 5000 --out cars.csv [--incomplete 0.1]``
+* ``qpiad stats cars.csv`` — Table-1 style incompleteness report
+* ``qpiad mine cars.csv --db-size 50000 --out cars.kb.json``
+* ``qpiad query cars.csv --kb cars.kb.json --where body_style=Convt``
+* ``qpiad relax cars.csv --where make=Porsche --where price=6000..9000``
+* ``qpiad impute cars.csv --out clean.csv [--min-confidence 0.8]``
+* ``qpiad shell cars.csv`` — interactive session with explanations (§6.1)
+* ``qpiad report`` — compact reproduction of the headline results
+* ``qpiad demo`` — a self-contained end-to-end run
+
+``--where`` accepts ``attr=value`` (equality) and ``attr=low..high``
+(inclusive range); repeat it for conjunctions.  Values are parsed as numbers
+when the attribute is numeric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.qpiad import QpiadConfig, QpiadMediator
+from repro.datasets.cars import generate_cars
+from repro.datasets.census import generate_census
+from repro.datasets.complaints import generate_complaints
+from repro.datasets.googlebase import generate_googlebase_listings
+from repro.datasets.incompleteness import make_incomplete
+from repro.errors import QpiadError
+from repro.evaluation.reporting import render_table
+from repro.evaluation.stats import incompleteness_report
+from repro.mining.knowledge import KnowledgeBase, MiningConfig
+from repro.mining.persistence import load_knowledge, save_knowledge
+from repro.mining.tane import TaneConfig
+from repro.query.predicates import Between, Equals, Predicate
+from repro.query.query import SelectionQuery
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.relation import Relation
+from repro.sources.autonomous import AutonomousSource
+from repro.sources.capabilities import SourceCapabilities
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS = {
+    "cars": generate_cars,
+    "census": generate_census,
+    "complaints": generate_complaints,
+    "googlebase": generate_googlebase_listings,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qpiad",
+        description="Query processing over incomplete autonomous databases",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic dataset CSV")
+    generate.add_argument("dataset", choices=sorted(_GENERATORS))
+    generate.add_argument("--size", type=int, default=5000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True, type=Path)
+    generate.add_argument(
+        "--incomplete",
+        type=float,
+        default=0.0,
+        help="fraction of tuples to mask (GD -> ED protocol); 0 keeps all values",
+    )
+
+    stats = sub.add_parser("stats", help="Table-1 style incompleteness report")
+    stats.add_argument("data", type=Path)
+
+    mine = sub.add_parser("mine", help="mine AFDs/classifiers/selectivity from a CSV sample")
+    mine.add_argument("data", type=Path, help="sample CSV (probed from the source)")
+    mine.add_argument("--db-size", type=int, required=True, help="full database cardinality")
+    mine.add_argument("--out", required=True, type=Path, help="knowledge-base JSON path")
+    mine.add_argument("--beta", type=float, default=0.6, help="AFD confidence threshold")
+    mine.add_argument("--depth", type=int, default=3, help="max determining-set size")
+    mine.add_argument("--bins", type=int, default=8, help="numeric discretization buckets")
+
+    query = sub.add_parser("query", help="mediate a selection query over a CSV database")
+    query.add_argument("data", type=Path, help="the (incomplete) database CSV")
+    query.add_argument("--kb", type=Path, help="knowledge-base JSON (default: mine on the fly)")
+    query.add_argument(
+        "--where",
+        action="append",
+        required=True,
+        metavar="ATTR=VALUE|ATTR=LOW..HIGH",
+        help="conjunct; repeatable",
+    )
+    query.add_argument("--alpha", type=float, default=0.0)
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument("--top", type=int, default=10, help="possible answers to print")
+
+    relax = sub.add_parser(
+        "relax", help="relax an over-constrained query until it has answers"
+    )
+    relax.add_argument("data", type=Path)
+    relax.add_argument("--kb", type=Path, help="knowledge-base JSON (default: mine)")
+    relax.add_argument("--where", action="append", required=True)
+    relax.add_argument("--target", type=int, default=10, help="answers wanted")
+
+    impute_cmd = sub.add_parser(
+        "impute", help="fill NULLs of a CSV using mined classifiers"
+    )
+    impute_cmd.add_argument("data", type=Path)
+    impute_cmd.add_argument("--kb", type=Path, help="knowledge-base JSON (default: mine)")
+    impute_cmd.add_argument("--out", required=True, type=Path)
+    impute_cmd.add_argument(
+        "--min-confidence",
+        type=float,
+        default=0.0,
+        help="leave cells NULL below this posterior probability",
+    )
+
+    shell = sub.add_parser("shell", help="interactive session against a CSV database")
+    shell.add_argument("data", type=Path)
+    shell.add_argument("--kb", type=Path, help="knowledge-base JSON (default: mine)")
+
+    report_cmd = sub.add_parser(
+        "report", help="compact reproduction of the paper's headline results"
+    )
+    report_cmd.add_argument("--size", type=int, default=5000)
+    report_cmd.add_argument("--queries", type=int, default=5)
+
+    demo = sub.add_parser("demo", help="self-contained end-to-end demonstration")
+    demo.add_argument("--size", type=int, default=4000)
+    return parser
+
+
+def _parse_where(spec: str, relation: Relation) -> Predicate:
+    if "=" not in spec:
+        raise QpiadError(f"malformed --where {spec!r}; expected ATTR=VALUE")
+    attribute, __, raw = spec.partition("=")
+    attribute = attribute.strip()
+    raw = raw.strip()
+    relation.schema.index_of(attribute)  # validate
+    numeric = relation.schema.is_numeric(attribute)
+
+    def parse(text: str):
+        if not numeric:
+            return text
+        try:
+            value = float(text)
+        except ValueError as exc:
+            raise QpiadError(f"{attribute!r} is numeric; cannot parse {text!r}") from exc
+        return int(value) if value.is_integer() else value
+
+    if ".." in raw:
+        low_text, __, high_text = raw.partition("..")
+        return Between(attribute, parse(low_text), parse(high_text))
+    return Equals(attribute, parse(raw))
+
+
+def _cmd_generate(args) -> int:
+    generator = _GENERATORS[args.dataset]
+    relation = generator(args.size, seed=args.seed)
+    if args.incomplete:
+        relation = make_incomplete(
+            relation, incomplete_fraction=args.incomplete, seed=args.seed + 1
+        ).incomplete
+    write_csv(relation, args.out)
+    print(f"wrote {len(relation)} {args.dataset} tuples to {args.out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    relation = read_csv(args.data)
+    report = incompleteness_report(args.data.name, relation)
+    rows = [
+        ["tuples", report.total_tuples],
+        ["attributes", report.attribute_count],
+        ["incomplete tuples", f"{report.incomplete_tuples_pct:.2f}%"],
+    ]
+    rows.extend(
+        [f"NULL {name}", f"{pct:.2f}%"]
+        for name, pct in sorted(report.attribute_null_pct.items(), key=lambda kv: -kv[1])
+        if pct > 0
+    )
+    print(render_table(["statistic", "value"], rows, title=f"Incompleteness of {args.data}"))
+    return 0
+
+
+def _cmd_mine(args) -> int:
+    sample = read_csv(args.data)
+    config = MiningConfig(
+        tane=TaneConfig(min_confidence=args.beta, max_determining_size=args.depth),
+        discretize_bins=args.bins,
+    )
+    knowledge = KnowledgeBase(sample, database_size=args.db_size, config=config)
+    save_knowledge(knowledge, args.out)
+    print(f"mined {len(knowledge.afds)} AFDs ({len(knowledge.all_afds)} pre-pruning), "
+          f"{len(knowledge.akeys)} AKeys from {len(sample)} sample tuples")
+    for afd in list(knowledge.afds)[:10]:
+        print(f"  {afd}")
+    print(f"knowledge base written to {args.out}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    relation = read_csv(args.data)
+    if args.kb:
+        knowledge = load_knowledge(args.kb)
+    else:
+        print("no --kb given; mining a knowledge base from the database itself ...")
+        knowledge = KnowledgeBase(
+            relation.take(max(200, len(relation) // 10)), database_size=len(relation)
+        )
+    predicates = [_parse_where(spec, relation) for spec in args.where]
+    query = SelectionQuery.conjunction(predicates)
+
+    source = AutonomousSource(args.data.name, relation, SourceCapabilities.web_form())
+    mediator = QpiadMediator(
+        source, knowledge, QpiadConfig(alpha=args.alpha, k=args.k)
+    )
+    result = mediator.query(query)
+
+    print(f"query: {query}")
+    print(f"{len(result.certain)} certain answers; first 5:")
+    print(result.certain.take(5).head())
+    print(f"\n{len(result.ranked)} ranked relevant possible answers; top {args.top}:")
+    for answer in result.top(args.top):
+        print(f"  conf={answer.confidence:.3f}  {answer.row}")
+    print(
+        f"\ncost: {result.stats.queries_issued} queries, "
+        f"{result.stats.tuples_retrieved} tuples transferred"
+    )
+    return 0
+
+
+def _load_or_mine(data_path: Path, kb_path: "Path | None", relation: Relation) -> KnowledgeBase:
+    if kb_path:
+        return load_knowledge(kb_path)
+    print("no --kb given; mining a knowledge base from the database itself ...")
+    return KnowledgeBase(
+        relation.take(max(200, len(relation) // 10)), database_size=len(relation)
+    )
+
+
+def _cmd_relax(args) -> int:
+    from repro.core.relaxation import QueryRelaxer
+
+    relation = read_csv(args.data)
+    knowledge = _load_or_mine(args.data, args.kb, relation)
+    predicates = [_parse_where(spec, relation) for spec in args.where]
+    query = SelectionQuery.conjunction(predicates)
+    source = AutonomousSource(args.data.name, relation, SourceCapabilities.web_form())
+    relaxer = QueryRelaxer(source, knowledge)
+    answers = relaxer.query(query, target_count=args.target)
+    print(f"query: {query}")
+    exact = sum(1 for answer in answers if answer.similarity == 1.0)
+    print(f"{exact} exact answers, {len(answers) - exact} relaxed; top {args.target}:")
+    for answer in answers[: args.target]:
+        violated = ", ".join(answer.violated) or "-"
+        print(f"  sim={answer.similarity:.2f}  violates: {violated}")
+        print(f"    {answer.row}")
+    return 0
+
+
+def _cmd_impute(args) -> int:
+    from repro.mining.imputation import impute
+
+    relation = read_csv(args.data)
+    knowledge = _load_or_mine(args.data, args.kb, relation)
+    report = impute(relation, knowledge, min_confidence=args.min_confidence)
+    write_csv(report.relation, args.out)
+    print(
+        f"filled {report.filled_count} cells "
+        f"({report.skipped_low_confidence} left NULL below confidence "
+        f"{args.min_confidence}); wrote {args.out}"
+    )
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.evaluation.harness import build_environment
+
+    print(f"generating {args.size} car listings, masking 10%, mining ...")
+    env = build_environment(generate_cars(args.size), name="demo")
+    mediator = QpiadMediator(env.web_source(), env.knowledge, QpiadConfig(k=10))
+    query = SelectionQuery.equals("body_style", "Convt")
+    result = mediator.query(query)
+    print(f"{len(result.certain)} certain answers for {query}")
+    print(f"{len(result.ranked)} ranked possible answers; top 5 with ground truth:")
+    for answer in result.top(5):
+        relevant = env.oracle.is_relevant(answer.row, query)
+        print(f"  conf={answer.confidence:.3f}  truth={'✓' if relevant else '✗'}  {answer.row}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.evaluation.summary import experiment_summary, render_summary
+
+    print(f"running the compact experiment battery on {args.size} tuples ...")
+    result, __ = experiment_summary(size=args.size, queries=args.queries)
+    print(render_summary(result))
+    return 0
+
+
+def _cmd_shell(args) -> int:
+    from repro.shell import run_shell
+
+    return run_shell(args.data, args.kb)
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "mine": _cmd_mine,
+    "query": _cmd_query,
+    "relax": _cmd_relax,
+    "impute": _cmd_impute,
+    "shell": _cmd_shell,
+    "report": _cmd_report,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except QpiadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""QPIAD core: rewriting, ranking, mediation, aggregates, joins, baselines."""
+
+from repro.core.aggregates import AggregateProcessor, AggregateResult
+from repro.core.baselines import all_ranked, all_returned
+from repro.core.correlated import (
+    CorrelatedConfig,
+    CorrelatedSourceMediator,
+    find_correlated_source,
+)
+from repro.core.federation import FederatedAnswer, FederatedMediator, FederatedResult
+from repro.core.joins import JoinConfig, JoinedAnswer, JoinProcessor, JoinResult
+from repro.core.multijoin import (
+    MultiJoinedAnswer,
+    MultiJoinProcessor,
+    MultiJoinResult,
+    MultiJoinStep,
+)
+from repro.core.qpiad import QpiadConfig, QpiadMediator
+from repro.core.relaxation import QueryRelaxer, RelaxationPlan, RelaxedAnswer
+from repro.core.ranking import f_measure, order_rewritten_queries, score_rewritten_queries
+from repro.core.results import QueryResult, RankedAnswer, RetrievalStats
+from repro.core.rewriting import (
+    RewrittenQuery,
+    generate_rewritten_queries,
+    target_probability,
+)
+
+__all__ = [
+    "RankedAnswer",
+    "RetrievalStats",
+    "QueryResult",
+    "RewrittenQuery",
+    "generate_rewritten_queries",
+    "target_probability",
+    "f_measure",
+    "score_rewritten_queries",
+    "order_rewritten_queries",
+    "QpiadConfig",
+    "QpiadMediator",
+    "all_returned",
+    "all_ranked",
+    "AggregateProcessor",
+    "AggregateResult",
+    "JoinConfig",
+    "JoinProcessor",
+    "JoinResult",
+    "JoinedAnswer",
+    "CorrelatedConfig",
+    "CorrelatedSourceMediator",
+    "find_correlated_source",
+    "MultiJoinStep",
+    "MultiJoinProcessor",
+    "MultiJoinResult",
+    "MultiJoinedAnswer",
+    "QueryRelaxer",
+    "FederatedMediator",
+    "FederatedResult",
+    "FederatedAnswer",
+    "RelaxationPlan",
+    "RelaxedAnswer",
+]

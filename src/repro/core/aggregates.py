@@ -1,0 +1,234 @@
+"""Aggregate queries over incomplete autonomous databases (Section 4.4).
+
+Ignoring incomplete tuples skews Sum/Count aggregates low.  QPIAD improves
+accuracy by also issuing the rewritten queries and folding a rewritten
+query's aggregate into the total *only when* the most likely completion of
+the missing attribute (given the query's determining-set evidence) equals
+the original constrained value — the paper found this all-or-nothing rule
+more accurate than weighting every query by its precision (footnote 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ranking import order_rewritten_queries
+from repro.core.rewriting import RewrittenQuery, generate_rewritten_queries
+from repro.errors import QueryError, RewritingError
+from repro.mining.knowledge import KnowledgeBase
+from repro.query.query import AggregateFunction, AggregateQuery
+from repro.relational.relation import Relation
+from repro.relational.values import is_null
+from repro.sources.autonomous import AutonomousSource
+
+__all__ = ["AggregateResult", "AggregateProcessor"]
+
+
+@dataclass
+class AggregateResult:
+    """Certain-only and prediction-augmented values of one aggregate query."""
+
+    query: AggregateQuery
+    certain_value: float | None
+    predicted_value: float | None
+    certain_count: int = 0
+    possible_count: int = 0
+    included_queries: int = 0
+    considered_queries: int = 0
+
+    @property
+    def improvement_available(self) -> bool:
+        """Whether prediction changed the aggregate at all."""
+        return self.possible_count > 0
+
+
+@dataclass
+class _Accumulator:
+    """Combines partial aggregates across the base set and rewritten queries."""
+
+    function: AggregateFunction
+    count: float = 0.0
+    total: float = 0.0
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def add(self, values: list[float], weight: float = 1.0) -> None:
+        self.count += weight * len(values)
+        self.total += weight * sum(values)
+        # Weighting has no sensible semantics for extrema; a value either
+        # was observed or not.
+        for value in values:
+            self.minimum = value if self.minimum is None else min(self.minimum, value)
+            self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    def add_count(self, count: float) -> None:
+        self.count += count
+
+    def value(self) -> float | None:
+        if self.function is AggregateFunction.COUNT:
+            return float(self.count)
+        if self.count == 0:
+            return None
+        if self.function is AggregateFunction.SUM:
+            return self.total
+        if self.function is AggregateFunction.AVG:
+            return self.total / self.count
+        if self.function is AggregateFunction.MIN:
+            return self.minimum
+        return self.maximum
+
+
+class AggregateProcessor:
+    """Executes aggregate queries with and without missing-value prediction.
+
+    Parameters
+    ----------
+    inclusion_rule:
+        How a rewritten query's partial aggregate is folded in:
+
+        * ``"argmax"`` (the paper's choice) — all-or-nothing: include the
+          whole partial aggregate iff the most likely completion equals the
+          constrained value;
+        * ``"fractional"`` (the paper's footnote-4 alternative) — weight the
+          partial aggregate by the query's estimated precision.  The paper
+          found this *less* accurate because every irrelevant tuple then
+          contributes something; the ablation bench quantifies that.
+    """
+
+    def __init__(
+        self,
+        source: AutonomousSource,
+        knowledge: KnowledgeBase,
+        k: int | None = 10,
+        alpha: float = 1.0,
+        classifier_method: str | None = None,
+        inclusion_rule: str = "argmax",
+    ):
+        if inclusion_rule not in ("argmax", "fractional"):
+            raise QueryError(
+                f"unknown inclusion rule {inclusion_rule!r}; "
+                "expected 'argmax' or 'fractional'"
+            )
+        self.source = source
+        self.knowledge = knowledge
+        self.k = k
+        self.alpha = alpha
+        self.classifier_method = classifier_method
+        self.inclusion_rule = inclusion_rule
+
+    def query(self, aggregate: AggregateQuery) -> AggregateResult:
+        """Process *aggregate*, returning certain and predicted values."""
+        selection = aggregate.selection
+        base_set = self.source.execute(selection)
+
+        certain_acc = _Accumulator(aggregate.function)
+        self._accumulate(certain_acc, aggregate, base_set, predict=False)
+        certain_value = certain_acc.value()
+
+        predicted_acc = _Accumulator(aggregate.function)
+        self._accumulate(predicted_acc, aggregate, base_set, predict=True)
+
+        result = AggregateResult(
+            query=aggregate,
+            certain_value=certain_value,
+            predicted_value=None,
+            certain_count=len(base_set),
+        )
+
+        try:
+            candidates = generate_rewritten_queries(
+                selection, base_set, self.knowledge, self.classifier_method
+            )
+        except RewritingError:
+            result.predicted_value = predicted_acc.value()
+            return result
+
+        ordered = order_rewritten_queries(candidates, self.alpha, self.k)
+        seen_rows = set(base_set.rows)
+        schema = self.source.schema
+
+        for rewritten in ordered:
+            result.considered_queries += 1
+            if self.inclusion_rule == "argmax":
+                if not self._argmax_matches(rewritten, selection):
+                    continue
+                weight = 1.0
+            else:
+                weight = rewritten.estimated_precision
+                if weight <= 0.0:
+                    continue
+            retrieved = self.source.execute(rewritten.query)
+            target_index = schema.index_of(rewritten.target_attribute)
+            rows = [
+                row
+                for row in retrieved
+                if is_null(row[target_index]) and row not in seen_rows
+            ]
+            if not rows:
+                continue
+            seen_rows.update(rows)
+            result.included_queries += 1
+            result.possible_count += len(rows)
+            partial = Relation(schema, rows)
+            self._accumulate(predicted_acc, aggregate, partial, predict=True, weight=weight)
+
+        result.predicted_value = predicted_acc.value()
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _argmax_matches(self, rewritten: RewrittenQuery, selection) -> bool:
+        """Section 4.4's inclusion rule: most-likely completion == query value."""
+        try:
+            value = selection.equality_value(rewritten.target_attribute)
+        except QueryError:
+            # Range-constrained target: include when the majority of the
+            # posterior mass satisfies the constraint (natural extension).
+            return rewritten.estimated_precision > 0.5
+        return self.knowledge.predict_matches(
+            rewritten.target_attribute,
+            value,
+            rewritten.evidence,
+            self.classifier_method,
+        )
+
+    def _accumulate(
+        self,
+        accumulator: _Accumulator,
+        aggregate: AggregateQuery,
+        rows: Relation,
+        predict: bool,
+        weight: float = 1.0,
+    ) -> None:
+        """Fold *rows* into the accumulator, optionally predicting NULLs.
+
+        ``predict=True`` replaces a NULL in the aggregated attribute by the
+        classifier's most likely completion, using the tuple's present
+        values as evidence.  ``weight`` scales the contribution (the
+        footnote-4 fractional rule).
+        """
+        if aggregate.function is AggregateFunction.COUNT and aggregate.attribute == "*":
+            accumulator.add_count(weight * len(rows))
+            return
+        attribute = aggregate.attribute
+        index = rows.schema.index_of(attribute)
+        values: list[float] = []
+        for row in rows:
+            value = row[index]
+            if is_null(value):
+                if not predict:
+                    continue
+                evidence = {
+                    name: v
+                    for name, v in zip(rows.schema.names, row)
+                    if not is_null(v) and name != attribute
+                }
+                predicted, __ = self.knowledge.predict_value(
+                    attribute, evidence, self.classifier_method
+                )
+                if is_null(predicted) or not isinstance(predicted, (int, float)):
+                    continue
+                values.append(float(predicted))
+            else:
+                values.append(float(value))
+        accumulator.add(values, weight=weight)

@@ -1,0 +1,178 @@
+"""Retrieving answers from sources that do not support the query attribute
+(Section 4.3).
+
+A mediator's global schema often contains attributes some sources lack
+(Yahoo! Autos has no ``Body Style``).  A query constraining such an
+attribute cannot even be *asked* of that source.  QPIAD's move: find a
+*correlated source* that (i) supports the attribute, (ii) has an AFD with
+the attribute on the right-hand side, and (iii) whose determining set the
+deficient source does support.  The base set and statistics come from the
+correlated source; the rewritten queries go to the deficient one.
+
+Answers retrieved this way are inherently possible answers — the deficient
+source cannot report the attribute at all — ranked by the correlated
+source's classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ranking import order_rewritten_queries
+from repro.core.results import QueryResult, RankedAnswer, RetrievalStats
+from repro.core.rewriting import generate_rewritten_queries
+from repro.errors import RewritingError, UnsupportedAttributeError
+from repro.mining.knowledge import KnowledgeBase
+from repro.query.query import SelectionQuery
+from repro.relational.relation import Row
+from repro.sources.autonomous import AutonomousSource
+from repro.sources.registry import SourceRegistry
+
+__all__ = ["CorrelatedSourceMediator", "find_correlated_source"]
+
+
+def find_correlated_source(
+    attribute: str,
+    deficient: AutonomousSource,
+    registry: SourceRegistry,
+    knowledge_bases: dict[str, KnowledgeBase],
+) -> tuple[AutonomousSource, KnowledgeBase] | None:
+    """The best correlated source for *attribute* per Definition 4.
+
+    Candidates must support the attribute, have a (pruned) AFD with it on
+    the right-hand side whose determining set the deficient source
+    supports; among them the one with the highest-confidence AFD wins.
+    """
+    best: tuple[float, AutonomousSource, KnowledgeBase] | None = None
+    for source in registry.supporting(attribute):
+        if source.name == deficient.name:
+            continue
+        knowledge = knowledge_bases.get(source.name)
+        if knowledge is None:
+            continue
+        for afd in knowledge.afds_for(attribute):
+            if all(
+                deficient.supports(name) and deficient.capabilities.can_bind(name)
+                for name in afd.determining
+            ):
+                if best is None or afd.confidence > best[0]:
+                    best = (afd.confidence, source, knowledge)
+                break  # afds_for is best-first; first feasible one is the best here
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+@dataclass(frozen=True)
+class CorrelatedConfig:
+    """α/K parameters for cross-source retrieval (same semantics as QPIAD)."""
+
+    alpha: float = 0.0
+    k: int | None = 10
+    classifier_method: str | None = None
+
+
+class CorrelatedSourceMediator:
+    """Answers queries on attributes a target source does not support.
+
+    Parameters
+    ----------
+    registry:
+        All sources under the mediator's global schema.
+    knowledge_bases:
+        Per-source mined statistics, keyed by source name (only sources
+        that support the query attribute need one).
+    config:
+        Retrieval parameters.
+    """
+
+    def __init__(
+        self,
+        registry: SourceRegistry,
+        knowledge_bases: dict[str, KnowledgeBase],
+        config: CorrelatedConfig | None = None,
+    ):
+        self.registry = registry
+        self.knowledge_bases = knowledge_bases
+        self.config = config or CorrelatedConfig()
+
+    def query(self, query: SelectionQuery, target: AutonomousSource) -> QueryResult:
+        """Retrieve relevant possible answers for *query* from *target*.
+
+        *query* must constrain exactly the attributes *target* lacks plus
+        (optionally) attributes it supports; the unsupported ones are
+        handled via the correlated source, supported conjuncts are passed
+        straight through to *target*.
+        """
+        unsupported = [
+            name for name in query.constrained_attributes if not target.supports(name)
+        ]
+        if not unsupported:
+            raise UnsupportedAttributeError(
+                f"source {target.name!r} supports every constrained attribute; "
+                "use the regular QPIAD mediator instead"
+            )
+        if len(unsupported) > 1:
+            raise UnsupportedAttributeError(
+                "correlated-source retrieval handles one unsupported attribute "
+                f"per query; got {unsupported}"
+            )
+        attribute = unsupported[0]
+
+        found = find_correlated_source(attribute, target, self.registry, self.knowledge_bases)
+        if found is None:
+            raise RewritingError(
+                f"no correlated source provides an AFD for {attribute!r} whose "
+                f"determining set {target.name!r} supports"
+            )
+        correlated, knowledge = found
+
+        stats = RetrievalStats()
+        # Step 1 (modified): base set from the correlated source.
+        base_set = correlated.execute(query)
+        stats.queries_issued += 1
+        stats.tuples_retrieved += len(base_set)
+
+        from repro.relational.relation import Relation
+
+        result = QueryResult(
+            query=query, certain=Relation(target.schema, []), stats=stats
+        )
+
+        try:
+            candidates = generate_rewritten_queries(
+                query, base_set, knowledge, self.config.classifier_method
+            )
+        except RewritingError:
+            return result
+        # Only queries the deficient source can actually answer are usable.
+        usable = [
+            candidate for candidate in candidates if target.can_answer(candidate.query)
+        ]
+        stats.rewritten_generated = len(usable)
+        ordered = order_rewritten_queries(usable, self.config.alpha, self.config.k)
+
+        seen: set[Row] = set()
+        for rewritten in ordered:
+            retrieved = target.execute(rewritten.query)
+            stats.queries_issued += 1
+            stats.rewritten_issued += 1
+            stats.tuples_retrieved += len(retrieved)
+            for row in retrieved:
+                # No post-filter on the target attribute: the deficient
+                # source does not return it at all, so every tuple is a
+                # possible answer.
+                if row in seen:
+                    stats.duplicates_discarded += 1
+                    continue
+                seen.add(row)
+                result.ranked.append(
+                    RankedAnswer(
+                        row=row,
+                        confidence=rewritten.estimated_precision,
+                        retrieved_by=rewritten.query,
+                        target_attribute=attribute,
+                        explanation=rewritten.afd,
+                    )
+                )
+        return result

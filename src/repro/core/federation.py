@@ -1,0 +1,134 @@
+"""Federating QPIAD over every source behind the global schema.
+
+Figure 1 of the paper shows the mediator fronting *several* autonomous
+databases.  For one user query this means:
+
+* sources whose local schema supports all constrained attributes are
+  mediated with the regular QPIAD pipeline (certain answers + ranked
+  possible answers), each against its own knowledge base;
+* sources lacking a constrained attribute are served through the
+  correlated-source machinery of Section 4.3 (their answers are possible
+  answers by construction);
+* per-source answer streams are merged into one ranked list, tagged with
+  their origin, ordered by confidence.
+
+Sources without a mined knowledge base still contribute their certain
+answers — a mediator should never return *less* because mining has not run
+yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.correlated import CorrelatedConfig, CorrelatedSourceMediator
+from repro.core.qpiad import QpiadConfig, QpiadMediator
+from repro.core.results import QueryResult, RankedAnswer
+from repro.errors import RewritingError, UnsupportedAttributeError
+from repro.mining.knowledge import KnowledgeBase
+from repro.query.query import SelectionQuery
+from repro.relational.relation import Relation, Row
+from repro.sources.registry import SourceRegistry
+
+__all__ = ["FederatedAnswer", "FederatedResult", "FederatedMediator"]
+
+
+@dataclass(frozen=True)
+class FederatedAnswer:
+    """One possible answer, tagged with the source that supplied it."""
+
+    source: str
+    answer: RankedAnswer
+
+    @property
+    def confidence(self) -> float:
+        return self.answer.confidence
+
+    @property
+    def row(self) -> Row:
+        return self.answer.row
+
+
+@dataclass
+class FederatedResult:
+    """Merged outcome of one query across the federation."""
+
+    query: SelectionQuery
+    certain: dict[str, Relation] = field(default_factory=dict)
+    ranked: list[FederatedAnswer] = field(default_factory=list)
+    per_source: dict[str, QueryResult] = field(default_factory=dict)
+    skipped_sources: list[str] = field(default_factory=list)
+
+    @property
+    def certain_count(self) -> int:
+        return sum(len(relation) for relation in self.certain.values())
+
+    def top(self, count: int) -> list[FederatedAnswer]:
+        return self.ranked[:count]
+
+
+class FederatedMediator:
+    """Runs one user query across every registered source.
+
+    Parameters
+    ----------
+    registry:
+        Sources under the mediator's global schema.
+    knowledge_bases:
+        Per-source mined statistics by source name.  Sources without one
+        only contribute certain answers (when they support the query) and
+        can still *receive* correlated-source rewritten queries.
+    config / correlated_config:
+        Parameters for the regular and cross-source pipelines.
+    """
+
+    def __init__(
+        self,
+        registry: SourceRegistry,
+        knowledge_bases: dict[str, KnowledgeBase],
+        config: QpiadConfig | None = None,
+        correlated_config: CorrelatedConfig | None = None,
+    ):
+        self.registry = registry
+        self.knowledge_bases = knowledge_bases
+        self.config = config or QpiadConfig()
+        self.correlated = CorrelatedSourceMediator(
+            registry, knowledge_bases, correlated_config
+        )
+
+    def query(self, query: SelectionQuery) -> FederatedResult:
+        """Mediate *query* over the whole federation."""
+        result = FederatedResult(query=query)
+        for source in self.registry:
+            if source.can_answer(query):
+                self._query_supporting(source, query, result)
+            else:
+                self._query_deficient(source, query, result)
+        result.ranked.sort(key=lambda item: -item.confidence)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _query_supporting(self, source, query, result: FederatedResult) -> None:
+        knowledge = self.knowledge_bases.get(source.name)
+        if knowledge is None:
+            # No statistics: certain answers only.
+            result.certain[source.name] = source.execute(query)
+            return
+        outcome = QpiadMediator(source, knowledge, self.config).query(query)
+        result.per_source[source.name] = outcome
+        result.certain[source.name] = outcome.certain
+        result.ranked.extend(
+            FederatedAnswer(source.name, answer) for answer in outcome.ranked
+        )
+
+    def _query_deficient(self, source, query, result: FederatedResult) -> None:
+        try:
+            outcome = self.correlated.query(query, source)
+        except (RewritingError, UnsupportedAttributeError):
+            result.skipped_sources.append(source.name)
+            return
+        result.per_source[source.name] = outcome
+        result.ranked.extend(
+            FederatedAnswer(source.name, answer) for answer in outcome.ranked
+        )

@@ -1,0 +1,380 @@
+"""Join queries over incomplete autonomous sources (Section 4.5).
+
+The mediator decomposes a join query into per-source selections, generates
+rewritten queries on both sides, and must then decide which *pairs* of
+queries to issue: a pair only produces answers when the two result sets
+share join-attribute values, so components are scored jointly —
+
+    EstSel(qp) = Σ_v EstSel(qp₁, v) · EstSel(qp₂, v)
+
+where ``EstSel(qpᵢ, v) = precision · selectivity · P(join = v)`` and the
+join-value distribution ``P`` comes from the NBC classifiers (for rewritten
+queries) or the observed base set (for the complete queries).  Pairs are
+ordered by F-measure, the top-K pairs' component queries are issued (each
+component once), and tuples are joined with NULL join values filled in by
+the classifiers' most likely completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.ranking import f_measure
+from repro.core.rewriting import RewrittenQuery, generate_rewritten_queries
+from repro.errors import MiningError, QpiadError, RewritingError
+from repro.mining.afd import Afd
+from repro.mining.knowledge import KnowledgeBase
+from repro.query.predicates import Equals
+from repro.query.query import JoinQuery, SelectionQuery
+from repro.relational.relation import Relation, Row
+from repro.relational.values import is_null
+from repro.sources.autonomous import AutonomousSource
+
+__all__ = ["JoinConfig", "JoinedAnswer", "JoinResult", "JoinProcessor"]
+
+
+@dataclass(frozen=True)
+class JoinConfig:
+    """Knobs of the join processor.
+
+    ``alpha`` deserves a larger default than for selections: the paper
+    observes that with α = 0 the pairing over-commits to precision and
+    never retrieves incomplete tuples from the side that is harder to
+    predict (Section 6.6), so recall stalls.
+    """
+
+    alpha: float = 0.5
+    k_pairs: int = 10
+    classifier_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise QpiadError(f"alpha must be non-negative, got {self.alpha}")
+        if self.k_pairs < 1:
+            raise QpiadError(f"k_pairs must be positive, got {self.k_pairs}")
+
+
+@dataclass(frozen=True)
+class _Side:
+    """One component query of a pair, with its joint-scoring statistics."""
+
+    query: SelectionQuery
+    is_rewritten: bool
+    precision: float
+    selectivity: float
+    join_distribution: Mapping[Any, float]
+    target_attribute: str | None = None
+    afd: Afd | None = None
+
+    def est_sel(self, join_value: Any) -> float:
+        return (
+            self.precision
+            * self.selectivity
+            * self.join_distribution.get(join_value, 0.0)
+        )
+
+
+@dataclass(frozen=True)
+class _QueryPair:
+    left: _Side
+    right: _Side
+
+    @property
+    def precision(self) -> float:
+        return self.left.precision * self.right.precision
+
+    def estimated_selectivity(self) -> float:
+        common = set(self.left.join_distribution) & set(self.right.join_distribution)
+        return sum(self.left.est_sel(v) * self.right.est_sel(v) for v in common)
+
+
+@dataclass(frozen=True)
+class JoinedAnswer:
+    """One joined tuple with its combined relevance assessment."""
+
+    left_row: Row
+    right_row: Row
+    join_value: Any
+    confidence: float
+    certain: bool
+
+    @property
+    def row(self) -> Row:
+        return self.left_row + self.right_row
+
+
+@dataclass
+class JoinResult:
+    """Certain and ranked possible answers of a mediated join query."""
+
+    query: JoinQuery
+    answers: list[JoinedAnswer] = field(default_factory=list)
+    pairs_considered: int = 0
+    pairs_issued: int = 0
+    component_queries_issued: int = 0
+
+    @property
+    def certain(self) -> list[JoinedAnswer]:
+        return [answer for answer in self.answers if answer.certain]
+
+    @property
+    def possible(self) -> list[JoinedAnswer]:
+        return [answer for answer in self.answers if not answer.certain]
+
+
+class JoinProcessor:
+    """Processes two-way join queries over a pair of autonomous sources."""
+
+    def __init__(
+        self,
+        left_source: AutonomousSource,
+        right_source: AutonomousSource,
+        left_knowledge: KnowledgeBase,
+        right_knowledge: KnowledgeBase,
+        config: JoinConfig | None = None,
+    ):
+        self.left_source = left_source
+        self.right_source = right_source
+        self.left_knowledge = left_knowledge
+        self.right_knowledge = right_knowledge
+        self.config = config or JoinConfig()
+
+    def query(self, join: JoinQuery) -> JoinResult:
+        """Execute *join*, returning certain + ranked possible joined tuples."""
+        result = JoinResult(query=join)
+
+        left_base = self.left_source.execute(join.left)
+        right_base = self.right_source.execute(join.right)
+        result.component_queries_issued += 2
+
+        left_sides = self._build_sides(
+            join.left, left_base, self.left_source, self.left_knowledge,
+            join.left_join_attribute,
+        )
+        right_sides = self._build_sides(
+            join.right, right_base, self.right_source, self.right_knowledge,
+            join.right_join_attribute,
+        )
+
+        pairs = [_QueryPair(l, r) for l in left_sides for r in right_sides]
+        result.pairs_considered = len(pairs)
+
+        est_sels = {id(pair): pair.estimated_selectivity() for pair in pairs}
+        total = sum(est_sels.values())
+        scored: list[tuple[float, _QueryPair]] = []
+        for pair in pairs:
+            recall = est_sels[id(pair)] / total if total > 0 else 0.0
+            scored.append((f_measure(pair.precision, recall, self.config.alpha), pair))
+        scored.sort(key=lambda item: (-item[0], -item[1].precision, repr(item[1].left.query) + repr(item[1].right.query)))
+        selected = [pair for __, pair in scored[: self.config.k_pairs]]
+        result.pairs_issued = len(selected)
+
+        left_results = self._issue_components(
+            (pair.left for pair in selected), self.left_source, left_base, join.left, result
+        )
+        right_results = self._issue_components(
+            (pair.right for pair in selected), self.right_source, right_base, join.right, result
+        )
+
+        seen: set[tuple[Row, Row]] = set()
+        for pair in selected:
+            left_tuples = left_results[pair.left.query]
+            right_tuples = right_results[pair.right.query]
+            self._join_pair(
+                pair, left_tuples, right_tuples, join, seen, result
+            )
+
+        result.answers.sort(key=lambda answer: (not answer.certain, -answer.confidence))
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _build_sides(
+        self,
+        complete_query: SelectionQuery,
+        base_set: Relation,
+        source: AutonomousSource,
+        knowledge: KnowledgeBase,
+        join_attribute: str,
+    ) -> list[_Side]:
+        """The complete query plus all rewritten queries, as pair components."""
+        sides = [
+            _Side(
+                query=complete_query,
+                is_rewritten=False,
+                precision=1.0,
+                selectivity=float(len(base_set)),
+                join_distribution=_empirical_distribution(base_set, join_attribute),
+            )
+        ]
+        try:
+            rewritten = generate_rewritten_queries(
+                complete_query, base_set, knowledge, self.config.classifier_method
+            )
+        except RewritingError:
+            return sides
+        for candidate in rewritten:
+            sides.append(
+                _Side(
+                    query=candidate.query,
+                    is_rewritten=True,
+                    precision=candidate.estimated_precision,
+                    selectivity=candidate.estimated_selectivity,
+                    join_distribution=self._join_distribution(
+                        candidate, knowledge, join_attribute
+                    ),
+                    target_attribute=candidate.target_attribute,
+                    afd=candidate.afd,
+                )
+            )
+        return sides
+
+    def _join_distribution(
+        self, rewritten: RewrittenQuery, knowledge: KnowledgeBase, join_attribute: str
+    ) -> Mapping[Any, float]:
+        """P(join value | query) for a rewritten query (step 3a).
+
+        When the rewritten query binds the join attribute with an equality,
+        the distribution is a point mass; otherwise the NBC posterior given
+        the determining-set evidence is used.
+        """
+        for conjunct in rewritten.query.conjuncts:
+            if isinstance(conjunct, Equals) and conjunct.attribute == join_attribute:
+                return {conjunct.value: 1.0}
+        if join_attribute in rewritten.evidence:
+            return {rewritten.evidence[join_attribute]: 1.0}
+        return knowledge.value_distribution(
+            join_attribute, rewritten.evidence, self.config.classifier_method
+        )
+
+    def _issue_components(
+        self,
+        sides,
+        source: AutonomousSource,
+        base_set: Relation,
+        complete_query: SelectionQuery,
+        result: JoinResult,
+    ) -> dict[SelectionQuery, list[tuple[Row, float]]]:
+        """Issue each distinct component query once; post-filter rewritten ones.
+
+        Returns, per query, the retrieved rows paired with their confidence
+        (1.0 for certain answers of the complete query, the rewritten
+        query's precision otherwise).
+        """
+        results: dict[SelectionQuery, list[tuple[Row, float]]] = {}
+        schema = source.schema
+        base_rows = set(base_set.rows)
+        for side in sides:
+            if side.query in results:
+                continue
+            if not side.is_rewritten:
+                results[side.query] = [(row, 1.0) for row in base_set]
+                continue
+            retrieved = source.execute(side.query)
+            result.component_queries_issued += 1
+            target_index = (
+                schema.index_of(side.target_attribute)
+                if side.target_attribute is not None
+                else None
+            )
+            rows: list[tuple[Row, float]] = []
+            for row in retrieved:
+                if target_index is not None and not is_null(row[target_index]):
+                    continue  # already a certain answer of the complete query
+                if row in base_rows:
+                    continue
+                rows.append((row, side.precision))
+            results[side.query] = rows
+        return results
+
+    def _join_pair(
+        self,
+        pair: _QueryPair,
+        left_tuples: list[tuple[Row, float]],
+        right_tuples: list[tuple[Row, float]],
+        join: JoinQuery,
+        seen: set[tuple[Row, Row]],
+        result: JoinResult,
+    ) -> None:
+        """Join two component result sets, predicting NULL join values."""
+        left_index = self.left_source.schema.index_of(join.left_join_attribute)
+        right_index = self.right_source.schema.index_of(join.right_join_attribute)
+
+        prepared_right: dict[Any, list[tuple[Row, float]]] = {}
+        for row, confidence in right_tuples:
+            value, adjusted = self._effective_join_value(
+                row, right_index, self.right_source, self.right_knowledge,
+                join.right_join_attribute, confidence,
+            )
+            if value is None:
+                continue
+            prepared_right.setdefault(value, []).append((row, adjusted))
+
+        for row, confidence in left_tuples:
+            value, adjusted = self._effective_join_value(
+                row, left_index, self.left_source, self.left_knowledge,
+                join.left_join_attribute, confidence,
+            )
+            if value is None:
+                continue
+            for right_row, right_confidence in prepared_right.get(value, ()):
+                key = (row, right_row)
+                if key in seen:
+                    continue
+                seen.add(key)
+                combined = adjusted * right_confidence
+                certain = (
+                    not pair.left.is_rewritten
+                    and not pair.right.is_rewritten
+                    and not is_null(row[left_index])
+                    and not is_null(right_row[right_index])
+                )
+                result.answers.append(
+                    JoinedAnswer(
+                        left_row=row,
+                        right_row=right_row,
+                        join_value=value,
+                        confidence=1.0 if certain else combined,
+                        certain=certain,
+                    )
+                )
+
+    def _effective_join_value(
+        self,
+        row: Row,
+        join_index: int,
+        source: AutonomousSource,
+        knowledge: KnowledgeBase,
+        join_attribute: str,
+        confidence: float,
+    ) -> tuple[Any, float]:
+        """The row's join value, predicting it when NULL (step 6).
+
+        Returns ``(None, 0)`` when the value is NULL and unpredictable.
+        The confidence is discounted by the prediction probability.
+        """
+        value = row[join_index]
+        if not is_null(value):
+            return value, confidence
+        evidence = {
+            name: v
+            for name, v in zip(source.schema.names, row)
+            if not is_null(v) and name != join_attribute
+        }
+        try:
+            predicted, probability = knowledge.predict_value(
+                join_attribute, evidence, self.config.classifier_method
+            )
+        except MiningError:
+            return None, 0.0
+        return predicted, confidence * probability
+
+
+def _empirical_distribution(relation: Relation, attribute: str) -> dict[Any, float]:
+    """Observed join-value distribution of a base result set."""
+    counts = relation.value_counts(attribute)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {value: count / total for value, count in counts.items()}

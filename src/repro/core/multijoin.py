@@ -1,0 +1,201 @@
+"""Multi-way joins over incomplete autonomous sources.
+
+The paper presents two-way joins and notes the techniques "are applicable to
+cases involving multi-way joins" (footnote 5).  This module provides that
+extension as a left-deep fold: each relation's certain *and* relevant
+possible answers are retrieved with the regular QPIAD machinery, NULL join
+values are filled with the classifiers' most likely completion, and the
+running result is hash-joined step by step with confidences multiplying.
+
+The pairwise query-pair scoring of Section 4.5 does not scale past two
+relations (the pair lattice is exponential in the number of sources), so
+per-source retrieval budgets (``k`` rewritten queries each) play the role
+of the pair budget here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.qpiad import QpiadConfig, QpiadMediator
+from repro.errors import MiningError, QpiadError
+from repro.mining.knowledge import KnowledgeBase
+from repro.query.query import SelectionQuery
+from repro.relational.relation import Row
+from repro.relational.values import is_null
+from repro.sources.autonomous import AutonomousSource
+
+__all__ = ["MultiJoinStep", "MultiJoinedAnswer", "MultiJoinResult", "MultiJoinProcessor"]
+
+
+@dataclass(frozen=True)
+class MultiJoinStep:
+    """One relation of a multi-way join chain.
+
+    Parameters
+    ----------
+    source / knowledge:
+        The autonomous source and its mined statistics.
+    query:
+        This relation's selection constraints.
+    join_attribute:
+        The attribute of *this* relation used to join with the running
+        result.
+    link_attribute:
+        The attribute of the *running result's* schema to join against;
+        irrelevant (``None``) for the first step.  Running-result attribute
+        names are ``step<i>.<name>``.
+    """
+
+    source: AutonomousSource
+    knowledge: KnowledgeBase
+    query: SelectionQuery
+    join_attribute: str
+    link_attribute: str | None = None
+
+
+@dataclass(frozen=True)
+class MultiJoinedAnswer:
+    """One joined tuple across all steps."""
+
+    rows: tuple[Row, ...]
+    confidence: float
+    certain: bool
+
+    @property
+    def row(self) -> Row:
+        combined: tuple = ()
+        for part in self.rows:
+            combined += part
+        return combined
+
+
+@dataclass
+class MultiJoinResult:
+    answers: list[MultiJoinedAnswer] = field(default_factory=list)
+    per_step_retrieved: list[int] = field(default_factory=list)
+
+    @property
+    def certain(self) -> list[MultiJoinedAnswer]:
+        return [answer for answer in self.answers if answer.certain]
+
+    @property
+    def possible(self) -> list[MultiJoinedAnswer]:
+        return [answer for answer in self.answers if not answer.certain]
+
+
+@dataclass(frozen=True)
+class _Partial:
+    """A partially joined tuple flowing through the fold."""
+
+    rows: tuple[Row, ...]
+    confidence: float
+    certain: bool
+    link_values: dict  # attribute name (step<i>.<name>) -> value
+
+
+class MultiJoinProcessor:
+    """Folds two or more :class:`MultiJoinStep`\\ s into joined answers."""
+
+    def __init__(self, steps: "list[MultiJoinStep] | tuple[MultiJoinStep, ...]",
+                 k: int | None = 10, alpha: float = 0.5):
+        steps = list(steps)
+        if len(steps) < 2:
+            raise QpiadError("a multi-way join needs at least two steps")
+        if any(step.link_attribute is None for step in steps[1:]):
+            raise QpiadError("every step after the first needs a link_attribute")
+        self.steps = steps
+        self.k = k
+        self.alpha = alpha
+
+    def query(self) -> MultiJoinResult:
+        result = MultiJoinResult()
+
+        partials = self._initial_partials(self.steps[0], result)
+        for index, step in enumerate(self.steps[1:], start=1):
+            partials = self._fold(partials, step, index, result)
+
+        answers = [
+            MultiJoinedAnswer(p.rows, 1.0 if p.certain else p.confidence, p.certain)
+            for p in partials
+        ]
+        answers.sort(key=lambda a: (not a.certain, -a.confidence))
+        result.answers = answers
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _retrieve(self, step: MultiJoinStep) -> list[tuple[Row, float, bool]]:
+        """Certain + ranked possible answers of one step, with confidences."""
+        mediator = QpiadMediator(
+            step.source, step.knowledge, QpiadConfig(alpha=self.alpha, k=self.k)
+        )
+        retrieval = mediator.query(step.query)
+        answers: list[tuple[Row, float, bool]] = [
+            (row, 1.0, True) for row in retrieval.certain
+        ]
+        answers.extend(
+            (answer.row, answer.confidence, False) for answer in retrieval.ranked
+        )
+        return answers
+
+    def _join_value(self, step: MultiJoinStep, row: Row) -> tuple[Any, float]:
+        """The row's join value (predicted when NULL) and its probability."""
+        schema = step.source.schema
+        value = row[schema.index_of(step.join_attribute)]
+        if not is_null(value):
+            return value, 1.0
+        evidence = {
+            name: v
+            for name, v in zip(schema.names, row)
+            if not is_null(v) and name != step.join_attribute
+        }
+        try:
+            return step.knowledge.predict_value(step.join_attribute, evidence)
+        except MiningError:
+            return None, 0.0
+
+    def _initial_partials(self, step: MultiJoinStep, result: MultiJoinResult):
+        answers = self._retrieve(step)
+        result.per_step_retrieved.append(len(answers))
+        partials = []
+        schema = step.source.schema
+        for row, confidence, certain in answers:
+            link_values = {
+                f"step0.{name}": value for name, value in zip(schema.names, row)
+            }
+            partials.append(_Partial((row,), confidence, certain, link_values))
+        return partials
+
+    def _fold(self, partials, step: MultiJoinStep, index: int, result: MultiJoinResult):
+        answers = self._retrieve(step)
+        result.per_step_retrieved.append(len(answers))
+
+        buckets: dict[Any, list[tuple[Row, float, bool, float]]] = {}
+        for row, confidence, certain in answers:
+            value, probability = self._join_value(step, row)
+            if value is None:
+                continue
+            buckets.setdefault(value, []).append((row, confidence, certain, probability))
+
+        schema = step.source.schema
+        joined = []
+        for partial in partials:
+            link_value = partial.link_values.get(step.link_attribute)
+            if link_value is None or is_null(link_value):
+                continue
+            for row, confidence, certain, probability in buckets.get(link_value, ()):
+                link_values = dict(partial.link_values)
+                link_values.update(
+                    {f"step{index}.{name}": value for name, value in zip(schema.names, row)}
+                )
+                joined.append(
+                    _Partial(
+                        partial.rows + (row,),
+                        partial.confidence * confidence * probability,
+                        partial.certain and certain and probability == 1.0,
+                        link_values,
+                    )
+                )
+        return joined

@@ -1,0 +1,286 @@
+"""The QPIAD mediator for selection queries (Sections 3, 4.1, 4.2).
+
+:class:`QpiadMediator` wires the pieces together exactly as Figure 1 shows:
+the query reformulator issues the original query for the base result set,
+generates rewritten queries from mined AFDs, orders them by F-measure,
+issues the top-K in precision order, post-filters, and returns certain
+answers plus ranked relevant possible answers.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+from repro.core.ranking import order_rewritten_queries
+from repro.core.results import QueryResult, RankedAnswer, RetrievalStats
+from repro.core.rewriting import generate_rewritten_queries
+from repro.errors import (
+    NullBindingError,
+    QpiadError,
+    QueryBudgetExceededError,
+    RewritingError,
+)
+from repro.mining.knowledge import KnowledgeBase
+from repro.query.query import SelectionQuery
+from repro.relational.relation import Row
+from repro.relational.values import is_null
+from repro.sources.autonomous import AutonomousSource
+
+__all__ = ["QpiadConfig", "QpiadMediator"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class QpiadConfig:
+    """Mediator tuning knobs (Section 4.1's α and K, plus extras).
+
+    Parameters
+    ----------
+    alpha:
+        F-measure weight: 0 orders purely by precision; 1 weighs precision
+        and recall equally (paper Figure 5 sweeps this).
+    k:
+        Maximum number of rewritten queries issued per user query
+        (``None`` = unlimited).  Models source rate limits.
+    classifier_method:
+        Which Table-3 classifier variant assesses value distributions.
+    retrieve_multi_null:
+        When the source (counterfactually) supports NULL binding, also fetch
+        tuples with ≥2 NULLs over the constrained attributes and append them
+        unranked, per the paper's assumption; ignored for plain web sources,
+        which cannot express such a request.
+    rank_multi_null:
+        With :attr:`retrieve_multi_null`, additionally order the appended
+        multi-NULL tuples among themselves by the joint probability that
+        *all* their missing constrained values satisfy the query (naive
+        product of per-attribute posteriors).  They still sort after every
+        single-NULL ranked answer, honouring the paper's assumption that
+        such tuples are less relevant.
+    min_confidence:
+        Drop ranked answers whose confidence falls below this threshold
+        (Fig. 9's user-side filter); 0 keeps everything.
+    tolerate_budget_exhaustion:
+        When the source's query budget runs out mid-retrieval, return the
+        answers gathered so far instead of propagating the error.  The base
+        query's failure always propagates — without certain answers there
+        is nothing to return.
+    """
+
+    alpha: float = 0.0
+    k: int | None = 10
+    classifier_method: str | None = None
+    retrieve_multi_null: bool = False
+    rank_multi_null: bool = False
+    min_confidence: float = 0.0
+    tolerate_budget_exhaustion: bool = True
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise QpiadError(f"alpha must be non-negative, got {self.alpha}")
+        if self.k is not None and self.k < 0:
+            raise QpiadError(f"k must be non-negative, got {self.k}")
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise QpiadError(
+                f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
+
+
+class QpiadMediator:
+    """Mediates selection queries over one incomplete autonomous source.
+
+    Parameters
+    ----------
+    source:
+        The autonomous database (accessed only through its query interface).
+    knowledge:
+        Statistics mined off-line from a sample of *source* (or of a
+        correlated source — see :mod:`repro.core.correlated`).
+    config:
+        Mediation parameters.
+    """
+
+    def __init__(
+        self,
+        source: AutonomousSource,
+        knowledge: KnowledgeBase,
+        config: QpiadConfig | None = None,
+    ):
+        self.source = source
+        self.knowledge = knowledge
+        self.config = config or QpiadConfig()
+
+    def query(self, query: SelectionQuery) -> QueryResult:
+        """Process *query*: certain answers plus ranked possible answers."""
+        stats = RetrievalStats()
+
+        base_set = self.source.execute(query)
+        stats.queries_issued += 1
+        stats.tuples_retrieved += len(base_set)
+
+        result = QueryResult(query=query, certain=base_set, stats=stats)
+
+        try:
+            candidates = generate_rewritten_queries(
+                query, base_set, self.knowledge, self.config.classifier_method
+            )
+        except RewritingError:
+            # No AFD covers any constrained attribute: certain answers only.
+            return result
+        stats.rewritten_generated = len(candidates)
+
+        ordered = order_rewritten_queries(candidates, self.config.alpha, self.config.k)
+        logger.debug(
+            "query %r: %d certain answers, %d rewritten candidates, issuing %d",
+            query, len(base_set), len(candidates), len(ordered),
+        )
+        seen_rows: set[Row] = set(base_set.rows)
+        constrained = query.constrained_attributes
+        schema = self.source.schema
+
+        for rewritten in ordered:
+            if not self._can_answer(rewritten.query):
+                stats.rewritten_skipped += 1
+                continue  # the web form cannot express this rewriting
+            try:
+                retrieved = self.source.execute(rewritten.query)
+            except QueryBudgetExceededError:
+                if self.config.tolerate_budget_exhaustion:
+                    break  # degrade gracefully: ship what we have
+                raise
+            stats.queries_issued += 1
+            stats.rewritten_issued += 1
+            stats.tuples_retrieved += len(retrieved)
+
+            target_index = schema.index_of(rewritten.target_attribute)
+            for row in retrieved:
+                # Post-filtering (step 2e): keep only tuples whose target
+                # attribute is actually missing; the rest are certain
+                # answers the base set already delivered.
+                if not is_null(row[target_index]):
+                    continue
+                if row in seen_rows:
+                    stats.duplicates_discarded += 1
+                    continue
+                seen_rows.add(row)
+                if rewritten.estimated_precision < self.config.min_confidence:
+                    continue
+                result.ranked.append(
+                    RankedAnswer(
+                        row=row,
+                        confidence=rewritten.estimated_precision,
+                        retrieved_by=rewritten.query,
+                        target_attribute=rewritten.target_attribute,
+                        explanation=rewritten.afd,
+                    )
+                )
+
+        if self.config.retrieve_multi_null and len(constrained) > 1:
+            result.unranked.extend(self._fetch_multi_null(query, seen_rows, stats))
+        return result
+
+    def iter_possible(self, query: SelectionQuery):
+        """Lazily yield ranked possible answers, issuing queries on demand.
+
+        The base result set is retrieved eagerly (its tuples seed the
+        rewriting), but rewritten queries are only issued as the caller
+        consumes the stream — a user who stops after the first few answers
+        never spends the rest of the source's query budget.  Answers arrive
+        in the same order :meth:`query` would rank them.
+        """
+        base_set = self.source.execute(query)
+        try:
+            candidates = generate_rewritten_queries(
+                query, base_set, self.knowledge, self.config.classifier_method
+            )
+        except RewritingError:
+            return
+        ordered = order_rewritten_queries(candidates, self.config.alpha, self.config.k)
+        seen_rows: set[Row] = set(base_set.rows)
+        schema = self.source.schema
+
+        for rewritten in ordered:
+            if not self._can_answer(rewritten.query):
+                continue
+            try:
+                retrieved = self.source.execute(rewritten.query)
+            except QueryBudgetExceededError:
+                if self.config.tolerate_budget_exhaustion:
+                    return
+                raise
+            target_index = schema.index_of(rewritten.target_attribute)
+            for row in retrieved:
+                if not is_null(row[target_index]) or row in seen_rows:
+                    continue
+                seen_rows.add(row)
+                if rewritten.estimated_precision < self.config.min_confidence:
+                    continue
+                yield RankedAnswer(
+                    row=row,
+                    confidence=rewritten.estimated_precision,
+                    retrieved_by=rewritten.query,
+                    target_attribute=rewritten.target_attribute,
+                    explanation=rewritten.afd,
+                )
+
+    def _can_answer(self, query: SelectionQuery) -> bool:
+        """Whether the source's interface can express *query*.
+
+        Sources (and wrappers) expose :meth:`can_answer`; anything without
+        it is assumed fully capable.
+        """
+        checker = getattr(self.source, "can_answer", None)
+        if checker is None:
+            return True
+        return checker(query)
+
+    def _fetch_multi_null(
+        self, query: SelectionQuery, seen_rows: set[Row], stats: RetrievalStats
+    ) -> list[Row]:
+        """Tuples with ≥2 NULLs over constrained attributes, unranked.
+
+        Only expressible when the source supports NULL binding; real web
+        forms do not, so this quietly returns nothing for them.
+        """
+        try:
+            retrieved = self.source.execute_null_binding(query, max_nulls=None)
+        except NullBindingError:
+            return []
+        stats.queries_issued += 1
+        stats.tuples_retrieved += len(retrieved)
+        schema = self.source.schema
+        constrained = query.constrained_attributes
+        rows = []
+        for row in retrieved:
+            nulls = sum(1 for name in constrained if is_null(row[schema.index_of(name)]))
+            if nulls >= 2 and row not in seen_rows:
+                seen_rows.add(row)
+                rows.append(row)
+        if self.config.rank_multi_null:
+            rows.sort(key=lambda row: -self._joint_probability(query, row))
+        return rows
+
+    def _joint_probability(self, query: SelectionQuery, row: Row) -> float:
+        """Naive joint probability that every missing constrained value of
+        *row* satisfies its conjuncts (independence assumption)."""
+        from repro.core.rewriting import target_probability
+
+        schema = self.source.schema
+        evidence = {
+            name: value
+            for name, value in zip(schema.names, row)
+            if not is_null(value)
+        }
+        probability = 1.0
+        for attribute in query.constrained_attributes:
+            if not is_null(row[schema.index_of(attribute)]):
+                continue
+            probability *= target_probability(
+                self.knowledge,
+                attribute,
+                query.conjuncts_on(attribute),
+                evidence,
+                self.config.classifier_method,
+            )
+        return probability

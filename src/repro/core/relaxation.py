@@ -1,0 +1,185 @@
+"""AFD-guided query relaxation (the paper's "ongoing work" direction).
+
+Section 7 points at the dual problem of incompleteness: *query imprecision* —
+an over-constrained query returns too few answers even over complete data.
+The QUIC follow-up (Kambhampati et al., CIDR'07) handles both with the same
+mined statistics.  This module implements the relaxation half:
+
+* conjuncts are relaxed in order of the constrained attribute's *influence*
+  — the degree to which it determines other attributes according to the
+  mined AFDs (an attribute that determines much carries more of the query's
+  intent, so it is relaxed last);
+* relaxed queries drop one conjunct at a time (then two, ...) until enough
+  answers accumulate;
+* answers are ranked by weighted similarity to the original query — the
+  influence-weighted fraction of original conjuncts they satisfy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from repro.errors import QpiadError, QueryError
+from repro.mining.knowledge import KnowledgeBase
+from repro.query.predicates import Predicate
+from repro.query.query import SelectionQuery
+from repro.relational.relation import Row
+from repro.sources.autonomous import AutonomousSource
+
+__all__ = ["RelaxedAnswer", "RelaxationPlan", "QueryRelaxer"]
+
+
+@dataclass(frozen=True)
+class RelaxedAnswer:
+    """A tuple retrieved by a relaxed query, with its similarity score."""
+
+    row: Row
+    similarity: float
+    satisfied: tuple[str, ...]
+    violated: tuple[str, ...]
+    retrieved_by: SelectionQuery
+
+
+@dataclass(frozen=True)
+class RelaxationPlan:
+    """The ordered relaxed queries the relaxer would issue."""
+
+    original: SelectionQuery
+    queries: tuple[SelectionQuery, ...]
+    influence: dict[str, float]
+
+
+class QueryRelaxer:
+    """Relaxes over-constrained queries using mined attribute influence.
+
+    Parameters
+    ----------
+    source / knowledge:
+        The autonomous source and its mined statistics.
+    max_dropped:
+        Never drop more than this many conjuncts (default: all but one).
+    """
+
+    def __init__(
+        self,
+        source: AutonomousSource,
+        knowledge: KnowledgeBase,
+        max_dropped: int | None = None,
+    ):
+        self.source = source
+        self.knowledge = knowledge
+        self.max_dropped = max_dropped
+
+    # ------------------------------------------------------------------
+
+    def attribute_influence(self, attribute: str) -> float:
+        """How strongly *attribute* determines others, per the mined AFDs.
+
+        The sum of confidences of pruned AFDs whose determining set contains
+        the attribute.  Attributes that determine nothing score 0 and are
+        relaxed first.
+        """
+        return sum(
+            afd.confidence
+            for afd in self.knowledge.afds
+            if attribute in afd.determining
+        )
+
+    def plan(self, query: SelectionQuery) -> RelaxationPlan:
+        """The relaxed queries, least-painful first.
+
+        Queries dropping fewer conjuncts come first; among equal counts,
+        the dropped set with the smallest total influence comes first.
+        """
+        conjuncts = query.conjuncts
+        if len(conjuncts) < 2:
+            raise QueryError(
+                "relaxation needs at least two conjuncts; a single-conjunct "
+                "query can only be relaxed to a full scan"
+            )
+        influence = {
+            attribute: self.attribute_influence(attribute)
+            for attribute in query.constrained_attributes
+        }
+        limit = self.max_dropped if self.max_dropped is not None else len(conjuncts) - 1
+        limit = min(limit, len(conjuncts) - 1)
+
+        relaxed: list[tuple[int, float, SelectionQuery]] = []
+        for dropped_count in range(1, limit + 1):
+            for dropped in combinations(conjuncts, dropped_count):
+                kept = [c for c in conjuncts if c not in dropped]
+                if not kept:
+                    continue
+                pain = sum(
+                    influence[a] for c in dropped for a in c.attributes()
+                )
+                relaxed.append(
+                    (dropped_count, pain, SelectionQuery.conjunction(kept, query.relation))
+                )
+        relaxed.sort(key=lambda item: (item[0], item[1], repr(item[2])))
+        return RelaxationPlan(
+            original=query,
+            queries=tuple(q for __, __, q in relaxed),
+            influence=influence,
+        )
+
+    def query(self, query: SelectionQuery, target_count: int = 10) -> list[RelaxedAnswer]:
+        """Retrieve at least *target_count* answers, relaxing as needed.
+
+        Exact answers (similarity 1.0) come first; relaxed answers are
+        ranked by influence-weighted similarity.  Stops issuing relaxed
+        queries once the target is met.
+        """
+        if target_count < 1:
+            raise QpiadError(f"target_count must be positive, got {target_count}")
+        plan = self.plan(query)
+        schema = self.source.schema
+
+        collected: dict[Row, RelaxedAnswer] = {}
+        exact = self.source.execute(query)
+        for row in exact:
+            collected[row] = RelaxedAnswer(
+                row=row,
+                similarity=1.0,
+                satisfied=query.constrained_attributes,
+                violated=(),
+                retrieved_by=query,
+            )
+
+        total_influence = sum(plan.influence.values()) or 1.0
+        for relaxed_query in plan.queries:
+            if len(collected) >= target_count:
+                break
+            for row in self.source.execute(relaxed_query):
+                if row in collected:
+                    continue
+                satisfied, violated = self._split(query.conjuncts, row, schema)
+                weight = sum(plan.influence[a] for a in satisfied) / total_influence
+                plain = len(satisfied) / len(query.constrained_attributes)
+                # Blend structural and influence-weighted similarity so
+                # zero-influence attributes still count for something.
+                similarity = 0.5 * weight + 0.5 * plain
+                collected[row] = RelaxedAnswer(
+                    row=row,
+                    similarity=similarity,
+                    satisfied=satisfied,
+                    violated=violated,
+                    retrieved_by=relaxed_query,
+                )
+
+        answers = sorted(collected.values(), key=lambda a: -a.similarity)
+        return answers
+
+    # ------------------------------------------------------------------
+
+    def _split(
+        self, conjuncts: Sequence[Predicate], row: Row, schema
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        satisfied: list[str] = []
+        violated: list[str] = []
+        for conjunct in conjuncts:
+            target = satisfied if conjunct.matches(row, schema) else violated
+            target.extend(conjunct.attributes())
+        return tuple(dict.fromkeys(satisfied)), tuple(dict.fromkeys(violated))

@@ -1,0 +1,143 @@
+"""Result objects returned by the QPIAD mediator.
+
+The mediator streams answers in three bands, mirroring the paper:
+
+1. **certain answers** — the base result set, exactly matching the query;
+2. **ranked possible answers** — tuples with (at most one) NULL on a
+   constrained attribute, each carrying a *confidence* equal to the
+   estimated precision of the rewritten query that retrieved it, plus an
+   explanation (the AFD used) per Section 6.1;
+3. **unranked possible answers** — tuples with two or more NULLs over the
+   constrained attributes, appended last per the paper's assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.mining.afd import Afd
+from repro.query.query import SelectionQuery
+from repro.relational.relation import Relation, Row
+
+__all__ = ["RankedAnswer", "RetrievalStats", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class RankedAnswer:
+    """One possible answer with its relevance assessment.
+
+    Attributes
+    ----------
+    row:
+        The tuple as returned by the source.
+    confidence:
+        Estimated probability that the missing value matches the original
+        query — the precision of the retrieving rewritten query.
+    retrieved_by:
+        The rewritten query that fetched this tuple.
+    target_attribute:
+        The constrained attribute whose value is missing in :attr:`row`.
+    explanation:
+        The AFD used for the density assessment, if any (Section 6.1's
+        "explain" feature).
+    """
+
+    row: Row
+    confidence: float
+    retrieved_by: SelectionQuery
+    target_attribute: str
+    explanation: Afd | None = None
+
+    def explain(self) -> str:
+        """Human-readable justification of the confidence."""
+        if self.explanation is None:
+            return (
+                f"confidence {self.confidence:.3f} for missing "
+                f"{self.target_attribute!r} (no AFD; classifier over all attributes)"
+            )
+        return (
+            f"confidence {self.confidence:.3f}: missing {self.target_attribute!r} "
+            f"assessed via AFD {self.explanation}"
+        )
+
+
+@dataclass
+class RetrievalStats:
+    """Cost accounting for one mediated query."""
+
+    queries_issued: int = 0
+    tuples_retrieved: int = 0
+    rewritten_generated: int = 0
+    rewritten_issued: int = 0
+    rewritten_skipped: int = 0
+    duplicates_discarded: int = 0
+
+
+@dataclass
+class QueryResult:
+    """Everything QPIAD returns for one selection query."""
+
+    query: SelectionQuery
+    certain: Relation
+    ranked: list[RankedAnswer] = field(default_factory=list)
+    unranked: list[Row] = field(default_factory=list)
+    stats: RetrievalStats = field(default_factory=RetrievalStats)
+
+    @property
+    def possible_rows(self) -> list[Row]:
+        """All possible-answer rows, ranked first then unranked."""
+        return [answer.row for answer in self.ranked] + list(self.unranked)
+
+    def all_rows(self) -> list[Row]:
+        """Certain answers followed by possible answers."""
+        return list(self.certain.rows) + self.possible_rows
+
+    def top(self, count: int) -> list[RankedAnswer]:
+        """The *count* highest-confidence ranked answers."""
+        return self.ranked[:count]
+
+    def above_confidence(self, threshold: float) -> list[RankedAnswer]:
+        """Ranked answers whose confidence meets *threshold* (Fig. 9)."""
+        return [answer for answer in self.ranked if answer.confidence >= threshold]
+
+    def to_relation(self) -> Relation:
+        """All answers as one relation with provenance columns appended.
+
+        Two extra columns: ``answer_kind`` (``certain`` / ``possible`` /
+        ``unranked``) and ``confidence`` (1.0 for certain answers, the
+        rank's confidence for possible ones, NULL for unranked).  Handy for
+        exporting mediated results to CSV or joining them downstream.
+        """
+        from repro.relational.schema import Attribute, AttributeType, Schema
+        from repro.relational.values import NULL
+
+        base = self.certain.schema
+        schema = Schema(
+            [
+                *base.attributes,
+                Attribute("answer_kind"),
+                Attribute("confidence", AttributeType.NUMERIC),
+            ]
+        )
+        rows = [row + ("certain", 1.0) for row in self.certain.rows]
+        rows.extend(
+            answer.row + ("possible", answer.confidence) for answer in self.ranked
+        )
+        rows.extend(row + ("unranked", NULL) for row in self.unranked)
+        return Relation(schema, rows)
+
+    def write_csv(self, path) -> None:
+        """Export :meth:`to_relation` to a CSV file."""
+        from repro.relational.csvio import write_csv
+
+        write_csv(self.to_relation(), path)
+
+    def __iter__(self) -> Iterator[RankedAnswer]:
+        return iter(self.ranked)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult({self.query!r}: {len(self.certain)} certain, "
+            f"{len(self.ranked)} ranked possible, {len(self.unranked)} unranked)"
+        )

@@ -1,0 +1,26 @@
+"""Synthetic dataset generators and the GD -> ED incompleteness protocol."""
+
+from repro.datasets.cars import CARS_SCHEMA, generate_cars
+from repro.datasets.census import CENSUS_SCHEMA, generate_census
+from repro.datasets.complaints import COMPLAINTS_SCHEMA, generate_complaints
+from repro.datasets.googlebase import GOOGLEBASE_SCHEMA, generate_googlebase_listings
+from repro.datasets.incompleteness import IncompleteDataset, MaskedCell, make_incomplete
+from repro.datasets.vocab import ALL_MODELS, BODY_STYLES, CAR_CATALOG, MODEL_TO_MAKE
+
+__all__ = [
+    "CARS_SCHEMA",
+    "generate_cars",
+    "CENSUS_SCHEMA",
+    "generate_census",
+    "COMPLAINTS_SCHEMA",
+    "generate_complaints",
+    "IncompleteDataset",
+    "MaskedCell",
+    "make_incomplete",
+    "GOOGLEBASE_SCHEMA",
+    "generate_googlebase_listings",
+    "CAR_CATALOG",
+    "MODEL_TO_MAKE",
+    "ALL_MODELS",
+    "BODY_STYLES",
+]

@@ -1,0 +1,102 @@
+"""Synthetic vehicle-complaint records (NHTSA ODI flavour, Section 6.2).
+
+The paper's third dataset is a ~200k-tuple consumer-complaints database used
+for join experiments against Cars (joined on ``Model``).  The generator
+shares the ``Model`` vocabulary with :mod:`repro.datasets.cars` and plants:
+
+* ``detailed_component → general_component`` (an exact FD),
+* model-specific failure profiles — each model has two characteristic
+  general components that dominate its complaints (an AFD
+  ``model ⇝ general_component`` of moderate confidence),
+* ``car_type`` follows the model's primary body style (SUV models yield
+  ``Truck/SUV`` complaints etc.).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.vocab import (
+    CAR_CATALOG,
+    DETAILED_COMPONENTS,
+    GENERAL_COMPONENTS,
+    MODEL_TO_MAKE,
+)
+from repro.errors import QpiadError
+from repro.relational.relation import Relation
+from repro.relational.schema import AttributeType, Schema
+
+__all__ = ["COMPLAINTS_SCHEMA", "generate_complaints"]
+
+COMPLAINTS_SCHEMA = Schema.of(
+    "model",
+    ("year", AttributeType.NUMERIC),
+    "crash",
+    "fire",
+    "general_component",
+    "detailed_component",
+    "country",
+    "ownership",
+    "car_type",
+    "market",
+)
+
+_COUNTRIES = ("USA", "Canada", "Mexico")
+_OWNERSHIP = ("Consumer", "Fleet", "Dealer")
+_MARKETS = ("Domestic", "Import")
+_YEARS = tuple(range(1998, 2008))
+
+
+def _failure_profile(model: str) -> tuple[str, str]:
+    """Two characteristic general components per model, chosen deterministically.
+
+    Uses a content-based hash (not ``hash()``, which is randomized per
+    process) so profiles are stable across runs.
+    """
+    anchor = sum(model.encode("utf-8")) % len(GENERAL_COMPONENTS)
+    return (
+        GENERAL_COMPONENTS[anchor],
+        GENERAL_COMPONENTS[(anchor + 2) % len(GENERAL_COMPONENTS)],
+    )
+
+
+_PROFILE = {model: _failure_profile(model) for model in MODEL_TO_MAKE}
+
+
+def generate_complaints(size: int, seed: int = 23, fidelity: float = 0.8) -> Relation:
+    """Generate *size* complete complaint tuples.
+
+    ``fidelity`` controls how strongly each model's complaints concentrate on
+    its characteristic components.
+    """
+    if size <= 0:
+        raise QpiadError(f"dataset size must be positive, got {size}")
+    if not 0.0 < fidelity <= 1.0:
+        raise QpiadError(f"fidelity must be in (0, 1], got {fidelity}")
+    rng = random.Random(seed)
+    models = list(MODEL_TO_MAKE)
+
+    rows = []
+    for __ in range(size):
+        model = rng.choice(models)
+        make = MODEL_TO_MAKE[model]
+        primary_style, __price = CAR_CATALOG[make][model]
+        year = rng.choice(_YEARS)
+
+        if rng.random() < fidelity:
+            general = rng.choices(_PROFILE[model], weights=(2.5, 1.0), k=1)[0]
+        else:
+            general = rng.choice(GENERAL_COMPONENTS)
+        detailed = rng.choice(DETAILED_COMPONENTS[general])
+
+        crash = "Yes" if rng.random() < 0.08 else "No"
+        fire = "Yes" if rng.random() < 0.03 else "No"
+        country = rng.choices(_COUNTRIES, weights=(10, 1, 0.5), k=1)[0]
+        ownership = rng.choices(_OWNERSHIP, weights=(8, 1, 0.5), k=1)[0]
+        car_type = "Truck/SUV" if primary_style in ("SUV", "Truck", "Minivan") else "Passenger"
+        market = "Domestic" if make in ("Ford", "Jeep", "Chevrolet") else "Import"
+
+        rows.append(
+            (model, year, crash, fire, general, detailed, country, ownership, car_type, market)
+        )
+    return Relation(COMPLAINTS_SCHEMA, rows)

@@ -1,0 +1,80 @@
+"""Google-Base-style listings with user-defined, redundant attributes.
+
+The paper's fourth incompleteness cause: platforms where sellers define
+their own attribute names accumulate redundant columns (``make`` vs
+``manufacturer``), and "a tuple that gives a value for Make is unlikely to
+give a value for Manufacturer and vice versa".  This generator reproduces
+that pathology on top of the Cars vocabulary so the alignment machinery
+(:mod:`repro.sources.alignment`) has something faithful to chew on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.vocab import CAR_CATALOG, MODEL_TO_MAKE
+from repro.errors import QpiadError
+from repro.relational.relation import Relation
+from repro.relational.schema import AttributeType, Schema
+from repro.relational.values import NULL
+
+__all__ = ["GOOGLEBASE_SCHEMA", "generate_googlebase_listings"]
+
+GOOGLEBASE_SCHEMA = Schema.of(
+    "make",
+    "manufacturer",   # redundant with make
+    "model",
+    ("year", AttributeType.NUMERIC),
+    ("price", AttributeType.NUMERIC),
+    "body_style",
+    "style",          # redundant with body_style
+)
+
+
+def generate_googlebase_listings(
+    size: int,
+    seed: int = 31,
+    fill_rate: float = 0.9,
+    make_split: float = 0.55,
+) -> Relation:
+    """Generate *size* listings with split redundant attributes.
+
+    Each seller fills either ``make`` or ``manufacturer`` (never both),
+    choosing ``make`` with probability *make_split*; likewise for
+    ``body_style`` vs ``style``.  Independently, each of the two logical
+    values is present at all with probability *fill_rate* — so the relation
+    carries both redundancy-driven and plain missing values.
+    """
+    if size <= 0:
+        raise QpiadError(f"dataset size must be positive, got {size}")
+    if not 0.0 < fill_rate <= 1.0:
+        raise QpiadError(f"fill_rate must be in (0, 1], got {fill_rate}")
+    rng = random.Random(seed)
+    models = list(MODEL_TO_MAKE)
+
+    rows = []
+    for __ in range(size):
+        model = rng.choice(models)
+        make = MODEL_TO_MAKE[model]
+        primary_style, base_price = CAR_CATALOG[make][model]
+        year = rng.randint(1998, 2007)
+        price = int(round(base_price * rng.uniform(0.6, 1.05) / 1000.0) * 1000)
+
+        make_value = manufacturer_value = NULL
+        if rng.random() < fill_rate:
+            if rng.random() < make_split:
+                make_value = make
+            else:
+                manufacturer_value = make
+
+        body_value = style_value = NULL
+        if rng.random() < fill_rate:
+            if rng.random() < make_split:
+                body_value = primary_style
+            else:
+                style_value = primary_style
+
+        rows.append(
+            (make_value, manufacturer_value, model, year, price, body_value, style_value)
+        )
+    return Relation(GOOGLEBASE_SCHEMA, rows)

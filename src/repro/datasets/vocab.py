@@ -1,0 +1,109 @@
+"""Shared vocabularies for the synthetic datasets.
+
+The generators plant the same kind of schema-level structure the paper mined
+from live web databases: an exact FD ``Model → Make``, a high-confidence AFD
+``Model ⇝ Body Style``, and looser correlations between year, price and
+mileage.  Keeping the vocabulary in one module lets the Cars and Complaints
+generators share the ``Model`` domain, which the join experiments need.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CAR_CATALOG",
+    "ALL_MODELS",
+    "MODEL_TO_MAKE",
+    "BODY_STYLES",
+    "GENERAL_COMPONENTS",
+    "DETAILED_COMPONENTS",
+]
+
+# make -> model -> (primary_body_style, base_price_usd)
+CAR_CATALOG: dict[str, dict[str, tuple[str, int]]] = {
+    "Honda": {
+        "Accord": ("Sedan", 24000),
+        "Civic": ("Sedan", 18000),
+        "CR-V": ("SUV", 23000),
+        "Odyssey": ("Minivan", 27000),
+        "S2000": ("Convt", 33000),
+    },
+    "Toyota": {
+        "Camry": ("Sedan", 23000),
+        "Corolla": ("Sedan", 16000),
+        "4Runner": ("SUV", 29000),
+        "Sienna": ("Minivan", 26000),
+        "Solara": ("Convt", 27000),
+    },
+    "BMW": {
+        "Z4": ("Convt", 41000),
+        "325i": ("Sedan", 31000),
+        "530i": ("Sedan", 45000),
+        "X5": ("SUV", 43000),
+        "M3": ("Coupe", 48000),
+    },
+    "Audi": {
+        "A4": ("Sedan", 28000),
+        "A6": ("Sedan", 37000),
+        "TT": ("Coupe", 35000),
+        "A4 Cabriolet": ("Convt", 36000),
+    },
+    "Porsche": {
+        "Boxster": ("Convt", 45000),
+        "911": ("Coupe", 70000),
+        "Cayenne": ("SUV", 56000),
+    },
+    "Ford": {
+        "F150": ("Truck", 22000),
+        "Mustang": ("Coupe", 21000),
+        "Explorer": ("SUV", 26000),
+        "Focus": ("Sedan", 14000),
+        "Taurus": ("Sedan", 19000),
+    },
+    "Jeep": {
+        "Grand Cherokee": ("SUV", 27000),
+        "Wrangler": ("SUV", 19000),
+        "Liberty": ("SUV", 21000),
+    },
+    "Chevrolet": {
+        "Corvette": ("Convt", 46000),
+        "Impala": ("Sedan", 22000),
+        "Malibu": ("Sedan", 18000),
+        "Tahoe": ("SUV", 33000),
+    },
+}
+
+MODEL_TO_MAKE: dict[str, str] = {
+    model: make for make, models in CAR_CATALOG.items() for model in models
+}
+
+ALL_MODELS: tuple[str, ...] = tuple(MODEL_TO_MAKE)
+
+BODY_STYLES: tuple[str, ...] = (
+    "Sedan",
+    "Coupe",
+    "Convt",
+    "SUV",
+    "Minivan",
+    "Truck",
+)
+
+GENERAL_COMPONENTS: tuple[str, ...] = (
+    "Engine and Engine Cooling",
+    "Electrical System",
+    "Brakes",
+    "Suspension",
+    "Fuel System",
+    "Airbags",
+    "Steering",
+)
+
+# general component -> detailed components (an exact FD the other way around)
+DETAILED_COMPONENTS: dict[str, tuple[str, ...]] = {
+    "Engine and Engine Cooling": ("Radiator", "Head Gasket", "Timing Belt", "Water Pump"),
+    "Electrical System": ("Alternator", "Starter", "Wiring Harness", "Battery Cable"),
+    "Brakes": ("Brake Pads", "Brake Rotor", "ABS Module", "Brake Line"),
+    "Suspension": ("Control Arm", "Strut", "Ball Joint", "Tie Rod"),
+    "Fuel System": ("Fuel Pump", "Fuel Injector", "Fuel Tank", "Fuel Line"),
+    "Airbags": ("Driver Airbag", "Passenger Airbag", "Airbag Sensor", "Clock Spring"),
+    "Steering": ("Power Steering Pump", "Steering Rack", "Steering Column", "Steering Hose"),
+}

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the QPIAD reproduction.
+
+All library-raised exceptions derive from :class:`QpiadError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class QpiadError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+class SchemaError(QpiadError):
+    """A schema is malformed or an attribute reference cannot be resolved."""
+
+
+class QueryError(QpiadError):
+    """A query is malformed or references attributes absent from a schema."""
+
+
+class CapabilityError(QpiadError):
+    """An autonomous source rejected a query its interface cannot express.
+
+    This models the web-form restrictions of autonomous databases: binding
+    NULL values, constraining unsupported attributes, or exceeding the
+    source's query budget all surface as :class:`CapabilityError`.
+    """
+
+
+class QueryBudgetExceededError(CapabilityError):
+    """The per-session query budget of an autonomous source was exhausted."""
+
+
+class NullBindingError(CapabilityError):
+    """A query attempted to bind NULL, which web forms do not support."""
+
+
+class UnsupportedAttributeError(CapabilityError):
+    """A query constrained an attribute missing from the source's schema."""
+
+
+class SourceUnavailableError(QpiadError):
+    """A source failed transiently (timeout, 5xx, connection reset).
+
+    Unlike :class:`CapabilityError` — which means the query can *never*
+    succeed — this failure is worth retrying; see
+    :class:`repro.sources.retrying.RetryingSource`.
+    """
+
+
+class MiningError(QpiadError):
+    """Knowledge mining failed (e.g. empty sample, no usable AFD)."""
+
+
+class ClassifierError(MiningError):
+    """A classifier could not be trained or applied."""
+
+
+class RewritingError(QpiadError):
+    """Query rewriting could not produce any rewritten queries."""

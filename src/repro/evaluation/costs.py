@@ -1,0 +1,70 @@
+"""Retrieval cost modelling for the web environment.
+
+The paper motivates QPIAD with "the bounded pool of database and network
+resources in the web environment": every query costs a round trip and every
+tuple costs transmission.  This module prices a retrieval run under a
+simple linear cost model so experiments can report *cost*, not just tuple
+counts — the unit in which a mediator operator actually budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QpiadError
+
+__all__ = ["CostModel", "RetrievalCost"]
+
+
+@dataclass(frozen=True)
+class RetrievalCost:
+    """Priced breakdown of one retrieval run."""
+
+    queries: int
+    tuples: int
+    query_cost: float
+    transfer_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.query_cost + self.transfer_cost
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Linear pricing of source interactions.
+
+    Parameters
+    ----------
+    per_query:
+        Cost of one query round trip (e.g. milliseconds of latency, or an
+        API-quota unit).
+    per_tuple:
+        Cost of transferring one tuple (e.g. milliseconds, or bytes/1000).
+    """
+
+    per_query: float = 150.0
+    per_tuple: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.per_query < 0 or self.per_tuple < 0:
+            raise QpiadError("cost-model rates must be non-negative")
+
+    def price(self, queries: int, tuples: int) -> RetrievalCost:
+        """Price a run of *queries* round trips shipping *tuples* tuples."""
+        if queries < 0 or tuples < 0:
+            raise QpiadError("cannot price negative usage")
+        return RetrievalCost(
+            queries=queries,
+            tuples=tuples,
+            query_cost=queries * self.per_query,
+            transfer_cost=tuples * self.per_tuple,
+        )
+
+    def price_outcome(self, outcome) -> RetrievalCost:
+        """Price a harness :class:`~repro.evaluation.harness.RunOutcome`."""
+        return self.price(outcome.queries_issued, outcome.tuples_retrieved)
+
+    def price_result(self, result) -> RetrievalCost:
+        """Price a mediator :class:`~repro.core.results.QueryResult`."""
+        return self.price(result.stats.queries_issued, result.stats.tuples_retrieved)

@@ -1,0 +1,166 @@
+"""Precision/recall machinery for ranked retrieval evaluation (Section 6).
+
+All functions operate on *relevance flag lists*: the boolean relevance of
+each retrieved possible answer, in the order the system returned them.
+They compute exactly the curves the paper plots:
+
+* cumulative precision–recall curves (Figs 3, 4, 5, 13),
+* accumulated precision after the Kth tuple (Figs 6, 7, 10, 11),
+* tuples required to reach a recall level (Fig 8), and
+* aggregate-accuracy CDFs (Fig 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import QpiadError
+
+__all__ = [
+    "PrecisionRecallPoint",
+    "precision_recall_curve",
+    "accumulated_precision",
+    "average_accumulated_precision",
+    "precision_at_recall",
+    "tuples_required_for_recall",
+    "aggregate_accuracy",
+    "accuracy_cdf",
+    "average_precision",
+]
+
+
+@dataclass(frozen=True)
+class PrecisionRecallPoint:
+    """One point on a P/R curve: after retrieving ``rank`` answers."""
+
+    rank: int
+    precision: float
+    recall: float
+
+
+def precision_recall_curve(
+    relevance: Sequence[bool], total_relevant: int
+) -> list[PrecisionRecallPoint]:
+    """Cumulative precision and recall after each retrieved answer.
+
+    ``total_relevant`` is the oracle's count of relevant possible answers;
+    recall stays 0 when it is 0 (nothing to find).  Should the denominator
+    turn out to be an underestimate (more hits than the oracle counted),
+    recall is clamped at 1.0 rather than exceeding it.
+    """
+    if total_relevant < 0:
+        raise QpiadError(f"total_relevant must be non-negative, got {total_relevant}")
+    points: list[PrecisionRecallPoint] = []
+    hits = 0
+    for rank, flag in enumerate(relevance, start=1):
+        if flag:
+            hits += 1
+        precision = hits / rank
+        recall = min(1.0, hits / total_relevant) if total_relevant else 0.0
+        points.append(PrecisionRecallPoint(rank, precision, recall))
+    return points
+
+
+def accumulated_precision(relevance: Sequence[bool]) -> list[float]:
+    """Precision after the Kth retrieved tuple, for K = 1..len."""
+    precisions: list[float] = []
+    hits = 0
+    for rank, flag in enumerate(relevance, start=1):
+        if flag:
+            hits += 1
+        precisions.append(hits / rank)
+    return precisions
+
+
+def average_accumulated_precision(
+    per_query: Sequence[Sequence[bool]], length: int | None = None
+) -> list[float]:
+    """Average accumulated precision@K over several queries (Figs 6, 7).
+
+    Queries that retrieved fewer than K answers contribute their final
+    precision beyond their end (their result quality is "frozen"), matching
+    the paper's practice of plotting average density over a fixed K range.
+    Queries that retrieved nothing are skipped.
+    """
+    curves = [accumulated_precision(flags) for flags in per_query if flags]
+    if not curves:
+        return []
+    target = length or max(len(curve) for curve in curves)
+    averaged: list[float] = []
+    for position in range(target):
+        values = [
+            curve[position] if position < len(curve) else curve[-1] for curve in curves
+        ]
+        averaged.append(sum(values) / len(values))
+    return averaged
+
+
+def precision_at_recall(
+    points: Sequence[PrecisionRecallPoint], recall_levels: Sequence[float]
+) -> list[float]:
+    """Interpolated precision at given recall levels (max precision at or
+    beyond each level, the standard IR interpolation); 0 when unreached."""
+    out: list[float] = []
+    for level in recall_levels:
+        candidates = [point.precision for point in points if point.recall >= level]
+        out.append(max(candidates) if candidates else 0.0)
+    return out
+
+
+def tuples_required_for_recall(
+    relevance: Sequence[bool], total_relevant: int, recall_levels: Sequence[float]
+) -> list[int | None]:
+    """Number of tuples retrieved before each recall level is reached (Fig 8).
+
+    ``None`` marks levels the run never reached.
+    """
+    points = precision_recall_curve(relevance, total_relevant)
+    out: list[int | None] = []
+    for level in recall_levels:
+        rank = next((point.rank for point in points if point.recall >= level), None)
+        out.append(rank)
+    return out
+
+
+def aggregate_accuracy(true_value: float | None, measured: float | None) -> float:
+    """Relative accuracy of an aggregate: ``1 − |measured − true| / |true|``.
+
+    Degenerate cases: both missing → 1.0 (vacuously exact); one missing or a
+    zero true value with a nonzero measurement → 0.0; clamped at 0.
+    """
+    if true_value is None and measured is None:
+        return 1.0
+    if true_value is None or measured is None:
+        return 0.0
+    if true_value == 0:
+        return 1.0 if measured == 0 else 0.0
+    return max(0.0, 1.0 - abs(measured - true_value) / abs(true_value))
+
+
+def accuracy_cdf(
+    accuracies: Sequence[float], thresholds: Sequence[float]
+) -> list[float]:
+    """Fraction of queries reaching each accuracy threshold (Fig 12's axes)."""
+    if not accuracies:
+        return [0.0 for __ in thresholds]
+    return [
+        sum(1 for accuracy in accuracies if accuracy >= threshold) / len(accuracies)
+        for threshold in thresholds
+    ]
+
+
+def average_precision(relevance: Sequence[bool], total_relevant: int) -> float:
+    """Classic IR average precision (AP) of one ranked run.
+
+    Clamped at 1.0 for robustness against an underestimated denominator.
+    """
+    if total_relevant <= 0:
+        return 0.0
+    hits = 0
+    score = 0.0
+    for rank, flag in enumerate(relevance, start=1):
+        if flag:
+            hits += 1
+            score += hits / rank
+    return min(1.0, score / total_relevant)

@@ -1,0 +1,104 @@
+"""Ground-truth oracle for precision/recall evaluation (Section 6.2).
+
+Because the experimental dataset (ED) was derived from a complete ground
+truth dataset (GD) by masking cells, every possible answer's true value is
+known.  The oracle answers the two questions the metrics need:
+
+* is a retrieved possible answer *relevant* (does its ground-truth row
+  certainly satisfy the query)?
+* how many relevant possible answers exist in a given test relation (the
+  recall denominator)?
+
+Rows are matched back to the ED by exact tuple equality.  Duplicate tuples
+resolve to their first occurrence, which is deterministic and unbiased for
+the shape-level comparisons the reproduction targets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datasets.incompleteness import IncompleteDataset
+from repro.errors import QpiadError
+from repro.query.executor import possible_answers
+from repro.query.query import SelectionQuery
+from repro.relational.relation import Relation, Row
+
+__all__ = ["GroundTruthOracle"]
+
+
+class GroundTruthOracle:
+    """Answers relevance questions against the GD/ED pair."""
+
+    def __init__(self, dataset: IncompleteDataset):
+        self.dataset = dataset
+        self._index: dict[Row, int] = {}
+        for position, row in enumerate(dataset.incomplete.rows):
+            self._index.setdefault(row, position)
+
+    # ------------------------------------------------------------------
+
+    def ground_truth_row(self, ed_row: Row) -> Row:
+        """The complete (GD) row behind an ED row."""
+        try:
+            position = self._index[ed_row]
+        except KeyError:
+            raise QpiadError(
+                f"row {ed_row!r} does not occur in the experimental dataset"
+            ) from None
+        return self.dataset.complete.rows[position]
+
+    def is_relevant(self, ed_row: Row, query: SelectionQuery) -> bool:
+        """Whether the ground truth behind *ed_row* certainly satisfies *query*."""
+        truth = self.ground_truth_row(ed_row)
+        return query.predicate.matches(truth, self.dataset.complete.schema)
+
+    def is_relevant_projection(
+        self, partial_row: Row, visible: Sequence[str], query: SelectionQuery
+    ) -> bool:
+        """Relevance for rows returned by a source with a *smaller* schema.
+
+        Correlated-source retrieval (§4.3) returns tuples missing the query
+        attribute entirely.  The partial row is matched against the ED by
+        its visible attributes; the first matching ED row whose ground truth
+        satisfies the query makes it relevant.
+        """
+        schema = self.dataset.incomplete.schema
+        indices = schema.indices_of(visible)
+        for position, candidate in enumerate(self.dataset.incomplete.rows):
+            if tuple(candidate[i] for i in indices) == tuple(partial_row):
+                truth = self.dataset.complete.rows[position]
+                if query.predicate.matches(truth, self.dataset.complete.schema):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def relevant_possible(
+        self,
+        query: SelectionQuery,
+        within: Relation | None = None,
+        max_nulls: int | None = 1,
+    ) -> list[Row]:
+        """All relevant possible answers to *query* in *within* (default: ED).
+
+        A row counts when it is a possible answer (NULL-blocked on at most
+        *max_nulls* constrained attributes) *and* its ground truth satisfies
+        the query.  This is the denominator of every recall measurement.
+        """
+        relation = within if within is not None else self.dataset.incomplete
+        candidates = possible_answers(query, relation, max_nulls=max_nulls)
+        return [row for row in candidates if self.is_relevant(row, query)]
+
+    def relevance_flags(
+        self, retrieved: Sequence[Row], query: SelectionQuery
+    ) -> list[bool]:
+        """Per-answer relevance of a ranked retrieval, in rank order."""
+        return [self.is_relevant(row, query) for row in retrieved]
+
+    def true_aggregate(self, query, relation: Relation | None = None) -> float | None:
+        """Ground-truth value of an aggregate query (over the complete GD)."""
+        from repro.query.executor import evaluate_aggregate
+
+        target = relation if relation is not None else self.dataset.complete
+        return evaluate_aggregate(query, target)

@@ -1,0 +1,61 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: tables as aligned ASCII grids, figures as labelled data series (one
+``x  y`` row per point).  Keeping the renderer here means benches, examples
+and EXPERIMENTS.md all show identical output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "render_curves"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """An aligned ASCII table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for position, cell in enumerate(row):
+            if position < len(widths):
+                widths[position] = max(widths[position], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    points: Sequence[tuple[object, object]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """One figure series as labelled ``x  y`` rows."""
+    lines = [f"{title}", f"  {x_label:>12}  {y_label}"]
+    for x, y in points:
+        x_text = f"{x:.4f}" if isinstance(x, float) else str(x)
+        y_text = f"{y:.4f}" if isinstance(y, float) else str(y)
+        lines.append(f"  {x_text:>12}  {y_text}")
+    return "\n".join(lines)
+
+
+def render_curves(
+    title: str,
+    curves: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Several labelled series of one figure, stacked."""
+    blocks = [title]
+    for label, points in curves.items():
+        blocks.append(render_series(f"[{label}]", points, x_label, y_label))
+    return "\n\n".join(blocks)

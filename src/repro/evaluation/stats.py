@@ -1,0 +1,52 @@
+"""Incompleteness statistics of web databases (Table 1).
+
+The paper motivates QPIAD with statistics on how incomplete live web
+databases are: the fraction of tuples with at least one NULL, and per-
+attribute missing-value percentages.  These helpers compute the same report
+for any relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.relational.relation import Relation
+
+__all__ = ["IncompletenessReport", "incompleteness_report"]
+
+
+@dataclass(frozen=True)
+class IncompletenessReport:
+    """Table-1 style statistics for one database."""
+
+    name: str
+    attribute_count: int
+    total_tuples: int
+    incomplete_tuples_pct: float
+    attribute_null_pct: dict[str, float]
+
+    def row(self, attributes: Sequence[str]) -> list[str]:
+        """Render as a Table-1 row for the chosen per-attribute columns."""
+        cells = [
+            self.name,
+            str(self.attribute_count),
+            str(self.total_tuples),
+            f"{self.incomplete_tuples_pct:.2f}%",
+        ]
+        cells.extend(f"{self.attribute_null_pct.get(name, 0.0):.2f}%" for name in attributes)
+        return cells
+
+
+def incompleteness_report(name: str, relation: Relation) -> IncompletenessReport:
+    """Compute Table-1 statistics for *relation*."""
+    return IncompletenessReport(
+        name=name,
+        attribute_count=len(relation.schema),
+        total_tuples=len(relation),
+        incomplete_tuples_pct=100.0 * relation.incomplete_fraction(),
+        attribute_null_pct={
+            attribute: 100.0 * relation.null_fraction(attribute)
+            for attribute in relation.schema.names
+        },
+    )

@@ -1,0 +1,146 @@
+"""Workload builders for experiments (Section 6's query generation).
+
+The paper "randomly formulate[s] single attribute and multi attribute
+selection queries" and, for aggregates, takes "distinct combinations of
+values" of attribute subsets.  These builders implement those protocols
+once, so tests and benchmarks share them:
+
+* :func:`selection_workload` (re-exported from the harness) — single
+  attribute equalities with guaranteed relevance mass;
+* :func:`multi_attribute_workload` — conjunctive queries sampled from real
+  tuples (so they are satisfiable);
+* :func:`aggregate_workload` — the §6.6 protocol over attribute subsets;
+* :func:`join_workload` — join queries pairing values observed on both
+  sides of the join attribute.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import QpiadError
+from repro.evaluation.harness import Environment
+from repro.query.predicates import Equals
+from repro.query.query import AggregateFunction, AggregateQuery, JoinQuery, SelectionQuery
+from repro.relational.values import is_null
+
+__all__ = ["multi_attribute_workload", "aggregate_workload", "join_workload"]
+
+
+def multi_attribute_workload(
+    env: Environment,
+    attributes: Sequence[str],
+    count: int,
+    seed: int = 17,
+    min_relevant: int = 1,
+) -> list[SelectionQuery]:
+    """Conjunctive equality queries over *attributes*, sampled from tuples.
+
+    Each query binds every listed attribute to the values of a randomly
+    drawn complete-on-those-attributes test tuple, guaranteeing the query
+    is satisfiable; queries without at least *min_relevant* relevant
+    possible answers are discarded.
+    """
+    if len(attributes) < 2:
+        raise QpiadError("a multi-attribute workload needs at least two attributes")
+    rng = random.Random(seed)
+    combos = [
+        combo
+        for combo in env.test.project(list(attributes), distinct=True).rows
+        if not any(is_null(value) for value in combo)
+    ]
+    rng.shuffle(combos)
+    queries: list[SelectionQuery] = []
+    for combo in combos:
+        query = SelectionQuery.conjunction(
+            [Equals(name, value) for name, value in zip(attributes, combo)]
+        )
+        if env.total_relevant(query) >= min_relevant:
+            queries.append(query)
+        if len(queries) >= count:
+            break
+    if not queries:
+        raise QpiadError(
+            f"no conjunctive query over {tuple(attributes)} has {min_relevant}+ "
+            "relevant possible answers"
+        )
+    return queries
+
+
+def aggregate_workload(
+    env: Environment,
+    function: AggregateFunction,
+    attribute: str = "*",
+    subsets: Sequence[Sequence[str]] = (),
+    combos_per_subset: int = 6,
+    seed: int = 19,
+) -> list[AggregateQuery]:
+    """The §6.6 protocol: one aggregate query per distinct value combination
+    of each attribute subset (drawn from the training sample)."""
+    if not subsets:
+        raise QpiadError("aggregate_workload needs at least one attribute subset")
+    rng = random.Random(seed)
+    queries: list[AggregateQuery] = []
+    for subset in subsets:
+        combos = [
+            combo
+            for combo in env.train.project(list(subset), distinct=True).rows
+            if not any(is_null(value) for value in combo)
+        ]
+        rng.shuffle(combos)
+        for combo in combos[:combos_per_subset]:
+            selection = SelectionQuery.conjunction(
+                [Equals(name, value) for name, value in zip(subset, combo)]
+            )
+            queries.append(AggregateQuery(selection, function, attribute))
+    return queries
+
+
+def join_workload(
+    left_env: Environment,
+    right_env: Environment,
+    join_attribute: str,
+    left_attribute: str,
+    right_attribute: str,
+    count: int,
+    seed: int = 29,
+) -> list[JoinQuery]:
+    """Join queries whose per-side constraints co-occur with a shared join
+    value, so the certain join is non-empty."""
+    rng = random.Random(seed)
+    shared = sorted(
+        set(left_env.test.distinct_values(join_attribute))
+        & set(right_env.test.distinct_values(join_attribute))
+    )
+    rng.shuffle(shared)
+    queries: list[JoinQuery] = []
+    for join_value in shared:
+        left_rows = [
+            row
+            for row in left_env.test
+            if left_env.test.value(row, join_attribute) == join_value
+            and not is_null(left_env.test.value(row, left_attribute))
+        ]
+        right_rows = [
+            row
+            for row in right_env.test
+            if right_env.test.value(row, join_attribute) == join_value
+            and not is_null(right_env.test.value(row, right_attribute))
+        ]
+        if not left_rows or not right_rows:
+            continue
+        left_value = left_env.test.value(rng.choice(left_rows), left_attribute)
+        right_value = right_env.test.value(rng.choice(right_rows), right_attribute)
+        queries.append(
+            JoinQuery(
+                SelectionQuery.equals(left_attribute, left_value),
+                SelectionQuery.equals(right_attribute, right_value),
+                join_attribute,
+            )
+        )
+        if len(queries) >= count:
+            break
+    if not queries:
+        raise QpiadError("no join query with a non-empty certain join was found")
+    return queries

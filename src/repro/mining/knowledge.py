@@ -1,0 +1,300 @@
+"""The knowledge-mining module of Fig. 1: one facade over all learned statistics.
+
+A :class:`KnowledgeBase` is mined once, off-line, from a (probed) sample of
+an autonomous database.  It bundles the three kinds of knowledge QPIAD's
+query reformulator consumes:
+
+1. **attribute correlations** — pruned AFDs (and AKeys),
+2. **value distributions** — AFD-enhanced Naive Bayes classifiers, and
+3. **selectivity estimates** — expected result cardinalities.
+
+Numeric attributes are transparently discretized for mining/classification
+while queries and evidence keep raw values; the knowledge base owns the
+bucket mapping so callers never see it.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import MiningError
+from repro.mining.afd import Afd, AKey
+from repro.mining.classifiers import (
+    CLASSIFIER_METHODS,
+    ValueDistributionClassifier,
+    build_classifier,
+)
+from repro.mining.discretization import Discretizer
+from repro.mining.pruning import DEFAULT_DELTA, prune_noisy_afds
+from repro.mining.selectivity import SelectivityEstimator
+from repro.mining.tane import TaneConfig, mine_dependencies
+from repro.relational.relation import Relation, Row
+from repro.relational.values import is_null
+
+__all__ = ["MiningConfig", "KnowledgeBase"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class MiningConfig:
+    """All knobs of the knowledge-mining stage in one value object.
+
+    Parameters
+    ----------
+    tane:
+        Dependency-discovery configuration (β threshold, lattice depth...).
+    pruning_delta:
+        δ of the AKey-based noisy-AFD pruning (0.3 in the paper).
+    classifier_method:
+        Default classifier variant; the paper ships ``hybrid-one-afd``.
+    smoothing_m:
+        m-estimate weight for the Naive Bayes models.
+    discretize_bins:
+        Buckets per numeric attribute for mining (0 disables discretization).
+    discretize_strategy:
+        ``"width"`` (equal-width, default) or ``"quantile"`` (equal-mass)
+        bucketing for numeric attributes.
+    """
+
+    tane: TaneConfig = field(default_factory=TaneConfig)
+    pruning_delta: float = DEFAULT_DELTA
+    classifier_method: str = "hybrid-one-afd"
+    smoothing_m: float = 1.0
+    discretize_bins: int = 8
+    discretize_strategy: str = "width"
+
+    def __post_init__(self) -> None:
+        if self.classifier_method not in CLASSIFIER_METHODS:
+            raise MiningError(
+                f"unknown classifier method {self.classifier_method!r}; "
+                f"expected one of {CLASSIFIER_METHODS}"
+            )
+        if self.discretize_strategy not in ("width", "quantile"):
+            raise MiningError(
+                f"unknown discretization strategy {self.discretize_strategy!r}"
+            )
+
+
+class KnowledgeBase:
+    """Learned statistics of one autonomous database.
+
+    Parameters
+    ----------
+    sample:
+        The probed sample (raw values; may contain NULLs).
+    database_size:
+        Cardinality of the full database (advertised by the source or
+        estimated via probing); drives ``SmplRatio``.
+    config:
+        Mining configuration; defaults match the paper.
+    """
+
+    def __init__(
+        self,
+        sample: Relation,
+        database_size: int,
+        config: MiningConfig | None = None,
+    ):
+        if not len(sample):
+            raise MiningError("cannot mine knowledge from an empty sample")
+        self.config = config or MiningConfig()
+        self.sample = sample
+        self.database_size = database_size
+
+        if self.config.discretize_bins:
+            self._discretizer: Discretizer | None = Discretizer(
+                sample,
+                bins=self.config.discretize_bins,
+                strategy=self.config.discretize_strategy,
+            )
+            self._mining_view = self._discretizer.transform(sample)
+        else:
+            self._discretizer = None
+            self._mining_view = sample
+
+        mined = mine_dependencies(self._mining_view, self.config.tane)
+        self.all_afds: tuple[Afd, ...] = tuple(mined.afds)
+        self.akeys: tuple[AKey, ...] = tuple(mined.akeys)
+        self.afds: tuple[Afd, ...] = tuple(
+            prune_noisy_afds(mined.afds, mined.akeys, self.config.pruning_delta)
+        )
+        self.selectivity = SelectivityEstimator.from_sample(sample, database_size)
+        logger.debug(
+            "mined %d AFDs (%d after pruning) and %d AKeys from %d sample tuples",
+            len(self.all_afds), len(self.afds), len(self.akeys), len(sample),
+        )
+        self._classifiers: dict[tuple[str, str], ValueDistributionClassifier] = {}
+        self._training_views: dict[str, Relation] = {}
+
+    # ------------------------------------------------------------------
+    # Attribute correlations
+    # ------------------------------------------------------------------
+
+    def afds_for(self, attribute: str) -> list[Afd]:
+        """Pruned AFDs determining *attribute*, best first."""
+        matches = [afd for afd in self.afds if afd.dependent == attribute]
+        return sorted(matches, key=lambda afd: (-afd.confidence, len(afd.determining)))
+
+    def best_afd(self, attribute: str) -> Afd | None:
+        """Highest-confidence pruned AFD for *attribute*, or ``None``."""
+        candidates = self.afds_for(attribute)
+        return candidates[0] if candidates else None
+
+    def determining_set(self, attribute: str) -> tuple[str, ...]:
+        """``dtrSet(attribute)`` per the best AFD.
+
+        Raises :class:`MiningError` when the attribute has no usable AFD —
+        the caller (rewriting) treats that as "cannot rewrite on this
+        attribute".
+        """
+        best = self.best_afd(attribute)
+        if best is None:
+            raise MiningError(
+                f"no AFD determines {attribute!r}; query rewriting cannot target it"
+            )
+        return best.determining
+
+    # ------------------------------------------------------------------
+    # Value distributions
+    # ------------------------------------------------------------------
+
+    def classifier(
+        self, attribute: str, method: str | None = None
+    ) -> ValueDistributionClassifier:
+        """The (cached) value-distribution classifier for *attribute*.
+
+        Trained on a view where the *feature* columns are bucketed (robust
+        likelihoods from a small sample) but the class column keeps its raw
+        values, so posteriors range over actual domain values — which is
+        what equality queries like ``Price = 20000`` need.
+        """
+        method = method or self.config.classifier_method
+        key = (attribute, method)
+        if key not in self._classifiers:
+            self._classifiers[key] = build_classifier(
+                method,
+                self._training_view(attribute),
+                attribute,
+                self.afds,
+                m=self.config.smoothing_m,
+            )
+        return self._classifiers[key]
+
+    def _training_view(self, class_attribute: str) -> Relation:
+        if self._discretizer is None:
+            return self.sample
+        if class_attribute not in self._training_views:
+            self._training_views[class_attribute] = self._discretizer.transform(
+                self.sample, exclude={class_attribute}
+            )
+        return self._training_views[class_attribute]
+
+    def value_distribution(
+        self, attribute: str, evidence: Mapping[str, Any], method: str | None = None
+    ) -> dict[Any, float]:
+        """Posterior over completions of *attribute* given raw *evidence*.
+
+        Evidence values are raw (un-bucketed); numeric ones are bucketed
+        internally to match the classifier's feature space.  Keys of the
+        returned distribution are *raw domain values* — including for
+        numeric attributes, whose classifiers keep the class column raw.
+        """
+        prepared = self._prepare_evidence(evidence)
+        return self.classifier(attribute, method).distribution(prepared)
+
+    def estimated_precision(
+        self,
+        attribute: str,
+        value: Any,
+        evidence: Mapping[str, Any],
+        method: str | None = None,
+    ) -> float:
+        """``P(attribute = value | evidence)`` — a rewritten query's precision."""
+        posterior = self.value_distribution(attribute, evidence, method)
+        return posterior.get(value, 0.0)
+
+    def predict_value(
+        self, attribute: str, evidence: Mapping[str, Any], method: str | None = None
+    ) -> tuple[Any, float]:
+        """Most likely completion (a raw domain value) and its probability."""
+        posterior = self.value_distribution(attribute, evidence, method)
+        if not posterior:
+            raise MiningError(f"no distribution available for {attribute!r}")
+        label = max(posterior, key=lambda candidate: posterior[candidate])
+        return label, posterior[label]
+
+    def mining_label(self, attribute: str, value: Any) -> Any:
+        """Map a raw value into mining space (its bucket label if numeric)."""
+        return self._bucket(attribute, value)
+
+    def is_discretized(self, attribute: str) -> bool:
+        """Whether the attribute is bucketed for mining (numeric + covered)."""
+        return self._discretizer is not None and self._discretizer.covers(attribute)
+
+    def bucket_bounds(self, attribute: str, label: Any) -> tuple[float, float]:
+        """The numeric interval behind a bucket label (see Discretizer)."""
+        if self._discretizer is None:
+            raise MiningError("knowledge base was mined without discretization")
+        return self._discretizer.bin_bounds(attribute, label)
+
+    def representative_value(self, attribute: str, label: Any) -> Any:
+        """Map a mining-space completion label back to a raw value.
+
+        For discretized numeric attributes, bucket labels map to their bin
+        midpoint; everything else passes through unchanged.
+        """
+        if self._discretizer is not None:
+            return self._discretizer.representative(attribute, label)
+        return label
+
+    def predict_matches(
+        self,
+        attribute: str,
+        value: Any,
+        evidence: Mapping[str, Any],
+        method: str | None = None,
+    ) -> bool:
+        """Whether the argmax completion of *attribute* equals *value*.
+
+        This is the aggregate-inclusion test of Section 4.4: a rewritten
+        query's aggregate is folded in only when the most likely completion
+        matches the original query's constrained value.
+        """
+        posterior = self.value_distribution(attribute, evidence, method)
+        if not posterior:
+            return False
+        label = max(posterior, key=lambda candidate: posterior[candidate])
+        return label == value
+
+    # ------------------------------------------------------------------
+    # Evidence helpers
+    # ------------------------------------------------------------------
+
+    def evidence_from_row(self, row: Row, relation: Relation) -> dict[str, Any]:
+        """Turn a relation row into a raw evidence mapping (NULLs dropped)."""
+        return {
+            name: value
+            for name, value in zip(relation.schema.names, row)
+            if not is_null(value)
+        }
+
+    def _prepare_evidence(self, evidence: Mapping[str, Any]) -> dict[str, Any]:
+        prepared = {k: v for k, v in evidence.items() if not is_null(v)}
+        if self._discretizer is not None:
+            prepared = self._discretizer.transform_evidence(prepared)
+        return prepared
+
+    def _bucket(self, attribute: str, value: Any) -> Any:
+        if self._discretizer is not None:
+            return self._discretizer.bucket(attribute, value)
+        return value
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeBase({len(self.sample)} sample rows, "
+            f"{len(self.afds)}/{len(self.all_afds)} AFDs after pruning, "
+            f"{len(self.akeys)} AKeys)"
+        )

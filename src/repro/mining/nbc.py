@@ -1,0 +1,155 @@
+"""Naive Bayes classification with m-estimate smoothing (Section 5.2).
+
+Given a tuple with a NULL on attribute ``A_m``, QPIAD estimates the
+probability of each candidate completion ``v_i`` from the values ``x`` of a
+feature set (the AFD's determining set):
+
+    P(A_m = v_i | x) ∝ P(A_m = v_i) · Π_j P(x_j | A_m = v_i)
+
+Likelihoods use the m-estimate of Mitchell (1997):
+
+    P(x_j | v_i) = (n_c + m·p) / (n + m)
+
+with ``p`` the uniform prior ``1/|domain(feature_j)|`` and ``m`` a smoothing
+weight.  Features that are NULL in the evidence vector are skipped — the
+standard treatment for missing features at prediction time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ClassifierError
+from repro.relational.relation import Relation
+from repro.relational.values import is_null
+
+__all__ = ["NaiveBayesClassifier"]
+
+
+class NaiveBayesClassifier:
+    """A categorical Naive Bayes model for one class attribute.
+
+    Parameters
+    ----------
+    sample:
+        Training relation; rows with NULL on *class_attribute* are skipped.
+    class_attribute:
+        The attribute whose missing values will be predicted.
+    features:
+        Feature attribute names (the AFD determining set, or all other
+        attributes).  Rows may have NULL features; those cells simply do not
+        contribute counts.
+    m:
+        The m-estimate smoothing weight (``m = 1`` by default; ``m = 0``
+        degenerates to maximum likelihood with zero-probability pitfalls).
+    """
+
+    def __init__(
+        self,
+        sample: Relation,
+        class_attribute: str,
+        features: Sequence[str],
+        m: float = 1.0,
+    ):
+        if class_attribute in features:
+            raise ClassifierError(
+                f"class attribute {class_attribute!r} cannot be its own feature"
+            )
+        if not features:
+            raise ClassifierError("a Naive Bayes classifier requires at least one feature")
+        if m < 0:
+            raise ClassifierError(f"smoothing weight m must be non-negative, got {m}")
+
+        self.class_attribute = class_attribute
+        self.features = tuple(features)
+        self.m = m
+
+        schema = sample.schema
+        class_index = schema.index_of(class_attribute)
+        feature_indices = [schema.index_of(name) for name in features]
+
+        class_counts: Counter = Counter()
+        # joint_counts[feature][class_value][feature_value]
+        joint_counts: dict[str, dict[Any, Counter]] = {name: {} for name in features}
+        feature_domains: dict[str, set] = {name: set() for name in features}
+
+        for row in sample:
+            class_value = row[class_index]
+            if is_null(class_value):
+                continue
+            class_counts[class_value] += 1
+            for name, index in zip(features, feature_indices):
+                value = row[index]
+                if is_null(value):
+                    continue
+                feature_domains[name].add(value)
+                joint_counts[name].setdefault(class_value, Counter())[value] += 1
+
+        if not class_counts:
+            raise ClassifierError(
+                f"no training rows with a value for {class_attribute!r}"
+            )
+
+        self._class_counts = class_counts
+        self._total = sum(class_counts.values())
+        self._joint_counts = joint_counts
+        self._domain_sizes = {
+            name: max(1, len(domain)) for name, domain in feature_domains.items()
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def classes(self) -> tuple:
+        """Candidate class values, most frequent first (ties: stable)."""
+        return tuple(value for value, __ in self._class_counts.most_common())
+
+    def prior(self, class_value: Any) -> float:
+        """Smoothed prior P(class = value)."""
+        count = self._class_counts.get(class_value, 0)
+        k = len(self._class_counts)
+        return (count + self.m / k) / (self._total + self.m) if k else 0.0
+
+    def likelihood(self, feature: str, value: Any, class_value: Any) -> float:
+        """m-estimate of P(feature = value | class = class_value)."""
+        if feature not in self._joint_counts:
+            raise ClassifierError(f"{feature!r} is not a feature of this classifier")
+        per_class = self._joint_counts[feature].get(class_value, ())
+        joint = per_class[value] if per_class and value in per_class else 0
+        class_total = sum(per_class.values()) if per_class else 0
+        p_uniform = 1.0 / self._domain_sizes[feature]
+        return (joint + self.m * p_uniform) / (class_total + self.m)
+
+    def distribution(self, evidence: Mapping[str, Any]) -> dict[Any, float]:
+        """Normalized posterior over class values given *evidence*.
+
+        *evidence* maps feature names to values; missing or NULL entries are
+        skipped.  Extraneous keys are ignored so callers can pass whole
+        tuples as dictionaries.
+        """
+        scores: dict[Any, float] = {}
+        for class_value in self._class_counts:
+            score = self.prior(class_value)
+            for feature in self.features:
+                value = evidence.get(feature)
+                if value is None or is_null(value):
+                    continue
+                score *= self.likelihood(feature, value, class_value)
+            scores[class_value] = score
+        total = sum(scores.values())
+        if total <= 0.0:
+            # All posteriors vanished (possible only with m = 0 and unseen
+            # evidence); fall back to the prior distribution.
+            return {value: self._class_counts[value] / self._total for value in scores}
+        return {value: score / total for value, score in scores.items()}
+
+    def predict(self, evidence: Mapping[str, Any]) -> tuple[Any, float]:
+        """The argmax completion and its posterior probability."""
+        posterior = self.distribution(evidence)
+        best_value = max(posterior, key=lambda value: (posterior[value],))
+        return best_value, posterior[best_value]
+
+    def probability(self, class_value: Any, evidence: Mapping[str, Any]) -> float:
+        """Posterior probability of one specific completion (0.0 if unseen)."""
+        return self.distribution(evidence).get(class_value, 0.0)

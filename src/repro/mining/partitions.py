@@ -1,0 +1,111 @@
+"""Equivalence-class partitions for dependency discovery.
+
+TANE-style AFD mining works on *partitions*: the rows of a relation grouped
+by their values on an attribute set ``X``.  The ``g3`` error of ``X ⇝ A``
+(Kivinen & Mannila) and the key error of ``X`` are both simple functions of
+these partitions.
+
+NULL handling: a row with NULL on any attribute of ``X`` carries no evidence
+about the dependency, so it is excluded from the partition; error measures
+are normalized by the number of rows actually partitioned.  This matters in
+QPIAD because the mined sample itself is incomplete.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.relational.relation import Relation
+from repro.relational.values import is_null
+
+__all__ = ["Partition", "partition_by", "g3_error", "key_error"]
+
+
+class Partition:
+    """Grouping of row indices by equal values over an attribute set.
+
+    Attributes
+    ----------
+    classes:
+        Tuple of equivalence classes; each class is a tuple of row indices
+        (ascending).  Classes cover exactly the rows that are non-NULL on
+        every grouping attribute.
+    covered:
+        Total number of rows partitioned (sum of class sizes).
+    """
+
+    __slots__ = ("classes", "covered")
+
+    def __init__(self, classes: Sequence[Sequence[int]]):
+        self.classes = tuple(tuple(c) for c in classes)
+        self.covered = sum(len(c) for c in self.classes)
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+    def refine(self, labels: Sequence[object]) -> "Partition":
+        """Refine this partition by an extra attribute's row labels.
+
+        ``labels[i]`` is row ``i``'s value on the extra attribute; rows whose
+        label is NULL drop out.  Equivalent to the TANE partition product
+        ``Π_X · Π_{A}`` restricted to non-NULL rows.
+        """
+        refined: list[tuple[int, ...]] = []
+        for cls in self.classes:
+            groups: dict[object, list[int]] = {}
+            for index in cls:
+                label = labels[index]
+                if is_null(label):
+                    continue
+                groups.setdefault(label, []).append(index)
+            refined.extend(tuple(group) for group in groups.values())
+        return Partition(refined)
+
+
+def partition_by(relation: Relation, attributes: Sequence[str]) -> Partition:
+    """Partition *relation*'s row indices by their values on *attributes*."""
+    indices = relation.schema.indices_of(attributes)
+    groups: dict[tuple, list[int]] = {}
+    for row_index, row in enumerate(relation.rows):
+        key = tuple(row[i] for i in indices)
+        if any(is_null(value) for value in key):
+            continue
+        groups.setdefault(key, []).append(row_index)
+    return Partition(list(groups.values()))
+
+
+def g3_error(x_partition: Partition, dependent_labels: Sequence[object]) -> float:
+    """The ``g3`` error of ``X ⇝ A`` given ``Π_X`` and A's row labels.
+
+    ``g3`` is the minimum fraction of rows that must be removed for the
+    dependency to hold exactly: within each X-class, keep the rows of the
+    majority A-value and remove the rest.  Rows NULL on A are excluded from
+    both numerator and denominator.  Returns 0.0 when no row is covered
+    (vacuously exact).
+    """
+    kept = 0
+    covered = 0
+    for cls in x_partition.classes:
+        counts: Counter = Counter()
+        for index in cls:
+            label = dependent_labels[index]
+            if is_null(label):
+                continue
+            counts[label] += 1
+        if not counts:
+            continue
+        class_total = sum(counts.values())
+        covered += class_total
+        kept += max(counts.values())
+    if covered == 0:
+        return 0.0
+    return (covered - kept) / covered
+
+
+def key_error(x_partition: Partition) -> float:
+    """The ``g3`` error of ``X`` as a key: fraction of rows to remove so all
+    X-values are unique (one row kept per class)."""
+    if x_partition.covered == 0:
+        return 0.0
+    return (x_partition.covered - len(x_partition)) / x_partition.covered

@@ -1,0 +1,41 @@
+"""Pruning noisy AFDs (Section 5.1).
+
+High-confidence AFDs whose determining set contains an approximate key are
+useless for prediction: if ``VIN`` is a (near-)key, ``VIN ⇝ Model`` holds
+trivially yet carries no generalizable signal — no other tuple shares the
+VIN.  The paper prunes an AFD when the gap between its confidence and the
+confidence of an AKey inside its determining set falls below a threshold δ
+(0.3 in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.mining.afd import Afd, AKey
+
+__all__ = ["prune_noisy_afds", "is_noisy"]
+
+DEFAULT_DELTA = 0.3
+"""The paper's experimentally chosen δ."""
+
+
+def is_noisy(afd: Afd, akeys: Sequence[AKey], delta: float = DEFAULT_DELTA) -> bool:
+    """Whether *afd* should be pruned given the discovered *akeys*.
+
+    The AFD is noisy when some AKey's attributes are a subset of the AFD's
+    determining set and ``conf(afd) − conf(akey) < δ``: the dependency's
+    apparent strength is mostly explained by near-uniqueness of the
+    determining values rather than by genuine attribute correlation.
+    """
+    for akey in akeys:
+        if akey.is_subset_of(afd.determining) and afd.confidence - akey.confidence < delta:
+            return True
+    return False
+
+
+def prune_noisy_afds(
+    afds: Iterable[Afd], akeys: Sequence[AKey], delta: float = DEFAULT_DELTA
+) -> list[Afd]:
+    """Return the AFDs that survive the AKey-based noise pruning."""
+    return [afd for afd in afds if not is_noisy(afd, akeys, delta)]

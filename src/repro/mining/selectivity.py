@@ -1,0 +1,81 @@
+"""Query selectivity estimation from the offline sample (Section 5.4).
+
+The F-measure ordering of rewritten queries needs an estimate of how many
+*relevant possible* tuples each rewritten query would retrieve from the full
+autonomous database.  The paper estimates
+
+    EstSel(Q) = SmplSel(Q) · SmplRatio(R) · PerInc(R)
+
+where ``SmplSel(Q)`` is the number of sample tuples matching Q,
+``SmplRatio(R)`` is the database-to-sample size ratio (estimated off-line by
+issuing probe queries to both, or read off the source's advertised
+cardinality), and ``PerInc(R)`` is the fraction of incomplete tuples
+observed while building the sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MiningError
+from repro.query.executor import certain_answers
+from repro.query.query import SelectionQuery
+from repro.relational.relation import Relation
+
+__all__ = ["SelectivityEstimator"]
+
+
+@dataclass
+class SelectivityEstimator:
+    """Estimates absolute result sizes of queries against the full database.
+
+    Parameters
+    ----------
+    sample:
+        The probed sample the estimate is computed over.
+    sample_ratio:
+        ``SmplRatio(R)``: database size / sample size.
+    incomplete_fraction:
+        ``PerInc(R)``: fraction of database tuples with at least one NULL,
+        estimated from the sample.
+    """
+
+    sample: Relation
+    sample_ratio: float
+    incomplete_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.sample_ratio <= 0:
+            raise MiningError(f"sample_ratio must be positive, got {self.sample_ratio}")
+        if not 0.0 <= self.incomplete_fraction <= 1.0:
+            raise MiningError(
+                f"incomplete_fraction must be in [0, 1], got {self.incomplete_fraction}"
+            )
+
+    @classmethod
+    def from_sample(cls, sample: Relation, database_size: int) -> "SelectivityEstimator":
+        """Build an estimator from a sample and the (advertised) database size."""
+        if not len(sample):
+            raise MiningError("cannot estimate selectivity from an empty sample")
+        return cls(
+            sample=sample,
+            sample_ratio=database_size / len(sample),
+            incomplete_fraction=sample.incomplete_fraction(),
+        )
+
+    def sample_selectivity(self, query: SelectionQuery) -> int:
+        """``SmplSel(Q)``: how many sample tuples certainly match *query*."""
+        return len(certain_answers(query, self.sample))
+
+    def estimated_cardinality(self, query: SelectionQuery) -> float:
+        """Expected number of tuples *query* retrieves from the database."""
+        return self.sample_selectivity(query) * self.sample_ratio
+
+    def estimate(self, query: SelectionQuery) -> float:
+        """``EstSel(Q)``: expected number of *incomplete* tuples retrieved.
+
+        This is the quantity the rewritten-query ordering consumes — the
+        rewritten query's useful output is the tuples whose constrained
+        attribute is missing (everything else is post-filtered).
+        """
+        return self.estimated_cardinality(query) * self.incomplete_fraction

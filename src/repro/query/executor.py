@@ -1,0 +1,134 @@
+"""NULL-aware evaluation of queries against relations.
+
+The executor is what an autonomous database "does internally"; the mediator
+never calls it directly on source data — it goes through
+:class:`repro.sources.AutonomousSource`, which enforces the web-form
+capability restrictions and delegates here.
+
+Three evaluation modes mirror the paper's answer taxonomy (Definition 2):
+
+* :func:`certain_answers` — rows that certainly satisfy the query,
+* :func:`possible_answers` — rows NULL-blocked on constrained attributes
+  (satisfying every conjunct on a present value),
+* :func:`certain_or_possible` — their union, as retrieved by the
+  ``AllReturned`` baseline when NULL binding is allowed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.query.query import AggregateFunction, AggregateQuery, SelectionQuery
+from repro.relational.relation import Relation, Row
+from repro.relational.values import is_null
+
+__all__ = [
+    "certain_answers",
+    "possible_answers",
+    "certain_or_possible",
+    "evaluate_aggregate",
+    "natural_join",
+]
+
+
+def certain_answers(query: SelectionQuery, relation: Relation) -> Relation:
+    """Rows of *relation* that certainly satisfy *query* (SQL semantics)."""
+    schema = relation.schema
+    return relation.select(lambda row: query.predicate.matches(row, schema))
+
+
+def possible_answers(
+    query: SelectionQuery, relation: Relation, max_nulls: int | None = None
+) -> Relation:
+    """Rows that are possible-but-not-certain answers to *query*.
+
+    A row qualifies when every conjunct either matches or is blocked by a
+    NULL on one of its constrained attributes, and at least one conjunct is
+    NULL-blocked.  With *max_nulls* set, rows with more NULLs over the
+    constrained attributes are excluded (the paper ranks only rows with at
+    most one such NULL).
+    """
+    schema = relation.schema
+    constrained = query.constrained_attributes
+
+    def qualifies(row: Row) -> bool:
+        nulls = sum(1 for name in constrained if is_null(row[schema.index_of(name)]))
+        if nulls == 0:
+            return False
+        if max_nulls is not None and nulls > max_nulls:
+            return False
+        return query.predicate.possibly_matches(row, schema)
+
+    return relation.select(qualifies)
+
+
+def certain_or_possible(query: SelectionQuery, relation: Relation) -> Relation:
+    """Union of certain and possible answers, preserving row order."""
+    schema = relation.schema
+    return relation.select(lambda row: query.predicate.possibly_matches(row, schema))
+
+
+def evaluate_aggregate(query: AggregateQuery, relation: Relation) -> float | None:
+    """Evaluate an aggregate over the certain answers of its selection.
+
+    NULLs in the aggregated attribute are skipped (SQL semantics); for
+    ``COUNT(*)`` every certain answer counts.
+    """
+    answers = certain_answers(query.selection, relation)
+    if query.function is AggregateFunction.COUNT and query.attribute == "*":
+        return float(len(answers))
+    values = [value for value in answers.column(query.attribute) if not is_null(value)]
+    return query.function.compute(values)
+
+
+def natural_join(
+    left: Relation,
+    right: Relation,
+    left_attribute: str,
+    right_attribute: str | None = None,
+    right_prefix: str = "right_",
+) -> Relation:
+    """Equi-join two relations on one attribute pair (hash join).
+
+    NULL join values never match (SQL semantics).  Overlapping attribute
+    names on the right side are prefixed with *right_prefix* so the joined
+    schema stays unambiguous; the right join column is dropped since it
+    always equals the left one.
+    """
+    right_attribute = right_attribute or left_attribute
+    left_index = left.schema.index_of(left_attribute)
+    right_index = right.schema.index_of(right_attribute)
+
+    buckets: dict[Any, list[Row]] = {}
+    for row in right:
+        key = row[right_index]
+        if is_null(key):
+            continue
+        buckets.setdefault(key, []).append(row)
+
+    left_names = set(left.schema.names)
+    mapping = {
+        name: (right_prefix + name if name in left_names else name)
+        for name in right.schema.names
+        if name != right_attribute
+    }
+    from repro.relational.schema import Attribute, Schema  # local to avoid cycle at import
+
+    joined_attrs = list(left.schema.attributes) + [
+        Attribute(mapping[attr.name], attr.type)
+        for attr in right.schema.attributes
+        if attr.name != right_attribute
+    ]
+    joined_schema = Schema(joined_attrs)
+
+    rows: list[Row] = []
+    for row in left:
+        key = row[left_index]
+        if is_null(key):
+            continue
+        for match in buckets.get(key, ()):
+            tail = tuple(
+                value for position, value in enumerate(match) if position != right_index
+            )
+            rows.append(row + tail)
+    return Relation(joined_schema, rows)

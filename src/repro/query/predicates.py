@@ -1,0 +1,280 @@
+"""Predicate AST for conjunctive selection queries.
+
+QPIAD's query model (Section 4 of the paper) is conjunctions of per-attribute
+constraints: equality on categorical attributes and equality / ranges on
+numeric ones (e.g. ``Model=Accord AND Price BETWEEN 15000 AND 20000``).
+
+Evaluation follows SQL three-valued logic collapsed to the two outcomes the
+paper needs:
+
+* :meth:`Predicate.matches` — the tuple *certainly* satisfies the predicate
+  (NULL on a constrained attribute means "not a certain match").
+* :meth:`Predicate.null_constrained` — which constrained attributes are NULL
+  in the tuple.  Tuples whose only failures are NULLs are the paper's
+  *possible answers* (Definition 2).
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.relational.relation import Row
+from repro.relational.schema import Schema
+from repro.relational.values import NULL, is_null
+
+__all__ = [
+    "Predicate",
+    "AttributePredicate",
+    "Equals",
+    "NotEquals",
+    "Between",
+    "Comparison",
+    "OneOf",
+    "And",
+    "conjuncts_of",
+]
+
+
+class Predicate(ABC):
+    """Base class of all predicate nodes."""
+
+    @abstractmethod
+    def attributes(self) -> tuple[str, ...]:
+        """Constrained attribute names, without duplicates, in AST order."""
+
+    @abstractmethod
+    def matches(self, row: Row, schema: Schema) -> bool:
+        """True iff *row* certainly satisfies the predicate."""
+
+    def null_constrained(self, row: Row, schema: Schema) -> tuple[str, ...]:
+        """Constrained attributes whose value is NULL in *row*."""
+        return tuple(
+            name for name in self.attributes() if is_null(row[schema.index_of(name)])
+        )
+
+    def possibly_matches(self, row: Row, schema: Schema) -> bool:
+        """True iff every conjunct either matches or is NULL-blocked.
+
+        This is the certain-or-possible test: the row fails no conjunct on a
+        *present* value.
+        """
+        for conjunct in conjuncts_of(self):
+            if conjunct.matches(row, schema):
+                continue
+            if not conjunct.null_constrained(row, schema):
+                return False
+        return True
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And([self, other])
+
+
+class AttributePredicate(Predicate):
+    """A predicate constraining exactly one attribute."""
+
+    __slots__ = ("attribute",)
+
+    def __init__(self, attribute: str):
+        if not attribute:
+            raise QueryError("predicate attribute name must be non-empty")
+        self.attribute = attribute
+
+    def attributes(self) -> tuple[str, ...]:
+        return (self.attribute,)
+
+    def _value_of(self, row: Row, schema: Schema) -> Any:
+        return row[schema.index_of(self.attribute)]
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+
+class Equals(AttributePredicate):
+    """``attribute = value``; the workhorse predicate of the paper."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, attribute: str, value: Any):
+        super().__init__(attribute)
+        if value is NULL or value is None:
+            raise QueryError(
+                f"cannot build an equality on NULL for {attribute!r}; autonomous "
+                "sources do not support binding NULL (use possible-answer retrieval)"
+            )
+        self.value = value
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        value = self._value_of(row, schema)
+        return not is_null(value) and value == self.value
+
+    def _key(self) -> tuple:
+        return (self.attribute, self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}={self.value!r}"
+
+
+class NotEquals(AttributePredicate):
+    """``attribute != value`` (NULL never certainly satisfies it)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, attribute: str, value: Any):
+        super().__init__(attribute)
+        self.value = value
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        value = self._value_of(row, schema)
+        return not is_null(value) and value != self.value
+
+    def _key(self) -> tuple:
+        return (self.attribute, self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}!={self.value!r}"
+
+
+class Between(AttributePredicate):
+    """``attribute BETWEEN low AND high`` (inclusive on both ends)."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, attribute: str, low: Any, high: Any):
+        super().__init__(attribute)
+        if low > high:
+            raise QueryError(f"between bounds reversed for {attribute!r}: {low!r} > {high!r}")
+        self.low = low
+        self.high = high
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        value = self._value_of(row, schema)
+        if is_null(value):
+            return False
+        try:
+            return self.low <= value <= self.high
+        except TypeError:
+            return False
+
+    def _key(self) -> tuple:
+        return (self.attribute, self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute} between {self.low!r} and {self.high!r}"
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Comparison(AttributePredicate):
+    """``attribute <op> value`` for ``<``, ``<=``, ``>``, ``>=``."""
+
+    __slots__ = ("op", "value")
+
+    def __init__(self, attribute: str, op: str, value: Any):
+        super().__init__(attribute)
+        if op not in _COMPARATORS:
+            raise QueryError(f"unsupported comparison operator {op!r}")
+        self.op = op
+        self.value = value
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        value = self._value_of(row, schema)
+        if is_null(value):
+            return False
+        try:
+            return _COMPARATORS[self.op](value, self.value)
+        except TypeError:
+            return False
+
+    def _key(self) -> tuple:
+        return (self.attribute, self.op, self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}{self.op}{self.value!r}"
+
+
+class OneOf(AttributePredicate):
+    """``attribute IN (values)``; used by workload generators."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, attribute: str, values: Iterable[Any]):
+        super().__init__(attribute)
+        self.values = frozenset(values)
+        if not self.values:
+            raise QueryError(f"OneOf on {attribute!r} requires at least one value")
+        if any(value is NULL or value is None for value in self.values):
+            raise QueryError(f"OneOf on {attribute!r} cannot include NULL")
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        value = self._value_of(row, schema)
+        return not is_null(value) and value in self.values
+
+    def _key(self) -> tuple:
+        return (self.attribute, self.values)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(sorted(map(repr, self.values)))
+        return f"{self.attribute} in ({rendered})"
+
+
+class And(Predicate):
+    """Conjunction of predicates; nested conjunctions are flattened."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Predicate]):
+        flattened: list[Predicate] = []
+        seen: set[Predicate] = set()
+        for part in parts:
+            for conjunct in (part.parts if isinstance(part, And) else (part,)):
+                # Conjunction is idempotent: drop exact duplicates (keeps
+                # rewritten queries readable when a determining attribute is
+                # also an original constraint).
+                if conjunct in seen:
+                    continue
+                seen.add(conjunct)
+                flattened.append(conjunct)
+        if not flattened:
+            raise QueryError("a conjunction requires at least one predicate")
+        self.parts = tuple(flattened)
+
+    def attributes(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for part in self.parts:
+            for name in part.attributes():
+                seen.setdefault(name)
+        return tuple(seen.keys())
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        return all(part.matches(row, schema) for part in self.parts)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(("And", self.parts))
+
+    def __repr__(self) -> str:
+        return " AND ".join(map(repr, self.parts))
+
+
+def conjuncts_of(predicate: Predicate) -> tuple[Predicate, ...]:
+    """The top-level conjuncts of *predicate* (itself if not a conjunction)."""
+    if isinstance(predicate, And):
+        return predicate.parts
+    return (predicate,)

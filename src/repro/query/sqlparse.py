@@ -1,0 +1,161 @@
+"""A small SQL-style parser for selection queries.
+
+Users of a query-processing library expect to write conditions the way they
+write SQL.  This parser covers exactly the conjunctive fragment QPIAD
+processes (Section 4's query model) — nothing more:
+
+    make = 'Honda' AND price BETWEEN 15000 AND 20000
+    body_style IN ('Convt', 'Coupe') AND year >= 2003
+    SELECT * FROM cars WHERE model = 'Accord'     -- prefix optional
+
+Grammar::
+
+    query     := [SELECT '*' FROM ident] [WHERE] condition (AND condition)*
+    condition := ident op value
+               | ident BETWEEN value AND value
+               | ident IN '(' value (',' value)* ')'
+    op        := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+    value     := number | 'single-quoted' | "double-quoted" | bareword
+
+Keywords are case-insensitive; bareword values (no quotes) are taken as
+strings unless they parse as numbers.  Disjunction, negation and nesting are
+deliberately unsupported — the mediator cannot rewrite them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import QueryError
+from repro.query.predicates import Between, Comparison, Equals, NotEquals, OneOf, Predicate
+from repro.query.query import SelectionQuery
+
+__all__ = ["parse_selection"]
+
+_TOKEN = re.compile(
+    r"""
+    \s*(
+        '(?:[^'\\]|\\.)*'            # single-quoted string
+      | "(?:[^"\\]|\\.)*"            # double-quoted string
+      | <= | >= | <> | != | [=<>(),] # operators & punctuation
+      | [A-Za-z_][A-Za-z0-9_.]*      # identifiers / keywords / barewords
+      | -?\d+(?:\.\d+)?              # numbers
+      | \*                           # SELECT *
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "between", "in"}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.items: list[str] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN.match(text, position)
+            if match is None:
+                raise QueryError(
+                    f"cannot tokenize query at ...{text[position:position + 20]!r}"
+                )
+            self.items.append(match.group(1))
+            position = match.end()
+        self.index = 0
+
+    def peek(self) -> str | None:
+        return self.items[self.index] if self.index < len(self.items) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self.index += 1
+        return token
+
+    def accept_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        if token is not None and token.lower() == keyword:
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        token = self.next()
+        if token.lower() != literal.lower():
+            raise QueryError(f"expected {literal!r}, got {token!r}")
+
+
+def _parse_value(token: str) -> Any:
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "'\"":
+        return re.sub(r"\\(.)", r"\1", token[1:-1])
+    try:
+        number = float(token)
+    except ValueError:
+        return token  # bareword string
+    return int(number) if number.is_integer() and "." not in token else number
+
+
+def _parse_condition(tokens: _Tokens) -> Predicate:
+    attribute = tokens.next()
+    if attribute.lower() in _KEYWORDS or not re.fullmatch(
+        r"[A-Za-z_][A-Za-z0-9_.]*", attribute
+    ):
+        raise QueryError(f"expected an attribute name, got {attribute!r}")
+    operator = tokens.next().lower()
+    if operator == "between":
+        low = _parse_value(tokens.next())
+        tokens.expect("and")
+        high = _parse_value(tokens.next())
+        return Between(attribute, low, high)
+    if operator == "in":
+        tokens.expect("(")
+        values = [_parse_value(tokens.next())]
+        while True:
+            token = tokens.next()
+            if token == ")":
+                break
+            if token != ",":
+                raise QueryError(f"expected ',' or ')' in IN list, got {token!r}")
+            values.append(_parse_value(tokens.next()))
+        return OneOf(attribute, values)
+    if operator == "=":
+        return Equals(attribute, _parse_value(tokens.next()))
+    if operator in ("!=", "<>"):
+        return NotEquals(attribute, _parse_value(tokens.next()))
+    if operator in ("<", "<=", ">", ">="):
+        return Comparison(attribute, operator, _parse_value(tokens.next()))
+    raise QueryError(f"unsupported operator {operator!r}")
+
+
+def parse_selection(text: str) -> SelectionQuery:
+    """Parse a SQL-style conjunctive condition into a :class:`SelectionQuery`.
+
+    Raises :class:`~repro.errors.QueryError` on anything outside the
+    supported fragment (OR, NOT, parenthesised sub-conditions, joins...).
+    """
+    if not text or not text.strip():
+        raise QueryError("empty query text")
+    tokens = _Tokens(text)
+
+    relation: str | None = None
+    if tokens.accept_keyword("select"):
+        tokens.expect("*")
+        tokens.expect("from")
+        relation = tokens.next()
+        if relation.lower() in _KEYWORDS:
+            raise QueryError(f"expected a relation name, got {relation!r}")
+    tokens.accept_keyword("where")
+
+    predicates = [_parse_condition(tokens)]
+    while tokens.peek() is not None:
+        token = tokens.next()
+        if token.lower() == "or":
+            raise QueryError(
+                "OR is not supported: QPIAD rewrites conjunctive selections only"
+            )
+        if token.lower() != "and":
+            raise QueryError(f"expected AND between conditions, got {token!r}")
+        predicates.append(_parse_condition(tokens))
+    return SelectionQuery.conjunction(predicates, relation)

@@ -1,0 +1,92 @@
+"""A small fluent builder for relations.
+
+Hand-writing aligned tuples for tests, docs and exploratory sessions is
+error-prone; the builder names columns once and accepts rows as keyword
+arguments (missing keywords become NULL):
+
+    >>> from repro.relational.builders import RelationBuilder
+    >>> cars = (
+    ...     RelationBuilder()
+    ...     .categorical("make", "model")
+    ...     .numeric("price")
+    ...     .row(make="Honda", model="Accord", price=18000)
+    ...     .row(make="BMW", model="Z4")            # price stays NULL
+    ...     .build()
+    ... )
+    >>> cars.null_count("price")
+    1
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, AttributeType, Schema
+from repro.relational.values import NULL
+
+__all__ = ["RelationBuilder"]
+
+
+class RelationBuilder:
+    """Accumulates attributes and keyword rows, then builds a Relation."""
+
+    def __init__(self):
+        self._attributes: list[Attribute] = []
+        self._names: set[str] = set()
+        self._rows: list[dict[str, Any]] = []
+
+    # -- schema -----------------------------------------------------------
+
+    def _add(self, name: str, attr_type: AttributeType) -> "RelationBuilder":
+        if self._rows:
+            raise SchemaError("add all attributes before the first row")
+        if name in self._names:
+            raise SchemaError(f"duplicate attribute {name!r}")
+        self._attributes.append(Attribute(name, attr_type))
+        self._names.add(name)
+        return self
+
+    def categorical(self, *names: str) -> "RelationBuilder":
+        """Add categorical attributes."""
+        for name in names:
+            self._add(name, AttributeType.CATEGORICAL)
+        return self
+
+    def numeric(self, *names: str) -> "RelationBuilder":
+        """Add numeric attributes."""
+        for name in names:
+            self._add(name, AttributeType.NUMERIC)
+        return self
+
+    # -- rows -------------------------------------------------------------
+
+    def row(self, **values: Any) -> "RelationBuilder":
+        """Add one row; omitted attributes become NULL."""
+        if not self._attributes:
+            raise SchemaError("define attributes before adding rows")
+        unknown = set(values) - self._names
+        if unknown:
+            raise SchemaError(f"row uses undeclared attributes: {sorted(unknown)}")
+        self._rows.append(values)
+        return self
+
+    def rows(self, *mappings: dict[str, Any]) -> "RelationBuilder":
+        """Add several rows given as mappings."""
+        for mapping in mappings:
+            self.row(**mapping)
+        return self
+
+    # -- build -------------------------------------------------------------
+
+    def build(self) -> Relation:
+        """Materialize the relation (the builder stays reusable)."""
+        if not self._attributes:
+            raise SchemaError("cannot build a relation without attributes")
+        schema = Schema(self._attributes)
+        materialized = [
+            tuple(values.get(attribute.name, NULL) for attribute in self._attributes)
+            for values in self._rows
+        ]
+        return Relation(schema, materialized)

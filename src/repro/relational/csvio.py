@@ -1,0 +1,93 @@
+"""CSV import/export for relations.
+
+Datasets in this reproduction are generated, but a downstream user will want
+to load their own incomplete data.  These helpers round-trip relations
+through CSV with NULLs encoded as empty fields and numeric columns parsed
+according to the schema.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, AttributeType, Schema
+from repro.relational.values import NULL, is_null
+
+__all__ = ["read_csv", "write_csv", "infer_schema"]
+
+
+def _parse_cell(text: str, attr_type: AttributeType) -> Any:
+    if text == "":
+        return NULL
+    if attr_type is AttributeType.NUMERIC:
+        try:
+            as_float = float(text)
+        except ValueError as exc:
+            raise SchemaError(f"cannot parse {text!r} as numeric") from exc
+        if as_float.is_integer() and "." not in text and "e" not in text.lower():
+            return int(as_float)
+        return as_float
+    return text
+
+
+def infer_schema(header: Iterable[str], sample_rows: Iterable[Iterable[str]]) -> Schema:
+    """Infer a schema from a CSV header and a few sample rows.
+
+    A column is numeric when every non-empty sampled cell parses as a float;
+    otherwise it is categorical.
+    """
+    names = list(header)
+    numeric = [True] * len(names)
+    for row in sample_rows:
+        for position, cell in enumerate(row):
+            if position >= len(names) or cell == "":
+                continue
+            try:
+                float(cell)
+            except ValueError:
+                numeric[position] = False
+    return Schema(
+        Attribute(name, AttributeType.NUMERIC if numeric[i] else AttributeType.CATEGORICAL)
+        for i, name in enumerate(names)
+    )
+
+
+def read_csv(path: "str | Path", schema: Schema | None = None) -> Relation:
+    """Load a relation from *path*.
+
+    When *schema* is omitted, it is inferred from the header and the first
+    100 rows.  Empty cells become NULL.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty; cannot read a relation") from None
+        raw_rows = list(reader)
+    if schema is None:
+        schema = infer_schema(header, raw_rows[:100])
+    elif list(schema.names) != header:
+        raise SchemaError(
+            f"CSV header {header} does not match schema attributes {list(schema.names)}"
+        )
+    rows = [
+        tuple(_parse_cell(cell, schema[i].type) for i, cell in enumerate(row))
+        for row in raw_rows
+    ]
+    return Relation(schema, rows)
+
+
+def write_csv(relation: Relation, path: "str | Path") -> None:
+    """Write *relation* to *path*, encoding NULLs as empty fields."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.names)
+        for row in relation:
+            writer.writerow(["" if is_null(value) else value for value in row])

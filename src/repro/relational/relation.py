@@ -1,0 +1,240 @@
+"""In-memory, NULL-aware relations.
+
+A :class:`Relation` stores rows as tuples aligned with a :class:`Schema`.
+It provides exactly the relational operations the QPIAD stack needs:
+selection by arbitrary row predicate, projection (with and without
+duplicates), distinct value enumeration, NULL bookkeeping, sampling support
+and joins are layered on top by :mod:`repro.query.executor`.
+
+Relations are *logically immutable*: all operations return new relations.
+This mirrors the autonomous-database setting the paper targets — the
+mediator may never modify the underlying data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+from repro.relational.values import NULL, coerce_value, is_null
+
+__all__ = ["Row", "Relation"]
+
+Row = tuple  # rows are plain tuples aligned with the schema
+
+
+class Relation:
+    """An immutable bag of rows over a fixed schema.
+
+    Parameters
+    ----------
+    schema:
+        Column layout of every row.
+    rows:
+        Iterable of sequences; each is coerced to a tuple and must match the
+        schema's arity.  ``None`` and blank strings become :data:`NULL`.
+
+    Examples
+    --------
+    >>> from repro.relational import Schema, Relation
+    >>> cars = Relation(Schema.of("make", "model"),
+    ...                 [("Honda", "Accord"), ("BMW", None)])
+    >>> len(cars)
+    2
+    >>> cars.null_count("model")
+    1
+    """
+
+    __slots__ = ("_schema", "_rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[Sequence[Any]] = ()):
+        self._schema = schema
+        arity = len(schema)
+        materialized: list[Row] = []
+        for raw in rows:
+            row = tuple(coerce_value(value) for value in raw)
+            if len(row) != arity:
+                raise SchemaError(
+                    f"row arity {len(row)} does not match schema arity {arity}: {row!r}"
+                )
+            materialized.append(row)
+        self._rows = tuple(materialized)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._schema == other._schema and Counter(self._rows) == Counter(other._rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self._schema!r}, {len(self._rows)} rows)"
+
+    def value(self, row: Row, attribute: str) -> Any:
+        """The value of *attribute* in *row*."""
+        return row[self._schema.index_of(attribute)]
+
+    def column(self, attribute: str) -> tuple[Any, ...]:
+        """All values (including NULLs) of one attribute, in row order."""
+        index = self._schema.index_of(attribute)
+        return tuple(row[index] for row in self._rows)
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """Rows satisfying an arbitrary row predicate."""
+        return self._with_rows(row for row in self._rows if predicate(row))
+
+    def project(self, names: Sequence[str], distinct: bool = False) -> "Relation":
+        """Project onto *names*; optionally de-duplicate.
+
+        Distinct projection preserves first-seen order, which keeps rewritten
+        query generation deterministic.
+        """
+        indices = self._schema.indices_of(names)
+        projected = (tuple(row[i] for i in indices) for row in self._rows)
+        if distinct:
+            seen: dict[Row, None] = {}
+            for row in projected:
+                seen.setdefault(row)
+            result_rows: Iterable[Row] = seen.keys()
+        else:
+            result_rows = projected
+        return Relation(self._schema.project(names), result_rows)
+
+    def distinct_values(self, attribute: str, include_null: bool = False) -> list[Any]:
+        """Distinct values of *attribute* in first-seen order."""
+        index = self._schema.index_of(attribute)
+        seen: dict[Any, None] = {}
+        for row in self._rows:
+            value = row[index]
+            if is_null(value) and not include_null:
+                continue
+            seen.setdefault(value)
+        return list(seen.keys())
+
+    def value_counts(self, attribute: str, include_null: bool = False) -> Counter:
+        """Multiplicity of each value of *attribute*."""
+        index = self._schema.index_of(attribute)
+        counts: Counter = Counter()
+        for row in self._rows:
+            value = row[index]
+            if is_null(value) and not include_null:
+                continue
+            counts[value] += 1
+        return counts
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> "Relation":
+        """A new relation with *rows* appended."""
+        return Relation(self._schema, list(self._rows) + [tuple(r) for r in rows])
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Union-all with another relation over an identical schema."""
+        if other.schema != self._schema:
+            raise SchemaError("cannot concat relations with different schemas")
+        return self._with_rows(self._rows + other._rows)
+
+    def take(self, count: int) -> "Relation":
+        """The first *count* rows."""
+        return self._with_rows(self._rows[:count])
+
+    def rename(self, mapping: dict[str, str]) -> "Relation":
+        """A relation with attributes renamed; rows are shared unchanged."""
+        renamed = Relation.__new__(Relation)
+        renamed._schema = self._schema.rename(mapping)
+        renamed._rows = self._rows
+        return renamed
+
+    # ------------------------------------------------------------------
+    # NULL bookkeeping (Table 1 statistics)
+    # ------------------------------------------------------------------
+
+    def is_complete_row(self, row: Row) -> bool:
+        """True if the row has no NULL in any attribute (Definition 1)."""
+        return not any(is_null(value) for value in row)
+
+    def complete_rows(self) -> "Relation":
+        return self.select(self.is_complete_row)
+
+    def incomplete_rows(self) -> "Relation":
+        return self.select(lambda row: not self.is_complete_row(row))
+
+    def null_count(self, attribute: str) -> int:
+        """Number of rows where *attribute* is NULL."""
+        index = self._schema.index_of(attribute)
+        return sum(1 for row in self._rows if is_null(row[index]))
+
+    def null_fraction(self, attribute: str) -> float:
+        """Fraction of rows where *attribute* is NULL (0.0 on empty)."""
+        if not self._rows:
+            return 0.0
+        return self.null_count(attribute) / len(self._rows)
+
+    def incomplete_fraction(self) -> float:
+        """Fraction of rows with at least one NULL (0.0 on empty)."""
+        if not self._rows:
+            return 0.0
+        incomplete = sum(1 for row in self._rows if not self.is_complete_row(row))
+        return incomplete / len(self._rows)
+
+    def rows_with_null_on(self, attributes: Sequence[str]) -> "Relation":
+        """Rows that are NULL on at least one of *attributes*."""
+        indices = self._schema.indices_of(attributes)
+        return self._with_rows(
+            row for row in self._rows if any(is_null(row[i]) for i in indices)
+        )
+
+    def null_count_over(self, row: Row, attributes: Sequence[str]) -> int:
+        """How many of *attributes* are NULL in *row* (the paper's 0/1/2+ rule)."""
+        indices = self._schema.indices_of(attributes)
+        return sum(1 for i in indices if is_null(row[i]))
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+
+    def head(self, count: int = 10) -> str:
+        """A small ASCII rendering of the first *count* rows."""
+        names = self._schema.names
+        shown = [tuple(str(value) for value in row) for row in self._rows[:count]]
+        widths = [len(name) for name in names]
+        for row in shown:
+            widths = [max(width, len(cell)) for width, cell in zip(widths, row)]
+        header = " | ".join(name.ljust(width) for name, width in zip(names, widths))
+        rule = "-+-".join("-" * width for width in widths)
+        body = [
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths)) for row in shown
+        ]
+        footer = [] if len(self._rows) <= count else [f"... ({len(self._rows)} rows total)"]
+        return "\n".join([header, rule, *body, *footer])
+
+    # ------------------------------------------------------------------
+
+    def _with_rows(self, rows: Iterable[Row]) -> "Relation":
+        relation = Relation.__new__(Relation)
+        relation._schema = self._schema
+        relation._rows = tuple(rows)
+        return relation

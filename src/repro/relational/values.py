@@ -1,0 +1,79 @@
+"""The NULL sentinel and value helpers for the relational substrate.
+
+Autonomous web databases are riddled with missing values.  We model a missing
+value with a dedicated singleton, :data:`NULL`, rather than ``None`` so that
+
+* a missing value prints as ``NULL`` in result listings,
+* accidental ``None`` values produced by bugs do not silently masquerade as
+  database NULLs (ingestion explicitly converts ``None``/empty strings), and
+* NULL never compares equal to anything, including itself, mirroring SQL
+  three-valued comparison semantics for the predicates we support.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["NULL", "NullValue", "is_null", "coerce_value"]
+
+
+class NullValue:
+    """Singleton type of the :data:`NULL` marker.
+
+    Equality follows SQL semantics: ``NULL == anything`` is ``False`` (even
+    against itself).  Use :func:`is_null` (or ``value is NULL``) to test for
+    missing values.  The singleton is hashable so tuples containing it can be
+    used as dictionary keys (e.g. for distinct-value projections); hashing
+    identity-based is fine because there is exactly one instance.
+    """
+
+    _instance: "NullValue | None" = None
+
+    def __new__(cls) -> "NullValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return False
+
+    def __ne__(self, other: object) -> bool:
+        return True
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __lt__(self, other: object) -> bool:
+        return NotImplemented
+
+    def __reduce__(self):
+        # Preserve the singleton across pickling.
+        return (NullValue, ())
+
+
+NULL = NullValue()
+
+
+def is_null(value: Any) -> bool:
+    """Return ``True`` if *value* is the missing-value marker."""
+    return value is NULL
+
+
+def coerce_value(raw: Any) -> Any:
+    """Normalize an ingested raw value.
+
+    ``None`` and blank/whitespace-only strings become :data:`NULL`; every
+    other value passes through unchanged.  Dataset loaders and builders call
+    this so that user data cannot introduce ``None`` into relations.
+    """
+    if raw is None or raw is NULL:
+        return NULL
+    if isinstance(raw, str) and not raw.strip():
+        return NULL
+    return raw

@@ -1,0 +1,36 @@
+"""Autonomous web-database simulation: capabilities, sources, sampling."""
+
+from repro.sources.alignment import (
+    RedundancyCandidate,
+    find_redundant_attributes,
+    merge_redundant_attributes,
+)
+from repro.sources.autonomous import AccessStatistics, AutonomousSource
+from repro.sources.caching import CacheStatistics, CachingSource
+from repro.sources.capabilities import SourceCapabilities
+from repro.sources.registry import SourceRegistry
+from repro.sources.retrying import RetryingSource, RetryStatistics
+from repro.sources.sampler import (
+    RandomProbingSampler,
+    estimate_sample_ratio,
+    split_relation,
+    uniform_sample,
+)
+
+__all__ = [
+    "SourceCapabilities",
+    "AutonomousSource",
+    "AccessStatistics",
+    "SourceRegistry",
+    "RandomProbingSampler",
+    "uniform_sample",
+    "split_relation",
+    "estimate_sample_ratio",
+    "CachingSource",
+    "CacheStatistics",
+    "RedundancyCandidate",
+    "find_redundant_attributes",
+    "merge_redundant_attributes",
+    "RetryingSource",
+    "RetryStatistics",
+]

@@ -1,0 +1,146 @@
+"""Coalescing redundant user-defined attributes (the Google Base problem).
+
+The paper's fourth source of incompleteness: platforms that let users define
+their own attributes accumulate redundant columns — ``Make`` vs
+``Manufacturer`` — where a tuple filling one almost never fills the other,
+inflating NULL counts on both.  Before mining such a source, a mediator
+should *align* the redundant attributes into one.
+
+Two pieces:
+
+* :func:`find_redundant_attributes` — detect candidate pairs: attributes
+  whose non-NULL sets barely overlap row-wise (*complementarity*) while
+  their value domains overlap heavily (*same vocabulary*);
+* :func:`merge_redundant_attributes` — coalesce groups of attributes into
+  one column, taking the first non-NULL value per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.values import NULL, is_null
+
+__all__ = ["RedundancyCandidate", "find_redundant_attributes", "merge_redundant_attributes"]
+
+
+@dataclass(frozen=True)
+class RedundancyCandidate:
+    """A pair of attributes that look like the same logical column."""
+
+    first: str
+    second: str
+    complementarity: float  # fraction of rows where exactly one is non-NULL
+    domain_overlap: float   # Jaccard overlap of the two value domains
+
+    @property
+    def score(self) -> float:
+        return self.complementarity * self.domain_overlap
+
+
+def find_redundant_attributes(
+    relation: Relation,
+    min_complementarity: float = 0.8,
+    min_domain_overlap: float = 0.3,
+) -> list[RedundancyCandidate]:
+    """Candidate redundant attribute pairs, best first.
+
+    A pair qualifies when (a) among rows where either attribute is present,
+    at least *min_complementarity* have exactly one of the two (users fill
+    one or the other, not both), and (b) the Jaccard overlap of their value
+    domains is at least *min_domain_overlap* (they speak the same
+    vocabulary).  Both conditions together separate true redundancy from
+    merely-sparse unrelated columns.
+    """
+    names = relation.schema.names
+    candidates: list[RedundancyCandidate] = []
+    columns = {name: relation.column(name) for name in names}
+    for i, first in enumerate(names):
+        for second in names[i + 1 :]:
+            either = exactly_one = 0
+            for a, b in zip(columns[first], columns[second]):
+                a_present = not is_null(a)
+                b_present = not is_null(b)
+                if a_present or b_present:
+                    either += 1
+                    if a_present != b_present:
+                        exactly_one += 1
+            if either == 0:
+                continue
+            complementarity = exactly_one / either
+            if complementarity < min_complementarity:
+                continue
+            domain_a = {v for v in columns[first] if not is_null(v)}
+            domain_b = {v for v in columns[second] if not is_null(v)}
+            union = domain_a | domain_b
+            if not union:
+                continue
+            overlap = len(domain_a & domain_b) / len(union)
+            if overlap < min_domain_overlap:
+                continue
+            candidates.append(
+                RedundancyCandidate(first, second, complementarity, overlap)
+            )
+    candidates.sort(key=lambda c: -c.score)
+    return candidates
+
+
+def merge_redundant_attributes(
+    relation: Relation,
+    groups: Mapping[str, Sequence[str]],
+) -> Relation:
+    """Coalesce each group of redundant attributes into one column.
+
+    ``groups`` maps a surviving attribute name to the redundant attributes
+    folded into it (the survivor itself may be listed or not).  Per row the
+    first non-NULL value across the group wins; the other columns are
+    dropped from the schema.
+
+    Raises :class:`SchemaError` when a row holds *conflicting* non-NULL
+    values within a group — that is data disagreement, not redundancy, and
+    silently picking one would corrupt the mined statistics.
+    """
+    schema = relation.schema
+    drop: set[str] = set()
+    resolved: dict[str, list[str]] = {}
+    for survivor, members in groups.items():
+        ordered = [survivor] + [m for m in members if m != survivor]
+        for member in ordered:
+            schema.index_of(member)  # validate
+        resolved[survivor] = ordered
+        drop.update(ordered[1:])
+    for survivor in resolved:
+        if survivor in drop:
+            raise SchemaError(
+                f"attribute {survivor!r} is both a survivor and merged away"
+            )
+
+    survivor_indices = {
+        survivor: [schema.index_of(member) for member in members]
+        for survivor, members in resolved.items()
+    }
+
+    new_attributes = [a for a in schema if a.name not in drop]
+    new_schema = Schema(new_attributes)
+    rows = []
+    for row in relation:
+        values = []
+        for attribute in new_attributes:
+            if attribute.name in survivor_indices:
+                present = [
+                    row[i] for i in survivor_indices[attribute.name] if not is_null(row[i])
+                ]
+                if len(set(present)) > 1:
+                    raise SchemaError(
+                        f"conflicting values {present!r} while merging into "
+                        f"{attribute.name!r}; the group is not redundant"
+                    )
+                values.append(present[0] if present else NULL)
+            else:
+                values.append(row[schema.index_of(attribute.name)])
+        rows.append(tuple(values))
+    return Relation(new_schema, rows)

@@ -1,0 +1,123 @@
+"""Mediator-side result caching for autonomous sources.
+
+Rewritten queries repeat across user queries (the same ``Model = Z4`` probe
+serves every convertible-hunting query), and autonomous sources charge every
+call against their budget.  :class:`CachingSource` memoizes query results at
+the mediator so repeats cost nothing — the standard wrapper a production
+mediator puts in front of a rate-limited web source.
+
+The wrapper is transparent: it exposes the same interface as
+:class:`~repro.sources.AutonomousSource` and enforces nothing itself; cache
+*misses* still hit the underlying source with all its restrictions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import QpiadError
+from repro.query.query import SelectionQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.sources.autonomous import AutonomousSource
+
+__all__ = ["CacheStatistics", "CachingSource"]
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss accounting of one caching wrapper."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachingSource:
+    """An LRU result cache in front of an autonomous source.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped source; only its certain-answer interface is cached
+        (NULL-binding calls are baseline-only counterfactuals and stay
+        uncached by design).
+    capacity:
+        Maximum number of distinct queries kept (least-recently-used
+        eviction).
+    """
+
+    def __init__(self, inner: AutonomousSource, capacity: int = 256):
+        if capacity < 1:
+            raise QpiadError(f"cache capacity must be positive, got {capacity}")
+        self.inner = inner
+        self.capacity = capacity
+        self.statistics = CacheStatistics()
+        self._cache: "OrderedDict[SelectionQuery, Relation]" = OrderedDict()
+
+    # -- the AutonomousSource surface the mediator uses -------------------
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def schema(self) -> Schema:
+        return self.inner.schema
+
+    @property
+    def capabilities(self):
+        return self.inner.capabilities
+
+    def supports(self, attribute: str) -> bool:
+        return self.inner.supports(attribute)
+
+    def can_answer(self, query: SelectionQuery) -> bool:
+        return self.inner.can_answer(query)
+
+    def cardinality(self) -> int:
+        return self.inner.cardinality()
+
+    def execute(self, query: SelectionQuery) -> Relation:
+        """Answer from the cache when possible; otherwise delegate."""
+        cached = self._cache.get(query)
+        if cached is not None:
+            self._cache.move_to_end(query)
+            self.statistics.hits += 1
+            return cached
+        result = self.inner.execute(query)
+        self.statistics.misses += 1
+        self._cache[query] = result
+        if len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+            self.statistics.evictions += 1
+        return result
+
+    def execute_null_binding(self, query: SelectionQuery, max_nulls: int | None = None):
+        return self.inner.execute_null_binding(query, max_nulls=max_nulls)
+
+    def execute_certain_or_possible(self, query: SelectionQuery) -> Relation:
+        return self.inner.execute_certain_or_possible(query)
+
+    def scan(self, limit: int | None = None) -> Relation:
+        return self.inner.scan(limit)
+
+    def reset_statistics(self) -> None:
+        self.inner.reset_statistics()
+        self.statistics = CacheStatistics()
+
+    def invalidate(self) -> None:
+        """Drop every cached result (e.g. after a known source refresh)."""
+        self._cache.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"CachingSource({self.inner!r}, {len(self._cache)}/{self.capacity} "
+            f"entries, hit rate {self.statistics.hit_rate:.2f})"
+        )

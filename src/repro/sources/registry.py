@@ -1,0 +1,82 @@
+"""Mediator-side registry of autonomous sources and the global schema.
+
+Section 4.3 of the paper considers a mediator exporting a *global schema*
+over sources whose *local schemas* may lack some global attributes
+(Yahoo! Autos has no ``Body Style``).  The registry answers the two
+questions the correlated-source machinery needs:
+
+* which sources support a given attribute, and
+* which sources do *not* (and hence need cross-source rewriting).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+from repro.sources.autonomous import AutonomousSource
+
+__all__ = ["SourceRegistry"]
+
+
+class SourceRegistry:
+    """Named collection of sources under one global schema.
+
+    Parameters
+    ----------
+    global_schema:
+        The mediator's exported schema.  Every source's local schema must be
+        a subset of it (same attribute names; mapping heterogeneous names is
+        assumed to be handled upstream by the schema-alignment layer, which
+        is out of scope for the paper).
+    sources:
+        Initial sources to register.
+    """
+
+    def __init__(
+        self, global_schema: Schema, sources: Iterable[AutonomousSource] = ()
+    ):
+        self.global_schema = global_schema
+        self._sources: dict[str, AutonomousSource] = {}
+        for source in sources:
+            self.register(source)
+
+    def register(self, source: AutonomousSource) -> None:
+        """Add *source*, validating its local schema against the global one."""
+        if source.name in self._sources:
+            raise SchemaError(f"source {source.name!r} is already registered")
+        for name in source.schema.names:
+            if name not in self.global_schema:
+                raise SchemaError(
+                    f"source {source.name!r} exposes attribute {name!r} which is "
+                    "not in the global schema"
+                )
+        self._sources[source.name] = source
+
+    def get(self, name: str) -> AutonomousSource:
+        try:
+            return self._sources[name]
+        except KeyError:
+            raise SchemaError(f"no source named {name!r} is registered") from None
+
+    def __iter__(self) -> Iterator[AutonomousSource]:
+        return iter(self._sources.values())
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._sources
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._sources)
+
+    def supporting(self, attribute: str) -> list[AutonomousSource]:
+        """Sources whose local schema includes *attribute*."""
+        return [source for source in self if source.supports(attribute)]
+
+    def not_supporting(self, attribute: str) -> list[AutonomousSource]:
+        """Sources whose local schema lacks *attribute* (need §4.3 handling)."""
+        return [source for source in self if not source.supports(attribute)]

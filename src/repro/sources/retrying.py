@@ -1,0 +1,137 @@
+"""Retrying transient source failures.
+
+Web databases fail transiently — timeouts, overloaded backends, dropped
+connections.  A mediator that aborts a whole multi-query retrieval plan on
+one hiccup wastes everything it already spent.  :class:`RetryingSource`
+wraps any source and retries calls that raise
+:class:`~repro.errors.SourceUnavailableError`, with optional backoff.
+
+Permanent failures (capability violations, budget exhaustion) are *not*
+retried: repeating a query a web form cannot express never helps, and
+retrying against an exhausted budget only burns goodwill.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import QpiadError, SourceUnavailableError
+from repro.query.query import SelectionQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+__all__ = ["RetryStatistics", "RetryingSource"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryStatistics:
+    """How much flakiness the wrapper absorbed."""
+
+    attempts: int = 0
+    retries: int = 0
+    gave_up: int = 0
+
+
+class RetryingSource:
+    """Retry transient failures of a wrapped source.
+
+    Parameters
+    ----------
+    inner:
+        Any source-shaped object (:class:`~repro.sources.AutonomousSource`,
+        :class:`~repro.sources.caching.CachingSource`, ...).
+    max_attempts:
+        Total tries per call (1 = no retrying).
+    backoff_seconds:
+        Sleep between attempts, doubled each retry; 0 disables sleeping
+        (the default keeps tests and simulations instant).
+    sleep:
+        Injectable sleep function (for tests).
+    """
+
+    def __init__(
+        self,
+        inner,
+        max_attempts: int = 3,
+        backoff_seconds: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_attempts < 1:
+            raise QpiadError(f"max_attempts must be at least 1, got {max_attempts}")
+        if backoff_seconds < 0:
+            raise QpiadError("backoff_seconds must be non-negative")
+        self.inner = inner
+        self.max_attempts = max_attempts
+        self.backoff_seconds = backoff_seconds
+        self._sleep = sleep
+        self.statistics = RetryStatistics()
+
+    # -- retry core --------------------------------------------------------
+
+    def _call(self, operation: Callable[[], T]) -> T:
+        delay = self.backoff_seconds
+        for attempt in range(1, self.max_attempts + 1):
+            self.statistics.attempts += 1
+            try:
+                return operation()
+            except SourceUnavailableError:
+                if attempt == self.max_attempts:
+                    self.statistics.gave_up += 1
+                    raise
+                self.statistics.retries += 1
+                if delay:
+                    self._sleep(delay)
+                    delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- the source surface -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def schema(self) -> Schema:
+        return self.inner.schema
+
+    @property
+    def capabilities(self):
+        return self.inner.capabilities
+
+    def supports(self, attribute: str) -> bool:
+        return self.inner.supports(attribute)
+
+    def can_answer(self, query: SelectionQuery) -> bool:
+        checker = getattr(self.inner, "can_answer", None)
+        return True if checker is None else checker(query)
+
+    def cardinality(self) -> int:
+        return self._call(self.inner.cardinality)
+
+    def execute(self, query: SelectionQuery) -> Relation:
+        return self._call(lambda: self.inner.execute(query))
+
+    def execute_null_binding(self, query: SelectionQuery, max_nulls: int | None = None):
+        return self._call(
+            lambda: self.inner.execute_null_binding(query, max_nulls=max_nulls)
+        )
+
+    def execute_certain_or_possible(self, query: SelectionQuery) -> Relation:
+        return self._call(lambda: self.inner.execute_certain_or_possible(query))
+
+    def scan(self, limit: int | None = None) -> Relation:
+        return self._call(lambda: self.inner.scan(limit))
+
+    def reset_statistics(self) -> None:
+        self.inner.reset_statistics()
+        self.statistics = RetryStatistics()
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryingSource({self.inner!r}, max_attempts={self.max_attempts}, "
+            f"absorbed {self.statistics.retries} retries)"
+        )

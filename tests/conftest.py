@@ -1,0 +1,49 @@
+"""Shared fixtures.
+
+Heavyweight experimental environments are session-scoped: they are
+deterministic (seeded) and read-only from the tests' perspective, so
+building them once keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_cars, generate_census, generate_complaints
+from repro.evaluation import build_environment
+from repro.relational import NULL, AttributeType, Relation, Schema
+
+
+@pytest.fixture()
+def car_fragment() -> Relation:
+    """Table 2 of the paper: the six-tuple car fragment."""
+    schema = Schema.of("id", "make", "model", ("year", AttributeType.NUMERIC), "body_style")
+    return Relation(
+        schema,
+        [
+            (1, "Audi", "A4", 2001, "Convt"),
+            (2, "BMW", "Z4", 2002, "Convt"),
+            (3, "Porsche", "Boxster", 2005, "Convt"),
+            (4, "BMW", "Z4", 2003, NULL),
+            (5, "Honda", "Civic", 2004, NULL),
+            (6, "Toyota", "Camry", 2002, "Sedan"),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def cars_env():
+    """A seeded Cars experimental environment (GD → ED → train/test + KB)."""
+    return build_environment(generate_cars(4000, seed=7), seed=42, name="cars")
+
+
+@pytest.fixture(scope="session")
+def census_env():
+    return build_environment(generate_census(5000, seed=11), seed=42, name="census")
+
+
+@pytest.fixture(scope="session")
+def complaints_env():
+    return build_environment(
+        generate_complaints(5000, seed=23), seed=43, name="complaints"
+    )

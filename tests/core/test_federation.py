@@ -1,0 +1,84 @@
+"""Federated mediation across heterogeneous sources."""
+
+import pytest
+
+from repro.core import QpiadConfig
+from repro.core.federation import FederatedMediator
+from repro.query import SelectionQuery
+from repro.sources import AutonomousSource, SourceCapabilities, SourceRegistry
+
+YAHOO_ATTRS = ("make", "model", "year", "price", "mileage", "certified")
+
+
+@pytest.fixture(scope="module")
+def federation(cars_env):
+    carscom = AutonomousSource("cars.com", cars_env.test, SourceCapabilities.web_form())
+    yahoo = AutonomousSource(
+        "yahoo", cars_env.test, SourceCapabilities.web_form(), local_attributes=YAHOO_ATTRS
+    )
+    unmined = AutonomousSource(
+        "fresh-source", cars_env.test, SourceCapabilities.web_form()
+    )
+    registry = SourceRegistry(cars_env.test.schema, [carscom, yahoo, unmined])
+    mediator = FederatedMediator(
+        registry,
+        {"cars.com": cars_env.knowledge},
+        QpiadConfig(alpha=0.0, k=8),
+    )
+    return mediator
+
+
+@pytest.fixture(scope="module")
+def result(federation):
+    return federation.query(SelectionQuery.equals("body_style", "Convt"))
+
+
+class TestFederatedQuery:
+    def test_supporting_sources_contribute_certain_answers(self, result):
+        assert "cars.com" in result.certain
+        assert len(result.certain["cars.com"]) > 0
+        # The unmined source still contributes certain answers.
+        assert "fresh-source" in result.certain
+        assert result.certain["fresh-source"] == result.certain["cars.com"]
+
+    def test_deficient_source_contributes_via_correlation(self, result):
+        sources = {answer.source for answer in result.ranked}
+        assert "yahoo" in sources
+        assert "cars.com" in sources
+
+    def test_merged_ranking_is_confidence_ordered(self, result):
+        confidences = [answer.confidence for answer in result.ranked]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_certain_count_totals(self, result):
+        assert result.certain_count == sum(
+            len(relation) for relation in result.certain.values()
+        )
+
+    def test_top_prefix(self, result):
+        assert result.top(5) == result.ranked[:5]
+
+    def test_per_source_results_kept(self, result):
+        assert set(result.per_source) >= {"cars.com", "yahoo"}
+
+    def test_answers_carry_their_source_schema(self, result, cars_env):
+        for answer in result.ranked:
+            if answer.source == "yahoo":
+                assert len(answer.row) == len(YAHOO_ATTRS)
+            else:
+                assert len(answer.row) == len(cars_env.test.schema)
+
+
+class TestDegradedFederation:
+    def test_unreachable_deficient_source_is_skipped(self, cars_env):
+        carscom = AutonomousSource("cars.com", cars_env.test)
+        # This source lacks body_style AND the determining attribute model,
+        # so no correlated rewriting can reach it.
+        isolated = AutonomousSource(
+            "isolated", cars_env.test, local_attributes=("year", "certified")
+        )
+        registry = SourceRegistry(cars_env.test.schema, [carscom, isolated])
+        mediator = FederatedMediator(registry, {"cars.com": cars_env.knowledge})
+        result = mediator.query(SelectionQuery.equals("body_style", "Convt"))
+        assert "isolated" in result.skipped_sources
+        assert result.ranked  # the healthy source still answered

@@ -1,0 +1,116 @@
+"""Join processing over two incomplete autonomous sources (Section 4.5)."""
+
+import pytest
+
+from repro.core import JoinConfig, JoinProcessor
+from repro.errors import QpiadError
+from repro.query import JoinQuery, SelectionQuery
+from repro.relational import is_null
+
+
+@pytest.fixture(scope="module")
+def join_query():
+    return JoinQuery(
+        SelectionQuery.equals("model", "Grand Cherokee"),
+        SelectionQuery.equals("general_component", "Engine and Engine Cooling"),
+        "model",
+    )
+
+
+@pytest.fixture(scope="module")
+def processor(cars_env, complaints_env):
+    return JoinProcessor(
+        cars_env.web_source(),
+        complaints_env.web_source(),
+        cars_env.knowledge,
+        complaints_env.knowledge,
+        JoinConfig(alpha=0.5, k_pairs=10),
+    )
+
+
+@pytest.fixture(scope="module")
+def result(processor, join_query):
+    return processor.query(join_query)
+
+
+class TestConfig:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(QpiadError):
+            JoinConfig(alpha=-1)
+        with pytest.raises(QpiadError):
+            JoinConfig(k_pairs=0)
+
+
+class TestJoinResults:
+    def test_produces_certain_answers(self, result):
+        assert result.certain, "complete x complete pair must join"
+
+    def test_certain_answers_have_confidence_one(self, result):
+        assert all(answer.confidence == 1.0 for answer in result.certain)
+
+    def test_certain_answers_join_on_real_values(self, result):
+        assert all(not is_null(answer.join_value) for answer in result.certain)
+
+    def test_possible_answers_exist_and_are_ranked(self, result):
+        assert result.possible
+        confidences = [answer.confidence for answer in result.possible]
+        assert confidences == sorted(confidences, reverse=True)
+        assert all(0.0 <= c <= 1.0 for c in confidences)
+
+    def test_certain_sort_before_possible(self, result):
+        kinds = [answer.certain for answer in result.answers]
+        assert kinds == sorted(kinds, reverse=True)
+
+    def test_joined_rows_agree_on_join_value(self, result, cars_env, complaints_env):
+        left_index = cars_env.test.schema.index_of("model")
+        right_index = complaints_env.test.schema.index_of("model")
+        for answer in result.answers:
+            left_value = answer.left_row[left_index]
+            right_value = answer.right_row[right_index]
+            for value in (left_value, right_value):
+                if not is_null(value):
+                    assert value == answer.join_value
+
+    def test_row_concatenation(self, result, cars_env, complaints_env):
+        answer = result.answers[0]
+        expected = len(cars_env.test.schema) + len(complaints_env.test.schema)
+        assert len(answer.row) == expected
+
+    def test_no_duplicate_joined_tuples(self, result):
+        keys = [(a.left_row, a.right_row) for a in result.answers]
+        assert len(keys) == len(set(keys))
+
+
+class TestPairSelection:
+    def test_pair_budget_respected(self, result):
+        assert result.pairs_issued <= 10
+        assert result.pairs_considered >= result.pairs_issued
+
+    def test_alpha_zero_retrieves_fewer_incomplete_tuples(
+        self, cars_env, complaints_env, join_query
+    ):
+        """Higher alpha reaches for recall (the paper's §6.6 observation)."""
+        outcomes = {}
+        for alpha in (0.0, 2.0):
+            processor = JoinProcessor(
+                cars_env.web_source(),
+                complaints_env.web_source(),
+                cars_env.knowledge,
+                complaints_env.knowledge,
+                JoinConfig(alpha=alpha, k_pairs=10),
+            )
+            outcomes[alpha] = processor.query(join_query)
+        assert len(outcomes[2.0].possible) >= len(outcomes[0.0].possible)
+
+
+class TestNullJoinValues:
+    def test_null_join_values_are_predicted_and_joined(self, result, cars_env):
+        left_index = cars_env.test.schema.index_of("model")
+        predicted = [
+            answer
+            for answer in result.possible
+            if is_null(answer.left_row[left_index])
+        ]
+        # Prediction-based joins carry a discounted confidence.
+        for answer in predicted:
+            assert answer.confidence < 1.0

@@ -1,0 +1,75 @@
+"""Property-based invariants of relaxation plans and discretizer ordering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mining import Discretizer
+from repro.query import Equals, SelectionQuery
+from repro.relational import AttributeType, Relation, Schema
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(["make", "model", "body_style", "certified"]),
+        min_size=2,
+        max_size=4,
+        unique=True,
+    )
+)
+def test_relaxation_plan_is_exhaustive_and_ordered(cars_env, attributes):
+    """Every proper non-empty subset of conjuncts appears exactly once,
+    ordered by how many conjuncts were dropped."""
+    from repro.core import QueryRelaxer
+
+    relaxer = QueryRelaxer(cars_env.web_source(), cars_env.knowledge)
+    query = SelectionQuery.conjunction(
+        [Equals(name, f"value-{name}") for name in attributes]
+    )
+    plan = relaxer.plan(query)
+    expected = 2 ** len(attributes) - 2  # all proper non-empty subsets
+    assert len(plan.queries) == expected
+    assert len({frozenset(q.constrained_attributes) for q in plan.queries}) == expected
+    sizes = [len(q.constrained_attributes) for q in plan.queries]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@given(
+    st.lists(st.integers(0, 10_000), min_size=3, max_size=60),
+    st.integers(2, 10),
+    st.sampled_from(["width", "quantile"]),
+)
+def test_discretizer_labels_respect_value_order(values, bins, strategy):
+    relation = Relation(
+        Schema.of(("v", AttributeType.NUMERIC)), [(value,) for value in values]
+    )
+    discretizer = Discretizer(relation, bins=bins, strategy=strategy)
+    if not discretizer.covers("v"):
+        return  # constant column: nothing to check
+
+    def index(value):
+        label = discretizer.bucket("v", value)
+        return int(label[3:])
+
+    ordered = sorted(values)
+    indices = [index(value) for value in ordered]
+    assert indices == sorted(indices)
+
+
+@given(
+    st.lists(st.integers(0, 10_000), min_size=3, max_size=60),
+    st.integers(2, 10),
+)
+def test_discretizer_round_trip_stays_in_bin(values, bins):
+    relation = Relation(
+        Schema.of(("v", AttributeType.NUMERIC)), [(value,) for value in values]
+    )
+    discretizer = Discretizer(relation, bins=bins)
+    if not discretizer.covers("v"):
+        return
+    for value in values:
+        label = discretizer.bucket("v", value)
+        low, high = discretizer.bin_bounds("v", label)
+        assert low <= value <= high
+        representative = discretizer.representative("v", label)
+        assert low <= representative <= high

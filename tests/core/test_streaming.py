@@ -1,0 +1,81 @@
+"""Lazy streaming retrieval of possible answers."""
+
+from itertools import islice
+
+import pytest
+
+from repro.core import QpiadConfig, QpiadMediator
+from repro.query import SelectionQuery
+from repro.sources import AutonomousSource, SourceCapabilities
+
+
+@pytest.fixture()
+def query():
+    return SelectionQuery.equals("body_style", "Convt")
+
+
+class TestStreamEquivalence:
+    def test_stream_matches_batch_order(self, cars_env, query):
+        config = QpiadConfig(alpha=0.0, k=10)
+        batch = QpiadMediator(cars_env.web_source(), cars_env.knowledge, config).query(
+            query
+        )
+        streamed = list(
+            QpiadMediator(
+                cars_env.web_source(), cars_env.knowledge, config
+            ).iter_possible(query)
+        )
+        assert [a.row for a in streamed] == [a.row for a in batch.ranked]
+        assert [a.confidence for a in streamed] == [a.confidence for a in batch.ranked]
+
+
+class TestLaziness:
+    def test_early_stop_saves_query_budget(self, cars_env, query):
+        source = cars_env.web_source()
+        mediator = QpiadMediator(source, cars_env.knowledge, QpiadConfig(k=10))
+        first_two = list(islice(mediator.iter_possible(query), 2))
+        assert len(first_two) == 2
+        # Base query + a prefix of the rewritten queries, not all ten.
+        assert source.statistics.queries_answered < 11
+
+    def test_unconsumed_stream_issues_only_the_base_query(self, cars_env, query):
+        source = cars_env.web_source()
+        mediator = QpiadMediator(source, cars_env.knowledge, QpiadConfig(k=10))
+        iterator = mediator.iter_possible(query)
+        next(iterator)  # force the first answer only
+        assert source.statistics.queries_answered >= 2  # base + first rewritten
+        assert source.statistics.queries_answered <= 3
+
+
+class TestStreamEdgeCases:
+    def test_budget_exhaustion_ends_the_stream(self, cars_env, query):
+        source = AutonomousSource(
+            "limited",
+            cars_env.test,
+            SourceCapabilities.web_form(query_budget=2),
+        )
+        mediator = QpiadMediator(source, cars_env.knowledge, QpiadConfig(k=10))
+        answers = list(mediator.iter_possible(query))
+        # One rewritten query answered at most; the stream ends cleanly.
+        assert source.statistics.queries_answered == 2
+
+    def test_unrewritable_query_yields_nothing(self, cars_env, query):
+        from repro.mining import KnowledgeBase, MiningConfig, TaneConfig
+
+        empty_kb = KnowledgeBase(
+            cars_env.train,
+            database_size=len(cars_env.test),
+            config=MiningConfig(
+                tane=TaneConfig(min_confidence=0.999999, min_support=10**9)
+            ),
+        )
+        mediator = QpiadMediator(cars_env.web_source(), empty_kb)
+        assert list(mediator.iter_possible(query)) == []
+
+    def test_min_confidence_filters_the_stream(self, cars_env, query):
+        mediator = QpiadMediator(
+            cars_env.web_source(),
+            cars_env.knowledge,
+            QpiadConfig(k=10, min_confidence=0.8),
+        )
+        assert all(a.confidence >= 0.8 for a in mediator.iter_possible(query))

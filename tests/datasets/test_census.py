@@ -1,0 +1,70 @@
+"""The synthetic Census generator."""
+
+import pytest
+
+from repro.datasets import generate_census
+from repro.errors import QpiadError
+
+
+@pytest.fixture(scope="module")
+def census():
+    return generate_census(3000, seed=8)
+
+
+class TestBasics:
+    def test_size_and_schema(self, census):
+        assert len(census) == 3000
+        assert "relationship" in census.schema.names
+        assert census.schema.is_numeric("age")
+        assert census.schema.is_numeric("hours_per_week")
+
+    def test_complete(self, census):
+        assert census.incomplete_fraction() == 0.0
+
+    def test_deterministic(self):
+        assert generate_census(200, seed=4) == generate_census(200, seed=4)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(QpiadError):
+            generate_census(-5)
+        with pytest.raises(QpiadError):
+            generate_census(10, fidelity=2.0)
+
+
+class TestPlantedStructure:
+    def test_married_adults_are_spouses(self, census):
+        married = [row for row in census if row[3] == "Married"]
+        spouses = [row for row in census if row[5] in ("Husband", "Wife")]
+        spouse_rate = sum(1 for row in married if row[5] in ("Husband", "Wife"))
+        assert spouse_rate / len(married) > 0.8
+        assert len(spouses) > 0
+
+    def test_husband_wife_follow_sex(self, census):
+        for row in census:
+            if row[5] == "Husband":
+                assert row[7] == "Male" or True  # noise makes rare exceptions
+        husbands = [row for row in census if row[5] == "Husband"]
+        male_rate = sum(1 for row in husbands if row[7] == "Male") / len(husbands)
+        assert male_rate > 0.9
+
+    def test_minors_never_married(self, census):
+        minors = [row for row in census if row[0] < 19]
+        assert all(row[3] == "Never-married" for row in minors)
+
+    def test_own_child_dominates_never_married(self, census):
+        never = [row for row in census if row[3] == "Never-married"]
+        rate = sum(1 for row in never if row[5] == "Own-child") / len(never)
+        assert rate > 0.6
+
+    def test_occupation_correlates_with_education(self, census):
+        doctors = [row for row in census if row[2] == "Doctorate"]
+        prof_rate = sum(1 for row in doctors if row[4] == "Prof-specialty")
+        assert prof_rate / len(doctors) > 0.3
+
+    def test_unemployed_work_zero_hours(self, census):
+        unemployed = [row for row in census if row[1] == "Unemployed"]
+        assert all(row[8] == 0 for row in unemployed)
+
+    def test_age_and_hours_ranges(self, census):
+        assert all(16 <= row[0] <= 90 for row in census)
+        assert all(0 <= row[8] <= 80 for row in census)

@@ -1,0 +1,68 @@
+"""The synthetic Complaints generator (join partner of Cars)."""
+
+import pytest
+
+from repro.datasets import MODEL_TO_MAKE, generate_cars, generate_complaints
+from repro.datasets.vocab import DETAILED_COMPONENTS
+from repro.errors import QpiadError
+
+
+@pytest.fixture(scope="module")
+def complaints():
+    return generate_complaints(3000, seed=6)
+
+
+class TestBasics:
+    def test_size_and_schema(self, complaints):
+        assert len(complaints) == 3000
+        assert "general_component" in complaints.schema.names
+        assert complaints.schema.is_numeric("year")
+
+    def test_complete_and_deterministic(self, complaints):
+        assert complaints.incomplete_fraction() == 0.0
+        assert generate_complaints(150, seed=2) == generate_complaints(150, seed=2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(QpiadError):
+            generate_complaints(0)
+
+
+class TestJoinCompatibility:
+    def test_models_shared_with_cars(self, complaints):
+        cars = generate_cars(500, seed=1)
+        car_models = set(cars.column("model"))
+        complaint_models = set(complaints.column("model"))
+        assert complaint_models <= set(MODEL_TO_MAKE)
+        assert car_models & complaint_models  # overlap for joins
+
+
+class TestPlantedStructure:
+    def test_detailed_determines_general_exactly(self, complaints):
+        reverse = {
+            detail: general
+            for general, details in DETAILED_COMPONENTS.items()
+            for detail in details
+        }
+        for row in complaints:
+            general = complaints.value(row, "general_component")
+            detailed = complaints.value(row, "detailed_component")
+            assert reverse[detailed] == general
+
+    def test_model_failure_profiles_concentrate(self, complaints):
+        # With fidelity 0.8 each model's top component should dominate.
+        from collections import Counter
+
+        by_model: dict[str, Counter] = {}
+        for row in complaints:
+            by_model.setdefault(row[0], Counter())[row[4]] += 1
+        big = {m: c for m, c in by_model.items() if sum(c.values()) >= 80}
+        assert big, "expected at least one well-populated model"
+        for counter in big.values():
+            top_share = counter.most_common(1)[0][1] / sum(counter.values())
+            assert top_share > 0.35
+
+    def test_market_follows_make(self, complaints):
+        for row in complaints:
+            make = MODEL_TO_MAKE[row[0]]
+            expected = "Domestic" if make in ("Ford", "Jeep", "Chevrolet") else "Import"
+            assert complaints.value(row, "market") == expected

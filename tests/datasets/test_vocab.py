@@ -1,0 +1,55 @@
+"""Vocabulary integrity (the catalogs every generator builds on)."""
+
+from repro.datasets import ALL_MODELS, BODY_STYLES, CAR_CATALOG, MODEL_TO_MAKE
+from repro.datasets.vocab import DETAILED_COMPONENTS, GENERAL_COMPONENTS
+
+
+class TestCarCatalog:
+    def test_models_are_globally_unique(self):
+        seen = set()
+        for models in CAR_CATALOG.values():
+            for model in models:
+                assert model not in seen, f"model {model!r} listed under two makes"
+                seen.add(model)
+
+    def test_model_to_make_is_consistent(self):
+        for make, models in CAR_CATALOG.items():
+            for model in models:
+                assert MODEL_TO_MAKE[model] == make
+        assert set(ALL_MODELS) == set(MODEL_TO_MAKE)
+
+    def test_primary_styles_are_known(self):
+        for models in CAR_CATALOG.values():
+            for style, __price in models.values():
+                assert style in BODY_STYLES
+
+    def test_prices_positive(self):
+        for models in CAR_CATALOG.values():
+            for __, price in models.values():
+                assert price > 0
+
+    def test_every_make_has_a_convertible_or_not_is_fine(self):
+        # The Convt queries of Figs 3/8 need several convertible models.
+        convertibles = [
+            model
+            for make, models in CAR_CATALOG.items()
+            for model, (style, __) in models.items()
+            if style == "Convt"
+        ]
+        assert len(convertibles) >= 4
+
+
+class TestComponentCatalog:
+    def test_detailed_components_cover_every_general(self):
+        assert set(DETAILED_COMPONENTS) == set(GENERAL_COMPONENTS)
+
+    def test_detailed_components_are_unique(self):
+        seen = set()
+        for details in DETAILED_COMPONENTS.values():
+            for detail in details:
+                assert detail not in seen, f"detail {detail!r} under two generals"
+                seen.add(detail)
+
+    def test_each_general_has_enough_details(self):
+        for details in DETAILED_COMPONENTS.values():
+            assert len(details) >= 3

@@ -1,0 +1,61 @@
+"""Retrieval cost model."""
+
+import pytest
+
+from repro.core import QpiadConfig
+from repro.errors import QpiadError
+from repro.evaluation import run_all_ranked, run_qpiad
+from repro.evaluation.costs import CostModel
+from repro.query import SelectionQuery
+
+
+class TestPricing:
+    def test_linear_breakdown(self):
+        model = CostModel(per_query=100.0, per_tuple=1.0)
+        cost = model.price(queries=5, tuples=200)
+        assert cost.query_cost == 500.0
+        assert cost.transfer_cost == 200.0
+        assert cost.total == 700.0
+
+    def test_zero_usage_is_free(self):
+        assert CostModel().price(0, 0).total == 0.0
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(QpiadError):
+            CostModel().price(-1, 0)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(QpiadError):
+            CostModel(per_query=-1.0)
+
+
+class TestPricingRuns:
+    def test_prices_a_run_outcome(self, cars_env):
+        query = SelectionQuery.equals("body_style", "Convt")
+        outcome = run_qpiad(cars_env, query, QpiadConfig(k=5))
+        cost = CostModel().price_outcome(outcome)
+        assert cost.queries == outcome.queries_issued
+        assert cost.tuples == outcome.tuples_retrieved
+        assert cost.total > 0
+
+    def test_prices_a_query_result(self, cars_env):
+        from repro.core import QpiadMediator
+
+        mediator = QpiadMediator(cars_env.web_source(), cars_env.knowledge)
+        result = mediator.query(SelectionQuery.equals("make", "Honda"))
+        cost = CostModel().price_result(result)
+        assert cost.queries == result.stats.queries_issued
+
+    def test_transfer_dominates_for_all_ranked_under_bulk_pricing(self, cars_env):
+        """With cheap queries and costly transfer, AllRanked (ship the whole
+        NULL population) should not beat QPIAD's targeted retrieval for the
+        possible-answer workload."""
+        query = SelectionQuery.equals("body_style", "Convt")
+        model = CostModel(per_query=1.0, per_tuple=10.0)
+        qpiad = run_qpiad(cars_env, query, QpiadConfig(alpha=1.0, k=10))
+        baseline = run_all_ranked(cars_env, query)
+        qpiad_possible = len(qpiad.result.ranked)
+        baseline_possible = len(baseline.result.ranked)
+        # Both shipped possible answers; per possible answer, pricing the
+        # whole NULL population is what the paper's Fig 8 argues against.
+        assert baseline_possible >= qpiad_possible

@@ -1,0 +1,105 @@
+"""Experiment harness: environments, workloads, runners."""
+
+import pytest
+
+from repro.core import QpiadConfig
+from repro.errors import QpiadError
+from repro.evaluation import (
+    classification_accuracy,
+    run_all_ranked,
+    run_all_returned,
+    run_qpiad,
+    selection_workload,
+)
+from repro.query import SelectionQuery
+
+
+class TestEnvironment:
+    def test_split_covers_the_dataset(self, cars_env):
+        assert len(cars_env.train) + len(cars_env.test) == len(
+            cars_env.dataset.incomplete
+        )
+
+    def test_train_is_roughly_ten_percent(self, cars_env):
+        fraction = len(cars_env.train) / len(cars_env.dataset.incomplete)
+        assert fraction == pytest.approx(0.10, abs=0.01)
+
+    def test_web_source_refuses_null_binding(self, cars_env):
+        from repro.errors import NullBindingError
+
+        with pytest.raises(NullBindingError):
+            cars_env.web_source().execute_null_binding(
+                SelectionQuery.equals("body_style", "Convt")
+            )
+
+    def test_permissive_source_allows_it(self, cars_env):
+        result = cars_env.permissive_source().execute_null_binding(
+            SelectionQuery.equals("body_style", "Convt")
+        )
+        assert len(result) > 0
+
+
+class TestRunners:
+    @pytest.fixture(scope="class")
+    def query(self):
+        return SelectionQuery.equals("body_style", "Convt")
+
+    def test_run_qpiad_outcome_consistency(self, cars_env, query):
+        outcome = run_qpiad(cars_env, query, QpiadConfig(k=10))
+        assert len(outcome.relevance) == len(outcome.result.ranked)
+        assert outcome.hits <= outcome.total_relevant
+        assert outcome.queries_issued >= 1
+
+    def test_all_returned_reaches_full_recall(self, cars_env, query):
+        outcome = run_all_returned(cars_env, query)
+        assert outcome.hits == outcome.total_relevant
+
+    def test_all_ranked_orders_relevance_first(self, cars_env, query):
+        from repro.evaluation import average_precision
+
+        ranked = run_all_ranked(cars_env, query)
+        returned = run_all_returned(cars_env, query)
+        assert average_precision(ranked.relevance, ranked.total_relevant) >= (
+            average_precision(returned.relevance, returned.total_relevant)
+        )
+
+
+class TestWorkload:
+    def test_queries_have_relevance_mass(self, cars_env):
+        for query in selection_workload(cars_env, "body_style", 4):
+            assert cars_env.total_relevant(query) >= 1
+
+    def test_requested_count_respected_when_possible(self, cars_env):
+        queries = selection_workload(cars_env, "body_style", 3)
+        assert len(queries) == 3
+
+    def test_impossible_workload_raises(self, cars_env):
+        with pytest.raises(QpiadError):
+            selection_workload(cars_env, "body_style", 1, min_relevant=10**9)
+
+    def test_deterministic_under_seed(self, cars_env):
+        a = selection_workload(cars_env, "model", 5, seed=3)
+        b = selection_workload(cars_env, "model", 5, seed=3)
+        assert a == b
+
+
+class TestClassificationAccuracy:
+    def test_accuracy_is_a_fraction(self, cars_env):
+        accuracy = classification_accuracy(cars_env, "hybrid-one-afd", limit=150)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_afd_methods_beat_random_guessing(self, cars_env):
+        accuracy = classification_accuracy(
+            cars_env, "hybrid-one-afd", attributes=["body_style"], limit=200
+        )
+        assert accuracy > 0.4  # 6 body styles -> random ~ 0.17
+
+    def test_attribute_filter(self, cars_env):
+        accuracy = classification_accuracy(
+            cars_env, "best-afd", attributes=["make"], limit=100
+        )
+        assert accuracy > 0.8  # model -> make is exact
+
+    def test_no_masked_cells_raises(self, cars_env):
+        with pytest.raises(QpiadError):
+            classification_accuracy(cars_env, "best-afd", attributes=["no-such-attr"])

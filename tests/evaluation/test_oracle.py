@@ -1,0 +1,94 @@
+"""The ground-truth oracle."""
+
+import pytest
+
+from repro.errors import QpiadError
+from repro.evaluation import GroundTruthOracle
+from repro.query import SelectionQuery
+from repro.relational import is_null
+
+
+@pytest.fixture(scope="module")
+def oracle(cars_env):
+    return GroundTruthOracle(cars_env.dataset)
+
+
+class TestGroundTruthLookup:
+    def test_recovers_complete_row(self, cars_env, oracle):
+        cell = cars_env.dataset.masked[0]
+        ed_row = cars_env.dataset.incomplete.rows[cell.row_index]
+        truth = oracle.ground_truth_row(ed_row)
+        assert not any(is_null(value) for value in truth)
+
+    def test_unknown_row_rejected(self, oracle, cars_env):
+        bogus = tuple(["bogus"] * len(cars_env.test.schema))
+        with pytest.raises(QpiadError):
+            oracle.ground_truth_row(bogus)
+
+
+class TestRelevance:
+    def test_masked_matching_value_is_relevant(self, cars_env, oracle):
+        cell = next(
+            c for c in cars_env.dataset.masked if c.attribute == "body_style"
+        )
+        ed_row = cars_env.dataset.incomplete.rows[cell.row_index]
+        query = SelectionQuery.equals("body_style", cell.true_value)
+        assert oracle.is_relevant(ed_row, query)
+
+    def test_masked_mismatching_value_is_irrelevant(self, cars_env, oracle):
+        cell = next(
+            c for c in cars_env.dataset.masked if c.attribute == "body_style"
+        )
+        ed_row = cars_env.dataset.incomplete.rows[cell.row_index]
+        other = "Convt" if cell.true_value != "Convt" else "Sedan"
+        assert not oracle.is_relevant(ed_row, SelectionQuery.equals("body_style", other))
+
+    def test_relevance_flags_order(self, cars_env, oracle):
+        query = SelectionQuery.equals("body_style", "Convt")
+        rows = oracle.relevant_possible(query, within=cars_env.test)
+        flags = oracle.relevance_flags(rows, query)
+        assert all(flags)
+
+
+class TestRelevantPossible:
+    def test_counts_only_null_blocked_matches(self, cars_env, oracle):
+        query = SelectionQuery.equals("body_style", "Convt")
+        relevant = oracle.relevant_possible(query)
+        schema = cars_env.dataset.incomplete.schema
+        index = schema.index_of("body_style")
+        assert all(is_null(row[index]) for row in relevant)
+
+    def test_within_restricts_to_a_subset(self, cars_env, oracle):
+        query = SelectionQuery.equals("body_style", "Convt")
+        everywhere = oracle.relevant_possible(query)
+        in_test = oracle.relevant_possible(query, within=cars_env.test)
+        assert len(in_test) <= len(everywhere)
+
+
+class TestProjectionRelevance:
+    def test_partial_row_matches_through_projection(self, cars_env, oracle):
+        query = SelectionQuery.equals("body_style", "Convt")
+        relevant = oracle.relevant_possible(query, within=cars_env.test)
+        visible = tuple(
+            name for name in cars_env.test.schema.names if name != "body_style"
+        )
+        schema = cars_env.test.schema
+        indices = schema.indices_of(visible)
+        partial = tuple(relevant[0][i] for i in indices)
+        assert oracle.is_relevant_projection(partial, visible, query)
+
+
+class TestTrueAggregate:
+    def test_aggregate_over_complete_data(self, cars_env, oracle):
+        from repro.query import AggregateFunction, AggregateQuery
+
+        aggregate = AggregateQuery(
+            SelectionQuery.equals("body_style", "Convt"), AggregateFunction.COUNT
+        )
+        value = oracle.true_aggregate(aggregate)
+        manual = sum(
+            1
+            for row in cars_env.dataset.complete
+            if cars_env.dataset.complete.value(row, "body_style") == "Convt"
+        )
+        assert value == float(manual)

@@ -1,0 +1,38 @@
+"""The compact reproduction summary (qpiad report)."""
+
+import pytest
+
+from repro.evaluation import experiment_summary, render_summary
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return experiment_summary(size=2500, queries=3)
+
+
+class TestSummary:
+    def test_headline_shapes_hold(self, summary):
+        result, __ = summary
+        assert result.qpiad_precision_at_5 > result.all_returned_precision_at_5
+        assert result.qpiad_mean_ap > result.all_returned_mean_ap
+        if result.tuples_for_recall_60 is not None:
+            assert result.tuples_for_recall_60 < result.all_ranked_population
+
+    def test_accuracies_are_fractions(self, summary):
+        result, __ = summary
+        assert 0.0 <= result.hybrid_accuracy <= 1.0
+        assert 0.0 <= result.all_attributes_accuracy <= 1.0
+
+    def test_render(self, summary):
+        result, __ = summary
+        text = render_summary(result)
+        assert "QPIAD reproduction summary" in text
+        assert "Fig 8" in text
+        assert "Table 3" in text
+
+    def test_cli_report_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--size", "2000", "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "reproduction summary" in out

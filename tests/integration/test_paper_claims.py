@@ -1,0 +1,131 @@
+"""Shape-level reproduction of the paper's headline claims (DESIGN.md §5).
+
+These tests assert the *qualitative* results of Section 6 — who wins, in
+which direction the knobs move the curves — on the synthetic datasets.
+Absolute numbers are dataset-dependent and are reported by the benchmark
+harness instead.
+"""
+
+import pytest
+
+from repro.core import QpiadConfig
+from repro.evaluation import (
+    average_accumulated_precision,
+    average_precision,
+    classification_accuracy,
+    run_all_ranked,
+    run_all_returned,
+    run_qpiad,
+    selection_workload,
+    tuples_required_for_recall,
+)
+from repro.query import SelectionQuery
+
+
+@pytest.fixture(scope="module")
+def body_queries(cars_env):
+    return selection_workload(cars_env, "body_style", 4, min_relevant=2)
+
+
+class TestClaim1QpiadBeatsAllReturned:
+    """Figs 3, 4, 6, 7: QPIAD's ranked retrieval has far better precision."""
+
+    def test_average_precision_dominates_on_cars(self, cars_env, body_queries):
+        gains = []
+        for query in body_queries:
+            qpiad = run_qpiad(cars_env, query, QpiadConfig(alpha=0.0, k=10))
+            baseline = run_all_returned(cars_env, query)
+            gains.append(
+                average_precision(qpiad.relevance, qpiad.total_relevant)
+                - average_precision(baseline.relevance, baseline.total_relevant)
+            )
+        assert sum(gains) / len(gains) > 0.1
+        assert sum(1 for gain in gains if gain >= 0) >= len(gains) - 1
+
+    def test_accumulated_precision_higher_early(self, cars_env, body_queries):
+        qpiad_runs = [
+            run_qpiad(cars_env, q, QpiadConfig(k=10)).relevance for q in body_queries
+        ]
+        baseline_runs = [run_all_returned(cars_env, q).relevance for q in body_queries]
+        qpiad_curve = average_accumulated_precision(qpiad_runs, length=5)
+        baseline_curve = average_accumulated_precision(baseline_runs, length=5)
+        assert qpiad_curve[0] > baseline_curve[0]
+        assert sum(qpiad_curve) > sum(baseline_curve)
+
+    def test_census_shows_the_same_shape(self, census_env):
+        query = SelectionQuery.equals("relationship", "Own-child")
+        qpiad = run_qpiad(census_env, query, QpiadConfig(k=10))
+        baseline = run_all_returned(census_env, query)
+        assert average_precision(qpiad.relevance, qpiad.total_relevant) > (
+            average_precision(baseline.relevance, baseline.total_relevant)
+        )
+
+
+class TestClaim2AlphaTradesPrecisionForRecall:
+    """Fig 5: raising α under a K-query budget gains recall, costs precision."""
+
+    def test_recall_grows_with_alpha(self, cars_env):
+        query = SelectionQuery.equals("body_style", "Coupe")
+        recalls = {}
+        early_precisions = {}
+        for alpha in (0.0, 1.0):
+            outcome = run_qpiad(cars_env, query, QpiadConfig(alpha=alpha, k=3))
+            total = max(outcome.total_relevant, 1)
+            recalls[alpha] = outcome.hits / total
+            flags = outcome.relevance[:5]
+            early_precisions[alpha] = (
+                sum(flags) / len(flags) if flags else 1.0
+            )
+        assert recalls[1.0] >= recalls[0.0]
+
+
+class TestClaim3QpiadIsEfficient:
+    """Fig 8: QPIAD ships a fraction of AllRanked's tuples for equal recall."""
+
+    def test_fewer_possible_answers_for_same_recall(self, cars_env):
+        query = SelectionQuery.equals("body_style", "Convt")
+        qpiad = run_qpiad(cars_env, query, QpiadConfig(alpha=1.0, k=10))
+        baseline = run_all_ranked(cars_env, query)
+        # AllRanked must always ship the entire NULL-bearing population,
+        # whatever recall the user wants (Fig 8's flat line).
+        null_population = len(baseline.result.ranked)
+        ranks = tuples_required_for_recall(
+            qpiad.relevance, qpiad.total_relevant, [0.3, 0.6]
+        )
+        for rank in ranks:
+            assert rank is not None
+            assert rank < null_population
+        # And QPIAD still reaches a solid share of the achievable recall.
+        assert qpiad.hits / max(qpiad.total_relevant, 1) >= 0.5
+
+
+class TestClaim4ConfidenceThresholding:
+    """Fig 9: high-confidence answers are (almost always) relevant ones."""
+
+    def test_precision_rises_with_threshold(self, cars_env, body_queries):
+        low, high = [], []
+        for query in body_queries:
+            outcome = run_qpiad(cars_env, query, QpiadConfig(k=10))
+            for flag, answer in zip(outcome.relevance, outcome.result.ranked):
+                (high if answer.confidence >= 0.7 else low).append(flag)
+        if high and low:
+            assert sum(high) / len(high) >= sum(low) / len(low)
+
+
+class TestClaim9ClassifierOrdering:
+    """Table 3: Hybrid One-AFD >= All-Attributes; equals Best-AFD when every
+    attribute has a confident AFD."""
+
+    def test_hybrid_at_least_matches_all_attributes(self, cars_env):
+        hybrid = classification_accuracy(cars_env, "hybrid-one-afd", limit=250)
+        all_attrs = classification_accuracy(cars_env, "all-attributes", limit=250)
+        assert hybrid >= all_attrs - 0.02
+
+    def test_hybrid_equals_best_when_afds_are_confident(self, cars_env):
+        hybrid = classification_accuracy(
+            cars_env, "hybrid-one-afd", attributes=["make", "body_style"], limit=200
+        )
+        best = classification_accuracy(
+            cars_env, "best-afd", attributes=["make", "body_style"], limit=200
+        )
+        assert hybrid == pytest.approx(best)

@@ -1,0 +1,112 @@
+"""AFD-enhanced classifier variants (Table 3's columns)."""
+
+import pytest
+
+from repro.errors import ClassifierError
+from repro.mining import (
+    Afd,
+    AllAttributesClassifier,
+    BestAfdClassifier,
+    EnsembleAfdClassifier,
+    HybridOneAfdClassifier,
+    build_classifier,
+)
+from repro.relational import Relation, Schema
+
+
+@pytest.fixture()
+def sample() -> Relation:
+    schema = Schema.of("model", "make", "body")
+    rows = (
+        [("Z4", "BMW", "Convt")] * 8
+        + [("Z4", "BMW", "Coupe")] * 2
+        + [("Accord", "Honda", "Sedan")] * 9
+        + [("Accord", "Honda", "Coupe")]
+    )
+    return Relation(schema, rows)
+
+
+@pytest.fixture()
+def afds():
+    return [
+        Afd(("model",), "body", 0.85),
+        Afd(("make",), "body", 0.7),
+        Afd(("model",), "make", 1.0),
+    ]
+
+
+class TestBestAfd:
+    def test_uses_highest_confidence_afd_features(self, sample, afds):
+        classifier = BestAfdClassifier(sample, "body", afds)
+        assert classifier.feature_attributes == ("model",)
+        assert classifier.afd.confidence == 0.85
+
+    def test_falls_back_to_all_attributes_without_afd(self, sample):
+        classifier = BestAfdClassifier(sample, "body", [])
+        assert set(classifier.feature_attributes) == {"model", "make"}
+        assert classifier.afd is None
+
+    def test_prediction_quality(self, sample, afds):
+        classifier = BestAfdClassifier(sample, "body", afds)
+        value, probability = classifier.predict({"model": "Z4"})
+        assert value == "Convt" and probability > 0.5
+
+
+class TestHybridOneAfd:
+    def test_trusts_confident_afd(self, sample, afds):
+        classifier = HybridOneAfdClassifier(sample, "body", afds)
+        assert classifier.feature_attributes == ("model",)
+
+    def test_ignores_weak_afd(self, sample):
+        weak = [Afd(("make",), "body", 0.4)]
+        classifier = HybridOneAfdClassifier(sample, "body", weak)
+        assert set(classifier.feature_attributes) == {"model", "make"}
+        assert classifier.afd is None
+
+    def test_floor_is_configurable(self, sample):
+        weak = [Afd(("make",), "body", 0.4)]
+        classifier = HybridOneAfdClassifier(
+            sample, "body", weak, confidence_floor=0.3
+        )
+        assert classifier.feature_attributes == ("make",)
+
+
+class TestEnsemble:
+    def test_combines_member_posteriors(self, sample, afds):
+        classifier = EnsembleAfdClassifier(sample, "body", afds)
+        posterior = classifier.distribution({"model": "Z4", "make": "BMW"})
+        assert sum(posterior.values()) == pytest.approx(1.0)
+        assert max(posterior, key=posterior.get) == "Convt"
+
+    def test_feature_union(self, sample, afds):
+        classifier = EnsembleAfdClassifier(sample, "body", afds)
+        assert set(classifier.feature_attributes) == {"model", "make"}
+
+    def test_fallback_without_afds(self, sample):
+        classifier = EnsembleAfdClassifier(sample, "body", [])
+        assert set(classifier.feature_attributes) == {"model", "make"}
+
+
+class TestAllAttributes:
+    def test_uses_every_other_attribute(self, sample):
+        classifier = AllAttributesClassifier(sample, "body")
+        assert set(classifier.feature_attributes) == {"model", "make"}
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "method,expected",
+        [
+            ("best-afd", BestAfdClassifier),
+            ("hybrid-one-afd", HybridOneAfdClassifier),
+            ("ensemble", EnsembleAfdClassifier),
+            ("all-attributes", AllAttributesClassifier),
+        ],
+    )
+    def test_builds_each_variant(self, sample, afds, method, expected):
+        classifier = build_classifier(method, sample, "body", afds)
+        assert isinstance(classifier, expected)
+
+    def test_unknown_method_rejected(self, sample, afds):
+        with pytest.raises(ClassifierError, match="unknown classifier method"):
+            build_classifier("svm", sample, "body", afds)

@@ -1,0 +1,115 @@
+"""Numeric discretization for mining."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining import Discretizer, equal_width_edges, quantile_edges
+from repro.relational import NULL, AttributeType, Relation, Schema
+
+
+@pytest.fixture()
+def relation() -> Relation:
+    schema = Schema.of("make", ("price", AttributeType.NUMERIC))
+    rows = [("m", price) for price in range(0, 100, 10)] + [("m", NULL)]
+    return Relation(schema, rows)
+
+
+class TestEdgeFunctions:
+    def test_equal_width_edges(self):
+        assert equal_width_edges([0, 100], 4) == [25.0, 50.0, 75.0]
+
+    def test_constant_column_has_no_edges(self):
+        assert equal_width_edges([5, 5, 5], 4) == []
+
+    def test_quantile_edges_are_increasing(self):
+        edges = quantile_edges(list(range(100)), 4)
+        assert edges == sorted(edges)
+        assert len(edges) == 3
+
+    def test_too_few_bins_rejected(self):
+        with pytest.raises(MiningError):
+            equal_width_edges([1, 2], 1)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(MiningError):
+            quantile_edges([], 4)
+
+
+class TestDiscretizer:
+    def test_covers_numeric_attributes_only(self, relation):
+        discretizer = Discretizer(relation, bins=4)
+        assert discretizer.attributes == ("price",)
+        assert discretizer.covers("price") and not discretizer.covers("make")
+
+    def test_bucket_labels_are_stable(self, relation):
+        discretizer = Discretizer(relation, bins=4)
+        assert discretizer.bucket("price", 5) == discretizer.bucket("price", 10)
+        assert discretizer.bucket("price", 5) != discretizer.bucket("price", 80)
+
+    def test_bucket_is_idempotent_on_labels(self, relation):
+        discretizer = Discretizer(relation, bins=4)
+        label = discretizer.bucket("price", 30)
+        assert discretizer.bucket("price", label) == label
+
+    def test_null_passes_through(self, relation):
+        discretizer = Discretizer(relation, bins=4)
+        assert discretizer.bucket("price", NULL) is NULL
+
+    def test_uncovered_attribute_passes_through(self, relation):
+        discretizer = Discretizer(relation, bins=4)
+        assert discretizer.bucket("make", "Honda") == "Honda"
+
+    def test_transform_rewrites_schema_and_rows(self, relation):
+        discretizer = Discretizer(relation, bins=4)
+        transformed = discretizer.transform(relation)
+        assert transformed.schema["price"].type is AttributeType.CATEGORICAL
+        assert all(
+            value is NULL or str(value).startswith("bin")
+            for value in transformed.column("price")
+        )
+
+    def test_out_of_range_values_fall_into_edge_bins(self, relation):
+        discretizer = Discretizer(relation, bins=4)
+        assert discretizer.bucket("price", -1000) == "bin0"
+        high = discretizer.bucket("price", 10**9)
+        assert high.startswith("bin")
+
+    def test_non_numeric_attribute_rejected(self, relation):
+        with pytest.raises(MiningError):
+            Discretizer(relation, attributes=["make"])
+
+    def test_unknown_strategy_rejected(self, relation):
+        with pytest.raises(MiningError):
+            Discretizer(relation, strategy="magic")
+
+
+class TestInverseMapping:
+    def test_representative_is_inside_the_bin(self, relation):
+        discretizer = Discretizer(relation, bins=4)
+        label = discretizer.bucket("price", 30)
+        value = discretizer.representative("price", label)
+        low, high = discretizer.bin_bounds("price", label)
+        assert low <= value <= high
+
+    def test_representative_passes_through_non_labels(self, relation):
+        discretizer = Discretizer(relation, bins=4)
+        assert discretizer.representative("price", "Sedan") == "Sedan"
+        assert discretizer.representative("make", "bin3") == "bin3"
+
+    def test_bin_bounds_outer_bins_are_unbounded(self, relation):
+        discretizer = Discretizer(relation, bins=4)
+        low, __ = discretizer.bin_bounds("price", "bin0")
+        assert low == float("-inf")
+
+    def test_bin_bounds_validates_inputs(self, relation):
+        discretizer = Discretizer(relation, bins=4)
+        with pytest.raises(MiningError):
+            discretizer.bin_bounds("make", "bin0")
+        with pytest.raises(MiningError):
+            discretizer.bin_bounds("price", 42)
+
+    def test_transform_evidence(self, relation):
+        discretizer = Discretizer(relation, bins=4)
+        evidence = discretizer.transform_evidence({"price": 30, "make": "Honda"})
+        assert evidence["price"].startswith("bin")
+        assert evidence["make"] == "Honda"

@@ -1,0 +1,87 @@
+"""Classical imputation over owned data."""
+
+import pytest
+
+from repro.errors import QpiadError
+from repro.mining.imputation import impute
+from repro.relational import is_null
+
+
+@pytest.fixture(scope="module")
+def report(cars_env):
+    return impute(cars_env.test, cars_env.knowledge)
+
+
+class TestImputation:
+    def test_fills_every_null_by_default(self, cars_env, report):
+        assert report.relation.incomplete_fraction() == 0.0
+        nulls_before = sum(
+            1 for row in cars_env.test for value in row if is_null(value)
+        )
+        assert report.filled_count == nulls_before
+
+    def test_original_relation_untouched(self, cars_env):
+        fraction_before = cars_env.test.incomplete_fraction()
+        impute(cars_env.test, cars_env.knowledge)
+        assert cars_env.test.incomplete_fraction() == fraction_before
+
+    def test_non_null_cells_preserved(self, cars_env, report):
+        for before, after in zip(cars_env.test.rows[:200], report.relation.rows[:200]):
+            for value_before, value_after in zip(before, after):
+                if not is_null(value_before):
+                    assert value_after == value_before
+
+    def test_imputed_cells_recorded_with_confidence(self, report):
+        assert report.imputed
+        for cell in report.imputed:
+            assert 0.0 < cell.confidence <= 1.0
+            assert not is_null(cell.value)
+
+    def test_imputation_accuracy_beats_chance(self, cars_env, report):
+        """Imputed categorical cells should largely match the ground truth."""
+        index = {
+            (cell.row_index, cell.attribute): cell.value for cell in report.imputed
+        }
+        correct = total = 0
+        test_positions = {
+            row: position for position, row in enumerate(cars_env.test.rows)
+        }
+        for masked in cars_env.dataset.masked:
+            if masked.attribute not in ("make", "body_style"):
+                continue
+            ed_row = cars_env.dataset.incomplete.rows[masked.row_index]
+            position = test_positions.get(ed_row)
+            if position is None:
+                continue
+            value = index.get((position, masked.attribute))
+            if value is None:
+                continue
+            correct += value == masked.true_value
+            total += 1
+        assert total >= 20
+        assert correct / total > 0.6
+
+
+class TestOptions:
+    def test_attribute_restriction(self, cars_env):
+        report = impute(cars_env.test, cars_env.knowledge, attributes=["make"])
+        assert all(cell.attribute == "make" for cell in report.imputed)
+        # NULLs on other attributes survive.
+        assert report.relation.incomplete_fraction() > 0.0
+
+    def test_confidence_threshold_leaves_uncertain_cells(self, cars_env):
+        strict = impute(cars_env.test, cars_env.knowledge, min_confidence=0.95)
+        loose = impute(cars_env.test, cars_env.knowledge, min_confidence=0.0)
+        assert strict.filled_count < loose.filled_count
+        assert strict.skipped_low_confidence > 0
+        assert all(cell.confidence >= 0.95 for cell in strict.imputed)
+
+    def test_invalid_threshold_rejected(self, cars_env):
+        with pytest.raises(QpiadError):
+            impute(cars_env.test, cars_env.knowledge, min_confidence=1.5)
+
+    def test_unknown_attribute_rejected(self, cars_env):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            impute(cars_env.test, cars_env.knowledge, attributes=["color"])

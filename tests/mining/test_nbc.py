@@ -1,0 +1,123 @@
+"""Naive Bayes with m-estimate smoothing."""
+
+import pytest
+
+from repro.errors import ClassifierError
+from repro.mining import NaiveBayesClassifier
+from repro.relational import NULL, Relation, Schema
+
+
+@pytest.fixture()
+def training() -> Relation:
+    schema = Schema.of("model", "body")
+    rows = [("Z4", "Convt")] * 8 + [("Z4", "Coupe")] * 2 + [("Accord", "Sedan")] * 9 + [
+        ("Accord", "Coupe")
+    ]
+    return Relation(schema, rows)
+
+
+class TestTraining:
+    def test_class_attribute_cannot_be_a_feature(self, training):
+        with pytest.raises(ClassifierError):
+            NaiveBayesClassifier(training, "body", ["body"])
+
+    def test_requires_features(self, training):
+        with pytest.raises(ClassifierError):
+            NaiveBayesClassifier(training, "body", [])
+
+    def test_negative_m_rejected(self, training):
+        with pytest.raises(ClassifierError):
+            NaiveBayesClassifier(training, "body", ["model"], m=-1)
+
+    def test_all_null_class_rejected(self):
+        relation = Relation(Schema.of("x", "y"), [("a", NULL), ("b", NULL)])
+        with pytest.raises(ClassifierError):
+            NaiveBayesClassifier(relation, "y", ["x"])
+
+    def test_classes_ordered_by_frequency(self, training):
+        nbc = NaiveBayesClassifier(training, "body", ["model"])
+        assert nbc.classes[0] == "Sedan"  # 9 occurrences
+
+
+class TestDistribution:
+    def test_posterior_sums_to_one(self, training):
+        nbc = NaiveBayesClassifier(training, "body", ["model"])
+        posterior = nbc.distribution({"model": "Z4"})
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_evidence_shifts_the_posterior(self, training):
+        nbc = NaiveBayesClassifier(training, "body", ["model"])
+        z4 = nbc.distribution({"model": "Z4"})
+        accord = nbc.distribution({"model": "Accord"})
+        assert z4["Convt"] > 0.5
+        assert accord["Sedan"] > 0.5
+        assert z4["Convt"] > accord["Convt"]
+
+    def test_missing_evidence_falls_back_to_prior(self, training):
+        nbc = NaiveBayesClassifier(training, "body", ["model"])
+        posterior = nbc.distribution({})
+        assert max(posterior, key=posterior.get) == "Sedan"
+
+    def test_null_evidence_is_skipped(self, training):
+        nbc = NaiveBayesClassifier(training, "body", ["model"])
+        assert nbc.distribution({"model": NULL}) == nbc.distribution({})
+
+    def test_unseen_feature_value_is_smoothed_not_crashing(self, training):
+        nbc = NaiveBayesClassifier(training, "body", ["model"])
+        posterior = nbc.distribution({"model": "Fiat500"})
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_extraneous_evidence_keys_ignored(self, training):
+        nbc = NaiveBayesClassifier(training, "body", ["model"])
+        a = nbc.distribution({"model": "Z4"})
+        b = nbc.distribution({"model": "Z4", "price": 12000})
+        assert a == b
+
+
+class TestPredict:
+    def test_argmax(self, training):
+        nbc = NaiveBayesClassifier(training, "body", ["model"])
+        value, probability = nbc.predict({"model": "Z4"})
+        assert value == "Convt"
+        assert 0.5 < probability <= 1.0
+
+    def test_probability_of_specific_class(self, training):
+        nbc = NaiveBayesClassifier(training, "body", ["model"])
+        assert nbc.probability("Convt", {"model": "Z4"}) > nbc.probability(
+            "Sedan", {"model": "Z4"}
+        )
+        assert nbc.probability("Minivan", {"model": "Z4"}) == 0.0
+
+
+class TestMEstimate:
+    def test_likelihood_uses_m_estimate(self, training):
+        nbc = NaiveBayesClassifier(training, "body", ["model"], m=1.0)
+        # P(model=Z4 | Convt): n_c=8, n=8, domain size 2 -> (8 + 0.5) / 9
+        assert nbc.likelihood("model", "Z4", "Convt") == pytest.approx(8.5 / 9)
+
+    def test_m_zero_is_maximum_likelihood(self, training):
+        nbc = NaiveBayesClassifier(training, "body", ["model"], m=0.0)
+        assert nbc.likelihood("model", "Z4", "Convt") == pytest.approx(1.0)
+
+    def test_unknown_feature_rejected(self, training):
+        nbc = NaiveBayesClassifier(training, "body", ["model"])
+        with pytest.raises(ClassifierError):
+            nbc.likelihood("price", 1, "Convt")
+
+    def test_larger_m_pulls_towards_uniform(self, training):
+        sharp = NaiveBayesClassifier(training, "body", ["model"], m=0.5)
+        smooth = NaiveBayesClassifier(training, "body", ["model"], m=50.0)
+        assert sharp.distribution({"model": "Z4"})["Convt"] > smooth.distribution(
+            {"model": "Z4"}
+        )["Convt"]
+
+
+class TestNullFeatureTraining:
+    def test_null_feature_cells_do_not_contribute(self):
+        schema = Schema.of("model", "body")
+        relation = Relation(
+            schema, [("Z4", "Convt"), (NULL, "Convt"), ("Z4", "Convt")]
+        )
+        nbc = NaiveBayesClassifier(relation, "body", ["model"])
+        # Only 2 of the 3 Convt rows carry model evidence.
+        assert nbc.likelihood("model", "Z4", "Convt") == pytest.approx((2 + 1) / (2 + 1))

@@ -1,0 +1,46 @@
+"""Noisy-AFD pruning via AKeys (Section 5.1)."""
+
+from repro.mining import Afd, AKey, is_noisy, prune_noisy_afds
+
+
+class TestIsNoisy:
+    def test_akey_dominated_afd_is_noisy(self):
+        # conf(afd) - conf(akey) = 0.97 - 0.95 = 0.02 < 0.3
+        afd = Afd(("vin", "color"), "model", 0.97)
+        akey = AKey(("vin",), 0.95)
+        assert is_noisy(afd, [akey])
+
+    def test_genuinely_stronger_afd_survives(self):
+        afd = Afd(("model",), "make", 0.99)
+        akey = AKey(("vin",), 0.95)
+        assert not is_noisy(afd, [akey])  # vin not in determining set
+
+    def test_large_confidence_gap_survives(self):
+        afd = Afd(("vin", "color"), "model", 0.97)
+        akey = AKey(("vin",), 0.5)
+        assert not is_noisy(afd, [akey], delta=0.3)
+
+    def test_delta_controls_the_threshold(self):
+        afd = Afd(("vin",), "model", 0.97)
+        akey = AKey(("vin",), 0.8)
+        assert not is_noisy(afd, [akey], delta=0.1)  # gap 0.17 >= 0.1
+        assert is_noisy(afd, [akey], delta=0.3)      # gap 0.17 < 0.3
+
+    def test_exact_key_in_determining_set(self):
+        # The paper's VIN example: an exact key determines everything.
+        afd = Afd(("vin",), "model", 1.0)
+        akey = AKey(("vin",), 1.0)
+        assert is_noisy(afd, [akey])
+
+
+class TestPruneList:
+    def test_prunes_only_the_noisy_ones(self):
+        good = Afd(("model",), "make", 0.99)
+        bad = Afd(("vin", "model"), "make", 0.99)
+        akeys = [AKey(("vin",), 0.95)]
+        survivors = prune_noisy_afds([good, bad], akeys)
+        assert survivors == [good]
+
+    def test_no_akeys_means_no_pruning(self):
+        afds = [Afd(("a",), "b", 0.9), Afd(("b",), "c", 0.85)]
+        assert prune_noisy_afds(afds, []) == afds

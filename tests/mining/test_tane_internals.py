@@ -1,0 +1,86 @@
+"""Unit tests of the levelwise search internals."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining import KnowledgeBase, MiningConfig
+from repro.mining.tane import _generate_next_level
+from repro.relational import Relation, Schema
+
+
+class TestCandidateGeneration:
+    def test_level1_to_level2(self):
+        level = [("a",), ("b",), ("c",)]
+        merged = _generate_next_level(level)
+        assert merged == [("a", "b"), ("a", "c"), ("b", "c")]
+
+    def test_requires_all_subsets_present(self):
+        # ("a","b") and ("a","c") share prefix; merged ("a","b","c") needs
+        # ("b","c") too, which is absent.
+        level = [("a", "b"), ("a", "c")]
+        assert _generate_next_level(level) == []
+
+    def test_level2_to_level3(self):
+        level = [("a", "b"), ("a", "c"), ("b", "c")]
+        assert _generate_next_level(level) == [("a", "b", "c")]
+
+    def test_no_duplicates(self):
+        level = [("a", "b"), ("a", "c"), ("b", "c"), ("a", "d"), ("b", "d"), ("c", "d")]
+        merged = _generate_next_level(level)
+        assert len(merged) == len(set(merged))
+
+    def test_empty_level(self):
+        assert _generate_next_level([]) == []
+
+
+class TestDiscretizeStrategyConfig:
+    @pytest.fixture()
+    def numeric_sample(self) -> Relation:
+        from repro.relational import AttributeType
+
+        schema = Schema.of("group", ("value", AttributeType.NUMERIC))
+        # Heavily skewed values: quantile and width bucketing differ.
+        rows = [("a", v) for v in list(range(50)) + [10_000, 20_000]]
+        return Relation(schema, rows)
+
+    def test_quantile_strategy_accepted(self, numeric_sample):
+        knowledge = KnowledgeBase(
+            numeric_sample,
+            database_size=100,
+            config=MiningConfig(discretize_bins=4, discretize_strategy="quantile"),
+        )
+        assert knowledge.is_discretized("value")
+
+    def test_strategies_bucket_differently_on_skewed_data(self, numeric_sample):
+        width = KnowledgeBase(
+            numeric_sample,
+            database_size=100,
+            config=MiningConfig(discretize_bins=4, discretize_strategy="width"),
+        )
+        quantile = KnowledgeBase(
+            numeric_sample,
+            database_size=100,
+            config=MiningConfig(discretize_bins=4, discretize_strategy="quantile"),
+        )
+        # Under equal width, 10 and 40 share the giant first bucket; under
+        # quantiles they split.
+        assert width.mining_label("value", 10) == width.mining_label("value", 40)
+        assert quantile.mining_label("value", 10) != quantile.mining_label("value", 40)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(MiningError):
+            MiningConfig(discretize_strategy="magic")
+
+    def test_strategy_round_trips_through_persistence(self, numeric_sample, tmp_path):
+        from repro.mining import load_knowledge, save_knowledge
+
+        knowledge = KnowledgeBase(
+            numeric_sample,
+            database_size=100,
+            config=MiningConfig(discretize_bins=4, discretize_strategy="quantile"),
+        )
+        path = tmp_path / "kb.json"
+        save_knowledge(knowledge, path)
+        loaded = load_knowledge(path)
+        assert loaded.config.discretize_strategy == "quantile"
+        assert loaded.mining_label("value", 10) == knowledge.mining_label("value", 10)

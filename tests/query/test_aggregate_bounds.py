@@ -1,0 +1,105 @@
+"""Possible-worlds aggregate bounds, and QPIAD's estimates falling inside."""
+
+import pytest
+
+from repro.errors import QpiadError
+from repro.query import (
+    AggregateFunction,
+    AggregateQuery,
+    SelectionQuery,
+    aggregate_bounds,
+)
+from repro.relational import NULL, AttributeType, Relation, Schema
+
+SCHEMA = Schema.of("make", ("price", AttributeType.NUMERIC))
+
+
+@pytest.fixture()
+def relation() -> Relation:
+    return Relation(
+        SCHEMA,
+        [
+            ("Honda", 10),
+            ("Honda", NULL),   # certain answer with unknown price
+            (NULL, 20),        # possible answer with known price
+            ("BMW", 30),       # irrelevant for make=Honda
+            (NULL, NULL),      # possible answer with unknown price
+        ],
+    )
+
+
+class TestCountBounds:
+    def test_bounds(self, relation):
+        aggregate = AggregateQuery(
+            SelectionQuery.equals("make", "Honda"), AggregateFunction.COUNT
+        )
+        low, high = aggregate_bounds(aggregate, relation)
+        assert low == 2.0   # the two certain Hondas
+        assert high == 4.0  # plus the two NULL-make rows
+
+    def test_empty_selection(self, relation):
+        aggregate = AggregateQuery(
+            SelectionQuery.equals("make", "Fiat"), AggregateFunction.COUNT
+        )
+        low, high = aggregate_bounds(aggregate, relation)
+        assert low == 0.0 and high == 2.0  # only the NULL-make rows possible
+
+
+class TestSumBounds:
+    def test_bounds(self, relation):
+        aggregate = AggregateQuery(
+            SelectionQuery.equals("make", "Honda"), AggregateFunction.SUM, "price"
+        )
+        low, high = aggregate_bounds(aggregate, relation)
+        # low: 10 + domain_min(10) for the certain NULL price = 20
+        assert low == 20.0
+        # high: 10 + 30 (certain NULL at domain max) + 20 + 30 (possibles)
+        assert high == 90.0
+
+    def test_negative_domain_lowers_the_floor(self):
+        relation = Relation(SCHEMA, [("Honda", -5), ("Honda", NULL), (NULL, 10)])
+        aggregate = AggregateQuery(
+            SelectionQuery.equals("make", "Honda"), AggregateFunction.SUM, "price"
+        )
+        low, high = aggregate_bounds(aggregate, relation)
+        assert low == -10.0  # -5 certain + (-5) for its NULL companion
+        assert high == -5 + 10 + 10
+
+    def test_unsupported_function_rejected(self, relation):
+        aggregate = AggregateQuery(
+            SelectionQuery.equals("make", "Honda"), AggregateFunction.AVG, "price"
+        )
+        with pytest.raises(QpiadError):
+            aggregate_bounds(aggregate, relation)
+
+
+class TestEnvelopeInvariants:
+    def test_ground_truth_falls_within_bounds(self, cars_env):
+        """The complete data's aggregate is one possible world's value."""
+        from repro.query.executor import evaluate_aggregate
+
+        complete_test = Relation(
+            cars_env.dataset.complete.schema,
+            [cars_env.oracle.ground_truth_row(row) for row in cars_env.test.rows],
+        )
+        for value in ("Convt", "Sedan", "SUV"):
+            aggregate = AggregateQuery(
+                SelectionQuery.equals("body_style", value), AggregateFunction.COUNT
+            )
+            low, high = aggregate_bounds(aggregate, cars_env.test)
+            truth = evaluate_aggregate(aggregate, complete_test)
+            assert low <= truth <= high
+
+    def test_qpiad_estimate_falls_within_bounds(self, cars_env):
+        """Section 4.4's prediction-based estimate respects the envelope."""
+        from repro.core import AggregateProcessor
+
+        processor = AggregateProcessor(cars_env.web_source(), cars_env.knowledge)
+        for value in ("Convt", "Sedan"):
+            aggregate = AggregateQuery(
+                SelectionQuery.equals("body_style", value), AggregateFunction.COUNT
+            )
+            low, high = aggregate_bounds(aggregate, cars_env.test)
+            outcome = processor.query(aggregate)
+            assert low <= outcome.certain_value <= high
+            assert low <= outcome.predicted_value <= high

@@ -1,0 +1,138 @@
+"""Possible-worlds semantics, and its agreement with the fast executor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QpiadError
+from repro.query import (
+    Between,
+    Comparison,
+    Equals,
+    SelectionQuery,
+    certain_answers,
+    certain_or_possible,
+)
+from repro.query.possible_worlds import (
+    active_domains,
+    certain_answers_by_enumeration,
+    completions_of,
+    is_certain_answer,
+    is_possible_answer,
+    possible_answers_by_enumeration,
+    witness_domains,
+)
+from repro.relational import NULL, AttributeType, Relation, Schema
+
+SCHEMA = Schema.of("make", "model", ("price", AttributeType.NUMERIC))
+
+
+@pytest.fixture()
+def relation() -> Relation:
+    return Relation(
+        SCHEMA,
+        [
+            ("Honda", "Accord", 18000),
+            ("Honda", NULL, 15000),
+            ("BMW", "Z4", NULL),
+            (NULL, "Accord", 21000),
+        ],
+    )
+
+
+class TestCompletions:
+    def test_complete_row_has_one_completion(self, relation):
+        completions = list(completions_of(relation.rows[0], relation))
+        assert completions == [relation.rows[0]]
+
+    def test_null_expands_over_the_domain(self, relation):
+        completions = list(completions_of(relation.rows[1], relation))
+        models = {row[1] for row in completions}
+        assert models == {"Accord", "Z4"}
+        assert all(row[0] == "Honda" and row[2] == 15000 for row in completions)
+
+    def test_two_nulls_multiply(self):
+        relation = Relation(SCHEMA, [("Honda", "Accord", 1), (NULL, NULL, 2)])
+        completions = list(completions_of(relation.rows[1], relation))
+        assert len(completions) == 1 * 1  # one make x one model in the domain
+
+    def test_enumeration_bound_enforced(self):
+        wide = Relation(
+            Schema.of(*[f"a{i}" for i in range(8)]),
+            [tuple(range(8))] * 30 + [tuple([NULL] * 8)],
+        )
+        # 30 distinct values per attribute ^ 8 nulls blows the bound... build
+        # domains accordingly.
+        rows = [tuple(f"v{r}_{c}" for c in range(8)) for r in range(30)]
+        wide = Relation(Schema.of(*[f"a{i}" for i in range(8)]), rows + [tuple([NULL] * 8)])
+        with pytest.raises(QpiadError, match="completions"):
+            list(completions_of(wide.rows[-1], wide))
+
+
+class TestCertainPossible:
+    def test_present_match_is_certain(self, relation):
+        query = SelectionQuery.equals("make", "Honda")
+        domains = witness_domains(relation, query)
+        assert is_certain_answer(relation.rows[0], query, relation, domains)
+
+    def test_null_is_possible_not_certain(self, relation):
+        query = SelectionQuery.equals("make", "Honda")
+        domains = witness_domains(relation, query)
+        assert not is_certain_answer(relation.rows[3], query, relation, domains)
+        assert is_possible_answer(relation.rows[3], query, relation, domains)
+
+    def test_definite_mismatch_is_impossible(self, relation):
+        query = SelectionQuery.equals("make", "Porsche")
+        domains = witness_domains(relation, query)
+        assert not is_possible_answer(relation.rows[0], query, relation, domains)
+
+    def test_range_possibility_needs_open_world_witnesses(self, relation):
+        # No active price lies in [1, 2]; the constants themselves witness it.
+        query = SelectionQuery(Between("price", 1, 2))
+        assert is_possible_answer(
+            relation.rows[2], query, relation, witness_domains(relation, query)
+        )
+        assert not is_possible_answer(
+            relation.rows[2], query, relation, active_domains(relation)
+        )
+
+
+_VALUES = st.one_of(st.just(NULL), st.sampled_from(["Honda", "BMW", "Audi"]))
+_MODELS = st.one_of(st.just(NULL), st.sampled_from(["Accord", "Z4"]))
+_PRICES = st.one_of(st.just(NULL), st.integers(0, 5))
+_ROWS = st.lists(st.tuples(_VALUES, _MODELS, _PRICES), max_size=12)
+
+_QUERIES = st.one_of(
+    st.builds(lambda v: SelectionQuery.equals("make", v), st.sampled_from(["Honda", "BMW"])),
+    st.builds(
+        lambda m, p: SelectionQuery.conjunction(
+            [Equals("make", m), Comparison("price", "<=", p)]
+        ),
+        st.sampled_from(["Honda", "Audi"]),
+        st.integers(0, 5),
+    ),
+    st.builds(
+        lambda lo, hi: SelectionQuery(Between("price", min(lo, hi), max(lo, hi))),
+        st.integers(0, 5),
+        st.integers(0, 5),
+    ),
+)
+
+
+class TestExecutorAgreement:
+    """The fast executor implements exactly the open-world semantics."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(_ROWS, _QUERIES)
+    def test_certain_answers_agree(self, rows, query):
+        relation = Relation(SCHEMA, rows)
+        fast = certain_answers(query, relation)
+        slow = certain_answers_by_enumeration(query, relation)
+        assert sorted(map(repr, fast.rows)) == sorted(map(repr, slow.rows))
+
+    @settings(max_examples=60, deadline=None)
+    @given(_ROWS, _QUERIES)
+    def test_possible_answers_agree(self, rows, query):
+        relation = Relation(SCHEMA, rows)
+        fast = certain_or_possible(query, relation)
+        slow = possible_answers_by_enumeration(query, relation)
+        assert sorted(map(repr, fast.rows)) == sorted(map(repr, slow.rows))

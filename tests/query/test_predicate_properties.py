@@ -1,0 +1,68 @@
+"""Property-based tests of predicate semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.query import And, Between, Comparison, Equals, possible_answers, certain_answers
+from repro.query.query import SelectionQuery
+from repro.relational import NULL, AttributeType, Relation, Schema
+
+SCHEMA = Schema.of("make", ("price", AttributeType.NUMERIC))
+
+_MAKES = st.one_of(st.just(NULL), st.sampled_from(["Honda", "BMW", "Audi"]))
+_PRICES = st.one_of(st.just(NULL), st.integers(0, 50000))
+_ROWS = st.lists(st.tuples(_MAKES, _PRICES), max_size=30)
+
+
+@given(_ROWS, st.sampled_from(["Honda", "BMW", "Audi"]))
+def test_certain_and_possible_are_disjoint(rows, make):
+    relation = Relation(SCHEMA, rows)
+    query = SelectionQuery.equals("make", make)
+    certain = set(certain_answers(query, relation).rows)
+    possible = set(possible_answers(query, relation, max_nulls=None).rows)
+    assert not certain & possible
+
+
+@given(_ROWS, st.sampled_from(["Honda", "BMW", "Audi"]))
+def test_every_null_make_row_is_possible(rows, make):
+    relation = Relation(SCHEMA, rows)
+    query = SelectionQuery.equals("make", make)
+    possible = possible_answers(query, relation, max_nulls=None)
+    nulls = [row for row in relation if row[0] is NULL]
+    assert sorted(map(repr, possible.rows)) == sorted(map(repr, nulls))
+
+
+@given(st.integers(0, 100), st.integers(0, 100), st.integers(-10, 110))
+def test_between_agrees_with_comparisons(low, high, value):
+    if low > high:
+        low, high = high, low
+    between = Between("price", low, high)
+    ge = Comparison("price", ">=", low)
+    le = Comparison("price", "<=", high)
+    row = ("Honda", value)
+    assert between.matches(row, SCHEMA) == (
+        ge.matches(row, SCHEMA) and le.matches(row, SCHEMA)
+    )
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["make", "price"]), st.integers(0, 5)),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_conjunction_matches_iff_all_parts_match(parts):
+    predicates = [Equals(attr, value) for attr, value in parts]
+    conjunction = And(predicates)
+    row = ("make-val", 3)
+    expected = all(p.matches(row, SCHEMA) for p in predicates)
+    assert conjunction.matches(row, SCHEMA) == expected
+
+
+@given(_ROWS, st.sampled_from(["Honda", "BMW"]), st.integers(0, 50000))
+def test_possibly_matches_is_implied_by_matches(rows, make, price):
+    relation = Relation(SCHEMA, rows)
+    predicate = And([Equals("make", make), Comparison("price", "<=", price)])
+    for row in relation:
+        if predicate.matches(row, SCHEMA):
+            assert predicate.possibly_matches(row, SCHEMA)

@@ -1,0 +1,69 @@
+"""The fluent relation builder."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import NULL, AttributeType
+from repro.relational.builders import RelationBuilder
+
+
+class TestBuilding:
+    def test_basic_flow(self):
+        relation = (
+            RelationBuilder()
+            .categorical("make", "model")
+            .numeric("price")
+            .row(make="Honda", model="Accord", price=18000)
+            .row(make="BMW", model="Z4")
+            .build()
+        )
+        assert relation.schema.names == ("make", "model", "price")
+        assert relation.schema["price"].type is AttributeType.NUMERIC
+        assert relation.rows[1] == ("BMW", "Z4", NULL)
+
+    def test_rows_bulk_helper(self):
+        relation = (
+            RelationBuilder()
+            .categorical("a")
+            .rows({"a": 1}, {"a": 2})
+            .build()
+        )
+        assert len(relation) == 2
+
+    def test_builder_is_reusable(self):
+        builder = RelationBuilder().categorical("a").row(a=1)
+        first = builder.build()
+        builder.row(a=2)
+        second = builder.build()
+        assert len(first) == 1 and len(second) == 2
+
+    def test_doctest_example(self):
+        import doctest
+
+        import repro.relational.builders as module
+
+        assert doctest.testmod(module).failed == 0
+
+
+class TestValidation:
+    def test_attributes_before_rows(self):
+        builder = RelationBuilder().categorical("a").row(a=1)
+        with pytest.raises(SchemaError, match="before the first row"):
+            builder.numeric("b")
+
+    def test_rows_need_attributes(self):
+        with pytest.raises(SchemaError):
+            RelationBuilder().row(a=1)
+
+    def test_undeclared_attribute_rejected(self):
+        builder = RelationBuilder().categorical("a")
+        with pytest.raises(SchemaError, match="undeclared"):
+            builder.row(b=2)
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            RelationBuilder().categorical("a", "a")
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationBuilder().build()

@@ -1,0 +1,76 @@
+"""CSV round-tripping with NULLs and schema inference."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    NULL,
+    AttributeType,
+    Relation,
+    Schema,
+    infer_schema,
+    read_csv,
+    write_csv,
+)
+
+
+@pytest.fixture()
+def relation() -> Relation:
+    schema = Schema.of("make", ("price", AttributeType.NUMERIC))
+    return Relation(schema, [("Honda", 18000), ("BMW", NULL), (NULL, 22500.5)])
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_rows(self, relation, tmp_path):
+        path = tmp_path / "cars.csv"
+        write_csv(relation, path)
+        loaded = read_csv(path, schema=relation.schema)
+        assert loaded == relation
+
+    def test_nulls_become_empty_fields(self, relation, tmp_path):
+        path = tmp_path / "cars.csv"
+        write_csv(relation, path)
+        text = path.read_text()
+        assert ",22500.5" in text  # NULL make serialized as empty field
+
+
+class TestInference:
+    def test_numeric_column_inferred(self, relation, tmp_path):
+        path = tmp_path / "cars.csv"
+        write_csv(relation, path)
+        loaded = read_csv(path)
+        assert loaded.schema["price"].type is AttributeType.NUMERIC
+        assert loaded.schema["make"].type is AttributeType.CATEGORICAL
+
+    def test_integral_values_parse_as_int(self, relation, tmp_path):
+        path = tmp_path / "cars.csv"
+        write_csv(relation, path)
+        loaded = read_csv(path)
+        assert loaded.rows[0][1] == 18000
+        assert isinstance(loaded.rows[0][1], int)
+        assert isinstance(loaded.rows[2][1], float)
+
+    def test_infer_schema_ignores_empty_cells(self):
+        schema = infer_schema(["a", "b"], [["", "x"], ["3", "y"]])
+        assert schema["a"].type is AttributeType.NUMERIC
+        assert schema["b"].type is AttributeType.CATEGORICAL
+
+
+class TestErrors:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            read_csv(path)
+
+    def test_header_mismatch_rejected(self, relation, tmp_path):
+        path = tmp_path / "cars.csv"
+        write_csv(relation, path)
+        with pytest.raises(SchemaError, match="header"):
+            read_csv(path, schema=Schema.of("x", "y"))
+
+    def test_unparseable_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("price\nnot-a-number\n")
+        with pytest.raises(SchemaError, match="numeric"):
+            read_csv(path, schema=Schema.of(("price", AttributeType.NUMERIC)))

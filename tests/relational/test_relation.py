@@ -1,0 +1,131 @@
+"""Relation operations and NULL bookkeeping."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import NULL, Relation, Schema
+
+
+@pytest.fixture()
+def cars() -> Relation:
+    schema = Schema.of("make", "model", "body")
+    return Relation(
+        schema,
+        [
+            ("Honda", "Accord", "Sedan"),
+            ("Honda", "Civic", NULL),
+            ("BMW", "Z4", "Convt"),
+            ("BMW", NULL, "Convt"),
+            ("Honda", "Accord", "Sedan"),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_coerces_none_and_blank(self):
+        relation = Relation(Schema.of("a", "b"), [(None, " ")])
+        assert relation.rows[0] == (NULL, NULL)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError, match="arity"):
+            Relation(Schema.of("a", "b"), [(1,)])
+
+    def test_empty_relation(self):
+        relation = Relation(Schema.of("a"))
+        assert len(relation) == 0
+        assert not relation
+        assert relation.incomplete_fraction() == 0.0
+
+
+class TestAccessors:
+    def test_value(self, cars):
+        assert cars.value(cars.rows[0], "model") == "Accord"
+
+    def test_column(self, cars):
+        assert cars.column("make") == ("Honda", "Honda", "BMW", "BMW", "Honda")
+
+    def test_equality_is_bag_semantics(self, cars):
+        shuffled = Relation(cars.schema, list(reversed(cars.rows)))
+        assert cars == shuffled
+
+    def test_equality_respects_multiplicity(self, cars):
+        deduped = Relation(cars.schema, set(cars.rows))
+        assert cars != deduped
+
+
+class TestRelationalOps:
+    def test_select(self, cars):
+        hondas = cars.select(lambda row: row[0] == "Honda")
+        assert len(hondas) == 3
+
+    def test_project_keeps_duplicates(self, cars):
+        makes = cars.project(["make"])
+        assert len(makes) == 5
+
+    def test_project_distinct_preserves_first_seen_order(self, cars):
+        makes = cars.project(["make"], distinct=True)
+        assert makes.rows == (("Honda",), ("BMW",))
+
+    def test_distinct_values_skips_null_by_default(self, cars):
+        assert cars.distinct_values("model") == ["Accord", "Civic", "Z4"]
+
+    def test_distinct_values_can_include_null(self, cars):
+        assert NULL in cars.distinct_values("model", include_null=True)
+
+    def test_value_counts(self, cars):
+        counts = cars.value_counts("make")
+        assert counts["Honda"] == 3 and counts["BMW"] == 2
+
+    def test_concat_requires_same_schema(self, cars):
+        with pytest.raises(SchemaError):
+            cars.concat(Relation(Schema.of("x"), [(1,)]))
+
+    def test_concat(self, cars):
+        doubled = cars.concat(cars)
+        assert len(doubled) == 10
+
+    def test_take(self, cars):
+        assert len(cars.take(2)) == 2
+        assert len(cars.take(100)) == 5
+
+    def test_extend(self, cars):
+        grown = cars.extend([("Audi", "A4", "Sedan")])
+        assert len(grown) == 6
+        assert len(cars) == 5  # original untouched
+
+    def test_rename_shares_rows(self, cars):
+        renamed = cars.rename({"make": "manufacturer"})
+        assert renamed.schema.names == ("manufacturer", "model", "body")
+        assert renamed.rows is cars.rows
+
+
+class TestNullBookkeeping:
+    def test_null_count_and_fraction(self, cars):
+        assert cars.null_count("model") == 1
+        assert cars.null_fraction("model") == pytest.approx(0.2)
+
+    def test_incomplete_fraction(self, cars):
+        assert cars.incomplete_fraction() == pytest.approx(2 / 5)
+
+    def test_complete_and_incomplete_rows_partition(self, cars):
+        assert len(cars.complete_rows()) + len(cars.incomplete_rows()) == len(cars)
+
+    def test_rows_with_null_on(self, cars):
+        nulls = cars.rows_with_null_on(["body"])
+        assert len(nulls) == 1
+
+    def test_null_count_over(self, cars):
+        row = ("BMW", NULL, NULL)
+        relation = Relation(cars.schema, [row])
+        assert relation.null_count_over(relation.rows[0], ["model", "body"]) == 2
+        assert relation.null_count_over(relation.rows[0], ["make"]) == 0
+
+
+class TestPresentation:
+    def test_head_renders_all_columns(self, cars):
+        text = cars.head(2)
+        assert "make" in text and "NULL" not in text.splitlines()[0]
+        assert "(5 rows total)" in text
+
+    def test_repr(self, cars):
+        assert "5 rows" in repr(cars)

@@ -1,0 +1,70 @@
+"""NULL sentinel semantics."""
+
+import pickle
+
+from repro.relational import NULL, NullValue, coerce_value, is_null
+
+
+class TestNullSingleton:
+    def test_constructing_returns_the_singleton(self):
+        assert NullValue() is NULL
+
+    def test_pickle_round_trip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NULL)) is NULL
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_is_falsy(self):
+        assert not NULL
+
+
+class TestNullComparisons:
+    def test_null_never_equals_anything(self):
+        assert not (NULL == NULL)
+        assert not (NULL == 0)
+        assert not (NULL == "")
+        assert not (NULL == None)  # noqa: E711 - deliberate equality probe
+
+    def test_null_not_equals_is_always_true(self):
+        assert NULL != NULL
+        assert NULL != "Honda"
+
+    def test_null_is_hashable(self):
+        assert len({NULL, NULL}) == 1
+        assert {NULL: 1}[NULL] == 1
+
+    def test_ordering_against_null_raises(self):
+        try:
+            __ = NULL < 3
+        except TypeError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("NULL must not be orderable")
+
+
+class TestIsNull:
+    def test_detects_the_sentinel(self):
+        assert is_null(NULL)
+
+    def test_rejects_ordinary_values(self):
+        assert not is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+
+class TestCoerceValue:
+    def test_none_becomes_null(self):
+        assert coerce_value(None) is NULL
+
+    def test_blank_string_becomes_null(self):
+        assert coerce_value("") is NULL
+        assert coerce_value("   ") is NULL
+
+    def test_null_passes_through(self):
+        assert coerce_value(NULL) is NULL
+
+    def test_ordinary_values_pass_through(self):
+        assert coerce_value("Honda") == "Honda"
+        assert coerce_value(0) == 0
+        assert coerce_value(12.5) == 12.5

@@ -1,0 +1,106 @@
+"""Redundant-attribute detection and merging (the Google Base problem)."""
+
+import pytest
+
+from repro.datasets.googlebase import generate_googlebase_listings
+from repro.errors import SchemaError
+from repro.relational import NULL, Relation, Schema
+from repro.sources.alignment import (
+    find_redundant_attributes,
+    merge_redundant_attributes,
+)
+
+
+@pytest.fixture(scope="module")
+def listings() -> Relation:
+    return generate_googlebase_listings(3000, seed=5)
+
+
+class TestGenerator:
+    def test_redundant_columns_never_both_filled(self, listings):
+        make_i = listings.schema.index_of("make")
+        manu_i = listings.schema.index_of("manufacturer")
+        for row in listings:
+            assert row[make_i] is NULL or row[manu_i] is NULL
+
+    def test_incompleteness_is_inflated(self, listings):
+        assert listings.incomplete_fraction() > 0.9  # nearly every row has a NULL
+
+
+class TestDetection:
+    def test_finds_both_planted_pairs(self, listings):
+        candidates = find_redundant_attributes(listings)
+        pairs = {(c.first, c.second) for c in candidates}
+        assert ("make", "manufacturer") in pairs
+        assert ("body_style", "style") in pairs
+
+    def test_unrelated_attributes_not_flagged(self, listings):
+        candidates = find_redundant_attributes(listings)
+        pairs = {(c.first, c.second) for c in candidates}
+        assert ("make", "model") not in pairs
+        assert ("model", "body_style") not in pairs
+
+    def test_scores_are_fractions(self, listings):
+        for candidate in find_redundant_attributes(listings):
+            assert 0.0 <= candidate.complementarity <= 1.0
+            assert 0.0 <= candidate.domain_overlap <= 1.0
+            assert 0.0 <= candidate.score <= 1.0
+
+
+class TestMerging:
+    def test_merge_reduces_incompleteness(self, listings):
+        merged = merge_redundant_attributes(
+            listings,
+            {"make": ["manufacturer"], "body_style": ["style"]},
+        )
+        assert merged.incomplete_fraction() < listings.incomplete_fraction()
+        assert "manufacturer" not in merged.schema
+        assert "style" not in merged.schema
+
+    def test_merged_values_take_first_non_null(self):
+        relation = Relation(
+            Schema.of("make", "manufacturer"),
+            [("Honda", NULL), (NULL, "BMW"), (NULL, NULL)],
+        )
+        merged = merge_redundant_attributes(relation, {"make": ["manufacturer"]})
+        assert merged.column("make") == ("Honda", "BMW", NULL)
+
+    def test_conflicting_values_rejected(self):
+        relation = Relation(
+            Schema.of("make", "manufacturer"), [("Honda", "BMW")]
+        )
+        with pytest.raises(SchemaError, match="conflicting"):
+            merge_redundant_attributes(relation, {"make": ["manufacturer"]})
+
+    def test_agreeing_values_are_fine(self):
+        relation = Relation(
+            Schema.of("make", "manufacturer"), [("Honda", "Honda")]
+        )
+        merged = merge_redundant_attributes(relation, {"make": ["manufacturer"]})
+        assert merged.column("make") == ("Honda",)
+
+    def test_unknown_attribute_rejected(self, listings):
+        with pytest.raises(SchemaError):
+            merge_redundant_attributes(listings, {"make": ["brand_name"]})
+
+    def test_survivor_cannot_be_merged_away(self):
+        relation = Relation(Schema.of("a", "b", "c"), [(1, 2, 3)])
+        with pytest.raises(SchemaError, match="survivor"):
+            merge_redundant_attributes(relation, {"a": ["b"], "b": ["c"]})
+
+
+class TestMiningAfterAlignment:
+    def test_alignment_enables_afd_mining(self, listings):
+        """The end-to-end point: merged data yields the Model -> Make FD that
+        the split columns hide."""
+        from repro.mining import TaneConfig, mine_dependencies
+
+        merged = merge_redundant_attributes(
+            listings, {"make": ["manufacturer"], "body_style": ["style"]}
+        )
+        result = mine_dependencies(
+            merged.take(1500),
+            TaneConfig(min_confidence=0.9, max_determining_size=1, min_support=30),
+        )
+        best = result.best_afd("make")
+        assert best is not None and best.determining == ("model",)

@@ -1,0 +1,40 @@
+"""Capability value objects."""
+
+from repro.sources import SourceCapabilities
+
+
+class TestConstructors:
+    def test_web_form_defaults(self):
+        capabilities = SourceCapabilities.web_form()
+        assert not capabilities.allows_null_binding
+        assert capabilities.max_results is None
+        assert capabilities.query_budget is None
+        assert capabilities.exposes_cardinality
+
+    def test_web_form_with_limits(self):
+        capabilities = SourceCapabilities.web_form(max_results=50, query_budget=20)
+        assert capabilities.max_results == 50
+        assert capabilities.query_budget == 20
+
+    def test_unrestricted(self):
+        capabilities = SourceCapabilities.unrestricted()
+        assert capabilities.allows_null_binding
+
+    def test_immutability(self):
+        capabilities = SourceCapabilities.web_form()
+        try:
+            capabilities.max_results = 5  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("capabilities must be frozen")
+
+
+class TestBindability:
+    def test_default_binds_everything(self):
+        assert SourceCapabilities().can_bind("anything")
+
+    def test_restricted_binding(self):
+        capabilities = SourceCapabilities(queryable_attributes=frozenset({"make"}))
+        assert capabilities.can_bind("make")
+        assert not capabilities.can_bind("price")

@@ -1,0 +1,139 @@
+"""Transient-failure retries."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    NullBindingError,
+    QpiadError,
+    SourceUnavailableError,
+)
+from repro.query import SelectionQuery
+from repro.relational import Relation, Schema
+from repro.sources import AutonomousSource
+from repro.sources.retrying import RetryingSource
+
+
+class FlakySource:
+    """A test double that fails transiently every few calls."""
+
+    def __init__(self, inner: AutonomousSource, fail_every: int = 2):
+        self.inner = inner
+        self.fail_every = fail_every
+        self._calls = 0
+
+    def _maybe_fail(self):
+        self._calls += 1
+        if self._calls % self.fail_every == 0:
+            raise SourceUnavailableError("503 service unavailable")
+
+    @property
+    def name(self):
+        return self.inner.name
+
+    @property
+    def schema(self):
+        return self.inner.schema
+
+    @property
+    def capabilities(self):
+        return self.inner.capabilities
+
+    def supports(self, attribute):
+        return self.inner.supports(attribute)
+
+    def can_answer(self, query):
+        return self.inner.can_answer(query)
+
+    def cardinality(self):
+        self._maybe_fail()
+        return self.inner.cardinality()
+
+    def execute(self, query):
+        self._maybe_fail()
+        return self.inner.execute(query)
+
+    def execute_null_binding(self, query, max_nulls=None):
+        self._maybe_fail()
+        return self.inner.execute_null_binding(query, max_nulls=max_nulls)
+
+    def execute_certain_or_possible(self, query):
+        self._maybe_fail()
+        return self.inner.execute_certain_or_possible(query)
+
+    def scan(self, limit=None):
+        self._maybe_fail()
+        return self.inner.scan(limit)
+
+    def reset_statistics(self):
+        self.inner.reset_statistics()
+
+
+@pytest.fixture()
+def backend() -> AutonomousSource:
+    relation = Relation(
+        Schema.of("make", "model"),
+        [("Honda", "Accord"), ("BMW", "Z4")],
+    )
+    return AutonomousSource("cars", relation)
+
+
+class TestRetrying:
+    def test_transient_failures_are_absorbed(self, backend):
+        source = RetryingSource(FlakySource(backend, fail_every=2), max_attempts=3)
+        for __ in range(6):
+            result = source.execute(SelectionQuery.equals("make", "Honda"))
+            assert len(result) == 1
+        assert source.statistics.retries > 0
+        assert source.statistics.gave_up == 0
+
+    def test_gives_up_after_max_attempts(self, backend):
+        always_down = FlakySource(backend, fail_every=1)
+        source = RetryingSource(always_down, max_attempts=3)
+        with pytest.raises(SourceUnavailableError):
+            source.execute(SelectionQuery.equals("make", "Honda"))
+        assert source.statistics.attempts == 3
+        assert source.statistics.gave_up == 1
+
+    def test_permanent_failures_not_retried(self, backend):
+        source = RetryingSource(backend, max_attempts=5)
+        with pytest.raises(NullBindingError):
+            source.execute_null_binding(SelectionQuery.equals("make", "Honda"))
+        assert source.statistics.attempts == 1  # no pointless retries
+
+    def test_backoff_doubles(self, backend):
+        sleeps = []
+        always_down = FlakySource(backend, fail_every=1)
+        source = RetryingSource(
+            always_down, max_attempts=4, backoff_seconds=0.1, sleep=sleeps.append
+        )
+        with pytest.raises(SourceUnavailableError):
+            source.execute(SelectionQuery.equals("make", "Honda"))
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_invalid_parameters(self, backend):
+        with pytest.raises(QpiadError):
+            RetryingSource(backend, max_attempts=0)
+        with pytest.raises(QpiadError):
+            RetryingSource(backend, backoff_seconds=-1)
+
+    def test_surface_proxying(self, backend):
+        source = RetryingSource(FlakySource(backend, fail_every=10**9))
+        assert source.name == "cars"
+        assert source.supports("make")
+        assert source.cardinality() == 2
+        assert source.can_answer(SelectionQuery.equals("make", "Honda"))
+
+
+class TestMediationOverFlakySource:
+    def test_full_retrieval_survives_flakiness(self, cars_env):
+        from repro.core import QpiadConfig, QpiadMediator
+
+        flaky = FlakySource(cars_env.web_source(), fail_every=3)
+        source = RetryingSource(flaky, max_attempts=4)
+        mediator = QpiadMediator(source, cars_env.knowledge, QpiadConfig(k=10))
+        result = mediator.query(SelectionQuery.equals("body_style", "Convt"))
+        assert len(result.certain) > 0
+        assert result.ranked
+        assert source.statistics.retries >= 1

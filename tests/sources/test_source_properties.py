@@ -1,0 +1,79 @@
+"""Property-based invariants of the autonomous-source capability model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QueryBudgetExceededError
+from repro.query import SelectionQuery
+from repro.relational import NULL, Relation, Schema
+from repro.sources import AutonomousSource, SourceCapabilities
+
+SCHEMA = Schema.of("make", "model")
+
+_ROWS = st.lists(
+    st.tuples(
+        st.one_of(st.just(NULL), st.sampled_from(["Honda", "BMW"])),
+        st.one_of(st.just(NULL), st.sampled_from(["Accord", "Z4"])),
+    ),
+    max_size=25,
+)
+
+_QUERIES = st.lists(
+    st.builds(
+        SelectionQuery.equals,
+        st.just("make"),
+        st.sampled_from(["Honda", "BMW", "Audi"]),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+@given(_ROWS, _QUERIES, st.integers(0, 10))
+def test_budget_is_never_exceeded(rows, queries, budget):
+    source = AutonomousSource(
+        "s", Relation(SCHEMA, rows), SourceCapabilities.web_form(query_budget=budget)
+    )
+    answered = 0
+    for query in queries:
+        try:
+            source.execute(query)
+            answered += 1
+        except QueryBudgetExceededError:
+            break
+    assert answered <= budget
+    assert source.statistics.queries_answered == answered
+
+
+@given(_ROWS, st.integers(0, 5))
+def test_max_results_cap_holds(rows, cap):
+    source = AutonomousSource(
+        "s", Relation(SCHEMA, rows), SourceCapabilities.web_form(max_results=cap)
+    )
+    result = source.execute(SelectionQuery.equals("make", "Honda"))
+    assert len(result) <= cap
+
+
+@given(_ROWS)
+def test_results_are_certain_answers(rows):
+    source = AutonomousSource("s", Relation(SCHEMA, rows))
+    result = source.execute(SelectionQuery.equals("make", "Honda"))
+    assert all(row[0] == "Honda" for row in result)
+
+
+@given(_ROWS, _QUERIES)
+def test_tuples_returned_accounting_is_exact(rows, queries):
+    source = AutonomousSource("s", Relation(SCHEMA, rows))
+    total = 0
+    for query in queries:
+        total += len(source.execute(query))
+    assert source.statistics.tuples_returned == total
+
+
+@settings(max_examples=30)
+@given(_ROWS)
+def test_projection_never_leaks_hidden_attributes(rows):
+    source = AutonomousSource(
+        "s", Relation(SCHEMA, rows), local_attributes=["make"]
+    )
+    result = source.execute(SelectionQuery.equals("make", "BMW"))
+    assert all(len(row) == 1 for row in result)

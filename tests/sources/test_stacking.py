@@ -1,0 +1,58 @@
+"""Composing source wrappers: Retrying(Caching(AutonomousSource))."""
+
+import pytest
+
+from repro.core import QpiadConfig, QpiadMediator
+from repro.errors import SourceUnavailableError
+from repro.query import SelectionQuery
+from repro.sources import RetryingSource
+from repro.sources.caching import CachingSource
+from tests.sources.test_retrying import FlakySource
+
+
+class TestWrapperStack:
+    def test_full_stack_mediation(self, cars_env):
+        """The mediator works through retry -> cache -> flaky -> source."""
+        flaky = FlakySource(cars_env.web_source(), fail_every=4)
+        stack = RetryingSource(CachingSource(flaky, capacity=64), max_attempts=4)
+        mediator = QpiadMediator(stack, cars_env.knowledge, QpiadConfig(k=8))
+        query = SelectionQuery.equals("body_style", "Convt")
+
+        first = mediator.query(query)
+        assert first.ranked
+
+        # A repeat run is served from the cache: no new flakiness to absorb.
+        retries_before = stack.statistics.retries
+        second = mediator.query(query)
+        assert [a.row for a in second.ranked] == [a.row for a in first.ranked]
+        assert stack.statistics.retries == retries_before
+
+    def test_cache_miss_failures_are_retried_not_cached(self, cars_env):
+        flaky = FlakySource(cars_env.web_source(), fail_every=2)
+        cache = CachingSource(flaky, capacity=64)
+        stack = RetryingSource(cache, max_attempts=3)
+        query = SelectionQuery.equals("make", "Honda")
+        result = stack.execute(query)
+        assert len(result) > 0
+        # The failed attempt must not have poisoned the cache.
+        assert cache.statistics.misses == 1
+        assert len(stack.execute(query)) == len(result)
+        assert cache.statistics.hits == 1
+
+    def test_stack_preserves_capability_introspection(self, cars_env):
+        from repro.sources import AutonomousSource, SourceCapabilities
+
+        restricted = AutonomousSource(
+            "tight",
+            cars_env.test,
+            SourceCapabilities(queryable_attributes=frozenset({"make", "model"})),
+        )
+        stack = RetryingSource(CachingSource(restricted))
+        assert stack.can_answer(SelectionQuery.equals("make", "Honda"))
+        assert not stack.can_answer(SelectionQuery.equals("price", 20000))
+
+    def test_exhausted_retries_propagate_through_the_stack(self, cars_env):
+        always_down = FlakySource(cars_env.web_source(), fail_every=1)
+        stack = RetryingSource(CachingSource(always_down), max_attempts=2)
+        with pytest.raises(SourceUnavailableError):
+            stack.execute(SelectionQuery.equals("make", "Honda"))

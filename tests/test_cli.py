@@ -1,0 +1,178 @@
+"""The qpiad command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def cars_csv(tmp_path):
+    path = tmp_path / "cars.csv"
+    assert main(["generate", "cars", "--size", "800", "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture()
+def cars_ed_csv(tmp_path):
+    path = tmp_path / "cars_ed.csv"
+    code = main(
+        ["generate", "cars", "--size", "1500", "--out", str(path), "--incomplete", "0.1"]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "laptops", "--out", "x.csv"])
+
+
+class TestGenerate:
+    def test_writes_complete_csv(self, cars_csv, capsys):
+        from repro.relational import read_csv
+
+        relation = read_csv(cars_csv)
+        assert len(relation) == 800
+        assert relation.incomplete_fraction() == 0.0
+
+    def test_incomplete_flag_masks_tuples(self, cars_ed_csv):
+        from repro.relational import read_csv
+
+        relation = read_csv(cars_ed_csv)
+        assert relation.incomplete_fraction() == pytest.approx(0.1, abs=0.01)
+
+
+class TestStats(object):
+    def test_reports_incompleteness(self, cars_ed_csv, capsys):
+        assert main(["stats", str(cars_ed_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "incomplete tuples" in out
+        assert "10.00%" in out
+
+
+class TestMineAndQuery:
+    def test_mine_writes_a_loadable_kb(self, cars_ed_csv, tmp_path, capsys):
+        kb_path = tmp_path / "kb.json"
+        code = main(
+            ["mine", str(cars_ed_csv), "--db-size", "15000", "--out", str(kb_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AFDs" in out
+        from repro.mining.persistence import load_knowledge
+
+        knowledge = load_knowledge(kb_path)
+        assert knowledge.best_afd("body_style") is not None
+
+    def test_query_with_kb(self, cars_ed_csv, tmp_path, capsys):
+        kb_path = tmp_path / "kb.json"
+        main(["mine", str(cars_ed_csv), "--db-size", "15000", "--out", str(kb_path)])
+        capsys.readouterr()
+        code = main(
+            [
+                "query",
+                str(cars_ed_csv),
+                "--kb",
+                str(kb_path),
+                "--where",
+                "body_style=Convt",
+                "--top",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certain answers" in out
+        assert "possible answers" in out
+
+    def test_query_with_range_conjunct(self, cars_ed_csv, capsys):
+        code = main(
+            [
+                "query",
+                str(cars_ed_csv),
+                "--where",
+                "body_style=Convt",
+                "--where",
+                "price=15000..40000",
+            ]
+        )
+        assert code == 0
+
+    def test_query_mines_on_the_fly_without_kb(self, cars_ed_csv, capsys):
+        code = main(["query", str(cars_ed_csv), "--where", "make=Honda"])
+        assert code == 0
+        assert "mining a knowledge base" in capsys.readouterr().out
+
+    def test_bad_where_clause_reports_an_error(self, cars_ed_csv, capsys):
+        code = main(["query", str(cars_ed_csv), "--where", "nonsense"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_numeric_parse_error_reported(self, cars_ed_csv, capsys):
+        code = main(["query", str(cars_ed_csv), "--where", "price=cheap"])
+        assert code == 2
+
+
+class TestRelax:
+    def test_relax_returns_answers_for_empty_queries(self, cars_ed_csv, capsys):
+        code = main(
+            [
+                "relax",
+                str(cars_ed_csv),
+                "--where",
+                "make=Porsche",
+                "--where",
+                "price=6000..8000",
+                "--target",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "relaxed" in out
+        assert "violates" in out
+
+    def test_relax_single_conjunct_reports_error(self, cars_ed_csv, capsys):
+        code = main(["relax", str(cars_ed_csv), "--where", "make=Porsche"])
+        assert code == 2
+
+
+class TestImpute:
+    def test_impute_writes_a_complete_csv(self, cars_ed_csv, tmp_path, capsys):
+        out_path = tmp_path / "clean.csv"
+        code = main(["impute", str(cars_ed_csv), "--out", str(out_path)])
+        assert code == 0
+        from repro.relational import read_csv
+
+        cleaned = read_csv(out_path)
+        assert cleaned.incomplete_fraction() == 0.0
+
+    def test_impute_respects_confidence_floor(self, cars_ed_csv, tmp_path, capsys):
+        out_path = tmp_path / "clean.csv"
+        code = main(
+            [
+                "impute",
+                str(cars_ed_csv),
+                "--out",
+                str(out_path),
+                "--min-confidence",
+                "0.99",
+            ]
+        )
+        assert code == 0
+        from repro.relational import read_csv
+
+        cleaned = read_csv(out_path)
+        assert cleaned.incomplete_fraction() > 0.0  # uncertain cells kept NULL
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--size", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "certain answers" in out

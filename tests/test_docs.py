@@ -1,0 +1,41 @@
+"""Documentation contracts: the README quickstart and package docstring run."""
+
+import doctest
+import re
+from pathlib import Path
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestPackageDocstring:
+    def test_quickstart_doctest_passes(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+
+    def test_version_is_exposed(self):
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+
+class TestReadmeQuickstart:
+    def test_readme_code_block_executes(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.DOTALL)
+        assert blocks, "README must contain a python quickstart block"
+        namespace: dict = {}
+        exec(blocks[0], namespace)  # noqa: S102 - executing our own docs
+        assert "result" in namespace
+        result = namespace["result"]
+        assert len(result.certain) > 0
+
+    def test_docs_reference_real_modules(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for path in re.findall(r"`([a-z_]+/[a-z_]+\.py)`", design):
+            assert (REPO_ROOT / "src" / "repro" / path).exists() or (
+                REPO_ROOT / "benchmarks" / Path(path).name
+            ).exists(), f"DESIGN.md references missing module {path}"

@@ -1,0 +1,33 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_qpiad_error(self):
+        for name in (
+            "SchemaError",
+            "QueryError",
+            "CapabilityError",
+            "QueryBudgetExceededError",
+            "NullBindingError",
+            "UnsupportedAttributeError",
+            "MiningError",
+            "ClassifierError",
+            "RewritingError",
+        ):
+            assert issubclass(getattr(errors, name), errors.QpiadError)
+
+    def test_capability_family(self):
+        assert issubclass(errors.NullBindingError, errors.CapabilityError)
+        assert issubclass(errors.QueryBudgetExceededError, errors.CapabilityError)
+        assert issubclass(errors.UnsupportedAttributeError, errors.CapabilityError)
+
+    def test_classifier_error_is_a_mining_error(self):
+        assert issubclass(errors.ClassifierError, errors.MiningError)
+
+    def test_one_except_clause_catches_the_library(self):
+        with pytest.raises(errors.QpiadError):
+            raise errors.NullBindingError("no NULL binding")

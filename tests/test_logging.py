@@ -1,0 +1,28 @@
+"""Library logging: diagnostic records without configuring handlers."""
+
+import logging
+
+from repro.core import QpiadConfig, QpiadMediator
+from repro.mining import KnowledgeBase
+from repro.query import SelectionQuery
+
+
+class TestDiagnostics:
+    def test_mining_logs_a_summary(self, cars_env, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.mining.knowledge"):
+            KnowledgeBase(cars_env.train.take(300), database_size=1000)
+        assert any("mined" in record.message for record in caplog.records)
+
+    def test_mediation_logs_the_plan(self, cars_env, caplog):
+        mediator = QpiadMediator(
+            cars_env.web_source(), cars_env.knowledge, QpiadConfig(k=5)
+        )
+        with caplog.at_level(logging.DEBUG, logger="repro.core.qpiad"):
+            mediator.query(SelectionQuery.equals("body_style", "Convt"))
+        assert any("rewritten candidates" in record.message for record in caplog.records)
+
+    def test_silent_by_default(self, cars_env, caplog):
+        with caplog.at_level(logging.INFO):
+            mediator = QpiadMediator(cars_env.web_source(), cars_env.knowledge)
+            mediator.query(SelectionQuery.equals("make", "Honda"))
+        assert not [r for r in caplog.records if r.name.startswith("repro")]
