@@ -9,7 +9,7 @@ discarded and prediction falls back to genuine correlations.
 from repro.datasets import generate_cars, make_incomplete
 from repro.evaluation import render_table
 from repro.mining import KnowledgeBase, MiningConfig, TaneConfig
-from repro.relational import Attribute, AttributeType, Relation, Schema
+from repro.relational import Attribute, Relation, Schema
 from repro.relational.values import is_null
 
 

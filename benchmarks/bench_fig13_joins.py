@@ -12,7 +12,6 @@ extend recall substantially at a modest precision cost.
 from repro.core import JoinConfig, JoinProcessor
 from repro.evaluation import precision_recall_curve, render_curves
 from repro.query import JoinQuery, SelectionQuery
-from repro.query.executor import natural_join
 from repro.relational import Relation
 
 ALPHAS = (0.0, 0.5, 2.0)

@@ -1,0 +1,39 @@
+"""``repro.analysis`` — static analysis of the reproduction's own invariants.
+
+The type system cannot see that ``NULL == NULL`` must be false, that the
+mediator must reach base data only through
+:class:`~repro.sources.AutonomousSource`, or that every RNG must be
+seeded.  This package checks those invariants over the AST, wired up as
+``qpiad lint`` (and the ``qpiadlint`` console script), a tier-1 self-lint
+test, and a CI job.  See ``docs/linting.md`` for the rule catalogue.
+"""
+
+from repro.analysis.framework import (
+    Finding,
+    LintConfigError,
+    ModuleContext,
+    Rule,
+    Severity,
+    SuppressionIndex,
+)
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import ALL_RULES, default_rules, rule_ids, select_rules
+from repro.analysis.runner import LintReport, lint_context, lint_paths
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintConfigError",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "SuppressionIndex",
+    "default_rules",
+    "lint_context",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "select_rules",
+]

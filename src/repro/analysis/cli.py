@@ -1,0 +1,100 @@
+"""The ``qpiad lint`` / ``qpiadlint`` command.
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error — the same
+contract as the rest of the ``qpiad`` CLI, so CI scripts can chain it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.framework import LintConfigError
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import ALL_RULES, select_rules
+from repro.analysis.runner import lint_paths
+
+__all__ = ["main", "run_lint", "add_lint_arguments"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to *parser* (shared with ``qpiad lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[Path("src/repro")],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json output is sorted and byte-stable)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
+
+def _render_rule_list() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.id} [{rule.severity!s}]")
+        lines.append(f"    {rule.description}")
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed *args*."""
+    if args.list_rules:
+        print(_render_rule_list())
+        return 0
+    try:
+        rules = select_rules(
+            tuple(args.select) if args.select else None,
+            tuple(args.ignore) if args.ignore else None,
+        )
+    except LintConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"error: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    try:
+        report = lint_paths(args.paths, rules)
+    except LintConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rendered = render_json(report) if args.format == "json" else render_text(report)
+    print(rendered)
+    return report.exit_code
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="qpiadlint",
+        description="AST-based domain-invariant linter for the QPIAD reproduction",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,261 @@
+"""The qpiadlint rule framework: findings, suppressions, module contexts.
+
+QPIAD's correctness rests on invariants the Python type system cannot
+express — SQL NULL comparison semantics, the mediator's autonomy
+constraint, seeded randomness for reproducible paper figures.  This module
+provides the substrate for checking them *statically*, in the spirit of
+treating completeness/correctness reasoning as a property decidable before
+execution rather than discovered at runtime:
+
+* :class:`Rule` — a named, documented check over one module's AST,
+* :class:`Finding` — one violation, with a stable sort order,
+* :class:`Severity` — error / warning / info,
+* :class:`ModuleContext` — a parsed module plus its dotted name,
+* :class:`SuppressionIndex` — ``# qpiadlint: disable=...`` comment handling.
+
+Suppression grammar (comments are extracted with :mod:`tokenize`, so
+string literals that merely *look* like directives are ignored):
+
+* ``# qpiadlint: disable=rule-a,rule-b`` — trailing a code line, suppresses
+  those rules on that line only;
+* ``# qpiadlint: disable-next-line=rule-a`` — suppresses on the following
+  line;
+* ``# qpiadlint: disable-file=rule-a`` — anywhere in the file, suppresses
+  for the whole module (conventionally placed right under the docstring
+  with a justification);
+* ``# qpiadlint: disable-package=rule-a`` — in a package's ``__init__.py``,
+  suppresses for every module under that package.
+
+``disable=all`` is deliberately rejected: suppressions must name the rule
+they silence so every exemption stays searchable and reviewable.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import IntEnum
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import QpiadError
+
+__all__ = [
+    "LintConfigError",
+    "Severity",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "SuppressionIndex",
+    "parse_directives",
+]
+
+_DIRECTIVE = re.compile(
+    r"#\s*qpiadlint:\s*(?P<kind>disable(?:-next-line|-file|-package)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\- ]+)"
+)
+
+
+class LintConfigError(QpiadError):
+    """A malformed suppression directive or rule selection."""
+
+
+class Severity(IntEnum):
+    """How bad an unsuppressed finding is.  Any finding fails the lint."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise LintConfigError(f"unknown severity {text!r}") from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Field order defines the sort order (path, line, column, rule), which is
+    what keeps reporter output byte-stable across runs.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        # ``!s`` matters: pre-3.11 IntEnum formats as its integer value.
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.severity!s}: [{self.rule}] {self.message}"
+        )
+
+
+@dataclass
+class ModuleContext:
+    """A module being linted: source text, parsed tree, dotted name."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    module: str
+    suppressions: "SuppressionIndex" = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.suppressions is None:
+            self.suppressions = SuppressionIndex.from_source(self.source)
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: "Path | str" = "<memory>", module: str = "module"
+    ) -> "ModuleContext":
+        """Build a context from a source string (used heavily by tests)."""
+        tree = ast.parse(source)
+        return cls(path=Path(path), source=source, tree=tree, module=module)
+
+    @classmethod
+    def from_file(cls, path: Path, module: str) -> "ModuleContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(path=path, source=source, tree=tree, module=module)
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether the module lives under any of the dotted *prefixes*."""
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+class Rule(ABC):
+    """One named invariant check.
+
+    Subclasses set the class attributes and implement :meth:`check`, which
+    yields findings for one module.  Rules must be stateless across modules
+    (one instance is reused for the whole run).
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    rationale: str = ""
+
+    @abstractmethod
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in *context*."""
+
+    def finding(self, context: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` anchored at *node* in *context*."""
+        return Finding(
+            path=str(context.path),
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.id}>"
+
+
+def parse_directives(source: str) -> Iterator[tuple[str, int, frozenset[str]]]:
+    """Yield ``(kind, line, rules)`` for each suppression comment in *source*.
+
+    Uses the tokenizer so only genuine comments count.  Malformed rule lists
+    (empty, or the non-specific ``all``) raise :class:`LintConfigError` —
+    a suppression that silences everything is itself a lint violation.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse guard
+        return
+    for line, text in comments:
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        if not rules:
+            raise LintConfigError(f"empty qpiadlint directive on line {line}: {text!r}")
+        if "all" in rules:
+            raise LintConfigError(
+                f"line {line}: 'disable=all' is not allowed; name the rules explicitly"
+            )
+        yield match.group("kind"), line, rules
+
+
+class SuppressionIndex:
+    """Which rules are suppressed at which lines of one module."""
+
+    def __init__(
+        self,
+        line_rules: "dict[int, frozenset[str]] | None" = None,
+        file_rules: "frozenset[str] | None" = None,
+        package_rules: "frozenset[str] | None" = None,
+    ):
+        self._line_rules: dict[int, set[str]] = {
+            line: set(rules) for line, rules in (line_rules or {}).items()
+        }
+        self.file_rules = frozenset(file_rules or ())
+        self.package_rules = frozenset(package_rules or ())
+        self._used: set[str] = set()
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        line_rules: dict[int, set[str]] = {}
+        file_rules: set[str] = set()
+        package_rules: set[str] = set()
+        for kind, line, rules in parse_directives(source):
+            if kind == "disable":
+                line_rules.setdefault(line, set()).update(rules)
+            elif kind == "disable-next-line":
+                line_rules.setdefault(line + 1, set()).update(rules)
+            elif kind == "disable-file":
+                file_rules.update(rules)
+            else:  # disable-package; only honoured for __init__.py by the runner
+                package_rules.update(rules)
+        return cls(
+            {line: frozenset(rules) for line, rules in line_rules.items()},
+            frozenset(file_rules),
+            frozenset(package_rules),
+        )
+
+    def add_package_rules(self, rules: frozenset[str]) -> None:
+        """Fold in suppressions inherited from enclosing packages."""
+        self.package_rules = self.package_rules | rules
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if finding.rule in self.file_rules or finding.rule in self.package_rules:
+            self._used.add(finding.rule)
+            return True
+        rules = self._line_rules.get(finding.line, ())
+        if finding.rule in rules:
+            self._used.add(finding.rule)
+            return True
+        return False
+
+    @property
+    def used_rules(self) -> frozenset[str]:
+        """Rules that actually suppressed at least one finding."""
+        return frozenset(self._used)

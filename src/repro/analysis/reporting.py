@@ -1,0 +1,60 @@
+"""Rendering lint reports as human text or machine-stable JSON.
+
+The JSON form is a contract: findings are sorted (path, line, column,
+rule), keys are emitted in sorted order, and no timestamps or absolute
+machine state leak in — identical trees produce byte-identical output,
+so CI can diff reports across runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.framework import Severity
+from repro.analysis.runner import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """A compact, grep-friendly text report."""
+    lines = [finding.format() for finding in report.findings]
+    errors = report.count(Severity.ERROR)
+    warnings = report.count(Severity.WARNING)
+    if report.findings:
+        lines.append(
+            f"{len(report.findings)} finding(s) ({errors} error(s), "
+            f"{warnings} warning(s)) in {report.files_checked} file(s); "
+            f"{report.suppressed_count} suppressed"
+        )
+    else:
+        lines.append(
+            f"clean: {report.files_checked} file(s), "
+            f"{report.suppressed_count} finding(s) suppressed"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The machine-readable report; stable across runs on identical input."""
+    payload = {
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column,
+                "rule": finding.rule,
+                "severity": str(finding.severity),
+                "message": finding.message,
+            }
+            for finding in sorted(report.findings)
+        ],
+        "summary": {
+            "errors": report.count(Severity.ERROR),
+            "warnings": report.count(Severity.WARNING),
+            "files_checked": report.files_checked,
+            "suppressed": report.suppressed_count,
+            "total": len(report.findings),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,82 @@
+"""The qpiadlint rule registry.
+
+Rules are registered here in the order reports list them.  Adding a rule:
+implement it in a module under this package, import it, append the class
+to :data:`ALL_RULES`, and document it in ``docs/linting.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.framework import LintConfigError, Rule
+from repro.analysis.rules.determinism import UnseededRngRule
+from repro.analysis.rules.hygiene import (
+    BannedImportRule,
+    BareExceptRule,
+    MutableDefaultArgRule,
+    NaiveFloatEqualityRule,
+)
+from repro.analysis.rules.mediator import RawRelationAccessRule
+from repro.analysis.rules.null_semantics import (
+    NullCompareRule,
+    NullInPredicateLiteralRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "default_rules",
+    "rule_ids",
+    "select_rules",
+    "NullCompareRule",
+    "NullInPredicateLiteralRule",
+    "RawRelationAccessRule",
+    "UnseededRngRule",
+    "BannedImportRule",
+    "MutableDefaultArgRule",
+    "BareExceptRule",
+    "NaiveFloatEqualityRule",
+]
+
+#: Every registered rule class, in reporting order.
+ALL_RULES: "tuple[type[Rule], ...]" = (
+    NullCompareRule,
+    NullInPredicateLiteralRule,
+    RawRelationAccessRule,
+    UnseededRngRule,
+    BannedImportRule,
+    MutableDefaultArgRule,
+    BareExceptRule,
+    NaiveFloatEqualityRule,
+)
+
+
+def default_rules() -> "list[Rule]":
+    """One instance of every registered rule."""
+    return [rule() for rule in ALL_RULES]
+
+
+def rule_ids() -> "tuple[str, ...]":
+    return tuple(rule.id for rule in ALL_RULES)
+
+
+def select_rules(
+    select: "tuple[str, ...] | None" = None,
+    ignore: "tuple[str, ...] | None" = None,
+) -> "list[Rule]":
+    """Instantiate the registered rules, filtered by id.
+
+    ``select`` keeps only the named rules; ``ignore`` drops the named ones.
+    Unknown ids raise :class:`LintConfigError` so typos cannot silently
+    disable a check.
+    """
+    known = set(rule_ids())
+    for name in (*(select or ()), *(ignore or ())):
+        if name not in known:
+            raise LintConfigError(
+                f"unknown rule {name!r}; known rules: {', '.join(sorted(known))}"
+            )
+    rules = default_rules()
+    if select:
+        rules = [rule for rule in rules if rule.id in select]
+    if ignore:
+        rules = [rule for rule in rules if rule.id not in ignore]
+    return rules

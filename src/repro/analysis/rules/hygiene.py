@@ -1,0 +1,180 @@
+"""General code-hygiene rules with QPIAD-specific rationales.
+
+These are the checks whose violations historically produce the subtlest
+reproduction bugs: a dependency that smuggles in different NULL handling,
+a mutable default that leaks state between queries, a swallowed exception
+that hides a budget violation, a float equality that makes a paper metric
+flap across platforms.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, Severity
+
+__all__ = [
+    "BannedImportRule",
+    "MutableDefaultArgRule",
+    "BareExceptRule",
+    "NaiveFloatEqualityRule",
+]
+
+#: Top-level distributions DESIGN.md's from-scratch constraint forbids.
+BANNED_MODULES = frozenset({"pandas", "sklearn", "scipy"})
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "Counter", "defaultdict", "deque"})
+
+#: Module-name fragments that mark metrics / estimator code.
+_METRIC_MODULE_HINTS = ("evaluation", "metrics", "selectivity", "stats", "estimat")
+
+
+class BannedImportRule(Rule):
+    """Flag imports of pandas / sklearn / scipy."""
+
+    id = "banned-import"
+    severity = Severity.ERROR
+    description = "pandas/sklearn/scipy are banned (from-scratch constraint)"
+    rationale = (
+        "DESIGN.md §1: everything is implemented from scratch (numpy only where "
+        "it genuinely helps).  Heavy frameworks bring their own NaN/NULL "
+        "semantics, which would silently diverge from the paper's Definition 2."
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root in BANNED_MODULES:
+                        yield self.finding(
+                            context, node,
+                            f"import of banned dependency {root!r}; this repo is "
+                            "from-scratch by design (see DESIGN.md)",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".", 1)[0]
+                if root in BANNED_MODULES:
+                    yield self.finding(
+                        context, node,
+                        f"import from banned dependency {root!r}; this repo is "
+                        "from-scratch by design (see DESIGN.md)",
+                    )
+
+
+class MutableDefaultArgRule(Rule):
+    """Flag mutable default argument values."""
+
+    id = "mutable-default-arg"
+    severity = Severity.WARNING
+    description = "default argument values must be immutable"
+    rationale = (
+        "A mutable default is shared across every call; in a long-lived "
+        "mediator serving many queries, state leaking between requests "
+        "corrupts rankings non-deterministically."
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for default in [*node.args.defaults, *node.args.kw_defaults]:
+                if default is None:
+                    continue
+                if self._is_mutable_literal(default):
+                    yield self.finding(
+                        context, default,
+                        f"mutable default argument in {node.name}(); use None "
+                        "and create the value inside the function",
+                    )
+
+    @staticmethod
+    def _is_mutable_literal(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                             ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS
+        )
+
+
+class BareExceptRule(Rule):
+    """Flag bare ``except:`` and silently swallowed broad exceptions."""
+
+    id = "bare-except"
+    severity = Severity.WARNING
+    description = "no bare except; no 'except Exception: pass'"
+    rationale = (
+        "The error taxonomy (QueryBudgetExceededError, NullBindingError, ...) "
+        "encodes source-autonomy violations; swallowing them broadly hides "
+        "exactly the failures the capability model exists to surface."
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    context, node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt too; "
+                    "name the exception (see repro.errors)",
+                )
+                continue
+            broad = (
+                isinstance(node.type, ast.Name)
+                and node.type.id in ("Exception", "BaseException")
+            )
+            swallows = len(node.body) == 1 and isinstance(
+                node.body[0], (ast.Pass, ast.Continue)
+            )
+            if broad and swallows:
+                yield self.finding(
+                    context, node,
+                    f"'except {node.type.id}' that silently swallows; catch the "
+                    "specific repro.errors type or handle the failure",
+                )
+
+
+class NaiveFloatEqualityRule(Rule):
+    """Flag ==/!= against float literals in metrics / estimator code."""
+
+    id = "naive-float-equality"
+    severity = Severity.WARNING
+    description = "metrics/estimator code must not compare floats with ==/!="
+    rationale = (
+        "Precision, recall, F-measure and selectivity values are accumulated "
+        "floating point; exact comparison makes the reproduced figures "
+        "platform- and summation-order-dependent.  Use math.isclose or an "
+        "explicit tolerance."
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not self._in_scope(context.module):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_float_literal(left) or self._is_float_literal(right):
+                    yield self.finding(
+                        context, node,
+                        "float literal compared with ==/!= in metrics code; use "
+                        "math.isclose or an explicit tolerance",
+                    )
+
+    @staticmethod
+    def _in_scope(module: str) -> bool:
+        return any(hint in module for hint in _METRIC_MODULE_HINTS)
+
+    @staticmethod
+    def _is_float_literal(node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            node = node.operand
+        return isinstance(node, ast.Constant) and isinstance(node.value, float)

@@ -1,0 +1,98 @@
+"""Rule enforcing the mediator's autonomy discipline (paper §1, Fig. 1).
+
+QPIAD is *non-intrusive*: the mediator may never modify — or even directly
+read — an autonomous source's base data.  In this codebase the only
+sanctioned gateway is :class:`repro.sources.AutonomousSource`, which
+enforces web-form capabilities, query budgets and result caps.  Mediator
+layers (``repro.core``, ``repro.query``, ``repro.rewriting``) that
+construct :class:`Relation` objects from raw rows, reach into a relation's
+``.rows`` storage, or read base data straight off disk are bypassing that
+gateway, and with it every constraint the paper is built around.
+
+Result-set *assembly* (building a relation to hand answers back to the
+caller) is legitimate; such sites carry a rule-specific suppression with a
+justification, keeping every exemption reviewable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, Severity
+
+__all__ = ["RawRelationAccessRule"]
+
+#: Dotted package prefixes that constitute "mediator-side" code.
+MEDIATOR_PACKAGES = ("repro.core", "repro.query", "repro.rewriting")
+
+#: Loader callables that read base data from outside any source gateway.
+_DIRECT_LOADERS = frozenset({"read_csv"})
+
+
+class RawRelationAccessRule(Rule):
+    """Flag mediator-layer code touching base relations behind the source's back."""
+
+    id = "raw-relation-access"
+    severity = Severity.ERROR
+    description = (
+        "mediator layers must reach data through AutonomousSource, not by "
+        "constructing Relations, reading .rows, or loading CSVs directly"
+    )
+    rationale = (
+        "The autonomy constraint (paper §1): sources cannot be modified and are "
+        "reachable only through their restricted web-form interface.  Direct "
+        "Relation access in rewriting/mediation code silently skips capability "
+        "checks, query budgets and access statistics."
+    )
+
+    def __init__(self, packages: "tuple[str, ...]" = MEDIATOR_PACKAGES):
+        self.packages = packages
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.in_package(*self.packages):
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                name = self._callable_name(node.func)
+                if name == "Relation":
+                    yield self.finding(
+                        context,
+                        node,
+                        "constructs a Relation directly in a mediator layer; go "
+                        "through AutonomousSource (or suppress for result assembly)",
+                    )
+                elif name in _DIRECT_LOADERS:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"{name}() loads base data from disk, bypassing the "
+                        "source gateway and its capability checks",
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr == "rows":
+                if isinstance(node.value, ast.Name) and node.value.id == "self":
+                    continue  # an object's own attribute, not a Relation bypass
+                yield self.finding(
+                    context,
+                    node,
+                    "reads .rows storage directly; iterate the relation or use "
+                    "its public accessors so access stays observable",
+                )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.startswith("repro.relational"):
+                    for alias in node.names:
+                        if alias.name in _DIRECT_LOADERS:
+                            yield self.finding(
+                                context,
+                                node,
+                                f"imports {alias.name} into a mediator layer; "
+                                "base data must arrive via AutonomousSource",
+                            )
+
+    @staticmethod
+    def _callable_name(func: ast.AST) -> "str | None":
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None

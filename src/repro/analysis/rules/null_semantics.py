@@ -1,0 +1,181 @@
+"""Rules enforcing the repo's SQL NULL semantics (paper §2, Definition 2).
+
+Database NULLs are modelled by the :data:`repro.relational.values.NULL`
+singleton precisely so that ``NULL == NULL`` is false.  Code that compares
+tuple-sourced values with ``==``/``!=`` against ``NULL``, or with
+``is None`` (a database NULL is *never* ``None`` — ingestion coerces), is
+either dead or silently treating missing values as present.  These rules
+catch both shapes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, Severity
+
+__all__ = ["NullCompareRule", "NullInPredicateLiteralRule"]
+
+#: Variable base names treated as "a tuple read out of a relation".
+_ROWISH_NAMES = frozenset({"row", "rows", "tup", "tuple_", "record", "values"})
+
+#: Predicate constructors whose *value* operands bind against source data.
+_PREDICATE_CALLS = frozenset({"Equals", "NotEquals", "Between", "Comparison", "OneOf"})
+
+
+def _is_null_name(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id == "NULL"
+
+
+def _is_none_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _is_rowish_name(name: str) -> bool:
+    lowered = name.lower()
+    return lowered in _ROWISH_NAMES or lowered.endswith("_row") or lowered.startswith("row_")
+
+
+def _is_rowish_subscript(node: ast.AST) -> bool:
+    """``row[i]`` / ``left_row[idx]`` — an indexed read out of a tuple."""
+    return (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and _is_rowish_name(node.value.id)
+    )
+
+
+def _scopes(tree: ast.Module) -> "list[ast.AST]":
+    """Every binding scope: the module plus each (async) function."""
+    return [
+        tree,
+        *[
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ],
+    ]
+
+
+def _local_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Nodes belonging to *scope* without descending into nested functions."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _row_bound_names(scope: ast.AST) -> "set[str]":
+    """Names assigned from row subscripts (``value = row[i]``) within *scope*."""
+    bound: set[str] = set()
+    for node in _local_nodes(scope):
+        if isinstance(node, ast.Assign) and _is_rowish_subscript(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+    return bound
+
+
+class NullCompareRule(Rule):
+    """Flag equality tests that can never (or wrongly) match a database NULL."""
+
+    id = "null-compare"
+    severity = Severity.ERROR
+    description = (
+        "tuple values must be tested with is_null(), never ==/!= NULL or 'is None'"
+    )
+    rationale = (
+        "NULL == NULL is false under SQL three-valued semantics (paper §2), so an "
+        "==/!= comparison against NULL is dead code; and database NULLs are the "
+        "NULL singleton, never None, so 'is None' on a tuple-sourced value always "
+        "misses real missing values."
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for scope in _scopes(context.tree):
+            bound = _row_bound_names(scope)
+            for node in _local_nodes(scope):
+                if not isinstance(node, ast.Compare):
+                    continue
+                operands = [node.left, *node.comparators]
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                        _is_null_name(left) or _is_null_name(right)
+                    ):
+                        yield self.finding(
+                            context,
+                            node,
+                            "comparison against NULL with ==/!= is always false "
+                            "(SQL semantics); use is_null(value)",
+                        )
+                        continue
+                    if not isinstance(op, (ast.Is, ast.IsNot, ast.Eq, ast.NotEq)):
+                        continue
+                    if _is_none_constant(right):
+                        tested = left
+                    elif _is_none_constant(left):
+                        tested = right
+                    else:
+                        continue
+                    if _is_rowish_subscript(tested) or (
+                        isinstance(tested, ast.Name) and tested.id in bound
+                    ):
+                        yield self.finding(
+                            context,
+                            node,
+                            "tuple-sourced value tested with None; database NULLs "
+                            "are the NULL singleton — use is_null(value)",
+                        )
+
+
+class NullInPredicateLiteralRule(Rule):
+    """Flag query predicates constructed with a literal NULL/None bound value."""
+
+    id = "null-in-predicate-literal"
+    severity = Severity.ERROR
+    description = "query predicates must not bind a NULL/None literal"
+    rationale = (
+        "Autonomous web sources cannot bind NULL in a query (paper §1); a "
+        "predicate built over a NULL literal is unissuable and QPIAD exists "
+        "precisely to avoid needing it — retrieve possible answers via "
+        "rewriting instead."
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._callable_name(node.func)
+            if name not in _PREDICATE_CALLS and name != "equals":
+                continue
+            for argument in [*node.args, *[kw.value for kw in node.keywords]]:
+                if self._contains_null_literal(argument):
+                    yield self.finding(
+                        context,
+                        node,
+                        f"{name}(...) built with a NULL/None literal; autonomous "
+                        "sources cannot bind NULL — use possible-answer retrieval",
+                    )
+                    break
+
+    @staticmethod
+    def _callable_name(func: ast.AST) -> "str | None":
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    @staticmethod
+    def _contains_null_literal(node: ast.AST) -> bool:
+        if _is_none_constant(node) or _is_null_name(node):
+            return True
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            return any(
+                _is_none_constant(element) or _is_null_name(element)
+                for element in node.elts
+            )
+        return False

@@ -1,0 +1,143 @@
+"""Discovering, parsing and linting modules; aggregating a report.
+
+The runner maps files to dotted module names by walking up through
+``__init__.py``-bearing directories, so package-scoped rules (e.g.
+``raw-relation-access`` over ``repro.core``) see the same names imports
+use.  Package-level suppressions declared in an ``__init__.py`` apply to
+every module beneath it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.framework import (
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+    parse_directives,
+)
+
+__all__ = ["LintReport", "lint_paths", "lint_context", "iter_python_files", "module_name_for"]
+
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv", "build", "dist"})
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: "list[Finding]" = field(default_factory=list)
+    suppressed_count: int = 0
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for finding in self.findings if finding.severity is severity)
+
+    def merge(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed_count += other.suppressed_count
+        self.files_checked += other.files_checked
+
+    def sort(self) -> None:
+        self.findings.sort()
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under *paths*, deterministically ordered."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if not any(part in _SKIPPED_DIRS for part in candidate.parts):
+                yield candidate
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name of *path*, derived from the package tree."""
+    path = path.resolve()
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if path.name == "__init__.py":
+        parts = parts[1:] or [path.parent.name]
+    return ".".join(reversed(parts))
+
+
+def _package_suppressions(path: Path, cache: "dict[Path, frozenset[str]]") -> frozenset[str]:
+    """Union of disable-package rules from every enclosing ``__init__.py``."""
+    rules: set[str] = set()
+    parent = path.resolve().parent
+    while (parent / "__init__.py").exists():
+        if parent not in cache:
+            collected: set[str] = set()
+            source = (parent / "__init__.py").read_text(encoding="utf-8")
+            for kind, __, names in parse_directives(source):
+                if kind == "disable-package":
+                    collected.update(names)
+            cache[parent] = frozenset(collected)
+        rules.update(cache[parent])
+        parent = parent.parent
+    return frozenset(rules)
+
+
+def lint_context(context: ModuleContext, rules: Iterable[Rule]) -> LintReport:
+    """Run *rules* over one parsed module, honouring its suppressions."""
+    report = LintReport(files_checked=1)
+    for rule in rules:
+        for finding in rule.check(context):
+            if context.suppressions.is_suppressed(finding):
+                report.suppressed_count += 1
+            else:
+                report.findings.append(finding)
+    report.sort()
+    return report
+
+
+def lint_paths(
+    paths: Sequence["Path | str"], rules: "Iterable[Rule] | None" = None
+) -> LintReport:
+    """Lint every Python file under *paths* and return the merged report.
+
+    Files that fail to parse contribute a ``parse-error`` finding rather
+    than aborting the run, so one broken file cannot mask findings in the
+    rest of the tree.
+    """
+    from repro.analysis.rules import default_rules
+
+    active = list(rules) if rules is not None else default_rules()
+    report = LintReport()
+    package_cache: "dict[Path, frozenset[str]]" = {}
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        try:
+            context = ModuleContext.from_file(file_path, module_name_for(file_path))
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    path=str(file_path),
+                    line=exc.lineno or 1,
+                    column=(exc.offset or 0) + 1,
+                    rule="parse-error",
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            report.files_checked += 1
+            continue
+        context.suppressions.add_package_rules(
+            _package_suppressions(file_path, package_cache)
+        )
+        report.merge(lint_context(context, active))
+    report.sort()
+    return report

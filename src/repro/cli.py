@@ -11,6 +11,8 @@ Installed as ``qpiad``.  Subcommands mirror the mediator's life cycle:
 * ``qpiad shell cars.csv`` — interactive session with explanations (§6.1)
 * ``qpiad report`` — compact reproduction of the headline results
 * ``qpiad demo`` — a self-contained end-to-end run
+* ``qpiad lint [paths]`` — static domain-invariant checks (NULL semantics,
+  mediator discipline, seeded RNGs; see ``docs/linting.md``)
 
 ``--where`` accepts ``attr=value`` (equality) and ``attr=low..high``
 (inclusive range); repeat it for conjunctions.  Values are parsed as numbers
@@ -129,6 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="self-contained end-to-end demonstration")
     demo.add_argument("--size", type=int, default=4000)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run qpiadlint: AST checks of the repo's domain invariants "
+        "(NULL semantics, AutonomousSource discipline, seeded RNGs)",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -288,7 +299,8 @@ def _cmd_demo(args) -> int:
     print(f"{len(result.ranked)} ranked possible answers; top 5 with ground truth:")
     for answer in result.top(5):
         relevant = env.oracle.is_relevant(answer.row, query)
-        print(f"  conf={answer.confidence:.3f}  truth={'✓' if relevant else '✗'}  {answer.row}")
+        mark = "✓" if relevant else "✗"
+        print(f"  conf={answer.confidence:.3f}  truth={mark}  {answer.row}")
     return 0
 
 
@@ -307,6 +319,12 @@ def _cmd_shell(args) -> int:
     return run_shell(args.data, args.kb)
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -317,6 +335,7 @@ _COMMANDS = {
     "shell": _cmd_shell,
     "report": _cmd_report,
     "demo": _cmd_demo,
+    "lint": _cmd_lint,
 }
 
 

@@ -144,7 +144,7 @@ class AggregateProcessor:
             return result
 
         ordered = order_rewritten_queries(candidates, self.alpha, self.k)
-        seen_rows = set(base_set.rows)
+        seen_rows = set(base_set)
         schema = self.source.schema
 
         for rewritten in ordered:
@@ -169,7 +169,9 @@ class AggregateProcessor:
             seen_rows.update(rows)
             result.included_queries += 1
             result.possible_count += len(rows)
-            partial = Relation(schema, rows)
+            # Re-wrapping rows the source already shipped so the accumulator
+            # can reuse the relation API; not a base-data bypass.
+            partial = Relation(schema, rows)  # qpiadlint: disable=raw-relation-access
             self._accumulate(predicted_acc, aggregate, partial, predict=True, weight=weight)
 
         result.predicted_value = predicted_acc.value()

@@ -136,7 +136,11 @@ class CorrelatedSourceMediator:
         from repro.relational.relation import Relation
 
         result = QueryResult(
-            query=query, certain=Relation(target.schema, []), stats=stats
+            query=query,
+            # An empty placeholder result, not base data: the target source
+            # cannot answer the query at all (that is the point of §4.3).
+            certain=Relation(target.schema, []),  # qpiadlint: disable=raw-relation-access
+            stats=stats,
         )
 
         try:

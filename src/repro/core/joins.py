@@ -166,7 +166,13 @@ class JoinProcessor:
         for pair in pairs:
             recall = est_sels[id(pair)] / total if total > 0 else 0.0
             scored.append((f_measure(pair.precision, recall, self.config.alpha), pair))
-        scored.sort(key=lambda item: (-item[0], -item[1].precision, repr(item[1].left.query) + repr(item[1].right.query)))
+        scored.sort(
+            key=lambda item: (
+                -item[0],
+                -item[1].precision,
+                repr(item[1].left.query) + repr(item[1].right.query),
+            )
+        )
         selected = [pair for __, pair in scored[: self.config.k_pairs]]
         result.pairs_issued = len(selected)
 
@@ -264,7 +270,7 @@ class JoinProcessor:
         """
         results: dict[SelectionQuery, list[tuple[Row, float]]] = {}
         schema = source.schema
-        base_rows = set(base_set.rows)
+        base_rows = set(base_set)
         for side in sides:
             if side.query in results:
                 continue

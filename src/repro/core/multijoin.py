@@ -87,9 +87,14 @@ class MultiJoinResult:
 
 @dataclass(frozen=True)
 class _Partial:
-    """A partially joined tuple flowing through the fold."""
+    """A partially joined tuple flowing through the fold.
 
-    rows: tuple[Row, ...]
+    The per-step tuples live in ``row_chain`` (not ``rows``) to keep the
+    name distinct from :attr:`Relation.rows` — partials are mediator-side
+    bookkeeping, never relation storage.
+    """
+
+    row_chain: tuple[Row, ...]
     confidence: float
     certain: bool
     link_values: dict  # attribute name (step<i>.<name>) -> value
@@ -117,7 +122,7 @@ class MultiJoinProcessor:
             partials = self._fold(partials, step, index, result)
 
         answers = [
-            MultiJoinedAnswer(p.rows, 1.0 if p.certain else p.confidence, p.certain)
+            MultiJoinedAnswer(p.row_chain, 1.0 if p.certain else p.confidence, p.certain)
             for p in partials
         ]
         answers.sort(key=lambda a: (not a.certain, -a.confidence))
@@ -192,7 +197,7 @@ class MultiJoinProcessor:
                 )
                 joined.append(
                     _Partial(
-                        partial.rows + (row,),
+                        partial.row_chain + (row,),
                         partial.confidence * confidence * probability,
                         partial.certain and certain and probability == 1.0,
                         link_values,

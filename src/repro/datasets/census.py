@@ -63,7 +63,9 @@ _ALL_OCCUPATIONS = tuple(
 def _relationship(rng: random.Random, age: int, marital: str, sex: str, fidelity: float) -> str:
     """The planted rule for the paper's "Family Relation" attribute."""
     if rng.random() >= fidelity:
-        return rng.choice(("Own-child", "Husband", "Wife", "Not-in-family", "Unmarried", "Other-relative"))
+        return rng.choice(
+            ("Own-child", "Husband", "Wife", "Not-in-family", "Unmarried", "Other-relative")
+        )
     if marital == "Married":
         return "Husband" if sex == "Male" else "Wife"
     if marital == "Never-married":
@@ -113,6 +115,7 @@ def generate_census(size: int, seed: int = 11, fidelity: float = 0.9) -> Relatio
         country = rng.choices(_COUNTRIES, weights=(12, 1, 0.5, 0.4, 0.5, 0.6), k=1)[0]
 
         rows.append(
-            (age, workclass, education, marital, occupation, relationship, race, sex, hours, country)
+            (age, workclass, education, marital, occupation, relationship,
+             race, sex, hours, country)
         )
     return Relation(CENSUS_SCHEMA, rows)

@@ -128,6 +128,13 @@ def aggregate_accuracy(true_value: float | None, measured: float | None) -> floa
 
     Degenerate cases: both missing → 1.0 (vacuously exact); one missing or a
     zero true value with a nonzero measurement → 0.0; clamped at 0.
+
+    NULL-audit note (qpiadlint): the ``is None`` tests below are correct as
+    written.  Both operands are *computed aggregates* —
+    :meth:`AggregateFunction.compute` returns the Python ``None`` sentinel
+    for an empty input — and can never be tuple-sourced database NULLs,
+    which ingestion coerces to the :data:`~repro.relational.values.NULL`
+    singleton before any aggregation runs.
     """
     if true_value is None and measured is None:
         return 1.0

@@ -180,7 +180,9 @@ class Discretizer:
         index = max(0, min(index, len(bounds) - 2))
         return bounds[index], bounds[index + 1]
 
-    def transform(self, relation: Relation, exclude: "set[str] | frozenset[str]" = frozenset()) -> Relation:
+    def transform(
+        self, relation: Relation, exclude: "set[str] | frozenset[str]" = frozenset()
+    ) -> Relation:
         """A relation with every covered numeric column bucketed.
 
         Bucketed attributes become categorical in the result schema.

@@ -22,11 +22,15 @@ the standard closed-world choice for finite enumeration.
 
 from __future__ import annotations
 
+# First-principles semantics used to *validate* the executor; it must
+# quantify over relations directly and never runs inside the mediator path.
+# qpiadlint: disable-file=raw-relation-access
+
 from itertools import product
 from typing import Iterator, Sequence
 
 from repro.errors import QpiadError
-from repro.query.query import SelectionQuery
+from repro.query.query import AggregateQuery, SelectionQuery
 from repro.relational.relation import Relation, Row
 from repro.relational.values import is_null
 
@@ -164,7 +168,7 @@ def is_possible_answer(
     )
 
 
-def aggregate_bounds(aggregate, relation: Relation) -> tuple[float, float]:
+def aggregate_bounds(aggregate: "AggregateQuery", relation: Relation) -> tuple[float, float]:
     """Tight COUNT/SUM bounds over all completions of *relation*.
 
     The possible-worlds view of aggregation: every completion of the

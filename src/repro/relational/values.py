@@ -52,7 +52,7 @@ class NullValue:
     def __lt__(self, other: object) -> bool:
         return NotImplemented
 
-    def __reduce__(self):
+    def __reduce__(self) -> "tuple[type[NullValue], tuple]":
         # Preserve the singleton across pickling.
         return (NullValue, ())
 

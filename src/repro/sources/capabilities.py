@@ -59,7 +59,9 @@ class SourceCapabilities:
         return self.queryable_attributes is None or attribute in self.queryable_attributes
 
     @classmethod
-    def web_form(cls, max_results: int | None = None, query_budget: int | None = None) -> "SourceCapabilities":
+    def web_form(
+        cls, max_results: int | None = None, query_budget: int | None = None
+    ) -> "SourceCapabilities":
         """The typical restricted web-form interface (no NULL binding)."""
         return cls(
             allows_null_binding=False,

@@ -1,0 +1,36 @@
+"""Shared helpers for the qpiadlint test suite."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import ModuleContext, Rule, lint_context
+from repro.analysis.runner import LintReport
+
+
+def lint_source(
+    rule: Rule, source: str, module: str = "repro.core.example", path: str = "example.py"
+) -> LintReport:
+    """Run one rule over a dedented source snippet."""
+    context = ModuleContext.from_source(
+        textwrap.dedent(source), path=path, module=module
+    )
+    return lint_context(context, [rule])
+
+
+@pytest.fixture()
+def check():
+    """``check(rule, source, ...)`` returning the list of findings."""
+
+    def run(rule, source, module="repro.core.example", path="example.py"):
+        return lint_source(rule, source, module=module, path=path).findings
+
+    return run
+
+
+@pytest.fixture()
+def report():
+    """``report(rule, source, ...)`` returning the full LintReport."""
+    return lint_source

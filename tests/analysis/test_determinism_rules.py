@@ -1,0 +1,115 @@
+"""Tests for the reproducibility rule (unseeded-rng)."""
+
+from repro.analysis.rules.determinism import UnseededRngRule
+
+
+class TestUnseededRng:
+    rule = UnseededRngRule()
+
+    # -- positives ---------------------------------------------------------
+
+    def test_flags_module_level_random_functions(self, check):
+        findings = check(
+            self.rule,
+            """
+            import random
+
+            value = random.random()
+            pick = random.choice(items)
+            """,
+        )
+        assert len(findings) == 2
+        assert all(f.rule == "unseeded-rng" for f in findings)
+
+    def test_flags_unseeded_random_constructor(self, check):
+        findings = check(
+            self.rule,
+            """
+            import random
+
+            rng = random.Random()
+            """,
+        )
+        assert len(findings) == 1
+        assert "seed" in findings[0].message
+
+    def test_flags_numpy_global_rng(self, check):
+        findings = check(
+            self.rule,
+            """
+            import numpy as np
+
+            noise = np.random.rand(10)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_flags_unseeded_default_rng(self, check):
+        findings = check(
+            self.rule,
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_flags_bare_imported_shuffle(self, check):
+        findings = check(
+            self.rule,
+            """
+            from random import shuffle
+
+            shuffle(items)
+            """,
+        )
+        assert len(findings) == 1
+
+    # -- negatives ---------------------------------------------------------
+
+    def test_seeded_generators_are_clean(self, check):
+        assert (
+            check(
+                self.rule,
+                """
+                import random
+                import numpy as np
+
+                rng = random.Random(17)
+                nprng = np.random.default_rng(seed=17)
+                draws = rng.random()
+                """,
+            )
+            == []
+        )
+
+    def test_unrelated_attribute_named_random_is_clean(self, check):
+        assert check(self.rule, "value = strategy.random()\n") == []
+
+    def test_system_random_is_exempt(self, check):
+        assert (
+            check(
+                self.rule,
+                """
+                import random
+
+                token_rng = random.SystemRandom()
+                """,
+            )
+            == []
+        )
+
+    # -- suppression -------------------------------------------------------
+
+    def test_line_suppression(self, report):
+        result = report(
+            self.rule,
+            """
+            import random
+
+            value = random.random()  # qpiadlint: disable=unseeded-rng
+            """,
+        )
+        assert result.findings == []
+        assert result.suppressed_count == 1

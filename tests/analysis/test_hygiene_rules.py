@@ -1,0 +1,214 @@
+"""Tests for the hygiene rules: banned-import, mutable-default-arg,
+bare-except, naive-float-equality."""
+
+from repro.analysis import Severity
+from repro.analysis.rules.hygiene import (
+    BannedImportRule,
+    BareExceptRule,
+    MutableDefaultArgRule,
+    NaiveFloatEqualityRule,
+)
+
+
+class TestBannedImport:
+    rule = BannedImportRule()
+
+    def test_flags_plain_import(self, check):
+        findings = check(self.rule, "import pandas\n")
+        assert [f.rule for f in findings] == ["banned-import"]
+
+    def test_flags_submodule_and_from_imports(self, check):
+        findings = check(
+            self.rule,
+            """
+            import scipy.stats
+            from sklearn.naive_bayes import GaussianNB
+            """,
+        )
+        assert len(findings) == 2
+
+    def test_allowed_imports_are_clean(self, check):
+        assert (
+            check(
+                self.rule,
+                """
+                import numpy as np
+                from repro.relational import Relation
+                """,
+            )
+            == []
+        )
+
+    def test_file_suppression(self, report):
+        result = report(
+            self.rule,
+            """
+            # qpiadlint: disable-file=banned-import
+            import pandas
+            import scipy
+            """,
+        )
+        assert result.findings == []
+        assert result.suppressed_count == 2
+
+
+class TestMutableDefaultArg:
+    rule = MutableDefaultArgRule()
+
+    def test_flags_list_literal_default(self, check):
+        findings = check(self.rule, "def f(items=[]):\n    return items\n")
+        assert [f.rule for f in findings] == ["mutable-default-arg"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_flags_dict_call_and_kwonly_default(self, check):
+        findings = check(
+            self.rule,
+            """
+            def f(cache=dict(), *, seen={"x"}):
+                return cache, seen
+            """,
+        )
+        assert len(findings) == 2
+
+    def test_immutable_defaults_are_clean(self, check):
+        assert (
+            check(
+                self.rule,
+                """
+                def f(limit=10, name="k", items=None, pair=(1, 2)):
+                    return limit
+                """,
+            )
+            == []
+        )
+
+    def test_line_suppression(self, report):
+        result = report(
+            self.rule,
+            "def f(items=[]):  # qpiadlint: disable=mutable-default-arg\n    return items\n",
+        )
+        assert result.findings == []
+        assert result.suppressed_count == 1
+
+
+class TestBareExcept:
+    rule = BareExceptRule()
+
+    def test_flags_bare_except(self, check):
+        findings = check(
+            self.rule,
+            """
+            try:
+                probe()
+            except:
+                pass
+            """,
+        )
+        assert [f.rule for f in findings] == ["bare-except"]
+
+    def test_flags_swallowed_broad_exception(self, check):
+        findings = check(
+            self.rule,
+            """
+            for source in sources:
+                try:
+                    source.query(q)
+                except Exception:
+                    continue
+            """,
+        )
+        assert len(findings) == 1
+        assert "swallows" in findings[0].message
+
+    def test_specific_handler_is_clean(self, check):
+        assert (
+            check(
+                self.rule,
+                """
+                try:
+                    probe()
+                except QueryBudgetExceededError:
+                    pass
+                """,
+            )
+            == []
+        )
+
+    def test_broad_handler_that_acts_is_clean(self, check):
+        assert (
+            check(
+                self.rule,
+                """
+                try:
+                    probe()
+                except Exception as exc:
+                    log(exc)
+                    raise
+                """,
+            )
+            == []
+        )
+
+    def test_next_line_suppression(self, report):
+        result = report(
+            self.rule,
+            """
+            try:
+                probe()
+            # qpiadlint: disable-next-line=bare-except
+            except:
+                pass
+            """,
+        )
+        assert result.findings == []
+        assert result.suppressed_count == 1
+
+
+class TestNaiveFloatEquality:
+    rule = NaiveFloatEqualityRule()
+
+    def test_flags_float_literal_comparison_in_metrics(self, check):
+        findings = check(
+            self.rule,
+            "hit = precision == 1.0\n",
+            module="repro.evaluation.metrics",
+        )
+        assert [f.rule for f in findings] == ["naive-float-equality"]
+        assert "isclose" in findings[0].message
+
+    def test_flags_negative_float_inequality_in_estimator(self, check):
+        findings = check(
+            self.rule,
+            "bad = delta != -0.5\n",
+            module="repro.query.selectivity",
+        )
+        assert len(findings) == 1
+
+    def test_non_metric_module_is_out_of_scope(self, check):
+        assert (
+            check(
+                self.rule,
+                "hit = precision == 1.0\n",
+                module="repro.core.qpiad",
+            )
+            == []
+        )
+
+    def test_integer_comparison_is_clean(self, check):
+        assert (
+            check(
+                self.rule,
+                "done = count == 0\n",
+                module="repro.evaluation.metrics",
+            )
+            == []
+        )
+
+    def test_line_suppression(self, report):
+        result = report(
+            self.rule,
+            "hit = score == 0.5  # qpiadlint: disable=naive-float-equality\n",
+            module="repro.evaluation.metrics",
+        )
+        assert result.findings == []
+        assert result.suppressed_count == 1

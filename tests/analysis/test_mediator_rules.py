@@ -1,0 +1,76 @@
+"""Tests for the mediator autonomy rule (raw-relation-access)."""
+
+from repro.analysis.rules.mediator import RawRelationAccessRule
+
+
+class TestRawRelationAccess:
+    rule = RawRelationAccessRule()
+
+    # -- positives ---------------------------------------------------------
+
+    def test_flags_relation_construction_in_core(self, check):
+        findings = check(
+            self.rule,
+            "result = Relation(schema, rows)\n",
+            module="repro.core.rewriter",
+        )
+        assert [f.rule for f in findings] == ["raw-relation-access"]
+        assert "AutonomousSource" in findings[0].message
+
+    def test_flags_rows_attribute_read(self, check):
+        findings = check(
+            self.rule,
+            "data = base.rows\n",
+            module="repro.query.executor",
+        )
+        assert len(findings) == 1
+        assert ".rows" in findings[0].message
+
+    def test_flags_read_csv_call_and_import(self, check):
+        findings = check(
+            self.rule,
+            """
+            from repro.relational.io import read_csv
+
+            table = read_csv(path)
+            """,
+            module="repro.rewriting.planner",
+        )
+        assert len(findings) == 2
+
+    # -- negatives ---------------------------------------------------------
+
+    def test_non_mediator_module_is_out_of_scope(self, check):
+        assert (
+            check(
+                self.rule,
+                "result = Relation(schema, rows)\n",
+                module="repro.sources.autonomous",
+            )
+            == []
+        )
+
+    def test_self_rows_attribute_is_clean(self, check):
+        assert (
+            check(
+                self.rule,
+                """
+                class Answer:
+                    def first(self):
+                        return self.rows[0]
+                """,
+                module="repro.core.results",
+            )
+            == []
+        )
+
+    # -- suppression -------------------------------------------------------
+
+    def test_result_assembly_suppression(self, report):
+        result = report(
+            self.rule,
+            "out = Relation(schema, rows)  # qpiadlint: disable=raw-relation-access\n",
+            module="repro.core.results",
+        )
+        assert result.findings == []
+        assert result.suppressed_count == 1

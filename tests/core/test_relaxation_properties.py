@@ -1,6 +1,5 @@
 """Property-based invariants of relaxation plans and discretizer ordering."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mining import Discretizer

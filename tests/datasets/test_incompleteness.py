@@ -4,7 +4,7 @@ import pytest
 
 from repro.datasets import generate_cars, make_incomplete
 from repro.errors import QpiadError
-from repro.relational import NULL, is_null
+from repro.relational import is_null
 
 
 @pytest.fixture(scope="module")

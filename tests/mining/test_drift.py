@@ -7,7 +7,7 @@ import pytest
 from repro.datasets import generate_cars
 from repro.errors import MiningError
 from repro.mining.drift import detect_drift
-from repro.relational import Relation, Schema
+from repro.relational import Relation
 from repro.sources import uniform_sample
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import NullBindingError, QpiadError
 from repro.query import SelectionQuery
 from repro.relational import NULL, Relation, Schema
-from repro.sources import AutonomousSource, SourceCapabilities
+from repro.sources import AutonomousSource
 from repro.sources.caching import CachingSource
 
 
@@ -38,7 +38,7 @@ class TestCaching:
         assert source.inner.statistics.queries_answered == 1
 
     def test_equivalent_queries_share_an_entry(self, source):
-        from repro.query import And, Equals
+        from repro.query import Equals
 
         a = SelectionQuery.conjunction([Equals("make", "BMW"), Equals("model", "Z4")])
         b = SelectionQuery.conjunction([Equals("model", "Z4"), Equals("make", "BMW")])

@@ -65,7 +65,9 @@ class TestMediatorSkipsUnissuableRewritings:
         source = AutonomousSource(
             "tight",
             cars_env.test,
-            SourceCapabilities(queryable_attributes=frozenset({"make", "model", "certified", "body_style"})),
+            SourceCapabilities(
+                queryable_attributes=frozenset({"make", "model", "certified", "body_style"})
+            ),
         )
         mediator = QpiadMediator(source, cars_env.knowledge, QpiadConfig(k=10))
         result = mediator.query(SelectionQuery.equals("certified", "Yes"))

@@ -1,6 +1,5 @@
 """Transient-failure retries."""
 
-import random
 
 import pytest
 

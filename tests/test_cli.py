@@ -176,3 +176,32 @@ class TestDemo:
         assert main(["demo", "--size", "1200"]) == 0
         out = capsys.readouterr().out
         assert "certain answers" in out
+
+
+class TestLint:
+    def test_lint_src_repro_is_clean(self, capsys):
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[1] / "src" / "repro"
+        assert main(["lint", str(src)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_flags_a_violation(self, tmp_path, capsys):
+        bad = tmp_path / "repro_core_probe.py"
+        bad.write_text("import pandas\n", encoding="utf-8")
+        assert main(["lint", str(bad)]) == 1
+        assert "banned-import" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "null-compare" in out
+        assert "raw-relation-access" in out
+
+    def test_lint_unknown_rule_is_a_usage_error(self, capsys):
+        assert main(["lint", "--select", "no-such-rule", "."]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_lint_missing_path_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent")]) == 2
+        assert "no such path" in capsys.readouterr().err
