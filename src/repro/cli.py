@@ -11,6 +11,9 @@ Installed as ``qpiad``.  Subcommands mirror the mediator's life cycle:
 * ``qpiad shell cars.csv`` — interactive session with explanations (§6.1)
 * ``qpiad report`` — compact reproduction of the headline results
 * ``qpiad demo`` — a self-contained end-to-end run
+* ``qpiad chaos --seed 7`` — seeded fault-injection smoke run: mediates
+  under transient failures and verifies no certain answer is lost
+  (see ``docs/robustness.md``)
 * ``qpiad lint [paths]`` — static domain-invariant checks (NULL semantics,
   mediator discipline, seeded RNGs; see ``docs/linting.md``)
 
@@ -131,6 +134,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="self-contained end-to-end demonstration")
     demo.add_argument("--size", type=int, default=4000)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection smoke run: verify graceful degradation "
+        "never loses certain answers",
+    )
+    chaos.add_argument("--seed", type=int, default=7, help="fault-schedule seed")
+    chaos.add_argument("--size", type=int, default=2000)
+    chaos.add_argument(
+        "--failure-rate",
+        type=float,
+        default=0.2,
+        help="probability a source call fails fast (SourceUnavailableError)",
+    )
+    chaos.add_argument(
+        "--churn-rate",
+        type=float,
+        default=0.05,
+        help="probability a call charges the budget and then fails anyway",
+    )
+    chaos.add_argument(
+        "--truncate-rate",
+        type=float,
+        default=0.1,
+        help="probability a result is cut off mid-transfer",
+    )
+    chaos.add_argument("--k", type=int, default=10, help="rewritten queries per user query")
 
     lint = sub.add_parser(
         "lint",
@@ -304,6 +334,77 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.evaluation.harness import build_environment
+    from repro.faults import FaultInjectingSource, FaultPlan
+
+    print(
+        f"chaos: {args.size} car listings, seed {args.seed}, "
+        f"{args.failure_rate:.0%} unavailable / {args.churn_rate:.0%} churned / "
+        f"{args.truncate_rate:.0%} truncated ..."
+    )
+    env = build_environment(
+        generate_cars(args.size, seed=args.seed), seed=args.seed, name="chaos"
+    )
+    queries = [
+        SelectionQuery.equals("body_style", "Convt"),
+        SelectionQuery.equals("body_style", "Sedan"),
+        SelectionQuery.equals("make", "BMW"),
+    ]
+    config = QpiadConfig(k=args.k)
+    verdict = 0
+    for index, query in enumerate(queries):
+        clean = QpiadMediator(env.web_source(), env.knowledge, config).query(query)
+
+        def run_faulty():
+            plan = FaultPlan(
+                seed=args.seed + index,
+                unavailable_rate=args.failure_rate,
+                churn_rate=args.churn_rate,
+                truncate_rate=args.truncate_rate,
+                spare_first=1,  # the base query must land: QPIAD needs certain answers
+            )
+            source = FaultInjectingSource(env.web_source(), plan)
+            return QpiadMediator(source, env.knowledge, config).query(query), source
+
+        faulty, source = run_faulty()
+        replay, replay_source = run_faulty()
+
+        certain_kept = set(faulty.certain) == set(clean.certain)
+        clean_rows = [answer.row for answer in clean.ranked]
+        order_kept = _is_subsequence(
+            [answer.row for answer in faulty.ranked], clean_rows
+        )
+        reproducible = (
+            replay_source.statistics.events == source.statistics.events
+            and [a.row for a in replay.ranked] == [a.row for a in faulty.ranked]
+        )
+        stats = source.statistics
+        print(
+            f"  {query}: {len(faulty.certain)} certain "
+            f"({'all kept' if certain_kept else 'LOST ANSWERS'}), "
+            f"{len(faulty.ranked)}/{len(clean.ranked)} possible, "
+            f"{stats.faults_injected}/{stats.calls} calls faulted, "
+            f"{len(faulty.stats.failures)} failures absorbed, "
+            f"degraded={faulty.degraded}, "
+            f"ranking {'consistent' if order_kept else 'REORDERED'}, "
+            f"replay {'identical' if reproducible else 'DIVERGED'}"
+        )
+        if not (certain_kept and order_kept and reproducible):
+            verdict = 1
+    if verdict:
+        print("chaos: FAILED — degradation lost or reordered answers", file=sys.stderr)
+    else:
+        print("chaos: ok — certain answers survived every injected fault")
+    return verdict
+
+
+def _is_subsequence(rows, reference) -> bool:
+    """Whether *rows* appear in *reference* in the same relative order."""
+    iterator = iter(reference)
+    return all(row in iterator for row in rows)
+
+
 def _cmd_report(args) -> int:
     from repro.evaluation.summary import experiment_summary, render_summary
 
@@ -335,6 +436,7 @@ _COMMANDS = {
     "shell": _cmd_shell,
     "report": _cmd_report,
     "demo": _cmd_demo,
+    "chaos": _cmd_chaos,
     "lint": _cmd_lint,
 }
 

@@ -7,7 +7,12 @@ from repro.core.correlated import (
     CorrelatedSourceMediator,
     find_correlated_source,
 )
-from repro.core.federation import FederatedAnswer, FederatedMediator, FederatedResult
+from repro.core.federation import (
+    FederatedAnswer,
+    FederatedMediator,
+    FederatedResult,
+    SourceFailure,
+)
 from repro.core.joins import JoinConfig, JoinedAnswer, JoinProcessor, JoinResult
 from repro.core.multijoin import (
     MultiJoinedAnswer,
@@ -18,7 +23,7 @@ from repro.core.multijoin import (
 from repro.core.qpiad import QpiadConfig, QpiadMediator
 from repro.core.relaxation import QueryRelaxer, RelaxationPlan, RelaxedAnswer
 from repro.core.ranking import f_measure, order_rewritten_queries, score_rewritten_queries
-from repro.core.results import QueryResult, RankedAnswer, RetrievalStats
+from repro.core.results import QueryFailure, QueryResult, RankedAnswer, RetrievalStats
 from repro.core.rewriting import (
     RewrittenQuery,
     generate_rewritten_queries,
@@ -27,6 +32,7 @@ from repro.core.rewriting import (
 
 __all__ = [
     "RankedAnswer",
+    "QueryFailure",
     "RetrievalStats",
     "QueryResult",
     "RewrittenQuery",
@@ -56,6 +62,7 @@ __all__ = [
     "FederatedMediator",
     "FederatedResult",
     "FederatedAnswer",
+    "SourceFailure",
     "RelaxationPlan",
     "RelaxedAnswer",
 ]

@@ -15,6 +15,12 @@ databases.  For one user query this means:
 Sources without a mined knowledge base still contribute their certain
 answers — a mediator should never return *less* because mining has not run
 yet.
+
+The same principle governs failures: autonomous sources go down without
+notice, and one dead source must never void the answers of the live ones.
+A :class:`~repro.errors.SourceUnavailableError` from any single source is
+recorded in :attr:`FederatedResult.failures`, the result is flagged
+degraded, and mediation continues across the rest of the federation.
 """
 
 from __future__ import annotations
@@ -24,13 +30,13 @@ from dataclasses import dataclass, field
 from repro.core.correlated import CorrelatedConfig, CorrelatedSourceMediator
 from repro.core.qpiad import QpiadConfig, QpiadMediator
 from repro.core.results import QueryResult, RankedAnswer
-from repro.errors import RewritingError, UnsupportedAttributeError
+from repro.errors import RewritingError, SourceUnavailableError, UnsupportedAttributeError
 from repro.mining.knowledge import KnowledgeBase
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation, Row
 from repro.sources.registry import SourceRegistry
 
-__all__ = ["FederatedAnswer", "FederatedResult", "FederatedMediator"]
+__all__ = ["FederatedAnswer", "FederatedResult", "FederatedMediator", "SourceFailure"]
 
 
 @dataclass(frozen=True)
@@ -49,19 +55,44 @@ class FederatedAnswer:
         return self.answer.row
 
 
+@dataclass(frozen=True)
+class SourceFailure:
+    """One source's transient failure the federation degraded around."""
+
+    source: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.source}: {self.message}"
+
+
 @dataclass
 class FederatedResult:
-    """Merged outcome of one query across the federation."""
+    """Merged outcome of one query across the federation.
+
+    ``skipped_sources`` lists sources that could not *logically* contribute
+    (no correlated rewriting reaches them); :attr:`failures` lists sources
+    that should have contributed but failed transiently.  :attr:`degraded`
+    is set when any answer stream is best-effort — a source failed outright
+    or a per-source retrieval came back degraded — so callers can tell a
+    complete federation answer from a partial one.
+    """
 
     query: SelectionQuery
     certain: dict[str, Relation] = field(default_factory=dict)
     ranked: list[FederatedAnswer] = field(default_factory=list)
     per_source: dict[str, QueryResult] = field(default_factory=dict)
     skipped_sources: list[str] = field(default_factory=list)
+    failures: list[SourceFailure] = field(default_factory=list)
+    degraded: bool = False
 
     @property
     def certain_count(self) -> int:
         return sum(len(relation) for relation in self.certain.values())
+
+    @property
+    def failed_sources(self) -> tuple[str, ...]:
+        return tuple(failure.source for failure in self.failures)
 
     def top(self, count: int) -> list[FederatedAnswer]:
         return self.ranked[:count]
@@ -97,13 +128,22 @@ class FederatedMediator:
         )
 
     def query(self, query: SelectionQuery) -> FederatedResult:
-        """Mediate *query* over the whole federation."""
+        """Mediate *query* over the whole federation.
+
+        One source failing transiently never aborts the others: its failure
+        is logged on the result, the result is flagged degraded, and the
+        remaining sources are still mediated in full.
+        """
         result = FederatedResult(query=query)
         for source in self.registry:
-            if source.can_answer(query):
-                self._query_supporting(source, query, result)
-            else:
-                self._query_deficient(source, query, result)
+            try:
+                if source.can_answer(query):
+                    self._query_supporting(source, query, result)
+                else:
+                    self._query_deficient(source, query, result)
+            except SourceUnavailableError as exc:
+                result.failures.append(SourceFailure(source.name, str(exc)))
+                result.degraded = True
         result.ranked.sort(key=lambda item: -item.confidence)
         return result
 
@@ -121,6 +161,8 @@ class FederatedMediator:
         result.ranked.extend(
             FederatedAnswer(source.name, answer) for answer in outcome.ranked
         )
+        # Partial per-source retrievals make the merged answer partial too.
+        result.degraded = result.degraded or outcome.degraded
 
     def _query_deficient(self, source, query, result: FederatedResult) -> None:
         try:
@@ -132,3 +174,4 @@ class FederatedMediator:
         result.ranked.extend(
             FederatedAnswer(source.name, answer) for answer in outcome.ranked
         )
+        result.degraded = result.degraded or outcome.degraded

@@ -10,16 +10,20 @@ answers plus ranked relevant possible answers.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.ranking import order_rewritten_queries
-from repro.core.results import QueryResult, RankedAnswer, RetrievalStats
+from repro.core.results import QueryFailure, QueryResult, RankedAnswer, RetrievalStats
 from repro.core.rewriting import generate_rewritten_queries
 from repro.errors import (
+    DeadlineExceededError,
     NullBindingError,
     QpiadError,
     QueryBudgetExceededError,
     RewritingError,
+    SourceUnavailableError,
 )
 from repro.mining.knowledge import KnowledgeBase
 from repro.query.query import SelectionQuery
@@ -66,6 +70,25 @@ class QpiadConfig:
         answers gathered so far instead of propagating the error.  The base
         query's failure always propagates — without certain answers there
         is nothing to return.
+    max_source_failures:
+        Failure budget for transient source errors on *rewritten* queries:
+        each :class:`~repro.errors.SourceUnavailableError` is recorded in
+        the result's failure log and the plan continues with the next
+        rewriting, until this many failures have been absorbed — the next
+        one propagates.  ``None`` (the default) tolerates any number, so a
+        flaky source degrades the answer instead of destroying it; ``0``
+        restores strict all-or-nothing behaviour.  The base query is never
+        covered by this budget: without certain answers there is nothing to
+        degrade *to*.
+    deadline_seconds:
+        Optional wall-clock budget for one mediated retrieval, measured by
+        the mediator's injectable clock.  Checked between source calls (a
+        call in flight is never interrupted); once exceeded, no further
+        rewritten queries are issued.
+    tolerate_deadline_exceeded:
+        When the deadline passes mid-plan, return the answers gathered so
+        far (flagged degraded) rather than raising
+        :class:`~repro.errors.DeadlineExceededError`.
     """
 
     alpha: float = 0.0
@@ -75,6 +98,9 @@ class QpiadConfig:
     rank_multi_null: bool = False
     min_confidence: float = 0.0
     tolerate_budget_exhaustion: bool = True
+    max_source_failures: int | None = None
+    deadline_seconds: float | None = None
+    tolerate_deadline_exceeded: bool = True
 
     def __post_init__(self) -> None:
         if self.alpha < 0:
@@ -84,6 +110,15 @@ class QpiadConfig:
         if not 0.0 <= self.min_confidence <= 1.0:
             raise QpiadError(
                 f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
+        if self.max_source_failures is not None and self.max_source_failures < 0:
+            raise QpiadError(
+                f"max_source_failures must be non-negative, got "
+                f"{self.max_source_failures}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds < 0:
+            raise QpiadError(
+                f"deadline_seconds must be non-negative, got {self.deadline_seconds}"
             )
 
 
@@ -99,6 +134,9 @@ class QpiadMediator:
         correlated source — see :mod:`repro.core.correlated`).
     config:
         Mediation parameters.
+    clock:
+        Injectable monotonic clock backing ``config.deadline_seconds``
+        (tests drive it manually; production uses ``time.monotonic``).
     """
 
     def __init__(
@@ -106,14 +144,22 @@ class QpiadMediator:
         source: AutonomousSource,
         knowledge: KnowledgeBase,
         config: QpiadConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         self.source = source
         self.knowledge = knowledge
         self.config = config or QpiadConfig()
+        self._clock = clock
 
     def query(self, query: SelectionQuery) -> QueryResult:
-        """Process *query*: certain answers plus ranked possible answers."""
+        """Process *query*: certain answers plus ranked possible answers.
+
+        The base query's failure always propagates; failures of individual
+        rewritten queries degrade the result instead of aborting it (see
+        :class:`QpiadConfig` and :attr:`QueryResult.degraded`).
+        """
         stats = RetrievalStats()
+        started = self._clock()
 
         base_set = self.source.execute(query)
         stats.queries_issued += 1
@@ -138,17 +184,39 @@ class QpiadMediator:
         seen_rows: set[Row] = set(base_set)
         constrained = query.constrained_attributes
         schema = self.source.schema
+        source_failures = 0
 
         for rewritten in ordered:
+            if self._deadline_exceeded(started):
+                self._note_deadline(query, stats, started)
+                result.degraded = True
+                break
             if not self._can_answer(rewritten.query):
                 stats.rewritten_skipped += 1
                 continue  # the web form cannot express this rewriting
             try:
                 retrieved = self.source.execute(rewritten.query)
-            except QueryBudgetExceededError:
+            except QueryBudgetExceededError as exc:
+                stats.record_failure(
+                    rewritten.query, QueryFailure.BUDGET_EXHAUSTED, str(exc)
+                )
+                result.degraded = True
                 if self.config.tolerate_budget_exhaustion:
                     break  # degrade gracefully: ship what we have
                 raise
+            except SourceUnavailableError as exc:
+                source_failures += 1
+                stats.record_failure(
+                    rewritten.query, QueryFailure.SOURCE_UNAVAILABLE, str(exc)
+                )
+                result.degraded = True
+                if self._failure_budget_exhausted(source_failures):
+                    raise
+                logger.info(
+                    "rewritten query %r failed transiently (%s); continuing "
+                    "with the remaining plan", rewritten.query, exc,
+                )
+                continue  # skip this rewriting, the rest of the plan stands
             stats.queries_issued += 1
             stats.rewritten_issued += 1
             stats.tuples_retrieved += len(retrieved)
@@ -176,8 +244,24 @@ class QpiadMediator:
                     )
                 )
 
-        if self.config.retrieve_multi_null and len(constrained) > 1:
-            result.unranked.extend(self._fetch_multi_null(query, seen_rows, stats))
+        if (
+            self.config.retrieve_multi_null
+            and len(constrained) > 1
+            and not self._deadline_exceeded(started)
+        ):
+            try:
+                result.unranked.extend(self._fetch_multi_null(query, seen_rows, stats))
+            except QueryBudgetExceededError as exc:
+                stats.record_failure(None, QueryFailure.BUDGET_EXHAUSTED, str(exc))
+                result.degraded = True
+                if not self.config.tolerate_budget_exhaustion:
+                    raise
+            except SourceUnavailableError as exc:
+                source_failures += 1
+                stats.record_failure(None, QueryFailure.SOURCE_UNAVAILABLE, str(exc))
+                result.degraded = True
+                if self._failure_budget_exhausted(source_failures):
+                    raise
         return result
 
     def iter_possible(self, query: SelectionQuery):
@@ -188,7 +272,14 @@ class QpiadMediator:
         consumes the stream — a user who stops after the first few answers
         never spends the rest of the source's query budget.  Answers arrive
         in the same order :meth:`query` would rank them.
+
+        Degradation matches :meth:`query` — transient failures of single
+        rewritten queries are skipped under ``config.max_source_failures``,
+        budget exhaustion and deadlines end the stream — but a generator
+        has no result object, so nothing is flagged: callers needing the
+        failure log should use :meth:`query`.
         """
+        started = self._clock()
         base_set = self.source.execute(query)
         try:
             candidates = generate_rewritten_queries(
@@ -199,8 +290,12 @@ class QpiadMediator:
         ordered = order_rewritten_queries(candidates, self.config.alpha, self.config.k)
         seen_rows: set[Row] = set(base_set)
         schema = self.source.schema
+        source_failures = 0
 
         for rewritten in ordered:
+            if self._deadline_exceeded(started):
+                self._note_deadline(query, None, started)
+                return
             if not self._can_answer(rewritten.query):
                 continue
             try:
@@ -209,6 +304,15 @@ class QpiadMediator:
                 if self.config.tolerate_budget_exhaustion:
                     return
                 raise
+            except SourceUnavailableError as exc:
+                source_failures += 1
+                if self._failure_budget_exhausted(source_failures):
+                    raise
+                logger.info(
+                    "rewritten query %r failed transiently (%s); continuing "
+                    "with the remaining plan", rewritten.query, exc,
+                )
+                continue
             target_index = schema.index_of(rewritten.target_attribute)
             for row in retrieved:
                 if not is_null(row[target_index]) or row in seen_rows:
@@ -223,6 +327,29 @@ class QpiadMediator:
                     target_attribute=rewritten.target_attribute,
                     explanation=rewritten.afd,
                 )
+
+    def _failure_budget_exhausted(self, source_failures: int) -> bool:
+        budget = self.config.max_source_failures
+        return budget is not None and source_failures > budget
+
+    def _deadline_exceeded(self, started: float) -> bool:
+        deadline = self.config.deadline_seconds
+        return deadline is not None and self._clock() - started > deadline
+
+    def _note_deadline(
+        self, query: SelectionQuery, stats: RetrievalStats | None, started: float
+    ) -> None:
+        """Record the blown deadline; raise when strict mode demands it."""
+        elapsed = self._clock() - started
+        message = (
+            f"retrieval for {query} exceeded its deadline of "
+            f"{self.config.deadline_seconds}s after {elapsed:.3f}s"
+        )
+        if stats is not None:
+            stats.record_failure(None, QueryFailure.DEADLINE, message)
+        if not self.config.tolerate_deadline_exceeded:
+            raise DeadlineExceededError(message)
+        logger.info("%s; returning a degraded result", message)
 
     def _can_answer(self, query: SelectionQuery) -> bool:
         """Whether the source's interface can express *query*.

@@ -20,7 +20,7 @@ from repro.mining.afd import Afd
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation, Row
 
-__all__ = ["RankedAnswer", "RetrievalStats", "QueryResult"]
+__all__ = ["RankedAnswer", "QueryFailure", "RetrievalStats", "QueryResult"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +62,34 @@ class RankedAnswer:
         )
 
 
+@dataclass(frozen=True)
+class QueryFailure:
+    """One retrieval step the mediator absorbed instead of aborting.
+
+    Attributes
+    ----------
+    query:
+        The rewritten query that failed, or ``None`` for plan-level events
+        (a wall-clock deadline, budget exhaustion detected between calls).
+    kind:
+        ``"source-unavailable"``, ``"budget-exhausted"`` or ``"deadline"``.
+    message:
+        The underlying error text, for logs and reports.
+    """
+
+    SOURCE_UNAVAILABLE = "source-unavailable"
+    BUDGET_EXHAUSTED = "budget-exhausted"
+    DEADLINE = "deadline"
+
+    query: SelectionQuery | None
+    kind: str
+    message: str
+
+    def __str__(self) -> str:
+        at = f" at {self.query}" if self.query is not None else ""
+        return f"[{self.kind}]{at}: {self.message}"
+
+
 @dataclass
 class RetrievalStats:
     """Cost accounting for one mediated query."""
@@ -72,17 +100,35 @@ class RetrievalStats:
     rewritten_issued: int = 0
     rewritten_skipped: int = 0
     duplicates_discarded: int = 0
+    failures: list[QueryFailure] = field(default_factory=list)
+
+    def record_failure(
+        self, query: SelectionQuery | None, kind: str, message: str
+    ) -> QueryFailure:
+        failure = QueryFailure(query=query, kind=kind, message=message)
+        self.failures.append(failure)
+        return failure
 
 
 @dataclass
 class QueryResult:
-    """Everything QPIAD returns for one selection query."""
+    """Everything QPIAD returns for one selection query.
+
+    :attr:`degraded` distinguishes *complete* answers from *best-effort*
+    ones: it is set whenever the mediator skipped part of its retrieval
+    plan (a rewritten query failed, the source budget ran out, a deadline
+    passed) instead of aborting.  The certain answers are always complete —
+    a failed base query propagates — but a degraded result may be missing
+    possible answers; :attr:`RetrievalStats.failures` records exactly what
+    was lost and why.
+    """
 
     query: SelectionQuery
     certain: Relation
     ranked: list[RankedAnswer] = field(default_factory=list)
     unranked: list[Row] = field(default_factory=list)
     stats: RetrievalStats = field(default_factory=RetrievalStats)
+    degraded: bool = False
 
     @property
     def possible_rows(self) -> list[Row]:
@@ -139,7 +185,9 @@ class QueryResult:
         return iter(self.ranked)
 
     def __repr__(self) -> str:
+        suffix = ", degraded" if self.degraded else ""
         return (
             f"QueryResult({self.query!r}: {len(self.certain)} certain, "
-            f"{len(self.ranked)} ranked possible, {len(self.unranked)} unranked)"
+            f"{len(self.ranked)} ranked possible, {len(self.unranked)} unranked"
+            f"{suffix})"
         )

@@ -50,6 +50,27 @@ class SourceUnavailableError(QpiadError):
     """
 
 
+class CircuitOpenError(SourceUnavailableError):
+    """A circuit breaker rejected the call without contacting the source.
+
+    Raised by :class:`repro.sources.breaker.CircuitBreakerSource` while its
+    circuit is open: the source failed repeatedly and calls now fail fast
+    instead of burning latency (and goodwill) on a database that is down.
+    Subclasses :class:`SourceUnavailableError` because to the caller it *is*
+    a transient unavailability — the source may recover once the breaker
+    half-opens — so the mediator's skip-and-continue degradation applies.
+    """
+
+
+class DeadlineExceededError(QpiadError):
+    """A mediated retrieval ran past its wall-clock deadline.
+
+    Only raised when :attr:`repro.core.qpiad.QpiadConfig.deadline_seconds`
+    is set and ``tolerate_deadline_exceeded`` is off; the default is to stop
+    issuing rewritten queries and return a degraded result instead.
+    """
+
+
 class MiningError(QpiadError):
     """Knowledge mining failed (e.g. empty sample, no usable AFD)."""
 

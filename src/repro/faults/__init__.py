@@ -1,0 +1,25 @@
+"""Deterministic fault injection for chaos-testing the mediator stack.
+
+See ``docs/robustness.md`` for how this package relates to the production
+wrappers (:class:`~repro.sources.RetryingSource`,
+:class:`~repro.sources.CircuitBreakerSource`) and the mediator's
+degraded-result semantics.
+"""
+
+from repro.faults.injecting import FaultInjectingSource
+from repro.faults.plan import (
+    FaultDecision,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultStatistics,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultStatistics",
+    "FaultInjectingSource",
+]

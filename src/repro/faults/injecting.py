@@ -1,0 +1,163 @@
+"""A source wrapper that injects seeded faults for chaos testing.
+
+QPIAD mediates *autonomous* web databases — exactly the kind of backend
+that times out, drops connections mid-transfer, and rate-limits without
+warning.  :class:`FaultInjectingSource` simulates that weather on top of
+any source-shaped object so the mediator's degradation paths can be driven
+deterministically in tests, benchmarks, and the ``qpiad chaos`` smoke run.
+
+It sits at the *bottom* of the production wrapper stack (retry → circuit
+breaker → fault injection → real source): the wrappers above it see exactly
+the failures a live source would produce.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SourceUnavailableError
+from repro.faults.plan import FaultDecision, FaultEvent, FaultKind, FaultPlan, FaultStatistics
+from repro.query.query import SelectionQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+__all__ = ["FaultInjectingSource"]
+
+
+def _ignore_latency(seconds: float) -> None:
+    """Default sleep hook: record-only, so tests and simulations stay instant."""
+
+
+class FaultInjectingSource:
+    """Wrap a source and fail it on a deterministic, seeded schedule.
+
+    Parameters
+    ----------
+    inner:
+        Any source-shaped object (:class:`~repro.sources.AutonomousSource`
+        or another wrapper).
+    plan:
+        The seeded fault schedule; see :class:`~repro.faults.FaultPlan`.
+    sleep:
+        Hook receiving injected latency.  The default ignores the delay (the
+        statistics still record it); pass ``time.sleep`` for wall-clock
+        chaos runs or a fake-clock advance in deadline tests.
+    """
+
+    def __init__(
+        self,
+        inner,
+        plan: FaultPlan,
+        sleep: Callable[[float], None] = _ignore_latency,
+    ):
+        self.inner = inner
+        self.plan = plan
+        self._sleep = sleep
+        self.statistics = FaultStatistics()
+
+    # -- fault core --------------------------------------------------------
+
+    def _next_decision(self) -> FaultDecision:
+        decision = self.plan.decide(self.statistics.calls)
+        self.statistics.calls += 1
+        return decision
+
+    def _record(self, kind: str, operation: str, detail: str = "") -> None:
+        self.statistics.events.append(
+            FaultEvent(self.statistics.calls - 1, kind, operation, detail)
+        )
+
+    def _faulted(
+        self,
+        operation: str,
+        call: Callable[[], Any],
+        truncatable: bool = True,
+    ) -> Any:
+        decision = self._next_decision()
+        if decision.kind == FaultKind.UNAVAILABLE:
+            self.statistics.unavailable += 1
+            self._record(FaultKind.UNAVAILABLE, operation)
+            raise SourceUnavailableError(
+                f"injected fault: {self.inner.name!r} unavailable "
+                f"(call {self.statistics.calls - 1}, {operation})"
+            )
+        if decision.kind == FaultKind.CHURN:
+            call()  # the source did the work and charged its budget ...
+            self.statistics.churned += 1
+            self._record(FaultKind.CHURN, operation, "budget charged")
+            raise SourceUnavailableError(  # ... but the response never arrived
+                f"injected fault: response from {self.inner.name!r} lost after "
+                f"execution (call {self.statistics.calls - 1}, {operation})"
+            )
+        result = call()
+        if decision.kind == FaultKind.TRUNCATE and truncatable:
+            kept = int(len(result) * self.plan.truncate_fraction)
+            dropped = len(result) - kept
+            self.statistics.truncated += 1
+            self.statistics.tuples_dropped += dropped
+            self._record(FaultKind.TRUNCATE, operation, f"dropped {dropped} tuples")
+            return result.take(kept)
+        if decision.kind == FaultKind.LATENCY:
+            self.statistics.delayed += 1
+            self.statistics.latency_injected_seconds += self.plan.latency_seconds
+            self._record(FaultKind.LATENCY, operation, f"{self.plan.latency_seconds}s")
+            self._sleep(self.plan.latency_seconds)
+            return result
+        self.statistics.healthy += 1
+        return result
+
+    # -- the source surface -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def schema(self) -> Schema:
+        return self.inner.schema
+
+    @property
+    def capabilities(self):
+        return self.inner.capabilities
+
+    def supports(self, attribute: str) -> bool:
+        return self.inner.supports(attribute)
+
+    def can_answer(self, query: SelectionQuery) -> bool:
+        checker = getattr(self.inner, "can_answer", None)
+        return True if checker is None else checker(query)
+
+    def cardinality(self) -> int:
+        # An int result cannot be truncated; the other modes apply as usual.
+        return self._faulted(
+            "cardinality", self.inner.cardinality, truncatable=False
+        )
+
+    def execute(self, query: SelectionQuery) -> Relation:
+        return self._faulted("execute", lambda: self.inner.execute(query))
+
+    def execute_null_binding(self, query: SelectionQuery, max_nulls: int | None = None):
+        return self._faulted(
+            "execute_null_binding",
+            lambda: self.inner.execute_null_binding(query, max_nulls=max_nulls),
+        )
+
+    def execute_certain_or_possible(self, query: SelectionQuery) -> Relation:
+        return self._faulted(
+            "execute_certain_or_possible",
+            lambda: self.inner.execute_certain_or_possible(query),
+        )
+
+    def scan(self, limit: int | None = None) -> Relation:
+        return self._faulted("scan", lambda: self.inner.scan(limit))
+
+    def reset_statistics(self) -> None:
+        """Reset fault accounting *and* the call counter: the schedule replays."""
+        self.inner.reset_statistics()
+        self.statistics.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjectingSource({self.inner!r}, seed={self.plan.seed}, "
+            f"{self.statistics.faults_injected}/{self.statistics.calls} calls faulted)"
+        )

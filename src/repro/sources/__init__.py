@@ -6,6 +6,7 @@ from repro.sources.alignment import (
     merge_redundant_attributes,
 )
 from repro.sources.autonomous import AccessStatistics, AutonomousSource
+from repro.sources.breaker import BreakerState, BreakerStatistics, CircuitBreakerSource
 from repro.sources.caching import CacheStatistics, CachingSource
 from repro.sources.capabilities import SourceCapabilities
 from repro.sources.registry import SourceRegistry
@@ -33,4 +34,7 @@ __all__ = [
     "merge_redundant_attributes",
     "RetryingSource",
     "RetryStatistics",
+    "BreakerState",
+    "BreakerStatistics",
+    "CircuitBreakerSource",
 ]

@@ -1,0 +1,194 @@
+"""Circuit breaking for repeatedly failing autonomous sources.
+
+Retrying (:mod:`repro.sources.retrying`) absorbs *occasional* hiccups; when
+a source is properly down, retrying every rewritten query multiplies the
+outage into minutes of wasted timeouts and burns the goodwill of a backend
+already struggling.  :class:`CircuitBreakerSource` implements the standard
+three-state breaker:
+
+* **closed** — calls pass through; consecutive transient failures are
+  counted, and reaching ``failure_threshold`` opens the circuit;
+* **open** — calls fail fast with :class:`~repro.errors.CircuitOpenError`
+  (no source contact) until ``recovery_seconds`` elapse;
+* **half-open** — one trial call is let through: success closes the
+  circuit, failure re-opens it for another recovery window.
+
+Only :class:`~repro.errors.SourceUnavailableError` trips the breaker.
+Capability errors (unsupported attributes, NULL binding, exhausted budgets)
+say nothing about source *health* — they pass through without touching the
+failure count.  Time is read from an injectable clock so tests and
+simulations never sleep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import CircuitOpenError, QpiadError, SourceUnavailableError
+from repro.query.query import SelectionQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+__all__ = ["BreakerState", "BreakerStatistics", "CircuitBreakerSource"]
+
+
+class BreakerState:
+    """String constants naming the breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass
+class BreakerStatistics:
+    """How often the breaker intervened."""
+
+    successes: int = 0
+    failures: int = 0
+    fast_failures: int = 0  # calls rejected while open, source never contacted
+    opens: int = 0
+    recoveries: int = 0  # half-open trials that closed the circuit again
+
+
+class CircuitBreakerSource:
+    """Fail fast against a source that keeps failing.
+
+    Parameters
+    ----------
+    inner:
+        Any source-shaped object; stack this *outside* a
+        :class:`~repro.sources.retrying.RetryingSource` wrapping it, or
+        inside one to let the retry loop span recovery windows — see
+        ``docs/robustness.md`` for the trade-off.
+    failure_threshold:
+        Consecutive transient failures that open the circuit.
+    recovery_seconds:
+        How long an open circuit rejects calls before a half-open trial.
+    clock:
+        Injectable monotonic clock (for tests).
+    """
+
+    def __init__(
+        self,
+        inner,
+        failure_threshold: int = 5,
+        recovery_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise QpiadError(
+                f"failure_threshold must be at least 1, got {failure_threshold}"
+            )
+        if recovery_seconds < 0:
+            raise QpiadError("recovery_seconds must be non-negative")
+        self.inner = inner
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self._clock = clock
+        self.statistics = BreakerStatistics()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    # -- breaker core ------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """The current state, advancing open → half-open when time is up."""
+        if (
+            self._state == BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.recovery_seconds
+        ):
+            self._state = BreakerState.HALF_OPEN
+        return self._state
+
+    def _call(self, operation: Callable[[], Any]) -> Any:
+        state = self.state
+        if state == BreakerState.OPEN:
+            self.statistics.fast_failures += 1
+            remaining = self.recovery_seconds - (self._clock() - self._opened_at)
+            raise CircuitOpenError(
+                f"circuit for source {self.inner.name!r} is open after "
+                f"{self._consecutive_failures} consecutive failures; "
+                f"retry in {remaining:.1f}s"
+            )
+        try:
+            result = operation()
+        except SourceUnavailableError:
+            self._on_failure()
+            raise
+        self._on_success(state)
+        return result
+
+    def _on_failure(self) -> None:
+        self.statistics.failures += 1
+        self._consecutive_failures += 1
+        # A failed half-open trial re-opens immediately, whatever the count.
+        if (
+            self._state == BreakerState.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            if self._state != BreakerState.OPEN:
+                self.statistics.opens += 1
+            self._state = BreakerState.OPEN
+            self._opened_at = self._clock()
+
+    def _on_success(self, state_at_call: str) -> None:
+        self.statistics.successes += 1
+        if state_at_call == BreakerState.HALF_OPEN:
+            self.statistics.recoveries += 1
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+
+    # -- the source surface -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def schema(self) -> Schema:
+        return self.inner.schema
+
+    @property
+    def capabilities(self):
+        return self.inner.capabilities
+
+    def supports(self, attribute: str) -> bool:
+        return self.inner.supports(attribute)
+
+    def can_answer(self, query: SelectionQuery) -> bool:
+        # Expressibility, not health: an open circuit does not change what
+        # the web form could answer once the source recovers.
+        checker = getattr(self.inner, "can_answer", None)
+        return True if checker is None else checker(query)
+
+    def cardinality(self) -> int:
+        return self._call(self.inner.cardinality)
+
+    def execute(self, query: SelectionQuery) -> Relation:
+        return self._call(lambda: self.inner.execute(query))
+
+    def execute_null_binding(self, query: SelectionQuery, max_nulls: int | None = None):
+        return self._call(
+            lambda: self.inner.execute_null_binding(query, max_nulls=max_nulls)
+        )
+
+    def execute_certain_or_possible(self, query: SelectionQuery) -> Relation:
+        return self._call(lambda: self.inner.execute_certain_or_possible(query))
+
+    def scan(self, limit: int | None = None) -> Relation:
+        return self._call(lambda: self.inner.scan(limit))
+
+    def reset_statistics(self) -> None:
+        self.inner.reset_statistics()
+        self.statistics = BreakerStatistics()
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreakerSource({self.inner!r}, state={self.state!r}, "
+            f"threshold={self.failure_threshold})"
+        )

@@ -13,6 +13,7 @@ retrying against an exhausted budget only burns goodwill.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
@@ -49,6 +50,16 @@ class RetryingSource:
     backoff_seconds:
         Sleep between attempts, doubled each retry; 0 disables sleeping
         (the default keeps tests and simulations instant).
+    max_backoff_seconds:
+        Ceiling on any single sleep; ``None`` leaves the doubling uncapped.
+        A mediator retrying ten rewritten queries must not escalate into
+        minute-long stalls on a source that is merely slow to recover.
+    jitter_seed:
+        When set, each sleep is scattered over ``[delay/2, delay]`` ("equal
+        jitter") by a dedicated seeded generator, so a fleet of mediators
+        does not re-hammer a recovering source in lockstep — while the same
+        seed still replays the same schedule, keeping simulations
+        deterministic.  ``None`` sleeps the exact delay.
     sleep:
         Injectable sleep function (for tests).
     """
@@ -58,22 +69,38 @@ class RetryingSource:
         inner,
         max_attempts: int = 3,
         backoff_seconds: float = 0.0,
+        max_backoff_seconds: float | None = None,
+        jitter_seed: int | None = None,
         sleep: Callable[[float], None] = time.sleep,
     ):
         if max_attempts < 1:
             raise QpiadError(f"max_attempts must be at least 1, got {max_attempts}")
         if backoff_seconds < 0:
             raise QpiadError("backoff_seconds must be non-negative")
+        if max_backoff_seconds is not None and max_backoff_seconds < 0:
+            raise QpiadError("max_backoff_seconds must be non-negative")
         self.inner = inner
         self.max_attempts = max_attempts
         self.backoff_seconds = backoff_seconds
+        self.max_backoff_seconds = max_backoff_seconds
+        self._jitter_rng = None if jitter_seed is None else random.Random(jitter_seed)
         self._sleep = sleep
         self.statistics = RetryStatistics()
 
     # -- retry core --------------------------------------------------------
 
+    def _capped(self, delay: float) -> float:
+        if self.max_backoff_seconds is None:
+            return delay
+        return min(delay, self.max_backoff_seconds)
+
+    def _jittered(self, delay: float) -> float:
+        if self._jitter_rng is None:
+            return delay
+        return delay / 2 + self._jitter_rng.random() * delay / 2
+
     def _call(self, operation: Callable[[], T]) -> T:
-        delay = self.backoff_seconds
+        delay = self._capped(self.backoff_seconds)
         for attempt in range(1, self.max_attempts + 1):
             self.statistics.attempts += 1
             try:
@@ -84,8 +111,8 @@ class RetryingSource:
                     raise
                 self.statistics.retries += 1
                 if delay:
-                    self._sleep(delay)
-                    delay *= 2
+                    self._sleep(self._jittered(delay))
+                    delay = self._capped(delay * 2)
         raise AssertionError("unreachable")  # pragma: no cover
 
     # -- the source surface -------------------------------------------------

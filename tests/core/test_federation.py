@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import QpiadConfig
 from repro.core.federation import FederatedMediator
+from repro.errors import SourceUnavailableError
 from repro.query import SelectionQuery
 from repro.sources import AutonomousSource, SourceCapabilities, SourceRegistry
 
@@ -67,6 +68,85 @@ class TestFederatedQuery:
                 assert len(answer.row) == len(YAHOO_ATTRS)
             else:
                 assert len(answer.row) == len(cars_env.test.schema)
+
+
+class DownSource:
+    """A source whose every query fails transiently."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def __getattr__(self, attribute):
+        return getattr(self.inner, attribute)
+
+    def execute(self, query):
+        raise SourceUnavailableError(f"{self.inner.name} timed out")
+
+    def execute_null_binding(self, query, max_nulls=None):
+        raise SourceUnavailableError(f"{self.inner.name} timed out")
+
+
+class TestSourceFailureDegradation:
+    def _federation(self, cars_env, broken_name: str):
+        healthy = AutonomousSource("cars.com", cars_env.test, SourceCapabilities.web_form())
+        broken = DownSource(
+            AutonomousSource(broken_name, cars_env.test, SourceCapabilities.web_form())
+        )
+        registry = SourceRegistry(cars_env.test.schema, [healthy, broken])
+        return FederatedMediator(
+            registry,
+            {"cars.com": cars_env.knowledge, broken_name: cars_env.knowledge},
+            QpiadConfig(alpha=0.0, k=8),
+        )
+
+    def test_one_dead_source_does_not_abort_the_federation(self, cars_env):
+        mediator = self._federation(cars_env, "flaky.com")
+        result = mediator.query(SelectionQuery.equals("body_style", "Convt"))
+        assert "cars.com" in result.certain  # the healthy source answered in full
+        assert len(result.certain["cars.com"]) > 0
+        assert result.ranked
+        assert result.degraded
+        assert result.failed_sources == ("flaky.com",)
+        (failure,) = result.failures
+        assert "timed out" in failure.message
+        assert "flaky.com" in str(failure)
+
+    def test_failed_sources_are_not_confused_with_skipped(self, cars_env):
+        mediator = self._federation(cars_env, "flaky.com")
+        result = mediator.query(SelectionQuery.equals("body_style", "Convt"))
+        assert result.skipped_sources == []
+
+    def test_healthy_federation_is_not_degraded(self, federation):
+        result = federation.query(SelectionQuery.equals("body_style", "Convt"))
+        assert not result.degraded
+        assert result.failures == []
+
+    def test_per_source_degradation_propagates(self, cars_env):
+        class FailSecondCall:
+            def __init__(self, inner):
+                self.inner = inner
+                self.calls = 0
+
+            def __getattr__(self, attribute):
+                return getattr(self.inner, attribute)
+
+            def execute(self, query):
+                self.calls += 1
+                if self.calls == 2:  # the first rewritten query
+                    raise SourceUnavailableError("reset")
+                return self.inner.execute(query)
+
+        flaky = FailSecondCall(
+            AutonomousSource("cars.com", cars_env.test, SourceCapabilities.web_form())
+        )
+        registry = SourceRegistry(cars_env.test.schema, [flaky])
+        mediator = FederatedMediator(
+            registry, {"cars.com": cars_env.knowledge}, QpiadConfig(k=8)
+        )
+        result = mediator.query(SelectionQuery.equals("body_style", "Convt"))
+        assert result.degraded  # the source answered, but only partially
+        assert result.per_source["cars.com"].degraded
+        assert result.failed_sources == ()  # it did not fail outright
 
 
 class TestDegradedFederation:

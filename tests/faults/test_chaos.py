@@ -1,0 +1,202 @@
+"""Chaos suite: the full mediator pipeline under seeded fault schedules.
+
+The headline property (the repo's acceptance bar for graceful degradation):
+with a seeded :class:`FaultInjectingSource` dropping up to 30% of
+rewritten-query executions,
+
+* every certain answer is still returned,
+* the result is flagged degraded with a non-empty failure log,
+* surviving ranked answers keep their relative order, and
+* rerunning the same seed reproduces the identical failure schedule and
+  result.
+"""
+
+import pytest
+
+from repro.core import QpiadConfig, QpiadMediator
+from repro.core.federation import FederatedMediator
+from repro.faults import FaultInjectingSource, FaultPlan
+from repro.query import SelectionQuery
+from repro.sources import (
+    AutonomousSource,
+    CircuitBreakerSource,
+    RetryingSource,
+    SourceCapabilities,
+    SourceRegistry,
+)
+
+QUERY = SelectionQuery.equals("body_style", "Convt")
+SEEDS = (0, 1, 2, 3, 4)
+DROP_PLAN = dict(unavailable_rate=0.3, spare_first=1)
+
+
+def chaos_mediate(env, seed, plan_kwargs=None, config=None):
+    plan = FaultPlan(seed=seed, **(plan_kwargs or DROP_PLAN))
+    source = FaultInjectingSource(env.web_source(), plan)
+    mediator = QpiadMediator(source, env.knowledge, config or QpiadConfig(k=10))
+    return mediator.query(QUERY), source
+
+
+@pytest.fixture(scope="module")
+def clean(cars_env):
+    return QpiadMediator(
+        cars_env.web_source(), cars_env.knowledge, QpiadConfig(k=10)
+    ).query(QUERY)
+
+
+def is_subsequence(rows, reference):
+    iterator = iter(reference)
+    return all(row in iterator for row in rows)
+
+
+class TestChaosProperty:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_certain_answers_are_never_lost(self, cars_env, clean, seed):
+        result, __ = chaos_mediate(cars_env, seed)
+        assert list(result.certain) == list(clean.certain)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_degradation_is_reported_honestly(self, cars_env, seed):
+        result, source = chaos_mediate(cars_env, seed)
+        absorbed = source.statistics.unavailable
+        assert len(result.stats.failures) == absorbed
+        assert result.degraded == (absorbed > 0)
+
+    def test_faults_actually_landed_somewhere(self, cars_env):
+        # The 30%-drop property is vacuous if no seed ever injects a fault.
+        landed = [
+            chaos_mediate(cars_env, seed)[1].statistics.unavailable for seed in SEEDS
+        ]
+        assert any(count > 0 for count in landed)
+        result, __ = chaos_mediate(cars_env, SEEDS[landed.index(max(landed))])
+        assert result.degraded
+        assert result.stats.failures
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_surviving_ranking_is_order_consistent(self, cars_env, clean, seed):
+        result, __ = chaos_mediate(cars_env, seed)
+        clean_rows = [answer.row for answer in clean.ranked]
+        survivor_rows = [answer.row for answer in result.ranked]
+        assert is_subsequence(survivor_rows, clean_rows)
+        confidences = [answer.confidence for answer in result.ranked]
+        assert confidences == sorted(confidences, reverse=True)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_reproduces_schedule_and_result(self, cars_env, seed):
+        first, first_source = chaos_mediate(cars_env, seed)
+        second, second_source = chaos_mediate(cars_env, seed)
+        assert first_source.statistics.events == second_source.statistics.events
+        assert [a.row for a in first.ranked] == [a.row for a in second.ranked]
+        assert [a.confidence for a in first.ranked] == [
+            a.confidence for a in second.ranked
+        ]
+        assert first.degraded == second.degraded
+        assert [str(f) for f in first.stats.failures] == [
+            str(f) for f in second.stats.failures
+        ]
+
+
+class TestMixedFaultWeather:
+    """Truncation and churn alongside plain unavailability."""
+
+    MIXED = dict(
+        unavailable_rate=0.2,
+        churn_rate=0.05,
+        truncate_rate=0.1,
+        truncate_fraction=0.5,
+        spare_first=1,
+    )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_certain_answers_survive_mixed_faults(self, cars_env, clean, seed):
+        result, __ = chaos_mediate(cars_env, seed, plan_kwargs=self.MIXED)
+        assert list(result.certain) == list(clean.certain)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_truncated_answers_are_a_subset_in_order(self, cars_env, clean, seed):
+        result, __ = chaos_mediate(cars_env, seed, plan_kwargs=self.MIXED)
+        assert is_subsequence(
+            [a.row for a in result.ranked], [a.row for a in clean.ranked]
+        )
+
+
+class TestRecoveryStack:
+    def test_retrying_recovers_most_of_the_plan(self, cars_env, clean):
+        plan = FaultPlan(seed=1, unavailable_rate=0.3)
+        faulty = FaultInjectingSource(cars_env.web_source(), plan)
+        source = RetryingSource(faulty, max_attempts=5)
+        result = QpiadMediator(source, cars_env.knowledge, QpiadConfig(k=10)).query(
+            QUERY
+        )
+        # Five attempts against a 30% failure rate recover the full plan.
+        assert list(result.certain) == list(clean.certain)
+        assert [a.row for a in result.ranked] == [a.row for a in clean.ranked]
+        assert not result.degraded
+        assert source.statistics.retries > 0
+
+    def test_breaker_fails_the_remaining_plan_fast(self, cars_env, clean):
+        plan = FaultPlan(seed=3, unavailable_rate=1.0, spare_first=1)
+        faulty = FaultInjectingSource(cars_env.web_source(), plan)
+        clock_value = [0.0]
+        breaker = CircuitBreakerSource(
+            faulty, failure_threshold=2, recovery_seconds=60.0,
+            clock=lambda: clock_value[0],
+        )
+        result = QpiadMediator(breaker, cars_env.knowledge, QpiadConfig(k=10)).query(
+            QUERY
+        )
+        # Certain answers landed (spared call); then two real failures opened
+        # the circuit and the rest of the plan failed fast without touching
+        # the source.
+        assert list(result.certain) == list(clean.certain)
+        assert result.degraded
+        assert breaker.statistics.failures == 2
+        assert breaker.statistics.fast_failures > 0
+        assert faulty.statistics.calls == 3  # base + the two real attempts
+
+
+class TestChaosStreaming:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_stream_survivors_keep_clean_order(self, cars_env, clean, seed):
+        plan = FaultPlan(seed=seed, **DROP_PLAN)
+        source = FaultInjectingSource(cars_env.web_source(), plan)
+        mediator = QpiadMediator(source, cars_env.knowledge, QpiadConfig(k=10))
+        streamed = [answer.row for answer in mediator.iter_possible(QUERY)]
+        assert is_subsequence(streamed, [answer.row for answer in clean.ranked])
+
+
+class TestChaosFederation:
+    def test_federation_survives_a_fully_dead_source(self, cars_env):
+        healthy = AutonomousSource(
+            "cars.com", cars_env.test, SourceCapabilities.web_form()
+        )
+        dead = FaultInjectingSource(
+            AutonomousSource("down.com", cars_env.test, SourceCapabilities.web_form()),
+            FaultPlan(seed=1, unavailable_rate=1.0),
+        )
+        registry = SourceRegistry(cars_env.test.schema, [healthy, dead])
+        mediator = FederatedMediator(
+            registry,
+            {"cars.com": cars_env.knowledge, "down.com": cars_env.knowledge},
+            QpiadConfig(k=8),
+        )
+        result = mediator.query(QUERY)
+        assert len(result.certain["cars.com"]) > 0
+        assert result.ranked
+        assert result.degraded
+        assert result.failed_sources == ("down.com",)
+
+    def test_federation_with_flaky_source_degrades_not_dies(self, cars_env):
+        flaky = FaultInjectingSource(
+            AutonomousSource("flaky.com", cars_env.test, SourceCapabilities.web_form()),
+            FaultPlan(seed=2, unavailable_rate=0.4, spare_first=1),
+        )
+        registry = SourceRegistry(cars_env.test.schema, [flaky])
+        mediator = FederatedMediator(
+            registry, {"flaky.com": cars_env.knowledge}, QpiadConfig(k=10)
+        )
+        result = mediator.query(QUERY)
+        assert len(result.certain["flaky.com"]) > 0
+        outcome = result.per_source["flaky.com"]
+        assert result.degraded == outcome.degraded
+        assert len(outcome.stats.failures) == flaky.statistics.unavailable

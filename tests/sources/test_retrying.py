@@ -111,11 +111,76 @@ class TestRetrying:
             source.execute(SelectionQuery.equals("make", "Honda"))
         assert sleeps == pytest.approx([0.1, 0.2, 0.4])
 
+    def test_backoff_capped_at_ceiling(self, backend):
+        sleeps = []
+        always_down = FlakySource(backend, fail_every=1)
+        source = RetryingSource(
+            always_down,
+            max_attempts=6,
+            backoff_seconds=0.1,
+            max_backoff_seconds=0.25,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(SourceUnavailableError):
+            source.execute(SelectionQuery.equals("make", "Honda"))
+        # 0.1 → 0.2 → capped at 0.25 from there on.
+        assert sleeps == pytest.approx([0.1, 0.2, 0.25, 0.25, 0.25])
+
+    def test_cap_applies_to_the_first_sleep_too(self, backend):
+        sleeps = []
+        always_down = FlakySource(backend, fail_every=1)
+        source = RetryingSource(
+            always_down,
+            max_attempts=3,
+            backoff_seconds=5.0,
+            max_backoff_seconds=0.5,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(SourceUnavailableError):
+            source.execute(SelectionQuery.equals("make", "Honda"))
+        assert sleeps == pytest.approx([0.5, 0.5])
+
+    def test_jitter_scatters_within_the_half_open_window(self, backend):
+        sleeps = []
+        always_down = FlakySource(backend, fail_every=1)
+        source = RetryingSource(
+            always_down,
+            max_attempts=5,
+            backoff_seconds=1.0,
+            jitter_seed=42,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(SourceUnavailableError):
+            source.execute(SelectionQuery.equals("make", "Honda"))
+        expected = [1.0, 2.0, 4.0, 8.0]
+        for actual, nominal in zip(sleeps, expected):
+            assert nominal / 2 <= actual <= nominal  # "equal jitter" window
+        assert sleeps != pytest.approx(expected)  # jitter actually moved them
+
+    def test_jitter_is_deterministic_per_seed(self, backend):
+        def run(seed):
+            sleeps = []
+            source = RetryingSource(
+                FlakySource(backend, fail_every=1),
+                max_attempts=4,
+                backoff_seconds=0.1,
+                jitter_seed=seed,
+                sleep=sleeps.append,
+            )
+            with pytest.raises(SourceUnavailableError):
+                source.execute(SelectionQuery.equals("make", "Honda"))
+            return sleeps
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
     def test_invalid_parameters(self, backend):
         with pytest.raises(QpiadError):
             RetryingSource(backend, max_attempts=0)
         with pytest.raises(QpiadError):
             RetryingSource(backend, backoff_seconds=-1)
+        with pytest.raises(QpiadError):
+            RetryingSource(backend, max_backoff_seconds=-1)
 
     def test_surface_proxying(self, backend):
         source = RetryingSource(FlakySource(backend, fail_every=10**9))

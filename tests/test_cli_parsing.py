@@ -61,6 +61,8 @@ class TestParserSurface:
             ["relax", "x.csv", "--where", "a=b"],
             ["impute", "x.csv", "--out", "y.csv"],
             ["demo"],
+            ["chaos"],
+            ["chaos", "--seed", "3", "--failure-rate", "0.3", "--size", "500"],
         ],
     )
     def test_every_subcommand_parses(self, argv):

@@ -17,6 +17,9 @@ class TestHierarchy:
             "MiningError",
             "ClassifierError",
             "RewritingError",
+            "SourceUnavailableError",
+            "CircuitOpenError",
+            "DeadlineExceededError",
         ):
             assert issubclass(getattr(errors, name), errors.QpiadError)
 
@@ -27,6 +30,12 @@ class TestHierarchy:
 
     def test_classifier_error_is_a_mining_error(self):
         assert issubclass(errors.ClassifierError, errors.MiningError)
+
+    def test_circuit_open_is_transient(self):
+        # Open circuits read as transient unavailability, so skip-and-continue
+        # degradation (and retry wrappers) handle them uniformly.
+        assert issubclass(errors.CircuitOpenError, errors.SourceUnavailableError)
+        assert not issubclass(errors.DeadlineExceededError, errors.SourceUnavailableError)
 
     def test_one_except_clause_catches_the_library(self):
         with pytest.raises(errors.QpiadError):
