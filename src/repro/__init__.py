@@ -56,6 +56,7 @@ from repro.core import (
 from repro.errors import QpiadError
 from repro.mining import load_knowledge, save_knowledge
 from repro.sources.caching import CachingSource
+from repro.telemetry import MetricsRegistry, SpanKind, Telemetry, Tracer, maybe_span
 from repro.evaluation import (
     Environment,
     GroundTruthOracle,
@@ -151,6 +152,12 @@ __all__ = [
     "CachingSource",
     "save_knowledge",
     "load_knowledge",
+    # telemetry
+    "Telemetry",
+    "Tracer",
+    "MetricsRegistry",
+    "SpanKind",
+    "maybe_span",
     # errors
     "QpiadError",
 ]

@@ -14,6 +14,9 @@ Installed as ``qpiad``.  Subcommands mirror the mediator's life cycle:
 * ``qpiad chaos --seed 7`` — seeded fault-injection smoke run: mediates
   under transient failures and verifies no certain answer is lost
   (see ``docs/robustness.md``)
+* ``qpiad trace cars.csv --where body_style=Convt [--json]`` — mediate one
+  query with telemetry attached and print the span tree and counters
+  (see ``docs/observability.md``)
 * ``qpiad lint [paths]`` — static domain-invariant checks (NULL semantics,
   mediator discipline, seeded RNGs; see ``docs/linting.md``)
 
@@ -100,6 +103,32 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--alpha", type=float, default=0.0)
     query.add_argument("--k", type=int, default=10)
     query.add_argument("--top", type=int, default=10, help="possible answers to print")
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help="attach telemetry and print the span tree and counters after the answers",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="mediate one query with telemetry attached; print spans and metrics",
+    )
+    trace.add_argument("data", type=Path, help="the (incomplete) database CSV")
+    trace.add_argument("--kb", type=Path, help="knowledge-base JSON (default: mine on the fly)")
+    trace.add_argument(
+        "--where",
+        action="append",
+        required=True,
+        metavar="ATTR=VALUE|ATTR=LOW..HIGH",
+        help="conjunct; repeatable",
+    )
+    trace.add_argument("--alpha", type=float, default=0.0)
+    trace.add_argument("--k", type=int, default=10)
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable snapshot instead of the text rendering",
+    )
 
     relax = sub.add_parser(
         "relax", help="relax an over-constrained query until it has answers"
@@ -242,23 +271,24 @@ def _cmd_mine(args) -> int:
     return 0
 
 
-def _cmd_query(args) -> int:
+def _mediate_csv(args, telemetry=None):
+    """Shared query/trace core: load data, build the mediator, run the query."""
     relation = read_csv(args.data)
-    if args.kb:
-        knowledge = load_knowledge(args.kb)
-    else:
-        print("no --kb given; mining a knowledge base from the database itself ...")
-        knowledge = KnowledgeBase(
-            relation.take(max(200, len(relation) // 10)), database_size=len(relation)
-        )
+    knowledge = _load_or_mine(args.data, args.kb, relation)
     predicates = [_parse_where(spec, relation) for spec in args.where]
     query = SelectionQuery.conjunction(predicates)
-
     source = AutonomousSource(args.data.name, relation, SourceCapabilities.web_form())
     mediator = QpiadMediator(
-        source, knowledge, QpiadConfig(alpha=args.alpha, k=args.k)
+        source, knowledge, QpiadConfig(alpha=args.alpha, k=args.k), telemetry=telemetry
     )
-    result = mediator.query(query)
+    return query, mediator.query(query)
+
+
+def _cmd_query(args) -> int:
+    from repro.telemetry import Telemetry, render_telemetry_text
+
+    telemetry = Telemetry() if args.trace else None
+    query, result = _mediate_csv(args, telemetry)
 
     print(f"query: {query}")
     print(f"{len(result.certain)} certain answers; first 5:")
@@ -270,13 +300,39 @@ def _cmd_query(args) -> int:
         f"\ncost: {result.stats.queries_issued} queries, "
         f"{result.stats.tuples_retrieved} tuples transferred"
     )
+    if telemetry is not None:
+        print()
+        print(render_telemetry_text(telemetry))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.telemetry import Telemetry, render_telemetry_json, render_telemetry_text
+
+    telemetry = Telemetry()
+    query, result = _mediate_csv(args, telemetry)
+    if args.json:
+        print(render_telemetry_json(telemetry))
+        return 0
+    print(f"query: {query}")
+    print(
+        f"{len(result.certain)} certain, {len(result.ranked)} ranked possible, "
+        f"{len(result.unranked)} unranked answers"
+        f"{' (degraded)' if result.degraded else ''}"
+    )
+    print()
+    print(render_telemetry_text(telemetry))
     return 0
 
 
 def _load_or_mine(data_path: Path, kb_path: "Path | None", relation: Relation) -> KnowledgeBase:
     if kb_path:
         return load_knowledge(kb_path)
-    print("no --kb given; mining a knowledge base from the database itself ...")
+    # stderr keeps machine-readable stdout (``trace --json``) clean.
+    print(
+        "no --kb given; mining a knowledge base from the database itself ...",
+        file=sys.stderr,
+    )
     return KnowledgeBase(
         relation.take(max(200, len(relation) // 10)), database_size=len(relation)
     )
@@ -431,6 +487,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "mine": _cmd_mine,
     "query": _cmd_query,
+    "trace": _cmd_trace,
     "relax": _cmd_relax,
     "impute": _cmd_impute,
     "shell": _cmd_shell,

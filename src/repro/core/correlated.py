@@ -27,6 +27,7 @@ from repro.query.query import SelectionQuery
 from repro.relational.relation import Row
 from repro.sources.autonomous import AutonomousSource
 from repro.sources.registry import SourceRegistry
+from repro.telemetry import SpanKind, Telemetry, maybe_span
 
 __all__ = ["CorrelatedSourceMediator", "find_correlated_source"]
 
@@ -84,6 +85,10 @@ class CorrelatedSourceMediator:
         that support the query attribute need one).
     config:
         Retrieval parameters.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hook; every call to
+        the correlated and deficient sources becomes a span, so federated
+        traces cover the §4.3 path too.
     """
 
     def __init__(
@@ -91,10 +96,12 @@ class CorrelatedSourceMediator:
         registry: SourceRegistry,
         knowledge_bases: dict[str, KnowledgeBase],
         config: CorrelatedConfig | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.registry = registry
         self.knowledge_bases = knowledge_bases
         self.config = config or CorrelatedConfig()
+        self._telemetry = telemetry
 
     def query(self, query: SelectionQuery, target: AutonomousSource) -> QueryResult:
         """Retrieve relevant possible answers for *query* from *target*.
@@ -127,11 +134,26 @@ class CorrelatedSourceMediator:
             )
         correlated, knowledge = found
 
+        telemetry = self._telemetry
         stats = RetrievalStats()
-        # Step 1 (modified): base set from the correlated source.
-        base_set = correlated.execute(query)
+        # Step 1 (modified): base set from the correlated source.  Issuance
+        # is counted before the call, matching QpiadMediator's accounting.
         stats.queries_issued += 1
+        if telemetry is not None:
+            telemetry.count("mediator.queries_issued")
+        with maybe_span(
+            telemetry,
+            f"correlated-base {query}",
+            SpanKind.BASE_QUERY,
+            query=str(query),
+            source=correlated.name,
+        ) as span:
+            base_set = correlated.execute(query)
+            if span is not None:
+                span.set(tuples=len(base_set))
         stats.tuples_retrieved += len(base_set)
+        if telemetry is not None:
+            telemetry.count("mediator.tuples_retrieved", len(base_set))
 
         from repro.relational.relation import Relation
 
@@ -158,10 +180,24 @@ class CorrelatedSourceMediator:
 
         seen: set[Row] = set()
         for rewritten in ordered:
-            retrieved = target.execute(rewritten.query)
             stats.queries_issued += 1
+            if telemetry is not None:
+                telemetry.count("mediator.queries_issued")
+            with maybe_span(
+                telemetry,
+                f"rewritten {rewritten.query}",
+                SpanKind.REWRITTEN_QUERY,
+                query=str(rewritten.query),
+                source=target.name,
+                precision=round(rewritten.estimated_precision, 6),
+            ) as span:
+                retrieved = target.execute(rewritten.query)
+                if span is not None:
+                    span.set(tuples=len(retrieved))
             stats.rewritten_issued += 1
             stats.tuples_retrieved += len(retrieved)
+            if telemetry is not None:
+                telemetry.count("mediator.tuples_retrieved", len(retrieved))
             for row in retrieved:
                 # No post-filter on the target attribute: the deficient
                 # source does not return it at all, so every tuple is a

@@ -35,6 +35,7 @@ from repro.mining.knowledge import KnowledgeBase
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation, Row
 from repro.sources.registry import SourceRegistry
+from repro.telemetry import SpanKind, Telemetry, maybe_span
 
 __all__ = ["FederatedAnswer", "FederatedResult", "FederatedMediator", "SourceFailure"]
 
@@ -111,6 +112,11 @@ class FederatedMediator:
         can still *receive* correlated-source rewritten queries.
     config / correlated_config:
         Parameters for the regular and cross-source pipelines.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hook, shared with
+        every per-source mediator the federation spins up: the federated
+        query becomes one root span with a child span per source, under
+        which the per-source retrieval spans nest.
     """
 
     def __init__(
@@ -119,12 +125,14 @@ class FederatedMediator:
         knowledge_bases: dict[str, KnowledgeBase],
         config: QpiadConfig | None = None,
         correlated_config: CorrelatedConfig | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.registry = registry
         self.knowledge_bases = knowledge_bases
         self.config = config or QpiadConfig()
+        self._telemetry = telemetry
         self.correlated = CorrelatedSourceMediator(
-            registry, knowledge_bases, correlated_config
+            registry, knowledge_bases, correlated_config, telemetry=telemetry
         )
 
     def query(self, query: SelectionQuery) -> FederatedResult:
@@ -134,17 +142,40 @@ class FederatedMediator:
         is logged on the result, the result is flagged degraded, and the
         remaining sources are still mediated in full.
         """
+        telemetry = self._telemetry
         result = FederatedResult(query=query)
-        for source in self.registry:
-            try:
-                if source.can_answer(query):
-                    self._query_supporting(source, query, result)
-                else:
-                    self._query_deficient(source, query, result)
-            except SourceUnavailableError as exc:
-                result.failures.append(SourceFailure(source.name, str(exc)))
-                result.degraded = True
-        result.ranked.sort(key=lambda item: -item.confidence)
+        with maybe_span(
+            telemetry, f"federated {query}", SpanKind.FEDERATION, query=str(query)
+        ) as root:
+            for source in self.registry:
+                try:
+                    with maybe_span(
+                        telemetry,
+                        f"source {source.name}",
+                        SpanKind.FEDERATION_SOURCE,
+                        source=source.name,
+                    ):
+                        if source.can_answer(query):
+                            self._query_supporting(source, query, result)
+                        else:
+                            self._query_deficient(source, query, result)
+                except SourceUnavailableError as exc:
+                    result.failures.append(SourceFailure(source.name, str(exc)))
+                    result.degraded = True
+                    if telemetry is not None:
+                        telemetry.count("federation.source_failures")
+            result.ranked.sort(key=lambda item: -item.confidence)
+            if root is not None:
+                root.set(
+                    sources=len(self.registry),
+                    ranked=len(result.ranked),
+                    failed=len(result.failures),
+                    degraded=result.degraded,
+                )
+        if telemetry is not None:
+            telemetry.count("federation.queries")
+            if result.degraded:
+                telemetry.count("federation.queries_degraded")
         return result
 
     # ------------------------------------------------------------------
@@ -155,7 +186,9 @@ class FederatedMediator:
             # No statistics: certain answers only.
             result.certain[source.name] = source.execute(query)
             return
-        outcome = QpiadMediator(source, knowledge, self.config).query(query)
+        outcome = QpiadMediator(
+            source, knowledge, self.config, telemetry=self._telemetry
+        ).query(query)
         result.per_source[source.name] = outcome
         result.certain[source.name] = outcome.certain
         result.ranked.extend(

@@ -27,9 +27,10 @@ from repro.errors import (
 )
 from repro.mining.knowledge import KnowledgeBase
 from repro.query.query import SelectionQuery
-from repro.relational.relation import Row
+from repro.relational.relation import Relation, Row
 from repro.relational.values import is_null
 from repro.sources.autonomous import AutonomousSource
+from repro.telemetry import SpanKind, Telemetry, maybe_span
 
 __all__ = ["QpiadConfig", "QpiadMediator"]
 
@@ -137,6 +138,12 @@ class QpiadMediator:
     clock:
         Injectable monotonic clock backing ``config.deadline_seconds``
         (tests drive it manually; production uses ``time.monotonic``).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hook.  When given,
+        every retrieval becomes a span tree (one child span per source
+        call, failed calls included) and the registry's ``mediator.*``
+        counters track issuance and transfer volume; when ``None`` (the
+        default) each emit site costs a single ``None`` check.
     """
 
     def __init__(
@@ -145,11 +152,43 @@ class QpiadMediator:
         knowledge: KnowledgeBase,
         config: QpiadConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
+        telemetry: Telemetry | None = None,
     ):
         self.source = source
         self.knowledge = knowledge
         self.config = config or QpiadConfig()
         self._clock = clock
+        self._telemetry = telemetry
+
+    def _issue(
+        self,
+        stats: RetrievalStats,
+        name: str,
+        kind: str,
+        call: Callable[[], Relation],
+        **attributes,
+    ) -> Relation:
+        """One billable source call: counted *before* it runs, spanned when traced.
+
+        Issuance is recorded up front so calls that fail — transiently, on
+        an exhausted budget, or with the response lost after the source
+        already charged for the work — still appear in
+        ``stats.queries_issued``.  This keeps the mediator's cost
+        accounting aligned with the source's own access log instead of
+        silently undercounting exactly the calls that hurt most.
+        """
+        stats.queries_issued += 1
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.count("mediator.queries_issued")
+        with maybe_span(telemetry, name, kind, **attributes) as span:
+            retrieved = call()
+            if span is not None:
+                span.set(tuples=len(retrieved))
+        stats.tuples_retrieved += len(retrieved)
+        if telemetry is not None:
+            telemetry.count("mediator.tuples_retrieved", len(retrieved))
+        return retrieved
 
     def query(self, query: SelectionQuery) -> QueryResult:
         """Process *query*: certain answers plus ranked possible answers.
@@ -158,12 +197,39 @@ class QpiadMediator:
         rewritten queries degrade the result instead of aborting it (see
         :class:`QpiadConfig` and :attr:`QueryResult.degraded`).
         """
+        telemetry = self._telemetry
+        with maybe_span(
+            telemetry, f"qpiad.query {query}", SpanKind.RETRIEVAL, query=str(query)
+        ) as root:
+            result = self._mediate(query)
+            if root is not None:
+                root.set(
+                    certain=len(result.certain),
+                    ranked=len(result.ranked),
+                    unranked=len(result.unranked),
+                    queries_issued=result.stats.queries_issued,
+                    degraded=result.degraded,
+                )
+        if telemetry is not None:
+            telemetry.count("mediator.retrievals")
+            if result.degraded:
+                telemetry.count("mediator.retrievals_degraded")
+            telemetry.count("mediator.answers_certain", len(result.certain))
+            telemetry.count("mediator.answers_ranked", len(result.ranked))
+        return result
+
+    def _mediate(self, query: SelectionQuery) -> QueryResult:
         stats = RetrievalStats()
         started = self._clock()
+        telemetry = self._telemetry
 
-        base_set = self.source.execute(query)
-        stats.queries_issued += 1
-        stats.tuples_retrieved += len(base_set)
+        base_set = self._issue(
+            stats,
+            f"base {query}",
+            SpanKind.BASE_QUERY,
+            lambda: self.source.execute(query),
+            query=str(query),
+        )
 
         result = QueryResult(query=query, certain=base_set, stats=stats)
 
@@ -193,14 +259,34 @@ class QpiadMediator:
                 break
             if not self._can_answer(rewritten.query):
                 stats.rewritten_skipped += 1
+                if telemetry is not None:
+                    telemetry.count("mediator.rewritten_unanswerable")
                 continue  # the web form cannot express this rewriting
+            if rewritten.estimated_precision < self.config.min_confidence:
+                # Plan-time confidence gate: every row this rewriting could
+                # retrieve would carry a confidence below the user's
+                # threshold, so issuing it would only burn the source's
+                # query budget on rows the post-filter must discard.
+                stats.rewritten_skipped += 1
+                if telemetry is not None:
+                    telemetry.count("mediator.rewritten_below_confidence")
+                continue
             try:
-                retrieved = self.source.execute(rewritten.query)
+                retrieved = self._issue(
+                    stats,
+                    f"rewritten {rewritten.query}",
+                    SpanKind.REWRITTEN_QUERY,
+                    lambda: self.source.execute(rewritten.query),
+                    query=str(rewritten.query),
+                    precision=round(rewritten.estimated_precision, 6),
+                )
             except QueryBudgetExceededError as exc:
                 stats.record_failure(
                     rewritten.query, QueryFailure.BUDGET_EXHAUSTED, str(exc)
                 )
                 result.degraded = True
+                if telemetry is not None:
+                    telemetry.count("mediator.budget_exhausted")
                 if self.config.tolerate_budget_exhaustion:
                     break  # degrade gracefully: ship what we have
                 raise
@@ -210,6 +296,8 @@ class QpiadMediator:
                     rewritten.query, QueryFailure.SOURCE_UNAVAILABLE, str(exc)
                 )
                 result.degraded = True
+                if telemetry is not None:
+                    telemetry.count("mediator.source_failures")
                 if self._failure_budget_exhausted(source_failures):
                     raise
                 logger.info(
@@ -217,9 +305,7 @@ class QpiadMediator:
                     "with the remaining plan", rewritten.query, exc,
                 )
                 continue  # skip this rewriting, the rest of the plan stands
-            stats.queries_issued += 1
             stats.rewritten_issued += 1
-            stats.tuples_retrieved += len(retrieved)
 
             target_index = schema.index_of(rewritten.target_attribute)
             for row in retrieved:
@@ -232,8 +318,6 @@ class QpiadMediator:
                     stats.duplicates_discarded += 1
                     continue
                 seen_rows.add(row)
-                if rewritten.estimated_precision < self.config.min_confidence:
-                    continue
                 result.ranked.append(
                     RankedAnswer(
                         row=row,
@@ -254,17 +338,23 @@ class QpiadMediator:
             except QueryBudgetExceededError as exc:
                 stats.record_failure(None, QueryFailure.BUDGET_EXHAUSTED, str(exc))
                 result.degraded = True
+                if telemetry is not None:
+                    telemetry.count("mediator.budget_exhausted")
                 if not self.config.tolerate_budget_exhaustion:
                     raise
             except SourceUnavailableError as exc:
                 source_failures += 1
                 stats.record_failure(None, QueryFailure.SOURCE_UNAVAILABLE, str(exc))
                 result.degraded = True
+                if telemetry is not None:
+                    telemetry.count("mediator.source_failures")
                 if self._failure_budget_exhausted(source_failures):
                     raise
         return result
 
-    def iter_possible(self, query: SelectionQuery):
+    def iter_possible(
+        self, query: SelectionQuery, stats: RetrievalStats | None = None
+    ):
         """Lazily yield ranked possible answers, issuing queries on demand.
 
         The base result set is retrieved eagerly (its tuples seed the
@@ -276,17 +366,29 @@ class QpiadMediator:
         Degradation matches :meth:`query` — transient failures of single
         rewritten queries are skipped under ``config.max_source_failures``,
         budget exhaustion and deadlines end the stream — but a generator
-        has no result object, so nothing is flagged: callers needing the
-        failure log should use :meth:`query`.
+        has no result object, so nothing is flagged.  Pass a *stats*
+        object to collect the same cost accounting :meth:`query` reports
+        (issuance is recorded before each call, so spent budget is counted
+        even when the call fails); callers needing the failure log itself
+        should use :meth:`query`.
         """
+        stats = RetrievalStats() if stats is None else stats
+        telemetry = self._telemetry
         started = self._clock()
-        base_set = self.source.execute(query)
+        base_set = self._issue(
+            stats,
+            f"base {query}",
+            SpanKind.BASE_QUERY,
+            lambda: self.source.execute(query),
+            query=str(query),
+        )
         try:
             candidates = generate_rewritten_queries(
                 query, base_set, self.knowledge, self.config.classifier_method
             )
         except RewritingError:
             return
+        stats.rewritten_generated = len(candidates)
         ordered = order_rewritten_queries(candidates, self.config.alpha, self.config.k)
         seen_rows: set[Row] = set(base_set)
         schema = self.source.schema
@@ -297,15 +399,36 @@ class QpiadMediator:
                 self._note_deadline(query, None, started)
                 return
             if not self._can_answer(rewritten.query):
+                stats.rewritten_skipped += 1
+                if telemetry is not None:
+                    telemetry.count("mediator.rewritten_unanswerable")
+                continue
+            if rewritten.estimated_precision < self.config.min_confidence:
+                # Same plan-time gate as :meth:`query`: never spend budget
+                # on a rewriting whose every row would be filtered out.
+                stats.rewritten_skipped += 1
+                if telemetry is not None:
+                    telemetry.count("mediator.rewritten_below_confidence")
                 continue
             try:
-                retrieved = self.source.execute(rewritten.query)
+                retrieved = self._issue(
+                    stats,
+                    f"rewritten {rewritten.query}",
+                    SpanKind.REWRITTEN_QUERY,
+                    lambda: self.source.execute(rewritten.query),
+                    query=str(rewritten.query),
+                    precision=round(rewritten.estimated_precision, 6),
+                )
             except QueryBudgetExceededError:
+                if telemetry is not None:
+                    telemetry.count("mediator.budget_exhausted")
                 if self.config.tolerate_budget_exhaustion:
                     return
                 raise
             except SourceUnavailableError as exc:
                 source_failures += 1
+                if telemetry is not None:
+                    telemetry.count("mediator.source_failures")
                 if self._failure_budget_exhausted(source_failures):
                     raise
                 logger.info(
@@ -313,13 +436,12 @@ class QpiadMediator:
                     "with the remaining plan", rewritten.query, exc,
                 )
                 continue
+            stats.rewritten_issued += 1
             target_index = schema.index_of(rewritten.target_attribute)
             for row in retrieved:
                 if not is_null(row[target_index]) or row in seen_rows:
                     continue
                 seen_rows.add(row)
-                if rewritten.estimated_precision < self.config.min_confidence:
-                    continue
                 yield RankedAnswer(
                     row=row,
                     confidence=rewritten.estimated_precision,
@@ -347,6 +469,8 @@ class QpiadMediator:
         )
         if stats is not None:
             stats.record_failure(None, QueryFailure.DEADLINE, message)
+        if self._telemetry is not None:
+            self._telemetry.count("mediator.deadline_exceeded")
         if not self.config.tolerate_deadline_exceeded:
             raise DeadlineExceededError(message)
         logger.info("%s; returning a degraded result", message)
@@ -368,14 +492,21 @@ class QpiadMediator:
         """Tuples with ≥2 NULLs over constrained attributes, unranked.
 
         Only expressible when the source supports NULL binding; real web
-        forms do not, so this quietly returns nothing for them.
+        forms do not, so this quietly returns nothing for them.  The
+        attempt is still counted as an issued query — the mediator did put
+        a call on the wire, and the source's own log records the
+        rejection.
         """
         try:
-            retrieved = self.source.execute_null_binding(query, max_nulls=None)
+            retrieved = self._issue(
+                stats,
+                f"multi-null {query}",
+                SpanKind.MULTI_NULL,
+                lambda: self.source.execute_null_binding(query, max_nulls=None),
+                query=str(query),
+            )
         except NullBindingError:
             return []
-        stats.queries_issued += 1
-        stats.tuples_retrieved += len(retrieved)
         schema = self.source.schema
         constrained = query.constrained_attributes
         rows = []

@@ -92,7 +92,17 @@ class QueryFailure:
 
 @dataclass
 class RetrievalStats:
-    """Cost accounting for one mediated query."""
+    """Cost accounting for one mediated query.
+
+    ``queries_issued`` counts every call the mediator put on the wire,
+    *whatever its outcome* — answered, rejected, failed transiently, or
+    charged-then-lost — so it matches the source's own access log (the
+    chaos suite asserts exactly this under fault injection).
+    ``rewritten_issued`` counts only rewritten queries that returned a
+    result; ``rewritten_skipped`` counts rewritings dropped at plan time
+    (inexpressible through the source's interface, or with an estimated
+    precision below ``min_confidence``) that therefore cost nothing.
+    """
 
     queries_issued: int = 0
     tuples_retrieved: int = 0

@@ -20,6 +20,7 @@ from repro.faults.plan import FaultDecision, FaultEvent, FaultKind, FaultPlan, F
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
+from repro.telemetry import Telemetry
 
 __all__ = ["FaultInjectingSource"]
 
@@ -42,6 +43,11 @@ class FaultInjectingSource:
         Hook receiving injected latency.  The default ignores the delay (the
         statistics still record it); pass ``time.sleep`` for wall-clock
         chaos runs or a fake-clock advance in deadline tests.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hook; every injected
+        fault counts as ``fault.injected`` plus a per-kind counter
+        (``fault.unavailable``, ``fault.churn``, ...).  ``None`` emits
+        nothing.
     """
 
     def __init__(
@@ -49,10 +55,12 @@ class FaultInjectingSource:
         inner,
         plan: FaultPlan,
         sleep: Callable[[float], None] = _ignore_latency,
+        telemetry: Telemetry | None = None,
     ):
         self.inner = inner
         self.plan = plan
         self._sleep = sleep
+        self._telemetry = telemetry
         self.statistics = FaultStatistics()
 
     # -- fault core --------------------------------------------------------
@@ -66,6 +74,9 @@ class FaultInjectingSource:
         self.statistics.events.append(
             FaultEvent(self.statistics.calls - 1, kind, operation, detail)
         )
+        if self._telemetry is not None:
+            self._telemetry.count("fault.injected")
+            self._telemetry.count(f"fault.{kind}")
 
     def _faulted(
         self,

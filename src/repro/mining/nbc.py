@@ -139,15 +139,26 @@ class NaiveBayesClassifier:
             scores[class_value] = score
         total = sum(scores.values())
         if total <= 0.0:
-            # All posteriors vanished (possible only with m = 0 and unseen
-            # evidence); fall back to the prior distribution.
-            return {value: self._class_counts[value] / self._total for value in scores}
+            # All posteriors vanished (m = 0 with unseen evidence, or long
+            # likelihood products that underflowed to zero); fall back to
+            # the *smoothed* prior distribution so the degenerate case stays
+            # consistent with :meth:`prior`.
+            return {value: self.prior(value) for value in scores}
         return {value: score / total for value, score in scores.items()}
 
     def predict(self, evidence: Mapping[str, Any]) -> tuple[Any, float]:
-        """The argmax completion and its posterior probability."""
+        """The argmax completion and its posterior probability.
+
+        Ties are broken deterministically: higher posterior, then higher
+        smoothed prior, then the lexicographically smallest value — never
+        dict insertion order, which would make predictions depend on the
+        order training rows happened to arrive in.
+        """
         posterior = self.distribution(evidence)
-        best_value = max(posterior, key=lambda value: (posterior[value],))
+        best_value = min(
+            posterior,
+            key=lambda value: (-posterior[value], -self.prior(value), str(value)),
+        )
         return best_value, posterior[best_value]
 
     def probability(self, class_value: Any, evidence: Mapping[str, Any]) -> float:

@@ -30,6 +30,7 @@ from repro.errors import CircuitOpenError, QpiadError, SourceUnavailableError
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
+from repro.telemetry import Telemetry
 
 __all__ = ["BreakerState", "BreakerStatistics", "CircuitBreakerSource"]
 
@@ -69,6 +70,11 @@ class CircuitBreakerSource:
         How long an open circuit rejects calls before a half-open trial.
     clock:
         Injectable monotonic clock (for tests).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hook; state changes
+        become ``breaker.transitions`` plus ``breaker.opens`` /
+        ``breaker.recoveries``, and every rejected call counts as
+        ``breaker.fast_failures``.  ``None`` emits nothing.
     """
 
     def __init__(
@@ -77,6 +83,7 @@ class CircuitBreakerSource:
         failure_threshold: int = 5,
         recovery_seconds: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        telemetry: Telemetry | None = None,
     ):
         if failure_threshold < 1:
             raise QpiadError(
@@ -88,6 +95,7 @@ class CircuitBreakerSource:
         self.failure_threshold = failure_threshold
         self.recovery_seconds = recovery_seconds
         self._clock = clock
+        self._telemetry = telemetry
         self.statistics = BreakerStatistics()
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
@@ -103,12 +111,16 @@ class CircuitBreakerSource:
             and self._clock() - self._opened_at >= self.recovery_seconds
         ):
             self._state = BreakerState.HALF_OPEN
+            if self._telemetry is not None:
+                self._telemetry.count("breaker.transitions")
         return self._state
 
     def _call(self, operation: Callable[[], Any]) -> Any:
         state = self.state
         if state == BreakerState.OPEN:
             self.statistics.fast_failures += 1
+            if self._telemetry is not None:
+                self._telemetry.count("breaker.fast_failures")
             remaining = self.recovery_seconds - (self._clock() - self._opened_at)
             raise CircuitOpenError(
                 f"circuit for source {self.inner.name!r} is open after "
@@ -133,6 +145,9 @@ class CircuitBreakerSource:
         ):
             if self._state != BreakerState.OPEN:
                 self.statistics.opens += 1
+                if self._telemetry is not None:
+                    self._telemetry.count("breaker.opens")
+                    self._telemetry.count("breaker.transitions")
             self._state = BreakerState.OPEN
             self._opened_at = self._clock()
 
@@ -140,6 +155,9 @@ class CircuitBreakerSource:
         self.statistics.successes += 1
         if state_at_call == BreakerState.HALF_OPEN:
             self.statistics.recoveries += 1
+            if self._telemetry is not None:
+                self._telemetry.count("breaker.recoveries")
+                self._telemetry.count("breaker.transitions")
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
 

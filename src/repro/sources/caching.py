@@ -21,6 +21,7 @@ from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.sources.autonomous import AutonomousSource
+from repro.telemetry import Telemetry
 
 __all__ = ["CacheStatistics", "CachingSource"]
 
@@ -51,14 +52,24 @@ class CachingSource:
     capacity:
         Maximum number of distinct queries kept (least-recently-used
         eviction).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hook mirroring
+        :attr:`statistics` into the ``cache.*`` counters (hits, misses,
+        evictions) of a shared registry; ``None`` emits nothing.
     """
 
-    def __init__(self, inner: AutonomousSource, capacity: int = 256):
+    def __init__(
+        self,
+        inner: AutonomousSource,
+        capacity: int = 256,
+        telemetry: Telemetry | None = None,
+    ):
         if capacity < 1:
             raise QpiadError(f"cache capacity must be positive, got {capacity}")
         self.inner = inner
         self.capacity = capacity
         self.statistics = CacheStatistics()
+        self._telemetry = telemetry
         self._cache: "OrderedDict[SelectionQuery, Relation]" = OrderedDict()
 
     # -- the AutonomousSource surface the mediator uses -------------------
@@ -90,13 +101,19 @@ class CachingSource:
         if cached is not None:
             self._cache.move_to_end(query)
             self.statistics.hits += 1
+            if self._telemetry is not None:
+                self._telemetry.count("cache.hits")
             return cached
         result = self.inner.execute(query)
         self.statistics.misses += 1
+        if self._telemetry is not None:
+            self._telemetry.count("cache.misses")
         self._cache[query] = result
         if len(self._cache) > self.capacity:
             self._cache.popitem(last=False)
             self.statistics.evictions += 1
+            if self._telemetry is not None:
+                self._telemetry.count("cache.evictions")
         return result
 
     def execute_null_binding(self, query: SelectionQuery, max_nulls: int | None = None):

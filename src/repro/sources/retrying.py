@@ -22,6 +22,7 @@ from repro.errors import QpiadError, SourceUnavailableError
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
+from repro.telemetry import Telemetry
 
 __all__ = ["RetryStatistics", "RetryingSource"]
 
@@ -62,6 +63,10 @@ class RetryingSource:
         deterministic.  ``None`` sleeps the exact delay.
     sleep:
         Injectable sleep function (for tests).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hook mirroring
+        :attr:`statistics` into the ``retry.*`` counters (attempts,
+        retries, gave_up); ``None`` emits nothing.
     """
 
     def __init__(
@@ -72,6 +77,7 @@ class RetryingSource:
         max_backoff_seconds: float | None = None,
         jitter_seed: int | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        telemetry: Telemetry | None = None,
     ):
         if max_attempts < 1:
             raise QpiadError(f"max_attempts must be at least 1, got {max_attempts}")
@@ -85,6 +91,7 @@ class RetryingSource:
         self.max_backoff_seconds = max_backoff_seconds
         self._jitter_rng = None if jitter_seed is None else random.Random(jitter_seed)
         self._sleep = sleep
+        self._telemetry = telemetry
         self.statistics = RetryStatistics()
 
     # -- retry core --------------------------------------------------------
@@ -103,13 +110,19 @@ class RetryingSource:
         delay = self._capped(self.backoff_seconds)
         for attempt in range(1, self.max_attempts + 1):
             self.statistics.attempts += 1
+            if self._telemetry is not None:
+                self._telemetry.count("retry.attempts")
             try:
                 return operation()
             except SourceUnavailableError:
                 if attempt == self.max_attempts:
                     self.statistics.gave_up += 1
+                    if self._telemetry is not None:
+                        self._telemetry.count("retry.gave_up")
                     raise
                 self.statistics.retries += 1
+                if self._telemetry is not None:
+                    self._telemetry.count("retry.retries")
                 if delay:
                     self._sleep(self._jittered(delay))
                     delay = self._capped(delay * 2)

@@ -1,0 +1,197 @@
+"""Structured tracing of mediated retrievals.
+
+A mediated query is a small distributed plan: one base query, a ranked
+batch of rewritten queries, possibly a multi-NULL fetch, each of them a
+billable call against a rate-limited autonomous source.  The
+:class:`Tracer` records that plan as a tree of :class:`Span` objects —
+one span per source call, nested under one retrieval-level root — with
+timings taken from an injectable clock so tests and simulations never
+depend on wall time.
+
+The tracer is deliberately tiny: spans are plain mutable dataclasses,
+parentage comes from a stack of open spans, and nothing is sampled or
+dropped.  Export (text trees, JSON) lives in
+:mod:`repro.telemetry.export`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["SpanKind", "Span", "SpanContext", "Tracer"]
+
+
+class SpanKind:
+    """String constants classifying what a span measures."""
+
+    RETRIEVAL = "retrieval"  # one whole mediated query (the root)
+    BASE_QUERY = "base-query"  # the user's original query against the source
+    REWRITTEN_QUERY = "rewritten-query"  # one AFD-rewritten probe
+    MULTI_NULL = "multi-null-fetch"  # the >= 2-NULL counterfactual fetch
+    FEDERATION = "federation"  # one federated query (root over sources)
+    FEDERATION_SOURCE = "federation-source"  # one source's share of it
+
+    ALL = (
+        RETRIEVAL,
+        BASE_QUERY,
+        REWRITTEN_QUERY,
+        MULTI_NULL,
+        FEDERATION,
+        FEDERATION_SOURCE,
+    )
+
+    # The kinds that correspond to exactly one source call each.
+    SOURCE_CALLS = (BASE_QUERY, REWRITTEN_QUERY, MULTI_NULL)
+
+
+@dataclass
+class Span:
+    """One timed step of a retrieval plan.
+
+    Attributes
+    ----------
+    span_id / parent_id:
+        Tree structure; ``parent_id`` is ``None`` for roots.
+    name:
+        Human-readable label (usually the query being issued).
+    kind:
+        A :class:`SpanKind` constant.
+    started / ended:
+        Clock readings; ``ended`` stays ``None`` while the span is open.
+    attributes:
+        Free-form key/value payload (tuple counts, confidences, ...).
+    status / error:
+        ``"ok"`` normally; ``"error"`` plus the message when the spanned
+        operation raised.
+    """
+
+    span_id: int
+    parent_id: "int | None"
+    name: str
+    kind: str
+    started: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+    ended: "float | None" = None
+    status: str = "ok"
+    error: str = ""
+
+    @property
+    def finished(self) -> bool:
+        return self.ended is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and finish (0.0 while still open)."""
+        return 0.0 if self.ended is None else self.ended - self.started
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "error"
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes after the span has started."""
+        self.attributes.update(attributes)
+        return self
+
+
+class Tracer:
+    """Records spans with parentage and timings from an injectable clock.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source; tests drive a manual clock, production
+        uses ``time.monotonic``.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._spans: list[Span] = []
+        self._open: list[int] = []
+        self._next_id = 1
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Every recorded span, in start order."""
+        return tuple(self._spans)
+
+    def roots(self) -> tuple[Span, ...]:
+        return tuple(span for span in self._spans if span.parent_id is None)
+
+    def children(self, parent: Span) -> tuple[Span, ...]:
+        return tuple(
+            span for span in self._spans if span.parent_id == parent.span_id
+        )
+
+    def by_kind(self, kind: str) -> tuple[Span, ...]:
+        return tuple(span for span in self._spans if span.kind == kind)
+
+    def start(self, name: str, kind: str, **attributes: Any) -> Span:
+        """Open a span; it becomes the parent of spans started before its finish."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._open[-1] if self._open else None,
+            name=name,
+            kind=kind,
+            started=self._clock(),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        self._open.append(span.span_id)
+        return span
+
+    def finish(self, span: Span, error: "BaseException | str | None" = None) -> Span:
+        """Close *span*, recording an error status when one is given."""
+        span.ended = self._clock()
+        if error is not None:
+            span.status = "error"
+            span.error = str(error)
+        if self._open and self._open[-1] == span.span_id:
+            self._open.pop()
+        elif span.span_id in self._open:  # tolerate out-of-order finishes
+            self._open.remove(span.span_id)
+        return span
+
+    def span(self, name: str, kind: str, **attributes: Any) -> "SpanContext":
+        """Context manager: start on enter, finish (capturing errors) on exit."""
+        return SpanContext(self, name, kind, attributes)
+
+    def reset(self) -> None:
+        self._spans.clear()
+        self._open.clear()
+        self._next_id = 1
+
+
+class SpanContext:
+    """``with``-wrapper around one span; exceptions mark it failed and re-raise."""
+
+    __slots__ = ("_tracer", "_name", "_kind", "_attributes", "_on_finish", "span")
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        name: str,
+        kind: str,
+        attributes: dict[str, Any],
+        on_finish: "Callable[[Span], None] | None" = None,
+    ):
+        self._tracer = tracer
+        self._name = name
+        self._kind = kind
+        self._attributes = attributes
+        self._on_finish = on_finish
+        self.span: "Span | None" = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer.start(self._name, self._kind, **self._attributes)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self.span is not None
+        self._tracer.finish(self.span, error=exc)
+        if self._on_finish is not None:
+            self._on_finish(self.span)
+        return False

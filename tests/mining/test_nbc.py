@@ -121,3 +121,72 @@ class TestNullFeatureTraining:
         nbc = NaiveBayesClassifier(relation, "body", ["model"])
         # Only 2 of the 3 Convt rows carry model evidence.
         assert nbc.likelihood("model", "Z4", "Convt") == pytest.approx((2 + 1) / (2 + 1))
+
+
+class TestDegenerateFallback:
+    """When every posterior score vanishes, fall back to the *smoothed* prior."""
+
+    def test_m_zero_unseen_evidence_falls_back_to_prior(self, training):
+        nbc = NaiveBayesClassifier(training, "body", ["model"], m=0.0)
+        # m = 0 gives unseen evidence zero likelihood for every class.
+        dist = nbc.distribution({"model": "Viper"})
+        assert dist == {value: nbc.prior(value) for value in dist}
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_underflowed_scores_fall_back_to_smoothed_prior(self):
+        # With a tiny m and many unseen features, every per-class score
+        # underflows to exactly 0.0 while the smoothed prior still differs
+        # from the raw class frequency in its last bits.  The fallback must
+        # return the smoothed prior — the same quantity :meth:`prior`
+        # reports — not the unsmoothed frequency.
+        feature_names = [f"x{i}" for i in range(40)]
+        schema = Schema.of(*feature_names, "cls")
+        row_a = tuple(["a"] * 40 + ["A"])
+        row_b = tuple(["b"] * 40 + ["B"])
+        relation = Relation(schema, [row_a, row_a, row_b])
+        nbc = NaiveBayesClassifier(relation, "cls", feature_names, m=1e-9)
+
+        evidence = {name: "unseen" for name in feature_names}
+        raw_score = nbc.prior("A")
+        for name in feature_names:
+            raw_score *= nbc.likelihood(name, "unseen", "A")
+        assert raw_score == 0.0  # the construction really underflowed
+
+        dist = nbc.distribution(evidence)
+        assert dist["A"] == nbc.prior("A")
+        assert dist["B"] == nbc.prior("B")
+        # And specifically NOT the unsmoothed maximum-likelihood prior.
+        assert dist["A"] != 2 / 3
+        assert dist["B"] != 1 / 3
+
+
+class TestDeterministicTieBreak:
+    """Equal posteriors must not be broken by dict insertion order."""
+
+    # Class A: 2 rows with feature values {v, w}; class B: 1 row with {v}.
+    # With m = 0: score(A) = (2/3)(1/2), score(B) = (1/3)(1) — bit-for-bit
+    # equal posteriors of 0.5, but priors 2/3 vs 1/3.
+    ROWS = [("v", "A"), ("w", "A"), ("v", "B")]
+
+    def _classifier(self, rows):
+        schema = Schema.of("f", "cls")
+        return NaiveBayesClassifier(Relation(schema, rows), "cls", ["f"], m=0.0)
+
+    def test_tie_goes_to_the_higher_prior(self):
+        nbc = self._classifier(self.ROWS)
+        dist = nbc.distribution({"f": "v"})
+        assert dist["A"] == dist["B"] == 0.5  # a genuine tie
+        value, posterior = nbc.predict({"f": "v"})
+        assert value == "A"
+        assert posterior == 0.5
+
+    def test_prediction_is_independent_of_training_row_order(self):
+        orderings = [self.ROWS, list(reversed(self.ROWS))]
+        predictions = {self._classifier(rows).predict({"f": "v"})[0] for rows in orderings}
+        assert predictions == {"A"}
+
+    def test_full_tie_breaks_lexicographically(self):
+        # One row each: identical posteriors AND priors; the value itself
+        # is the last resort, making predictions fully deterministic.
+        nbc = self._classifier([("v", "B"), ("v", "A")])
+        assert nbc.predict({"f": "v"})[0] == "A"

@@ -1,0 +1,110 @@
+"""Text and JSON exporters over recorded telemetry."""
+
+import json
+
+from repro.telemetry import (
+    SpanKind,
+    Telemetry,
+    maybe_span,
+    render_telemetry_json,
+    render_telemetry_text,
+    render_trace_text,
+    telemetry_snapshot,
+)
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+def _record_one_retrieval() -> Telemetry:
+    clock = ManualClock()
+    telemetry = Telemetry(clock=clock)
+    with telemetry.span("qpiad.query q", SpanKind.RETRIEVAL, query="q"):
+        with telemetry.span("base q", SpanKind.BASE_QUERY) as base:
+            clock.advance(0.002)
+            base.set(tuples=5)
+        try:
+            with telemetry.span("rewritten r", SpanKind.REWRITTEN_QUERY):
+                raise RuntimeError("source went away")
+        except RuntimeError:
+            pass
+    telemetry.count("mediator.queries_issued", 2)
+    return telemetry
+
+
+class TestTextExport:
+    def test_tree_is_indented_by_depth(self):
+        telemetry = _record_one_retrieval()
+        lines = render_trace_text(telemetry.tracer).splitlines()
+        assert lines[0].startswith("[retrieval]")
+        assert lines[1].startswith("  [base-query]")
+        assert lines[2].startswith("  [rewritten-query]")
+
+    def test_durations_attributes_and_errors_appear(self):
+        text = render_trace_text(_record_one_retrieval().tracer)
+        assert "2.000ms" in text
+        assert "tuples=5" in text
+        assert "ERROR: source went away" in text
+
+    def test_empty_tracer_renders_placeholder(self):
+        assert "no spans" in render_trace_text(Telemetry().tracer)
+
+    def test_full_rendering_includes_metric_tables(self):
+        text = render_telemetry_text(_record_one_retrieval())
+        assert "mediator.queries_issued" in text
+        assert "span.base-query.seconds" in text
+
+
+class TestJsonExport:
+    def test_snapshot_round_trips_through_json(self):
+        telemetry = _record_one_retrieval()
+        payload = json.loads(render_telemetry_json(telemetry))
+        assert payload == telemetry_snapshot(telemetry)
+
+    def test_span_payload_carries_tree_and_status(self):
+        payload = telemetry_snapshot(_record_one_retrieval())
+        spans = payload["spans"]
+        assert spans[0]["parent_id"] is None
+        assert spans[1]["parent_id"] == spans[0]["span_id"]
+        assert spans[1]["attributes"] == {"tuples": 5}
+        assert spans[2]["status"] == "error"
+        assert payload["metrics"]["counters"]["mediator.queries_issued"] == 2
+
+    def test_telemetry_snapshot_method_matches_function(self):
+        telemetry = _record_one_retrieval()
+        assert telemetry.snapshot() == telemetry_snapshot(telemetry)
+
+
+class TestMaybeSpan:
+    def test_disabled_telemetry_yields_none_span(self):
+        with maybe_span(None, "base", SpanKind.BASE_QUERY) as span:
+            assert span is None
+
+    def test_disabled_context_is_shared_and_allocation_free(self):
+        first = maybe_span(None, "a", SpanKind.BASE_QUERY)
+        second = maybe_span(None, "b", SpanKind.REWRITTEN_QUERY, anything=1)
+        assert first is second  # one module-level no-op object
+
+    def test_disabled_context_propagates_exceptions(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            with maybe_span(None, "base", SpanKind.BASE_QUERY):
+                raise ValueError("boom")
+
+    def test_enabled_records_latency_histogram(self):
+        clock = ManualClock()
+        telemetry = Telemetry(clock=clock)
+        with maybe_span(telemetry, "base", SpanKind.BASE_QUERY):
+            clock.advance(0.5)
+        histogram = telemetry.metrics.histogram("span.base-query.seconds")
+        assert histogram.count == 1
+        assert histogram.total == 0.5

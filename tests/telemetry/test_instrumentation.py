@@ -1,0 +1,214 @@
+"""Telemetry threaded through the mediator stack and the source wrappers.
+
+The tentpole property: **every source call in a traced retrieval appears
+as a span** — base query, each rewritten query, the multi-NULL fetch —
+and the ``mediator.*`` counters agree with the retrieval's own
+:class:`~repro.core.results.RetrievalStats`.
+"""
+
+import pytest
+
+from repro.core import QpiadConfig, QpiadMediator
+from repro.core.federation import FederatedMediator
+from repro.errors import CircuitOpenError, SourceUnavailableError
+from repro.faults import FaultInjectingSource, FaultPlan
+from repro.query import SelectionQuery
+from repro.sources import (
+    AutonomousSource,
+    CachingSource,
+    CircuitBreakerSource,
+    RetryingSource,
+    SourceCapabilities,
+    SourceRegistry,
+)
+from repro.telemetry import SpanKind, Telemetry
+
+QUERY = SelectionQuery.equals("body_style", "Convt")
+
+
+class TestMediatorSpans:
+    @pytest.fixture()
+    def traced(self, cars_env):
+        telemetry = Telemetry()
+        mediator = QpiadMediator(
+            cars_env.web_source(),
+            cars_env.knowledge,
+            QpiadConfig(k=10),
+            telemetry=telemetry,
+        )
+        return mediator.query(QUERY), telemetry
+
+    def test_every_source_call_appears_as_a_span(self, traced):
+        result, telemetry = traced
+        source_spans = [
+            span
+            for span in telemetry.tracer.spans
+            if span.kind in SpanKind.SOURCE_CALLS
+        ]
+        assert len(source_spans) == result.stats.queries_issued
+
+    def test_span_tree_has_one_retrieval_root(self, traced):
+        result, telemetry = traced
+        roots = telemetry.tracer.roots()
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.kind == SpanKind.RETRIEVAL
+        assert root.attributes["certain"] == len(result.certain)
+        assert root.attributes["queries_issued"] == result.stats.queries_issued
+        # Every source-call span nests under the retrieval root.
+        for span in telemetry.tracer.children(root):
+            assert span.kind in SpanKind.SOURCE_CALLS
+
+    def test_spans_carry_query_and_tuple_attributes(self, traced):
+        __, telemetry = traced
+        base = telemetry.tracer.by_kind(SpanKind.BASE_QUERY)[0]
+        assert "body_style" in base.attributes["query"]
+        assert base.attributes["tuples"] >= 0
+        for span in telemetry.tracer.by_kind(SpanKind.REWRITTEN_QUERY):
+            assert 0.0 <= span.attributes["precision"] <= 1.0
+
+    def test_counters_match_retrieval_stats(self, traced):
+        result, telemetry = traced
+        metrics = telemetry.metrics
+        assert metrics.value("mediator.queries_issued") == result.stats.queries_issued
+        assert metrics.value("mediator.tuples_retrieved") == result.stats.tuples_retrieved
+        assert metrics.value("mediator.retrievals") == 1
+        assert metrics.value("mediator.answers_certain") == len(result.certain)
+        assert metrics.value("mediator.answers_ranked") == len(result.ranked)
+
+    def test_latency_histograms_recorded_per_kind(self, traced):
+        result, telemetry = traced
+        histogram = telemetry.metrics.histogram("span.rewritten-query.seconds")
+        assert histogram.count == result.stats.rewritten_issued
+
+    def test_disabled_telemetry_changes_no_answers(self, cars_env, traced):
+        traced_result, __ = traced
+        bare = QpiadMediator(
+            cars_env.web_source(), cars_env.knowledge, QpiadConfig(k=10)
+        ).query(QUERY)
+        assert list(bare.certain) == list(traced_result.certain)
+        assert [a.row for a in bare.ranked] == [a.row for a in traced_result.ranked]
+        assert bare.stats.queries_issued == traced_result.stats.queries_issued
+
+
+class TestFailedCallsAreSpanned:
+    def test_faulted_calls_still_produce_spans(self, cars_env):
+        telemetry = Telemetry()
+        plan = FaultPlan(seed=3, unavailable_rate=0.4, spare_first=1)
+        source = FaultInjectingSource(
+            cars_env.web_source(), plan, telemetry=telemetry
+        )
+        result = QpiadMediator(
+            source, cars_env.knowledge, QpiadConfig(k=10), telemetry=telemetry
+        ).query(QUERY)
+
+        source_spans = [
+            span
+            for span in telemetry.tracer.spans
+            if span.kind in SpanKind.SOURCE_CALLS
+        ]
+        assert len(source_spans) == result.stats.queries_issued
+        failed = [span for span in source_spans if span.failed]
+        assert len(failed) == len(result.stats.failures)
+        assert telemetry.metrics.value("fault.injected") == (
+            source.statistics.faults_injected
+        )
+        assert telemetry.metrics.value("mediator.source_failures") == len(failed)
+
+
+class TestWrapperCounters:
+    @pytest.fixture()
+    def backend(self, car_fragment):
+        return AutonomousSource("cars", car_fragment)
+
+    def test_cache_counters(self, backend):
+        telemetry = Telemetry()
+        source = CachingSource(backend, capacity=1, telemetry=telemetry)
+        honda = SelectionQuery.equals("make", "Honda")
+        bmw = SelectionQuery.equals("make", "BMW")
+        source.execute(honda)
+        source.execute(honda)  # hit
+        source.execute(bmw)  # miss + eviction of honda
+        assert telemetry.metrics.value("cache.hits") == source.statistics.hits == 1
+        assert telemetry.metrics.value("cache.misses") == source.statistics.misses == 2
+        assert (
+            telemetry.metrics.value("cache.evictions")
+            == source.statistics.evictions
+            == 1
+        )
+
+    def test_retry_counters(self, backend):
+        telemetry = Telemetry()
+        plan = FaultPlan(seed=0, unavailable_rate=1.0)  # every call fails
+        flaky = FaultInjectingSource(backend, plan)
+        source = RetryingSource(flaky, max_attempts=3, telemetry=telemetry)
+        with pytest.raises(SourceUnavailableError):
+            source.execute(SelectionQuery.equals("make", "Honda"))
+        assert telemetry.metrics.value("retry.attempts") == 3
+        assert telemetry.metrics.value("retry.retries") == 2
+        assert telemetry.metrics.value("retry.gave_up") == 1
+
+    def test_breaker_counters(self, backend):
+        telemetry = Telemetry()
+        clock = [0.0]
+        plan = FaultPlan(seed=0, unavailable_rate=1.0)
+        dead = FaultInjectingSource(backend, plan)
+        source = CircuitBreakerSource(
+            dead,
+            failure_threshold=2,
+            recovery_seconds=10.0,
+            clock=lambda: clock[0],
+            telemetry=telemetry,
+        )
+        query = SelectionQuery.equals("make", "Honda")
+        for __ in range(2):  # two real failures open the circuit
+            with pytest.raises(SourceUnavailableError):
+                source.execute(query)
+        with pytest.raises(CircuitOpenError):  # fast-failed, source untouched
+            source.execute(query)
+        assert telemetry.metrics.value("breaker.opens") == 1
+        assert telemetry.metrics.value("breaker.fast_failures") == 1
+
+        clock[0] = 11.0  # recovery window passed: open -> half-open
+        dead.plan = FaultPlan(seed=0, unavailable_rate=0.0)  # source healed
+        dead.reset_statistics()
+        source.execute(query)  # half-open trial succeeds -> closed
+        assert telemetry.metrics.value("breaker.recoveries") == 1
+        # closed->open, open->half-open, half-open->closed.
+        assert telemetry.metrics.value("breaker.transitions") == 3
+
+    def test_fault_kind_counters(self, backend):
+        telemetry = Telemetry()
+        plan = FaultPlan(seed=5, unavailable_rate=1.0)
+        source = FaultInjectingSource(backend, plan, telemetry=telemetry)
+        with pytest.raises(SourceUnavailableError):
+            source.execute(SelectionQuery.equals("make", "Honda"))
+        assert telemetry.metrics.value("fault.injected") == 1
+        assert telemetry.metrics.value("fault.unavailable") == 1
+
+
+class TestFederationSpans:
+    def test_federated_query_nests_per_source_spans(self, cars_env):
+        telemetry = Telemetry()
+        carscom = AutonomousSource(
+            "cars.com", cars_env.test, SourceCapabilities.web_form()
+        )
+        registry = SourceRegistry(cars_env.test.schema, [carscom])
+        mediator = FederatedMediator(
+            registry,
+            {"cars.com": cars_env.knowledge},
+            QpiadConfig(k=5),
+            telemetry=telemetry,
+        )
+        result = mediator.query(QUERY)
+
+        roots = telemetry.tracer.roots()
+        assert len(roots) == 1
+        assert roots[0].kind == SpanKind.FEDERATION
+        per_source = telemetry.tracer.children(roots[0])
+        assert [span.kind for span in per_source] == [SpanKind.FEDERATION_SOURCE]
+        # The per-source QPIAD retrieval nests under the federation source span.
+        retrievals = telemetry.tracer.children(per_source[0])
+        assert [span.kind for span in retrievals] == [SpanKind.RETRIEVAL]
+        assert telemetry.metrics.value("federation.queries") == 1
+        assert roots[0].attributes["ranked"] == len(result.ranked)

@@ -106,7 +106,8 @@ class TestMineAndQuery:
     def test_query_mines_on_the_fly_without_kb(self, cars_ed_csv, capsys):
         code = main(["query", str(cars_ed_csv), "--where", "make=Honda"])
         assert code == 0
-        assert "mining a knowledge base" in capsys.readouterr().out
+        # The note goes to stderr so machine-readable stdout stays clean.
+        assert "mining a knowledge base" in capsys.readouterr().err
 
     def test_bad_where_clause_reports_an_error(self, cars_ed_csv, capsys):
         code = main(["query", str(cars_ed_csv), "--where", "nonsense"])
