@@ -1,0 +1,178 @@
+"""Serial vs concurrent plan execution under injected source latency (PR 4).
+
+Not a paper figure: this bench guards the *implementation* property of the
+plan/executor split — the concurrent executor overlaps slow source calls
+and beats the serial executor on wall-clock, while returning the exact
+same answers in the same order with the same cost accounting.
+
+The workload wraps the source in a :class:`FaultInjectingSource` whose
+schedule injects *latency only* (``latency_rate=1.0``) with a real
+``time.sleep`` hook, modelling a remote web database where every call
+pays a round trip.  Each user query then costs roughly
+``(1 + rewritten) × latency`` serially but only
+``latency × ceil(plan / workers)`` concurrently.
+
+Results go to a JSON file (``BENCH_4.json`` at the repo root by default)
+so CI can diff them.
+
+Run directly::
+
+    python benchmarks/bench_engine.py [--quick] [--check] [--out BENCH_4.json]
+
+``--quick`` shrinks the workload for CI smoke runs; ``--check`` exits
+non-zero when the concurrent run is not measurably faster than serial or
+when the two runs' answers diverge at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import QpiadConfig, QpiadMediator  # noqa: E402
+from repro.datasets import generate_cars, make_incomplete  # noqa: E402
+from repro.faults import FaultInjectingSource, FaultPlan  # noqa: E402
+from repro.mining import KnowledgeBase  # noqa: E402
+from repro.query import SelectionQuery  # noqa: E402
+from repro.sources import AutonomousSource  # noqa: E402
+
+WORKLOAD = (
+    SelectionQuery.equals("body_style", "Convt"),
+    SelectionQuery.equals("body_style", "Sedan"),
+    SelectionQuery.equals("make", "BMW"),
+    SelectionQuery.equals("make", "Honda"),
+)
+
+#: The concurrent run must be at least this much faster in --check mode.
+#: With every call sleeping and ~11 calls per query, the theoretical
+#: ceiling is ~max_workers; 1.5x leaves a wide margin for CI scheduling.
+SPEEDUP_BAR = 1.5
+
+
+def _build(size: int, latency_seconds: float, max_concurrency: int):
+    dataset = make_incomplete(generate_cars(size, seed=7), seed=9)
+    inner = AutonomousSource("cars", dataset.incomplete)
+    # Latency-only schedule: every call succeeds after one round trip.
+    plan = FaultPlan(seed=1, latency_rate=1.0, latency_seconds=latency_seconds)
+    source = FaultInjectingSource(inner, plan, sleep=time.sleep)
+    knowledge = KnowledgeBase(dataset.incomplete.take(500), database_size=size)
+    return QpiadMediator(
+        source, knowledge, QpiadConfig(k=10, max_concurrency=max_concurrency)
+    )
+
+
+def _one_run(mediator, queries: int):
+    """Wall-clock seconds plus a full fingerprint of every answer."""
+    fingerprints = []
+    issued = 0
+    start = time.perf_counter()
+    for index in range(queries):
+        result = mediator.query(WORKLOAD[index % len(WORKLOAD)])
+        issued += result.stats.queries_issued
+        fingerprints.append(
+            (
+                list(result.certain),
+                [(a.row, round(a.confidence, 9)) for a in result.ranked],
+                result.stats.queries_issued,
+            )
+        )
+    return time.perf_counter() - start, issued, fingerprints
+
+
+def run(size: int, queries: int, latency_seconds: float, workers: int) -> dict:
+    serial = _build(size, latency_seconds, max_concurrency=1)
+    concurrent = _build(size, latency_seconds, max_concurrency=workers)
+
+    serial_s, serial_issued, serial_answers = _one_run(serial, queries)
+    concurrent_s, concurrent_issued, concurrent_answers = _one_run(
+        concurrent, queries
+    )
+
+    return {
+        "bench": "bench_engine",
+        "workload": {
+            "database_size": size,
+            "queries": queries,
+            "injected_latency_seconds": latency_seconds,
+            "source_calls": serial_issued,
+        },
+        "serial": {
+            "seconds": round(serial_s, 6),
+            "queries_per_second": round(queries / serial_s, 2),
+        },
+        "concurrent": {
+            "max_workers": workers,
+            "seconds": round(concurrent_s, 6),
+            "queries_per_second": round(queries / concurrent_s, 2),
+        },
+        "speedup": round(serial_s / concurrent_s, 3),
+        "speedup_bar": SPEEDUP_BAR,
+        # The determinism pin, measured rather than assumed: same answers,
+        # same order, same confidences, same per-query issuance.
+        "answers_identical": serial_answers == concurrent_answers,
+        "queries_issued_identical": serial_issued == concurrent_issued,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=6000, help="database cardinality")
+    parser.add_argument("--queries", type=int, default=12, help="mediated queries per run")
+    parser.add_argument(
+        "--latency", type=float, default=0.02, help="injected seconds per source call"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=8, help="concurrent executor width"
+    )
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_4.json")
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload for CI smoke runs"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit 1 unless answers are identical and speedup >= {SPEEDUP_BAR}x",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        # Latency dominates compute even at this size, so the speedup
+        # signal stays unambiguous on a noisy CI box.
+        args.size, args.queries, args.latency = 2000, 8, 0.02
+
+    result = run(args.size, args.queries, args.latency, args.workers)
+    args.out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"bench_engine: serial {result['serial']['seconds']}s, "
+        f"concurrent({args.workers}) {result['concurrent']['seconds']}s "
+        f"-> {result['speedup']}x speedup, answers "
+        f"{'identical' if result['answers_identical'] else 'DIVERGED'} "
+        f"-> {args.out}"
+    )
+
+    if args.check:
+        if not (result["answers_identical"] and result["queries_issued_identical"]):
+            print(
+                "bench_engine: FAILED — concurrent execution changed the answers",
+                file=sys.stderr,
+            )
+            return 1
+        if result["speedup"] < SPEEDUP_BAR:
+            print(
+                f"bench_engine: FAILED — speedup {result['speedup']}x below "
+                f"{SPEEDUP_BAR}x bar",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

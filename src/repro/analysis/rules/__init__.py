@@ -15,7 +15,7 @@ from repro.analysis.rules.hygiene import (
     MutableDefaultArgRule,
     NaiveFloatEqualityRule,
 )
-from repro.analysis.rules.mediator import RawRelationAccessRule
+from repro.analysis.rules.mediator import RawRelationAccessRule, RawSourceCallRule
 from repro.analysis.rules.null_semantics import (
     NullCompareRule,
     NullInPredicateLiteralRule,
@@ -29,6 +29,7 @@ __all__ = [
     "NullCompareRule",
     "NullInPredicateLiteralRule",
     "RawRelationAccessRule",
+    "RawSourceCallRule",
     "UnseededRngRule",
     "BannedImportRule",
     "MutableDefaultArgRule",
@@ -41,6 +42,7 @@ ALL_RULES: "tuple[type[Rule], ...]" = (
     NullCompareRule,
     NullInPredicateLiteralRule,
     RawRelationAccessRule,
+    RawSourceCallRule,
     UnseededRngRule,
     BannedImportRule,
     MutableDefaultArgRule,

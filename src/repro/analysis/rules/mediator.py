@@ -21,7 +21,7 @@ from typing import Iterator
 
 from repro.analysis.framework import Finding, ModuleContext, Rule, Severity
 
-__all__ = ["RawRelationAccessRule"]
+__all__ = ["RawRelationAccessRule", "RawSourceCallRule"]
 
 #: Dotted package prefixes that constitute "mediator-side" code.
 MEDIATOR_PACKAGES = ("repro.core", "repro.query", "repro.rewriting")
@@ -96,3 +96,49 @@ class RawRelationAccessRule(Rule):
         if isinstance(func, ast.Attribute):
             return func.attr
         return None
+
+
+#: The source-surface methods that constitute one billable call.
+_SOURCE_CALL_METHODS = frozenset(
+    {"execute", "execute_null_binding", "execute_certain_or_possible", "scan"}
+)
+
+
+class RawSourceCallRule(Rule):
+    """Flag ``repro.core`` code calling the source surface outside the engine."""
+
+    id = "raw-source-call-in-core"
+    severity = Severity.ERROR
+    description = (
+        "core mediators must issue source calls through the retrieval engine "
+        "(repro.engine), not by calling execute()/scan() on a source directly"
+    )
+    rationale = (
+        "The engine is the one place that bills issuance before the call, "
+        "enforces failure budgets and deadlines, and emits telemetry spans.  "
+        "A direct source call in repro.core silently escapes the accounting "
+        "invariant (stats.queries_issued == the source's own call log) and "
+        "every policy the executor split centralised.  Deliberate bypasses "
+        "(counterfactual baselines, pipelines not yet ported) carry a "
+        "suppression with a justification."
+    )
+
+    def __init__(self, packages: "tuple[str, ...]" = ("repro.core",)):
+        self.packages = packages
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.in_package(*self.packages):
+            return
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SOURCE_CALL_METHODS
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    f".{node.func.attr}() called on a source directly; route "
+                    "the call through RetrievalEngine so it is billed, "
+                    "policy-checked, and traced (or suppress with a reason)",
+                )

@@ -10,16 +10,25 @@ more accurate than weighting every query by its precision (footnote 4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.ranking import order_rewritten_queries
+from repro.core.results import RetrievalStats
 from repro.core.rewriting import RewrittenQuery, generate_rewritten_queries
+from repro.engine import (
+    ExecutionPolicy,
+    PlanExecutor,
+    PlannedQuery,
+    QueryKind,
+    RetrievalEngine,
+)
 from repro.errors import QueryError, RewritingError
 from repro.mining.knowledge import KnowledgeBase
-from repro.query.query import AggregateFunction, AggregateQuery
+from repro.query.query import AggregateFunction, AggregateQuery, SelectionQuery
 from repro.relational.relation import Relation
 from repro.relational.values import is_null
 from repro.sources.autonomous import AutonomousSource
+from repro.telemetry import Telemetry
 
 __all__ = ["AggregateResult", "AggregateProcessor"]
 
@@ -35,6 +44,7 @@ class AggregateResult:
     possible_count: int = 0
     included_queries: int = 0
     considered_queries: int = 0
+    stats: RetrievalStats = field(default_factory=RetrievalStats)
 
     @property
     def improvement_available(self) -> bool:
@@ -103,11 +113,18 @@ class AggregateProcessor:
         alpha: float = 1.0,
         classifier_method: str | None = None,
         inclusion_rule: str = "argmax",
+        max_concurrency: int = 1,
+        telemetry: Telemetry | None = None,
+        executor: PlanExecutor | None = None,
     ):
         if inclusion_rule not in ("argmax", "fractional"):
             raise QueryError(
                 f"unknown inclusion rule {inclusion_rule!r}; "
                 "expected 'argmax' or 'fractional'"
+            )
+        if max_concurrency < 1:
+            raise QueryError(
+                f"max_concurrency must be at least 1, got {max_concurrency}"
             )
         self.source = source
         self.knowledge = knowledge
@@ -115,11 +132,30 @@ class AggregateProcessor:
         self.alpha = alpha
         self.classifier_method = classifier_method
         self.inclusion_rule = inclusion_rule
+        self.max_concurrency = max_concurrency
+        self._telemetry = telemetry
+        self._executor = executor
 
     def query(self, aggregate: AggregateQuery) -> AggregateResult:
-        """Process *aggregate*, returning certain and predicted values."""
+        """Process *aggregate*, returning certain and predicted values.
+
+        All source calls run through the retrieval engine under a strict
+        policy: aggregates are numbers, not answer lists, so there is no
+        sensible partial result to degrade to and any failure propagates.
+        """
         selection = aggregate.selection
-        base_set = self.source.execute(selection)
+        stats = RetrievalStats()
+        engine = RetrievalEngine(
+            self.source,
+            ExecutionPolicy.strict(max_concurrency=self.max_concurrency),
+            stats,
+            executor=self._executor,
+            telemetry=self._telemetry,
+            label=str(aggregate),
+        )
+        base_set = engine.run_base(
+            PlannedQuery(query=selection, kind=QueryKind.BASE, rank=0)
+        )
 
         certain_acc = _Accumulator(aggregate.function)
         self._accumulate(certain_acc, aggregate, base_set, predict=False)
@@ -133,6 +169,7 @@ class AggregateProcessor:
             certain_value=certain_value,
             predicted_value=None,
             certain_count=len(base_set),
+            stats=stats,
         )
 
         try:
@@ -144,21 +181,43 @@ class AggregateProcessor:
             return result
 
         ordered = order_rewritten_queries(candidates, self.alpha, self.k)
+        stats.rewritten_generated = len(candidates)
+        result.considered_queries = len(ordered)
         seen_rows = set(base_set)
         schema = self.source.schema
 
+        # Inclusion gating happens at plan time: the argmax / fractional
+        # rule depends only on mined statistics, never on retrieved rows,
+        # so gated-out rewritings cost nothing on the wire.
+        steps: list[PlannedQuery] = []
+        weights: list[float] = []
         for rewritten in ordered:
-            result.considered_queries += 1
             if self.inclusion_rule == "argmax":
                 if not self._argmax_matches(rewritten, selection):
+                    stats.rewritten_skipped += 1
                     continue
                 weight = 1.0
             else:
                 weight = rewritten.estimated_precision
                 if weight <= 0.0:
+                    stats.rewritten_skipped += 1
                     continue
-            retrieved = self.source.execute(rewritten.query)
-            target_index = schema.index_of(rewritten.target_attribute)
+            steps.append(
+                PlannedQuery(
+                    query=rewritten.query,
+                    kind=QueryKind.REWRITTEN,
+                    rank=len(steps),
+                    estimated_precision=rewritten.estimated_precision,
+                    estimated_recall=rewritten.estimated_recall,
+                    target_attribute=rewritten.target_attribute,
+                    explanation=rewritten.afd,
+                )
+            )
+            weights.append(weight)
+
+        for step, retrieved in engine.stream(steps):
+            assert step.target_attribute is not None
+            target_index = schema.index_of(step.target_attribute)
             rows = [
                 row
                 for row in retrieved
@@ -172,14 +231,19 @@ class AggregateProcessor:
             # Re-wrapping rows the source already shipped so the accumulator
             # can reuse the relation API; not a base-data bypass.
             partial = Relation(schema, rows)  # qpiadlint: disable=raw-relation-access
-            self._accumulate(predicted_acc, aggregate, partial, predict=True, weight=weight)
+            self._accumulate(
+                predicted_acc, aggregate, partial, predict=True,
+                weight=weights[step.rank],
+            )
 
         result.predicted_value = predicted_acc.value()
         return result
 
     # ------------------------------------------------------------------
 
-    def _argmax_matches(self, rewritten: RewrittenQuery, selection) -> bool:
+    def _argmax_matches(
+        self, rewritten: RewrittenQuery, selection: SelectionQuery
+    ) -> bool:
         """Section 4.4's inclusion rule: most-likely completion == query value."""
         try:
             value = selection.equality_value(rewritten.target_attribute)

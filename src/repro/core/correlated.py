@@ -21,13 +21,14 @@ from dataclasses import dataclass
 from repro.core.ranking import order_rewritten_queries
 from repro.core.results import QueryResult, RankedAnswer, RetrievalStats
 from repro.core.rewriting import generate_rewritten_queries
+from repro.engine import ExecutionPolicy, PlannedQuery, QueryKind, RetrievalEngine
 from repro.errors import RewritingError, UnsupportedAttributeError
 from repro.mining.knowledge import KnowledgeBase
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Row
 from repro.sources.autonomous import AutonomousSource
 from repro.sources.registry import SourceRegistry
-from repro.telemetry import SpanKind, Telemetry, maybe_span
+from repro.telemetry import Telemetry
 
 __all__ = ["CorrelatedSourceMediator", "find_correlated_source"]
 
@@ -71,6 +72,7 @@ class CorrelatedConfig:
     alpha: float = 0.0
     k: int | None = 10
     classifier_method: str | None = None
+    max_concurrency: int = 1
 
 
 class CorrelatedSourceMediator:
@@ -136,24 +138,28 @@ class CorrelatedSourceMediator:
 
         telemetry = self._telemetry
         stats = RetrievalStats()
-        # Step 1 (modified): base set from the correlated source.  Issuance
-        # is counted before the call, matching QpiadMediator's accounting.
-        stats.queries_issued += 1
-        if telemetry is not None:
-            telemetry.count("mediator.queries_issued")
-        with maybe_span(
-            telemetry,
-            f"correlated-base {query}",
-            SpanKind.BASE_QUERY,
-            query=str(query),
-            source=correlated.name,
-        ) as span:
-            base_set = correlated.execute(query)
-            if span is not None:
-                span.set(tuples=len(base_set))
-        stats.tuples_retrieved += len(base_set)
-        if telemetry is not None:
-            telemetry.count("mediator.tuples_retrieved", len(base_set))
+        # All engine-side failure handling is strict here: §4.3 retrieval
+        # predates graceful degradation, so any source error propagates to
+        # the caller (the federated mediator absorbs it per source).
+        engine = RetrievalEngine(
+            target,
+            ExecutionPolicy.strict(max_concurrency=self.config.max_concurrency),
+            stats,
+            telemetry=telemetry,
+            label=str(query),
+        )
+        # Step 1 (modified): base set from the correlated source.  The
+        # engine counts issuance before the call, matching QpiadMediator's
+        # accounting.
+        base_set = engine.run_base(
+            PlannedQuery(
+                query=query,
+                kind=QueryKind.BASE,
+                rank=0,
+                source=correlated,
+                label="correlated-base",
+            )
+        )
 
         from repro.relational.relation import Relation
 
@@ -177,27 +183,22 @@ class CorrelatedSourceMediator:
         ]
         stats.rewritten_generated = len(usable)
         ordered = order_rewritten_queries(usable, self.config.alpha, self.config.k)
+        steps = [
+            PlannedQuery(
+                query=rewritten.query,
+                kind=QueryKind.REWRITTEN,
+                rank=rank,
+                estimated_precision=rewritten.estimated_precision,
+                estimated_recall=rewritten.estimated_recall,
+                target_attribute=attribute,
+                explanation=rewritten.afd,
+                source=target,
+            )
+            for rank, rewritten in enumerate(ordered)
+        ]
 
         seen: set[Row] = set()
-        for rewritten in ordered:
-            stats.queries_issued += 1
-            if telemetry is not None:
-                telemetry.count("mediator.queries_issued")
-            with maybe_span(
-                telemetry,
-                f"rewritten {rewritten.query}",
-                SpanKind.REWRITTEN_QUERY,
-                query=str(rewritten.query),
-                source=target.name,
-                precision=round(rewritten.estimated_precision, 6),
-            ) as span:
-                retrieved = target.execute(rewritten.query)
-                if span is not None:
-                    span.set(tuples=len(retrieved))
-            stats.rewritten_issued += 1
-            stats.tuples_retrieved += len(retrieved)
-            if telemetry is not None:
-                telemetry.count("mediator.tuples_retrieved", len(retrieved))
+        for step, retrieved in engine.stream(steps):
             for row in retrieved:
                 # No post-filter on the target attribute: the deficient
                 # source does not return it at all, so every tuple is a
@@ -209,10 +210,10 @@ class CorrelatedSourceMediator:
                 result.ranked.append(
                     RankedAnswer(
                         row=row,
-                        confidence=rewritten.estimated_precision,
-                        retrieved_by=rewritten.query,
+                        confidence=step.estimated_precision,
+                        retrieved_by=step.query,
                         target_attribute=attribute,
-                        explanation=rewritten.afd,
+                        explanation=step.explanation,
                     )
                 )
         return result

@@ -21,19 +21,28 @@ notice, and one dead source must never void the answers of the live ones.
 A :class:`~repro.errors.SourceUnavailableError` from any single source is
 recorded in :attr:`FederatedResult.failures`, the result is flagged
 degraded, and mediation continues across the rest of the federation.
+
+Per-source mediations are independent, so the federation runs them
+through the engine's :class:`~repro.engine.PlanExecutor`: serial by
+default, fanned out over a thread pool when ``config.max_concurrency``
+is raised — with outcomes always merged in registry order, so the
+result does not depend on the execution strategy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.correlated import CorrelatedConfig, CorrelatedSourceMediator
 from repro.core.qpiad import QpiadConfig, QpiadMediator
 from repro.core.results import QueryResult, RankedAnswer
+from repro.engine import ExecutionTask, PlanExecutor, build_executor
 from repro.errors import RewritingError, SourceUnavailableError, UnsupportedAttributeError
 from repro.mining.knowledge import KnowledgeBase
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation, Row
+from repro.sources.autonomous import AutonomousSource
 from repro.sources.registry import SourceRegistry
 from repro.telemetry import SpanKind, Telemetry, maybe_span
 
@@ -99,6 +108,15 @@ class FederatedResult:
         return self.ranked[:count]
 
 
+# Tags for one source's probe payload, so the serial merge step knows how
+# to fold it into the federated result.
+_SKIPPED = "skipped"
+_CERTAIN_ONLY = "certain-only"
+_MEDIATED = "mediated"
+
+_Probe = tuple[str, "QueryResult | Relation | None"]
+
+
 class FederatedMediator:
     """Runs one user query across every registered source.
 
@@ -112,11 +130,18 @@ class FederatedMediator:
         can still *receive* correlated-source rewritten queries.
     config / correlated_config:
         Parameters for the regular and cross-source pipelines.
+        ``config.max_concurrency`` also sets how many *sources* are
+        probed at once.
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` hook, shared with
         every per-source mediator the federation spins up: the federated
         query becomes one root span with a child span per source, under
-        which the per-source retrieval spans nest.
+        which the per-source retrieval spans nest.  (With concurrency
+        above 1, span parentage across sources is best-effort — see
+        ``docs/engine.md``.)
+    executor:
+        Optional explicit :class:`~repro.engine.PlanExecutor` for the
+        per-source fan-out, overriding ``config.max_concurrency``.
     """
 
     def __init__(
@@ -126,11 +151,13 @@ class FederatedMediator:
         config: QpiadConfig | None = None,
         correlated_config: CorrelatedConfig | None = None,
         telemetry: Telemetry | None = None,
+        executor: PlanExecutor | None = None,
     ):
         self.registry = registry
         self.knowledge_bases = knowledge_bases
         self.config = config or QpiadConfig()
         self._telemetry = telemetry
+        self._executor = executor
         self.correlated = CorrelatedSourceMediator(
             registry, knowledge_bases, correlated_config, telemetry=telemetry
         )
@@ -140,30 +167,38 @@ class FederatedMediator:
 
         One source failing transiently never aborts the others: its failure
         is logged on the result, the result is flagged degraded, and the
-        remaining sources are still mediated in full.
+        remaining sources are still mediated in full.  Probes run through
+        the configured executor; their payloads are merged in registry
+        order, so the federated result is independent of execution
+        interleaving.
         """
         telemetry = self._telemetry
         result = FederatedResult(query=query)
+        executor = (
+            self._executor
+            if self._executor is not None
+            else build_executor(self.config.max_concurrency)
+        )
         with maybe_span(
             telemetry, f"federated {query}", SpanKind.FEDERATION, query=str(query)
         ) as root:
-            for source in self.registry:
-                try:
-                    with maybe_span(
-                        telemetry,
-                        f"source {source.name}",
-                        SpanKind.FEDERATION_SOURCE,
-                        source=source.name,
-                    ):
-                        if source.can_answer(query):
-                            self._query_supporting(source, query, result)
-                        else:
-                            self._query_deficient(source, query, result)
-                except SourceUnavailableError as exc:
-                    result.failures.append(SourceFailure(source.name, str(exc)))
-                    result.degraded = True
-                    if telemetry is not None:
-                        telemetry.count("federation.source_failures")
+            sources = list(self.registry)
+            tasks = (
+                ExecutionTask(rank, self._prober(source, query))
+                for rank, source in enumerate(sources)
+            )
+            for source, outcome in zip(sources, executor.map(tasks, lambda: False)):
+                if outcome.error is not None:
+                    if isinstance(outcome.error, SourceUnavailableError):
+                        result.failures.append(
+                            SourceFailure(source.name, str(outcome.error))
+                        )
+                        result.degraded = True
+                        if telemetry is not None:
+                            telemetry.count("federation.source_failures")
+                        continue
+                    raise outcome.error
+                self._merge(source, outcome.value, result)
             result.ranked.sort(key=lambda item: -item.confidence)
             if root is not None:
                 root.set(
@@ -180,31 +215,66 @@ class FederatedMediator:
 
     # ------------------------------------------------------------------
 
-    def _query_supporting(self, source, query, result: FederatedResult) -> None:
+    def _prober(
+        self, source: AutonomousSource, query: SelectionQuery
+    ) -> Callable[[], _Probe]:
+        """One source's probe as a side-effect-free executor task."""
+
+        def run() -> _Probe:
+            with maybe_span(
+                self._telemetry,
+                f"source {source.name}",
+                SpanKind.FEDERATION_SOURCE,
+                source=source.name,
+            ):
+                if source.can_answer(query):
+                    return self._query_supporting(source, query)
+                return self._query_deficient(source, query)
+
+        return run
+
+    def _query_supporting(
+        self, source: AutonomousSource, query: SelectionQuery
+    ) -> _Probe:
         knowledge = self.knowledge_bases.get(source.name)
         if knowledge is None:
-            # No statistics: certain answers only.
-            result.certain[source.name] = source.execute(query)
-            return
+            # No statistics: certain answers only.  This is the one place a
+            # mediator bypasses the engine on purpose — there is no plan to
+            # run, just the user's own query passed straight through.
+            return (_CERTAIN_ONLY, source.execute(query))  # qpiadlint: disable=raw-source-call-in-core
         outcome = QpiadMediator(
             source, knowledge, self.config, telemetry=self._telemetry
         ).query(query)
-        result.per_source[source.name] = outcome
-        result.certain[source.name] = outcome.certain
-        result.ranked.extend(
-            FederatedAnswer(source.name, answer) for answer in outcome.ranked
-        )
-        # Partial per-source retrievals make the merged answer partial too.
-        result.degraded = result.degraded or outcome.degraded
+        return (_MEDIATED, outcome)
 
-    def _query_deficient(self, source, query, result: FederatedResult) -> None:
+    def _query_deficient(
+        self, source: AutonomousSource, query: SelectionQuery
+    ) -> _Probe:
         try:
-            outcome = self.correlated.query(query, source)
+            return (_MEDIATED, self.correlated.query(query, source))
         except (RewritingError, UnsupportedAttributeError):
+            return (_SKIPPED, None)
+
+    def _merge(
+        self, source: AutonomousSource, probe: _Probe, result: FederatedResult
+    ) -> None:
+        """Fold one source's payload into the federated result.
+
+        Runs serially, in registry order, whatever the executor did."""
+        tag, payload = probe
+        if tag == _SKIPPED:
             result.skipped_sources.append(source.name)
             return
-        result.per_source[source.name] = outcome
+        if tag == _CERTAIN_ONLY:
+            assert isinstance(payload, Relation)
+            result.certain[source.name] = payload
+            return
+        assert isinstance(payload, QueryResult)
+        result.per_source[source.name] = payload
+        if source.can_answer(result.query):
+            result.certain[source.name] = payload.certain
         result.ranked.extend(
-            FederatedAnswer(source.name, answer) for answer in outcome.ranked
+            FederatedAnswer(source.name, answer) for answer in payload.ranked
         )
-        result.degraded = result.degraded or outcome.degraded
+        # Partial per-source retrievals make the merged answer partial too.
+        result.degraded = result.degraded or payload.degraded

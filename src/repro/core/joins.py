@@ -21,7 +21,15 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.core.ranking import f_measure
+from repro.core.results import RetrievalStats
 from repro.core.rewriting import RewrittenQuery, generate_rewritten_queries
+from repro.engine import (
+    ExecutionPolicy,
+    PlanExecutor,
+    PlannedQuery,
+    QueryKind,
+    RetrievalEngine,
+)
 from repro.errors import MiningError, QpiadError, RewritingError
 from repro.mining.afd import Afd
 from repro.mining.knowledge import KnowledgeBase
@@ -30,6 +38,7 @@ from repro.query.query import JoinQuery, SelectionQuery
 from repro.relational.relation import Relation, Row
 from repro.relational.values import is_null
 from repro.sources.autonomous import AutonomousSource
+from repro.telemetry import Telemetry
 
 __all__ = ["JoinConfig", "JoinedAnswer", "JoinResult", "JoinProcessor"]
 
@@ -47,12 +56,22 @@ class JoinConfig:
     alpha: float = 0.5
     k_pairs: int = 10
     classifier_method: str | None = None
+    max_concurrency: int = 1
 
     def __post_init__(self) -> None:
         if self.alpha < 0:
             raise QpiadError(f"alpha must be non-negative, got {self.alpha}")
         if self.k_pairs < 1:
             raise QpiadError(f"k_pairs must be positive, got {self.k_pairs}")
+        if self.max_concurrency < 1:
+            raise QpiadError(
+                f"max_concurrency must be at least 1, got {self.max_concurrency}"
+            )
+
+    def execution_policy(self) -> ExecutionPolicy:
+        """Join processing predates graceful degradation: strict semantics,
+        with the configured fan-out width."""
+        return ExecutionPolicy.strict(max_concurrency=self.max_concurrency)
 
 
 @dataclass(frozen=True)
@@ -113,6 +132,7 @@ class JoinResult:
     pairs_considered: int = 0
     pairs_issued: int = 0
     component_queries_issued: int = 0
+    stats: RetrievalStats = field(default_factory=RetrievalStats)
 
     @property
     def certain(self) -> list[JoinedAnswer]:
@@ -133,20 +153,50 @@ class JoinProcessor:
         left_knowledge: KnowledgeBase,
         right_knowledge: KnowledgeBase,
         config: JoinConfig | None = None,
+        telemetry: Telemetry | None = None,
+        executor: PlanExecutor | None = None,
     ):
         self.left_source = left_source
         self.right_source = right_source
         self.left_knowledge = left_knowledge
         self.right_knowledge = right_knowledge
         self.config = config or JoinConfig()
+        self._telemetry = telemetry
+        self._executor = executor
 
     def query(self, join: JoinQuery) -> JoinResult:
         """Execute *join*, returning certain + ranked possible joined tuples."""
         result = JoinResult(query=join)
+        engine = RetrievalEngine(
+            None,  # every planned query carries its own side's source
+            self.config.execution_policy(),
+            result.stats,
+            executor=self._executor,
+            telemetry=self._telemetry,
+            label=str(join),
+        )
 
-        left_base = self.left_source.execute(join.left)
-        right_base = self.right_source.execute(join.right)
-        result.component_queries_issued += 2
+        # Both base queries go through the engine too (in parallel when the
+        # executor allows); outcomes arrive in plan order, left then right.
+        bases: dict[int, Relation] = {}
+        for step, retrieved in engine.stream(
+            [
+                PlannedQuery(
+                    query=join.left,
+                    kind=QueryKind.BASE,
+                    rank=0,
+                    source=self.left_source,
+                ),
+                PlannedQuery(
+                    query=join.right,
+                    kind=QueryKind.BASE,
+                    rank=1,
+                    source=self.right_source,
+                ),
+            ]
+        ):
+            bases[step.rank] = retrieved
+        left_base, right_base = bases[0], bases[1]
 
         left_sides = self._build_sides(
             join.left, left_base, self.left_source, self.left_knowledge,
@@ -176,12 +226,10 @@ class JoinProcessor:
         selected = [pair for __, pair in scored[: self.config.k_pairs]]
         result.pairs_issued = len(selected)
 
-        left_results = self._issue_components(
-            (pair.left for pair in selected), self.left_source, left_base, join.left, result
+        left_results, right_results = self._issue_components(
+            engine, selected, left_base, right_base
         )
-        right_results = self._issue_components(
-            (pair.right for pair in selected), self.right_source, right_base, join.right, result
-        )
+        result.component_queries_issued = result.stats.queries_issued
 
         seen: set[tuple[Row, Row]] = set()
         for pair in selected:
@@ -256,31 +304,65 @@ class JoinProcessor:
 
     def _issue_components(
         self,
-        sides,
-        source: AutonomousSource,
-        base_set: Relation,
-        complete_query: SelectionQuery,
-        result: JoinResult,
-    ) -> dict[SelectionQuery, list[tuple[Row, float]]]:
+        engine: RetrievalEngine,
+        selected: list[_QueryPair],
+        left_base: Relation,
+        right_base: Relation,
+    ) -> tuple[
+        dict[SelectionQuery, list[tuple[Row, float]]],
+        dict[SelectionQuery, list[tuple[Row, float]]],
+    ]:
         """Issue each distinct component query once; post-filter rewritten ones.
 
-        Returns, per query, the retrieved rows paired with their confidence
+        Both sides' components go into one retrieval plan, so a concurrent
+        executor fans out across the two sources at once.  Returns, per
+        side and per query, the retrieved rows paired with their confidence
         (1.0 for certain answers of the complete query, the rewritten
         query's precision otherwise).
         """
-        results: dict[SelectionQuery, list[tuple[Row, float]]] = {}
-        schema = source.schema
-        base_rows = set(base_set)
-        for side in sides:
+        left_results: dict[SelectionQuery, list[tuple[Row, float]]] = {}
+        right_results: dict[SelectionQuery, list[tuple[Row, float]]] = {}
+        sides_of = {
+            "left": (self.left_source, left_base, left_results),
+            "right": (self.right_source, right_base, right_results),
+        }
+        plan: list[PlannedQuery] = []
+        plan_sides: list[tuple[_Side, str]] = []
+
+        def enqueue(side: _Side, which: str) -> None:
+            source, base_set, results = sides_of[which]
             if side.query in results:
-                continue
+                return
             if not side.is_rewritten:
+                # The complete query's result is the base set, already
+                # retrieved — no second call.
                 results[side.query] = [(row, 1.0) for row in base_set]
-                continue
-            retrieved = source.execute(side.query)
-            result.component_queries_issued += 1
+                return
+            if any(s.query == side.query and w == which for s, w in plan_sides):
+                return
+            plan.append(
+                PlannedQuery(
+                    query=side.query,
+                    kind=QueryKind.REWRITTEN,
+                    rank=len(plan),
+                    estimated_precision=side.precision,
+                    target_attribute=side.target_attribute,
+                    explanation=side.afd,
+                    source=source,
+                )
+            )
+            plan_sides.append((side, which))
+
+        for pair in selected:
+            enqueue(pair.left, "left")
+            enqueue(pair.right, "right")
+
+        for step, retrieved in engine.stream(plan):
+            side, which = plan_sides[step.rank]
+            source, base_set, results = sides_of[which]
+            base_rows = set(base_set)
             target_index = (
-                schema.index_of(side.target_attribute)
+                source.schema.index_of(side.target_attribute)
                 if side.target_attribute is not None
                 else None
             )
@@ -292,7 +374,7 @@ class JoinProcessor:
                     continue
                 rows.append((row, side.precision))
             results[side.query] = rows
-        return results
+        return left_results, right_results
 
     def _join_pair(
         self,

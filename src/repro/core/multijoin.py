@@ -16,15 +16,17 @@ of the pair budget here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.qpiad import QpiadConfig, QpiadMediator
+from repro.engine import ExecutionTask, PlanExecutor, build_executor
 from repro.errors import MiningError, QpiadError
 from repro.mining.knowledge import KnowledgeBase
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Row
 from repro.relational.values import is_null
 from repro.sources.autonomous import AutonomousSource
+from repro.telemetry import Telemetry
 
 __all__ = ["MultiJoinStep", "MultiJoinedAnswer", "MultiJoinResult", "MultiJoinProcessor"]
 
@@ -104,22 +106,33 @@ class MultiJoinProcessor:
     """Folds two or more :class:`MultiJoinStep`\\ s into joined answers."""
 
     def __init__(self, steps: "list[MultiJoinStep] | tuple[MultiJoinStep, ...]",
-                 k: int | None = 10, alpha: float = 0.5):
+                 k: int | None = 10, alpha: float = 0.5,
+                 max_concurrency: int = 1,
+                 telemetry: "Telemetry | None" = None,
+                 executor: "PlanExecutor | None" = None):
         steps = list(steps)
         if len(steps) < 2:
             raise QpiadError("a multi-way join needs at least two steps")
         if any(step.link_attribute is None for step in steps[1:]):
             raise QpiadError("every step after the first needs a link_attribute")
+        if max_concurrency < 1:
+            raise QpiadError(
+                f"max_concurrency must be at least 1, got {max_concurrency}"
+            )
         self.steps = steps
         self.k = k
         self.alpha = alpha
+        self.max_concurrency = max_concurrency
+        self._telemetry = telemetry
+        self._executor = executor
 
     def query(self) -> MultiJoinResult:
         result = MultiJoinResult()
 
-        partials = self._initial_partials(self.steps[0], result)
+        retrievals = self._retrieve_all()
+        partials = self._initial_partials(self.steps[0], retrievals[0], result)
         for index, step in enumerate(self.steps[1:], start=1):
-            partials = self._fold(partials, step, index, result)
+            partials = self._fold(partials, step, retrievals[index], index, result)
 
         answers = [
             MultiJoinedAnswer(p.row_chain, 1.0 if p.certain else p.confidence, p.certain)
@@ -131,19 +144,53 @@ class MultiJoinProcessor:
 
     # ------------------------------------------------------------------
 
-    def _retrieve(self, step: MultiJoinStep) -> list[tuple[Row, float, bool]]:
-        """Certain + ranked possible answers of one step, with confidences."""
-        mediator = QpiadMediator(
-            step.source, step.knowledge, QpiadConfig(alpha=self.alpha, k=self.k)
+    def _retrieve_all(self) -> list[list[tuple[Row, float, bool]]]:
+        """Every step's answers, retrieved through the engine executor.
+
+        Step retrievals are independent, so a concurrent executor runs
+        them side by side; outcomes always come back in step order, so
+        the fold (and the result) never depends on the interleaving.
+        Any step's failure propagates — a multi-way join cannot degrade
+        around a missing relation.
+        """
+        executor = (
+            self._executor
+            if self._executor is not None
+            else build_executor(self.max_concurrency)
         )
-        retrieval = mediator.query(step.query)
-        answers: list[tuple[Row, float, bool]] = [
-            (row, 1.0, True) for row in retrieval.certain
-        ]
-        answers.extend(
-            (answer.row, answer.confidence, False) for answer in retrieval.ranked
+        tasks = (
+            ExecutionTask(index, self._retriever(step))
+            for index, step in enumerate(self.steps)
         )
-        return answers
+        retrievals: list[list[tuple[Row, float, bool]]] = []
+        for outcome in executor.map(tasks, lambda: False):
+            if outcome.error is not None:
+                raise outcome.error
+            retrievals.append(outcome.value)
+        return retrievals
+
+    def _retriever(
+        self, step: MultiJoinStep
+    ) -> "Callable[[], list[tuple[Row, float, bool]]]":
+        """One step's QPIAD retrieval as an executor task."""
+
+        def run() -> list[tuple[Row, float, bool]]:
+            mediator = QpiadMediator(
+                step.source,
+                step.knowledge,
+                QpiadConfig(alpha=self.alpha, k=self.k),
+                telemetry=self._telemetry,
+            )
+            retrieval = mediator.query(step.query)
+            answers: list[tuple[Row, float, bool]] = [
+                (row, 1.0, True) for row in retrieval.certain
+            ]
+            answers.extend(
+                (answer.row, answer.confidence, False) for answer in retrieval.ranked
+            )
+            return answers
+
+        return run
 
     def _join_value(self, step: MultiJoinStep, row: Row) -> tuple[Any, float]:
         """The row's join value (predicted when NULL) and its probability."""
@@ -161,10 +208,14 @@ class MultiJoinProcessor:
         except MiningError:
             return None, 0.0
 
-    def _initial_partials(self, step: MultiJoinStep, result: MultiJoinResult):
-        answers = self._retrieve(step)
+    def _initial_partials(
+        self,
+        step: MultiJoinStep,
+        answers: list[tuple[Row, float, bool]],
+        result: MultiJoinResult,
+    ) -> "list[_Partial]":
         result.per_step_retrieved.append(len(answers))
-        partials = []
+        partials: "list[_Partial]" = []
         schema = step.source.schema
         for row, confidence, certain in answers:
             link_values = {
@@ -173,8 +224,14 @@ class MultiJoinProcessor:
             partials.append(_Partial((row,), confidence, certain, link_values))
         return partials
 
-    def _fold(self, partials, step: MultiJoinStep, index: int, result: MultiJoinResult):
-        answers = self._retrieve(step)
+    def _fold(
+        self,
+        partials: "list[_Partial]",
+        step: MultiJoinStep,
+        answers: list[tuple[Row, float, bool]],
+        index: int,
+        result: MultiJoinResult,
+    ) -> "list[_Partial]":
         result.per_step_retrieved.append(len(answers))
 
         buckets: dict[Any, list[tuple[Row, float, bool, float]]] = {}

@@ -5,6 +5,10 @@ the query reformulator issues the original query for the base result set,
 generates rewritten queries from mined AFDs, orders them by F-measure,
 issues the top-K in precision order, post-filters, and returns certain
 answers plus ranked relevant possible answers.
+
+Since the engine refactor the mediator only *plans* and *post-filters*;
+issuing, cost accounting, failure budgets, deadlines, and telemetry spans
+live in :class:`~repro.engine.RetrievalEngine`, shared by every mediator.
 """
 
 from __future__ import annotations
@@ -12,19 +16,19 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.core.ranking import order_rewritten_queries
-from repro.core.results import QueryFailure, QueryResult, RankedAnswer, RetrievalStats
+from repro.core.results import QueryResult, RankedAnswer, RetrievalStats
 from repro.core.rewriting import generate_rewritten_queries
-from repro.errors import (
-    DeadlineExceededError,
-    NullBindingError,
-    QpiadError,
-    QueryBudgetExceededError,
-    RewritingError,
-    SourceUnavailableError,
+from repro.engine import (
+    ExecutionPolicy,
+    PlanExecutor,
+    PlannedQuery,
+    QueryKind,
+    RetrievalEngine,
 )
+from repro.errors import QpiadError, RewritingError
 from repro.mining.knowledge import KnowledgeBase
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation, Row
@@ -90,6 +94,13 @@ class QpiadConfig:
         When the deadline passes mid-plan, return the answers gathered so
         far (flagged degraded) rather than raising
         :class:`~repro.errors.DeadlineExceededError`.
+    max_concurrency:
+        How many rewritten queries may be in flight at once.  ``1`` (the
+        default) runs the plan serially, exactly as the paper's loop; a
+        higher value opts in to the thread-pool executor, which issues
+        queries in parallel but merges outcomes deterministically in plan
+        order — answers, order, and confidences are identical on a
+        healthy source (``qpiad query --concurrency N`` on the CLI).
     """
 
     alpha: float = 0.0
@@ -102,6 +113,7 @@ class QpiadConfig:
     max_source_failures: int | None = None
     deadline_seconds: float | None = None
     tolerate_deadline_exceeded: bool = True
+    max_concurrency: int = 1
 
     def __post_init__(self) -> None:
         if self.alpha < 0:
@@ -121,6 +133,20 @@ class QpiadConfig:
             raise QpiadError(
                 f"deadline_seconds must be non-negative, got {self.deadline_seconds}"
             )
+        if self.max_concurrency < 1:
+            raise QpiadError(
+                f"max_concurrency must be at least 1, got {self.max_concurrency}"
+            )
+
+    def execution_policy(self) -> ExecutionPolicy:
+        """The engine-facing slice of this configuration."""
+        return ExecutionPolicy(
+            max_source_failures=self.max_source_failures,
+            deadline_seconds=self.deadline_seconds,
+            tolerate_budget_exhaustion=self.tolerate_budget_exhaustion,
+            tolerate_deadline_exceeded=self.tolerate_deadline_exceeded,
+            max_concurrency=self.max_concurrency,
+        )
 
 
 class QpiadMediator:
@@ -144,6 +170,10 @@ class QpiadMediator:
         call, failed calls included) and the registry's ``mediator.*``
         counters track issuance and transfer volume; when ``None`` (the
         default) each emit site costs a single ``None`` check.
+    executor:
+        Optional explicit :class:`~repro.engine.PlanExecutor`, overriding
+        the one ``config.max_concurrency`` would build (tests inject
+        instrumented executors this way).
     """
 
     def __init__(
@@ -153,42 +183,32 @@ class QpiadMediator:
         config: QpiadConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
         telemetry: Telemetry | None = None,
+        executor: PlanExecutor | None = None,
     ):
         self.source = source
         self.knowledge = knowledge
         self.config = config or QpiadConfig()
         self._clock = clock
         self._telemetry = telemetry
+        self._executor = executor
 
-    def _issue(
+    def _engine(
         self,
         stats: RetrievalStats,
-        name: str,
-        kind: str,
-        call: Callable[[], Relation],
-        **attributes,
-    ) -> Relation:
-        """One billable source call: counted *before* it runs, spanned when traced.
-
-        Issuance is recorded up front so calls that fail — transiently, on
-        an exhausted budget, or with the response lost after the source
-        already charged for the work — still appear in
-        ``stats.queries_issued``.  This keeps the mediator's cost
-        accounting aligned with the source's own access log instead of
-        silently undercounting exactly the calls that hurt most.
-        """
-        stats.queries_issued += 1
-        telemetry = self._telemetry
-        if telemetry is not None:
-            telemetry.count("mediator.queries_issued")
-        with maybe_span(telemetry, name, kind, **attributes) as span:
-            retrieved = call()
-            if span is not None:
-                span.set(tuples=len(retrieved))
-        stats.tuples_retrieved += len(retrieved)
-        if telemetry is not None:
-            telemetry.count("mediator.tuples_retrieved", len(retrieved))
-        return retrieved
+        query: SelectionQuery,
+        record_failures: bool = True,
+    ) -> RetrievalEngine:
+        """A fresh engine for one retrieval over this mediator's source."""
+        return RetrievalEngine(
+            self.source,
+            self.config.execution_policy(),
+            stats,
+            executor=self._executor,
+            telemetry=self._telemetry,
+            clock=self._clock,
+            record_failures=record_failures,
+            label=str(query),
+        )
 
     def query(self, query: SelectionQuery) -> QueryResult:
         """Process *query*: certain answers plus ranked possible answers.
@@ -218,45 +238,35 @@ class QpiadMediator:
             telemetry.count("mediator.answers_ranked", len(result.ranked))
         return result
 
-    def _mediate(self, query: SelectionQuery) -> QueryResult:
-        stats = RetrievalStats()
-        started = self._clock()
+    def _plan_rewritten(
+        self,
+        query: SelectionQuery,
+        base_set: Relation,
+        stats: RetrievalStats,
+    ) -> list[PlannedQuery]:
+        """The rewritten-query plan: generated, ordered, gated, ranked.
+
+        Gating happens here — at plan time — so an inexpressible or
+        below-threshold rewriting never spends source budget: it lands in
+        ``stats.rewritten_skipped`` instead of being retrieved and
+        discarded.
+        """
         telemetry = self._telemetry
-
-        base_set = self._issue(
-            stats,
-            f"base {query}",
-            SpanKind.BASE_QUERY,
-            lambda: self.source.execute(query),
-            query=str(query),
-        )
-
-        result = QueryResult(query=query, certain=base_set, stats=stats)
-
         try:
             candidates = generate_rewritten_queries(
                 query, base_set, self.knowledge, self.config.classifier_method
             )
         except RewritingError:
             # No AFD covers any constrained attribute: certain answers only.
-            return result
+            return []
         stats.rewritten_generated = len(candidates)
-
         ordered = order_rewritten_queries(candidates, self.config.alpha, self.config.k)
         logger.debug(
             "query %r: %d certain answers, %d rewritten candidates, issuing %d",
             query, len(base_set), len(candidates), len(ordered),
         )
-        seen_rows: set[Row] = set(base_set)
-        constrained = query.constrained_attributes
-        schema = self.source.schema
-        source_failures = 0
-
+        steps: list[PlannedQuery] = []
         for rewritten in ordered:
-            if self._deadline_exceeded(started):
-                self._note_deadline(query, stats, started)
-                result.degraded = True
-                break
             if not self._can_answer(rewritten.query):
                 stats.rewritten_skipped += 1
                 if telemetry is not None:
@@ -271,43 +281,34 @@ class QpiadMediator:
                 if telemetry is not None:
                     telemetry.count("mediator.rewritten_below_confidence")
                 continue
-            try:
-                retrieved = self._issue(
-                    stats,
-                    f"rewritten {rewritten.query}",
-                    SpanKind.REWRITTEN_QUERY,
-                    lambda: self.source.execute(rewritten.query),
-                    query=str(rewritten.query),
-                    precision=round(rewritten.estimated_precision, 6),
+            steps.append(
+                PlannedQuery(
+                    query=rewritten.query,
+                    kind=QueryKind.REWRITTEN,
+                    rank=len(steps),
+                    estimated_precision=rewritten.estimated_precision,
+                    estimated_recall=rewritten.estimated_recall,
+                    target_attribute=rewritten.target_attribute,
+                    explanation=rewritten.afd,
                 )
-            except QueryBudgetExceededError as exc:
-                stats.record_failure(
-                    rewritten.query, QueryFailure.BUDGET_EXHAUSTED, str(exc)
-                )
-                result.degraded = True
-                if telemetry is not None:
-                    telemetry.count("mediator.budget_exhausted")
-                if self.config.tolerate_budget_exhaustion:
-                    break  # degrade gracefully: ship what we have
-                raise
-            except SourceUnavailableError as exc:
-                source_failures += 1
-                stats.record_failure(
-                    rewritten.query, QueryFailure.SOURCE_UNAVAILABLE, str(exc)
-                )
-                result.degraded = True
-                if telemetry is not None:
-                    telemetry.count("mediator.source_failures")
-                if self._failure_budget_exhausted(source_failures):
-                    raise
-                logger.info(
-                    "rewritten query %r failed transiently (%s); continuing "
-                    "with the remaining plan", rewritten.query, exc,
-                )
-                continue  # skip this rewriting, the rest of the plan stands
-            stats.rewritten_issued += 1
+            )
+        return steps
 
-            target_index = schema.index_of(rewritten.target_attribute)
+    def _mediate(self, query: SelectionQuery) -> QueryResult:
+        stats = RetrievalStats()
+        engine = self._engine(stats, query)
+
+        base_set = engine.run_base(
+            PlannedQuery(query=query, kind=QueryKind.BASE, rank=0)
+        )
+        result = QueryResult(query=query, certain=base_set, stats=stats)
+        steps = self._plan_rewritten(query, base_set, stats)
+        seen_rows: set[Row] = set(base_set)
+        schema = self.source.schema
+
+        for step, retrieved in engine.stream(steps):
+            assert step.target_attribute is not None
+            target_index = schema.index_of(step.target_attribute)
             for row in retrieved:
                 # Post-filtering (step 2e): keep only tuples whose target
                 # attribute is actually missing; the rest are certain
@@ -321,47 +322,38 @@ class QpiadMediator:
                 result.ranked.append(
                     RankedAnswer(
                         row=row,
-                        confidence=rewritten.estimated_precision,
-                        retrieved_by=rewritten.query,
-                        target_attribute=rewritten.target_attribute,
-                        explanation=rewritten.afd,
+                        confidence=step.estimated_precision,
+                        retrieved_by=step.query,
+                        target_attribute=step.target_attribute,
+                        explanation=step.explanation,
                     )
                 )
 
+        constrained = query.constrained_attributes
         if (
             self.config.retrieve_multi_null
             and len(constrained) > 1
-            and not self._deadline_exceeded(started)
+            and not engine.deadline_exceeded()
         ):
-            try:
-                result.unranked.extend(self._fetch_multi_null(query, seen_rows, stats))
-            except QueryBudgetExceededError as exc:
-                stats.record_failure(None, QueryFailure.BUDGET_EXHAUSTED, str(exc))
-                result.degraded = True
-                if telemetry is not None:
-                    telemetry.count("mediator.budget_exhausted")
-                if not self.config.tolerate_budget_exhaustion:
-                    raise
-            except SourceUnavailableError as exc:
-                source_failures += 1
-                stats.record_failure(None, QueryFailure.SOURCE_UNAVAILABLE, str(exc))
-                result.degraded = True
-                if telemetry is not None:
-                    telemetry.count("mediator.source_failures")
-                if self._failure_budget_exhausted(source_failures):
-                    raise
+            result.unranked.extend(
+                self._fetch_multi_null(engine, query, seen_rows, rank=len(steps))
+            )
+        result.degraded = engine.degraded
         return result
 
     def iter_possible(
         self, query: SelectionQuery, stats: RetrievalStats | None = None
-    ):
+    ) -> Iterator[RankedAnswer]:
         """Lazily yield ranked possible answers, issuing queries on demand.
 
         The base result set is retrieved eagerly (its tuples seed the
         rewriting), but rewritten queries are only issued as the caller
         consumes the stream — a user who stops after the first few answers
         never spends the rest of the source's query budget.  Answers arrive
-        in the same order :meth:`query` would rank them.
+        in the same order :meth:`query` would rank them.  (With
+        ``config.max_concurrency`` above 1 the engine prefetches a bounded
+        window of queries ahead of consumption; the default serial
+        executor keeps the strict one-call-per-answer-pulled economy.)
 
         Degradation matches :meth:`query` — transient failures of single
         rewritten queries are skipped under ``config.max_source_failures``,
@@ -373,107 +365,27 @@ class QpiadMediator:
         should use :meth:`query`.
         """
         stats = RetrievalStats() if stats is None else stats
-        telemetry = self._telemetry
-        started = self._clock()
-        base_set = self._issue(
-            stats,
-            f"base {query}",
-            SpanKind.BASE_QUERY,
-            lambda: self.source.execute(query),
-            query=str(query),
+        engine = self._engine(stats, query, record_failures=False)
+        base_set = engine.run_base(
+            PlannedQuery(query=query, kind=QueryKind.BASE, rank=0)
         )
-        try:
-            candidates = generate_rewritten_queries(
-                query, base_set, self.knowledge, self.config.classifier_method
-            )
-        except RewritingError:
-            return
-        stats.rewritten_generated = len(candidates)
-        ordered = order_rewritten_queries(candidates, self.config.alpha, self.config.k)
+        steps = self._plan_rewritten(query, base_set, stats)
         seen_rows: set[Row] = set(base_set)
         schema = self.source.schema
-        source_failures = 0
-
-        for rewritten in ordered:
-            if self._deadline_exceeded(started):
-                self._note_deadline(query, None, started)
-                return
-            if not self._can_answer(rewritten.query):
-                stats.rewritten_skipped += 1
-                if telemetry is not None:
-                    telemetry.count("mediator.rewritten_unanswerable")
-                continue
-            if rewritten.estimated_precision < self.config.min_confidence:
-                # Same plan-time gate as :meth:`query`: never spend budget
-                # on a rewriting whose every row would be filtered out.
-                stats.rewritten_skipped += 1
-                if telemetry is not None:
-                    telemetry.count("mediator.rewritten_below_confidence")
-                continue
-            try:
-                retrieved = self._issue(
-                    stats,
-                    f"rewritten {rewritten.query}",
-                    SpanKind.REWRITTEN_QUERY,
-                    lambda: self.source.execute(rewritten.query),
-                    query=str(rewritten.query),
-                    precision=round(rewritten.estimated_precision, 6),
-                )
-            except QueryBudgetExceededError:
-                if telemetry is not None:
-                    telemetry.count("mediator.budget_exhausted")
-                if self.config.tolerate_budget_exhaustion:
-                    return
-                raise
-            except SourceUnavailableError as exc:
-                source_failures += 1
-                if telemetry is not None:
-                    telemetry.count("mediator.source_failures")
-                if self._failure_budget_exhausted(source_failures):
-                    raise
-                logger.info(
-                    "rewritten query %r failed transiently (%s); continuing "
-                    "with the remaining plan", rewritten.query, exc,
-                )
-                continue
-            stats.rewritten_issued += 1
-            target_index = schema.index_of(rewritten.target_attribute)
+        for step, retrieved in engine.stream(steps):
+            assert step.target_attribute is not None
+            target_index = schema.index_of(step.target_attribute)
             for row in retrieved:
                 if not is_null(row[target_index]) or row in seen_rows:
                     continue
                 seen_rows.add(row)
                 yield RankedAnswer(
                     row=row,
-                    confidence=rewritten.estimated_precision,
-                    retrieved_by=rewritten.query,
-                    target_attribute=rewritten.target_attribute,
-                    explanation=rewritten.afd,
+                    confidence=step.estimated_precision,
+                    retrieved_by=step.query,
+                    target_attribute=step.target_attribute,
+                    explanation=step.explanation,
                 )
-
-    def _failure_budget_exhausted(self, source_failures: int) -> bool:
-        budget = self.config.max_source_failures
-        return budget is not None and source_failures > budget
-
-    def _deadline_exceeded(self, started: float) -> bool:
-        deadline = self.config.deadline_seconds
-        return deadline is not None and self._clock() - started > deadline
-
-    def _note_deadline(
-        self, query: SelectionQuery, stats: RetrievalStats | None, started: float
-    ) -> None:
-        """Record the blown deadline; raise when strict mode demands it."""
-        elapsed = self._clock() - started
-        message = (
-            f"retrieval for {query} exceeded its deadline of "
-            f"{self.config.deadline_seconds}s after {elapsed:.3f}s"
-        )
-        if stats is not None:
-            stats.record_failure(None, QueryFailure.DEADLINE, message)
-        if self._telemetry is not None:
-            self._telemetry.count("mediator.deadline_exceeded")
-        if not self.config.tolerate_deadline_exceeded:
-            raise DeadlineExceededError(message)
-        logger.info("%s; returning a degraded result", message)
 
     def _can_answer(self, query: SelectionQuery) -> bool:
         """Whether the source's interface can express *query*.
@@ -484,10 +396,14 @@ class QpiadMediator:
         checker = getattr(self.source, "can_answer", None)
         if checker is None:
             return True
-        return checker(query)
+        return bool(checker(query))
 
     def _fetch_multi_null(
-        self, query: SelectionQuery, seen_rows: set[Row], stats: RetrievalStats
+        self,
+        engine: RetrievalEngine,
+        query: SelectionQuery,
+        seen_rows: set[Row],
+        rank: int,
     ) -> list[Row]:
         """Tuples with ≥2 NULLs over constrained attributes, unranked.
 
@@ -495,26 +411,22 @@ class QpiadMediator:
         forms do not, so this quietly returns nothing for them.  The
         attempt is still counted as an issued query — the mediator did put
         a call on the wire, and the source's own log records the
-        rejection.
+        rejection.  Failures share the retrieval's failure budget with
+        the rewritten plan and are recorded with ``query=None`` (the
+        fetch is a plan-level step, not a rewriting).
         """
-        try:
-            retrieved = self._issue(
-                stats,
-                f"multi-null {query}",
-                SpanKind.MULTI_NULL,
-                lambda: self.source.execute_null_binding(query, max_nulls=None),
-                query=str(query),
-            )
-        except NullBindingError:
-            return []
+        step = PlannedQuery(query=query, kind=QueryKind.MULTI_NULL, rank=rank)
+        rows: list[Row] = []
         schema = self.source.schema
         constrained = query.constrained_attributes
-        rows = []
-        for row in retrieved:
-            nulls = sum(1 for name in constrained if is_null(row[schema.index_of(name)]))
-            if nulls >= 2 and row not in seen_rows:
-                seen_rows.add(row)
-                rows.append(row)
+        for __, retrieved in engine.stream([step]):
+            for row in retrieved:
+                nulls = sum(
+                    1 for name in constrained if is_null(row[schema.index_of(name)])
+                )
+                if nulls >= 2 and row not in seen_rows:
+                    seen_rows.add(row)
+                    rows.append(row)
         if self.config.rank_multi_null:
             rows.sort(key=lambda row: -self._joint_probability(query, row))
         return rows

@@ -26,6 +26,7 @@ from repro.mining.knowledge import KnowledgeBase
 from repro.query.predicates import Predicate
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Row
+from repro.relational.schema import Schema
 from repro.sources.autonomous import AutonomousSource
 
 __all__ = ["RelaxedAnswer", "RelaxationPlan", "QueryRelaxer"]
@@ -138,7 +139,10 @@ class QueryRelaxer:
         schema = self.source.schema
 
         collected: dict[Row, RelaxedAnswer] = {}
-        exact = self.source.execute(query)
+        # The relaxer predates the engine and keeps its own early-exit loop
+        # (stop as soon as target_count answers are collected); porting it
+        # is tracked in the roadmap.
+        exact = self.source.execute(query)  # qpiadlint: disable=raw-source-call-in-core
         for row in exact:
             collected[row] = RelaxedAnswer(
                 row=row,
@@ -152,7 +156,7 @@ class QueryRelaxer:
         for relaxed_query in plan.queries:
             if len(collected) >= target_count:
                 break
-            for row in self.source.execute(relaxed_query):
+            for row in self.source.execute(relaxed_query):  # qpiadlint: disable=raw-source-call-in-core
                 if row in collected:
                     continue
                 satisfied, violated = self._split(query.conjuncts, row, schema)
@@ -175,7 +179,7 @@ class QueryRelaxer:
     # ------------------------------------------------------------------
 
     def _split(
-        self, conjuncts: Sequence[Predicate], row: Row, schema
+        self, conjuncts: Sequence[Predicate], row: Row, schema: Schema
     ) -> tuple[tuple[str, ...], tuple[str, ...]]:
         satisfied: list[str] = []
         violated: list[str] = []

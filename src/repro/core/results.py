@@ -14,8 +14,10 @@ The mediator streams answers in three bands, mirroring the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterator
 
+from repro.engine.engine import FailureKind
 from repro.mining.afd import Afd
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation, Row
@@ -77,9 +79,11 @@ class QueryFailure:
         The underlying error text, for logs and reports.
     """
 
-    SOURCE_UNAVAILABLE = "source-unavailable"
-    BUDGET_EXHAUSTED = "budget-exhausted"
-    DEADLINE = "deadline"
+    # Aliases of the engine's failure kinds — the engine is the one place
+    # that decides what counts as which failure.
+    SOURCE_UNAVAILABLE = FailureKind.SOURCE_UNAVAILABLE
+    BUDGET_EXHAUSTED = FailureKind.BUDGET_EXHAUSTED
+    DEADLINE = FailureKind.DEADLINE
 
     query: SelectionQuery | None
     kind: str
@@ -185,7 +189,7 @@ class QueryResult:
         # from relations the source already shipped.
         return Relation(schema, rows)  # qpiadlint: disable=raw-relation-access
 
-    def write_csv(self, path) -> None:
+    def write_csv(self, path: "Path | str") -> None:
         """Export :meth:`to_relation` to a CSV file."""
         from repro.relational.csvio import write_csv
 

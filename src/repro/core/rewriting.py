@@ -215,7 +215,9 @@ def _distinct_combinations(
         yield combo, dict(zip(determining, combo))
 
 
-def _determining_predicate(knowledge: KnowledgeBase, attribute: str, value: Any):
+def _determining_predicate(
+    knowledge: KnowledgeBase, attribute: str, value: Any
+) -> Predicate:
     """The predicate a rewritten query binds for one determining value.
 
     Categorical attributes bind the exact value; discretized numeric

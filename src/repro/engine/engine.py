@@ -1,0 +1,300 @@
+"""The retrieval engine: one place for issuance, budgets, and telemetry.
+
+:class:`RetrievalEngine` is created per retrieval.  Mediators hand it
+planned queries; it issues them through the configured
+:class:`~repro.engine.executor.PlanExecutor`, billing every call *before*
+it runs (the accounting invariant: ``stats.queries_issued`` equals the
+source's own call log, whatever the weather), wrapping every call in a
+telemetry span when traced, and enforcing the
+:class:`~repro.engine.policy.ExecutionPolicy` — failure budget, source
+budget exhaustion, wall-clock deadline — identically for every mediator
+and every executor.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Any, Callable, Iterable, Iterator, Protocol
+
+from repro.engine.executor import ExecutionTask, PlanExecutor, build_executor
+from repro.engine.plan import PlannedQuery, QueryKind
+from repro.engine.policy import ExecutionPolicy
+from repro.errors import (
+    DeadlineExceededError,
+    NullBindingError,
+    QueryBudgetExceededError,
+    SourceUnavailableError,
+)
+from repro.query.query import SelectionQuery
+from repro.relational.relation import Relation
+from repro.telemetry import SpanKind, Telemetry, maybe_span
+
+__all__ = ["FailureKind", "RetrievalEngine", "RetrievalStatsLike"]
+
+logger = logging.getLogger(__name__)
+
+
+class FailureKind:
+    """Kinds of absorbed retrieval failures (mirrored by ``QueryFailure``)."""
+
+    SOURCE_UNAVAILABLE = "source-unavailable"
+    BUDGET_EXHAUSTED = "budget-exhausted"
+    DEADLINE = "deadline"
+
+
+class RetrievalStatsLike(Protocol):
+    """What the engine needs from a stats object (structurally matched by
+    :class:`~repro.core.results.RetrievalStats` — the engine cannot import
+    it without creating a package cycle)."""
+
+    queries_issued: int
+    tuples_retrieved: int
+    rewritten_issued: int
+
+    def record_failure(
+        self, query: SelectionQuery | None, kind: str, message: str
+    ) -> Any: ...
+
+
+class _SourceLike(Protocol):
+    def execute(self, query: SelectionQuery) -> Relation: ...
+
+    def execute_null_binding(
+        self, query: SelectionQuery, max_nulls: int | None = ...
+    ) -> Relation: ...
+
+
+_SPAN_KINDS = {
+    QueryKind.BASE: SpanKind.BASE_QUERY,
+    QueryKind.REWRITTEN: SpanKind.REWRITTEN_QUERY,
+    QueryKind.MULTI_NULL: SpanKind.MULTI_NULL,
+}
+
+# What the engine does with an absorbed outcome.
+_CONTINUE = "continue"
+_HALT = "halt"
+_RAISE = "raise"
+
+
+class RetrievalEngine:
+    """Executes retrieval plans for one mediated retrieval.
+
+    Parameters
+    ----------
+    source:
+        Default source for planned queries without a per-step override.
+    policy:
+        Failure/deadline/concurrency limits (see :class:`ExecutionPolicy`).
+    stats:
+        The retrieval's cost accounting; every issued call is counted
+        here *before* it runs.
+    executor:
+        Execution strategy; defaults to one built from
+        ``policy.max_concurrency``.
+    telemetry:
+        Optional telemetry hook; every source call becomes a span and
+        feeds the ``mediator.*`` counters.
+    clock:
+        Injectable monotonic clock backing ``policy.deadline_seconds``.
+        The deadline window opens when the engine is constructed.
+    record_failures:
+        Whether absorbed failures and blown deadlines are recorded into
+        ``stats.failures``.  The streaming interface passes ``False`` —
+        a generator has no result object to attach a failure log to —
+        while still counting issuance and telemetry identically.
+    label:
+        Description of the retrieval (normally the user query) used in
+        deadline messages.
+    """
+
+    def __init__(
+        self,
+        source: _SourceLike | None,
+        policy: ExecutionPolicy,
+        stats: RetrievalStatsLike,
+        *,
+        executor: PlanExecutor | None = None,
+        telemetry: Telemetry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        record_failures: bool = True,
+        label: str | None = None,
+    ):
+        self._source = source
+        self._policy = policy
+        self.stats = stats
+        self._executor = executor if executor is not None else build_executor(
+            policy.max_concurrency
+        )
+        self._telemetry = telemetry
+        self._clock = clock
+        self._record_failures = record_failures
+        self._label = label
+        self._started = clock()
+        self._lock = threading.Lock()
+        self._source_failures = 0
+        self.degraded = False
+
+    # ------------------------------------------------------------------ #
+    # Plan execution
+
+    def run_base(self, step: PlannedQuery) -> Relation:
+        """Issue a base query inline; its failure always propagates.
+
+        Base queries run serially and outside the failure budget: without
+        certain answers there is nothing to degrade *to*.
+        """
+        return self._issue(step)
+
+    def stream(
+        self, plan: Iterable[PlannedQuery]
+    ) -> Iterator[tuple[PlannedQuery, Relation]]:
+        """Execute planned queries, yielding ``(step, relation)`` in plan order.
+
+        Failed steps are absorbed (recorded, counted, skipped) or
+        re-raised according to the policy; a blown deadline stops
+        issuance — work in flight completes and merges, nothing new
+        starts — and is noted exactly once.
+        """
+        steps = list(plan)
+        if not steps:
+            return
+        halted = [False]
+
+        def should_stop() -> bool:
+            return halted[0] or self.deadline_exceeded()
+
+        tasks = (
+            ExecutionTask(step.rank, self._runner(step)) for step in steps
+        )
+        outcomes = self._executor.map(tasks, should_stop)
+        consumed = 0
+        try:
+            for step, outcome in zip(steps, outcomes):
+                consumed += 1
+                if outcome.error is None:
+                    if step.kind == QueryKind.REWRITTEN:
+                        with self._lock:
+                            self.stats.rewritten_issued += 1
+                    yield step, outcome.value
+                    continue
+                verdict = self._absorb(step, outcome.error)
+                if verdict == _RAISE:
+                    raise outcome.error
+                if verdict == _HALT:
+                    halted[0] = True
+                    break
+        finally:
+            closer = getattr(outcomes, "close", None)
+            if closer is not None:
+                closer()
+        if consumed < len(steps) and not halted[0] and self.deadline_exceeded():
+            self._note_deadline()
+
+    def deadline_exceeded(self) -> bool:
+        deadline = self._policy.deadline_seconds
+        return deadline is not None and self._clock() - self._started > deadline
+
+    # ------------------------------------------------------------------ #
+    # One billable source call
+
+    def _runner(self, step: PlannedQuery) -> Callable[[], Relation]:
+        return lambda: self._issue(step)
+
+    def _issue(self, step: PlannedQuery) -> Relation:
+        """One billable source call: counted *before* it runs, spanned when traced.
+
+        Issuance is recorded up front so calls that fail — transiently, on
+        an exhausted budget, or with the response lost after the source
+        already charged for the work — still appear in
+        ``stats.queries_issued``.  This keeps the mediator's cost
+        accounting aligned with the source's own access log instead of
+        silently undercounting exactly the calls that hurt most.  Runs on
+        the executor's thread, so all shared bookkeeping is locked.
+        """
+        source = step.source if step.source is not None else self._source
+        if source is None:
+            raise ValueError(f"planned query {step.query} has no source to run on")
+        with self._lock:
+            self.stats.queries_issued += 1
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.count("mediator.queries_issued")
+        attributes: dict[str, Any] = {"query": str(step.query)}
+        if step.kind == QueryKind.REWRITTEN:
+            attributes["precision"] = round(step.estimated_precision, 6)
+        if step.source is not None:
+            attributes["source"] = getattr(source, "name", "?")
+        with maybe_span(
+            telemetry, step.span_name(), _SPAN_KINDS[step.kind], **attributes
+        ) as span:
+            if step.kind == QueryKind.MULTI_NULL:
+                retrieved = source.execute_null_binding(step.query, max_nulls=None)
+            else:
+                retrieved = source.execute(step.query)
+            if span is not None:
+                span.set(tuples=len(retrieved))
+        with self._lock:
+            self.stats.tuples_retrieved += len(retrieved)
+        if telemetry is not None:
+            telemetry.count("mediator.tuples_retrieved", len(retrieved))
+        return retrieved
+
+    # ------------------------------------------------------------------ #
+    # Policy enforcement (absorbed in plan-merge order, so failure
+    # semantics do not depend on the execution strategy)
+
+    def _absorb(self, step: PlannedQuery, error: BaseException) -> str:
+        if isinstance(error, NullBindingError) and step.kind == QueryKind.MULTI_NULL:
+            # A capability gap, not a failure: the attempt was billed (the
+            # source's own log records the rejection) but lost no answers.
+            return _CONTINUE
+        failure_query = None if step.kind == QueryKind.MULTI_NULL else step.query
+        if isinstance(error, QueryBudgetExceededError):
+            if self._record_failures:
+                self.stats.record_failure(
+                    failure_query, FailureKind.BUDGET_EXHAUSTED, str(error)
+                )
+            self.degraded = True
+            if self._telemetry is not None:
+                self._telemetry.count("mediator.budget_exhausted")
+            if self._policy.tolerate_budget_exhaustion:
+                return _HALT  # degrade gracefully: ship what we have
+            return _RAISE
+        if isinstance(error, SourceUnavailableError):
+            with self._lock:
+                self._source_failures += 1
+                failures = self._source_failures
+            if self._record_failures:
+                self.stats.record_failure(
+                    failure_query, FailureKind.SOURCE_UNAVAILABLE, str(error)
+                )
+            self.degraded = True
+            if self._telemetry is not None:
+                self._telemetry.count("mediator.source_failures")
+            budget = self._policy.max_source_failures
+            if budget is not None and failures > budget:
+                return _RAISE
+            logger.info(
+                "planned query %r failed transiently (%s); continuing "
+                "with the remaining plan", step.query, error,
+            )
+            return _CONTINUE  # skip this step, the rest of the plan stands
+        return _RAISE
+
+    def _note_deadline(self) -> None:
+        """Record the blown deadline; raise when strict mode demands it."""
+        elapsed = self._clock() - self._started
+        message = (
+            f"retrieval for {self._label} exceeded its deadline of "
+            f"{self._policy.deadline_seconds}s after {elapsed:.3f}s"
+        )
+        if self._record_failures:
+            self.stats.record_failure(None, FailureKind.DEADLINE, message)
+        if self._telemetry is not None:
+            self._telemetry.count("mediator.deadline_exceeded")
+        self.degraded = True
+        if not self._policy.tolerate_deadline_exceeded:
+            raise DeadlineExceededError(message)
+        logger.info("%s; returning a degraded result", message)

@@ -1,0 +1,161 @@
+"""Plan executors: the *how* of a retrieval.
+
+An executor turns a stream of :class:`ExecutionTask` thunks into a
+stream of :class:`TaskOutcome` values.  The contract every executor
+honours:
+
+* **Plan-order merge.**  Outcomes are yielded strictly in task order,
+  whatever order the underlying calls complete in.  Answer order (and
+  therefore ranking) never depends on the execution strategy.
+* **Prefix semantics.**  When ``should_stop()`` turns true, no further
+  tasks are *started*; work already in flight runs to completion (a call
+  on the wire is never interrupted) but the outcome stream simply ends.
+  The consumed outcomes are always a prefix of the plan.
+* **Errors are data.**  A task that raises yields an outcome carrying
+  the exception instead of propagating it; the engine decides whether to
+  absorb or re-raise, so failure-budget semantics live in one place.
+
+:class:`SerialExecutor` runs tasks inline and lazily — it is the
+historical mediator loop, pulling one task per outcome consumed.
+:class:`ConcurrentExecutor` keeps up to ``max_workers`` tasks in flight
+on a thread pool; it trades the serial executor's strict laziness for
+bounded prefetch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Protocol
+
+from repro.errors import QpiadError
+
+__all__ = [
+    "ConcurrentExecutor",
+    "ExecutionTask",
+    "PlanExecutor",
+    "SerialExecutor",
+    "TaskOutcome",
+    "build_executor",
+]
+
+
+@dataclass(frozen=True)
+class ExecutionTask:
+    """One unit of plan work: a rank and a thunk that performs the call."""
+
+    rank: int
+    run: Callable[[], Any]
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What became of one task: a value, or the exception it raised."""
+
+    rank: int
+    value: Any = None
+    error: BaseException | None = None
+
+
+class PlanExecutor(Protocol):
+    """The pluggable execution strategy for a retrieval plan."""
+
+    name: str
+
+    def map(
+        self,
+        tasks: Iterable[ExecutionTask],
+        should_stop: Callable[[], bool],
+    ) -> Iterator[TaskOutcome]:
+        """Yield one outcome per started task, in task order."""
+        ...
+
+
+class SerialExecutor:
+    """Run tasks inline, one at a time, pulling lazily.
+
+    This is the default and reproduces the historical mediator loops
+    exactly: a task only runs when its outcome is consumed, so a caller
+    that stops reading (the streaming interface) never spends budget on
+    queries it did not need.
+    """
+
+    name = "serial"
+
+    def map(
+        self,
+        tasks: Iterable[ExecutionTask],
+        should_stop: Callable[[], bool],
+    ) -> Iterator[TaskOutcome]:
+        for task in tasks:
+            if should_stop():
+                return
+            try:
+                value = task.run()
+            except Exception as exc:
+                yield TaskOutcome(task.rank, error=exc)
+            else:
+                yield TaskOutcome(task.rank, value=value)
+
+
+class ConcurrentExecutor:
+    """Run up to *max_workers* tasks at once; merge outcomes in task order.
+
+    The window is bounded: at most *max_workers* tasks are in flight (or
+    prefetched) beyond what the consumer has read, so issuance stays
+    roughly demand-driven.  When ``should_stop()`` turns true, submission
+    stops; tasks already submitted run to completion (the pool is never
+    cancelled) and any unread outcomes are discarded with it — exactly
+    the serial executor's "break out of the loop" generalised to a
+    window wider than one.
+    """
+
+    name = "concurrent"
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise QpiadError(f"max_workers must be at least 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def map(
+        self,
+        tasks: Iterable[ExecutionTask],
+        should_stop: Callable[[], bool],
+    ) -> Iterator[TaskOutcome]:
+        iterator = iter(tasks)
+        with ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="qpiad-engine"
+        ) as pool:
+            window: deque[tuple[ExecutionTask, Future[Any]]] = deque()
+            exhausted = False
+            while True:
+                while not exhausted and len(window) < self.max_workers:
+                    if should_stop():
+                        exhausted = True
+                        break
+                    try:
+                        task = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    window.append((task, pool.submit(task.run)))
+                if not window:
+                    return
+                task, future = window.popleft()
+                error = future.exception()
+                if error is not None:
+                    yield TaskOutcome(task.rank, error=error)
+                else:
+                    yield TaskOutcome(task.rank, value=future.result())
+
+
+def build_executor(max_concurrency: int) -> PlanExecutor:
+    """The executor for a concurrency width: serial at 1, thread pool above."""
+    if max_concurrency < 1:
+        raise QpiadError(
+            f"max_concurrency must be at least 1, got {max_concurrency}"
+        )
+    if max_concurrency == 1:
+        return SerialExecutor()
+    return ConcurrentExecutor(max_concurrency)

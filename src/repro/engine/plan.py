@@ -1,0 +1,96 @@
+"""Retrieval plans: the *what* of a mediated retrieval.
+
+A plan is an ordered sequence of :class:`PlannedQuery` steps.  Order is
+semantic — it is the precision order of Section 4.1's F-measure ranking,
+and every executor merges outcomes back in exactly this order, which is
+what makes concurrent execution indistinguishable from serial execution
+on a healthy source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.query.query import SelectionQuery
+
+if TYPE_CHECKING:
+    from repro.sources.autonomous import AutonomousSource
+
+__all__ = ["PlannedQuery", "QueryKind", "RetrievalPlan"]
+
+
+class QueryKind:
+    """The three ways a mediated retrieval touches a source (Figure 1)."""
+
+    BASE = "base"
+    REWRITTEN = "rewritten"
+    MULTI_NULL = "multi-null"
+
+    ALL = (BASE, REWRITTEN, MULTI_NULL)
+
+
+@dataclass(frozen=True)
+class PlannedQuery:
+    """One step of a retrieval plan.
+
+    Parameters
+    ----------
+    query:
+        The selection query to put on the wire.
+    kind:
+        One of :class:`QueryKind` — decides how the engine issues it
+        (``execute`` vs ``execute_null_binding``) and which span kind and
+        failure bookkeeping it gets.
+    rank:
+        Position in the plan.  Outcomes are always merged in rank order.
+    estimated_precision:
+        The rewritten query's estimated precision (Section 4.1); doubles
+        as the confidence of every answer it retrieves.  1.0 for base
+        queries — their answers are certain.
+    estimated_recall:
+        The rewriting's estimated recall (selectivity-based); carried for
+        ranking diagnostics, not used during execution.
+    target_attribute:
+        For rewritten steps, the attribute whose constraint was replaced —
+        the post-filter keeps only rows NULL on it.
+    explanation:
+        The mined AFD that justified this rewriting (opaque to the
+        engine; threaded through to :class:`~repro.core.results.RankedAnswer`).
+    source:
+        Optional per-step source override for plans spanning several
+        sources (joins, correlated mediation).  ``None`` uses the
+        engine's default source.
+    label:
+        Optional span-name prefix override (defaults to *kind*), e.g.
+        ``"correlated-base"``.
+    """
+
+    query: SelectionQuery
+    kind: str = QueryKind.REWRITTEN
+    rank: int = 0
+    estimated_precision: float = 1.0
+    estimated_recall: float = 0.0
+    target_attribute: str | None = None
+    explanation: Any = None
+    source: AutonomousSource | None = None
+    label: str | None = None
+
+    def span_name(self) -> str:
+        return f"{self.label or self.kind} {self.query}"
+
+
+@dataclass(frozen=True)
+class RetrievalPlan:
+    """An ordered, immutable sequence of planned queries."""
+
+    steps: tuple[PlannedQuery, ...] = field(default_factory=tuple)
+
+    def __iter__(self) -> Iterator[PlannedQuery]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __bool__(self) -> bool:
+        return bool(self.steps)

@@ -13,6 +13,7 @@ the failures a live source would produce.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable
 
 from repro.errors import SourceUnavailableError
@@ -62,21 +63,32 @@ class FaultInjectingSource:
         self._sleep = sleep
         self._telemetry = telemetry
         self.statistics = FaultStatistics()
+        # The concurrent executor calls into one wrapper from several
+        # threads; the call counter and event log must stay exact for the
+        # chaos suite's accounting invariant to hold.
+        self._lock = threading.Lock()
 
     # -- fault core --------------------------------------------------------
 
-    def _next_decision(self) -> FaultDecision:
-        decision = self.plan.decide(self.statistics.calls)
-        self.statistics.calls += 1
-        return decision
+    def _next_decision(self) -> "tuple[FaultDecision, int]":
+        """The next call's fault decision plus its (atomic) call index."""
+        with self._lock:
+            index = self.statistics.calls
+            self.statistics.calls += 1
+        return self.plan.decide(index), index
 
-    def _record(self, kind: str, operation: str, detail: str = "") -> None:
-        self.statistics.events.append(
-            FaultEvent(self.statistics.calls - 1, kind, operation, detail)
-        )
+    def _record(self, index: int, kind: str, operation: str, detail: str = "") -> None:
+        with self._lock:
+            self.statistics.events.append(FaultEvent(index, kind, operation, detail))
         if self._telemetry is not None:
             self._telemetry.count("fault.injected")
             self._telemetry.count(f"fault.{kind}")
+
+    def _tally(self, **deltas: float) -> None:
+        """Locked increments of the named statistics counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self.statistics, name, getattr(self.statistics, name) + delta)
 
     def _faulted(
         self,
@@ -84,37 +96,35 @@ class FaultInjectingSource:
         call: Callable[[], Any],
         truncatable: bool = True,
     ) -> Any:
-        decision = self._next_decision()
+        decision, index = self._next_decision()
         if decision.kind == FaultKind.UNAVAILABLE:
-            self.statistics.unavailable += 1
-            self._record(FaultKind.UNAVAILABLE, operation)
+            self._tally(unavailable=1)
+            self._record(index, FaultKind.UNAVAILABLE, operation)
             raise SourceUnavailableError(
                 f"injected fault: {self.inner.name!r} unavailable "
-                f"(call {self.statistics.calls - 1}, {operation})"
+                f"(call {index}, {operation})"
             )
         if decision.kind == FaultKind.CHURN:
             call()  # the source did the work and charged its budget ...
-            self.statistics.churned += 1
-            self._record(FaultKind.CHURN, operation, "budget charged")
+            self._tally(churned=1)
+            self._record(index, FaultKind.CHURN, operation, "budget charged")
             raise SourceUnavailableError(  # ... but the response never arrived
                 f"injected fault: response from {self.inner.name!r} lost after "
-                f"execution (call {self.statistics.calls - 1}, {operation})"
+                f"execution (call {index}, {operation})"
             )
         result = call()
         if decision.kind == FaultKind.TRUNCATE and truncatable:
             kept = int(len(result) * self.plan.truncate_fraction)
             dropped = len(result) - kept
-            self.statistics.truncated += 1
-            self.statistics.tuples_dropped += dropped
-            self._record(FaultKind.TRUNCATE, operation, f"dropped {dropped} tuples")
+            self._tally(truncated=1, tuples_dropped=dropped)
+            self._record(index, FaultKind.TRUNCATE, operation, f"dropped {dropped} tuples")
             return result.take(kept)
         if decision.kind == FaultKind.LATENCY:
-            self.statistics.delayed += 1
-            self.statistics.latency_injected_seconds += self.plan.latency_seconds
-            self._record(FaultKind.LATENCY, operation, f"{self.plan.latency_seconds}s")
+            self._tally(delayed=1, latency_injected_seconds=self.plan.latency_seconds)
+            self._record(index, FaultKind.LATENCY, operation, f"{self.plan.latency_seconds}s")
             self._sleep(self.plan.latency_seconds)
             return result
-        self.statistics.healthy += 1
+        self._tally(healthy=1)
         return result
 
     # -- the source surface -------------------------------------------------

@@ -13,7 +13,8 @@ so experiments can report query-processing and transmission costs (Fig. 8).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 
 from repro.errors import (
     NullBindingError,
@@ -31,20 +32,34 @@ __all__ = ["AccessStatistics", "AutonomousSource"]
 
 @dataclass
 class AccessStatistics:
-    """Running totals of the traffic one mediator session generated."""
+    """Running totals of the traffic one mediator session generated.
+
+    Updates are locked: with a concurrent plan executor several engine
+    threads hit the same source, and these totals back the chaos suite's
+    exact-accounting assertions.
+    """
 
     queries_answered: int = 0
     tuples_returned: int = 0
     rejected_queries: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def record(self, tuples: int) -> None:
-        self.queries_answered += 1
-        self.tuples_returned += tuples
+        with self._lock:
+            self.queries_answered += 1
+            self.tuples_returned += tuples
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self.rejected_queries += 1
 
     def reset(self) -> None:
-        self.queries_answered = 0
-        self.tuples_returned = 0
-        self.rejected_queries = 0
+        with self._lock:
+            self.queries_answered = 0
+            self.tuples_returned = 0
+            self.rejected_queries = 0
 
 
 class AutonomousSource:
@@ -144,7 +159,7 @@ class AutonomousSource:
         configured with this counterfactual capability.
         """
         if not self.capabilities.allows_null_binding:
-            self.statistics.rejected_queries += 1
+            self.statistics.record_rejection()
             raise NullBindingError(
                 f"source {self.name!r} does not support binding NULL values "
                 f"(query {query!r})"
@@ -159,7 +174,7 @@ class AutonomousSource:
     def execute_certain_or_possible(self, query: SelectionQuery) -> Relation:
         """Certain plus possible answers in one scan (baseline helper)."""
         if not self.capabilities.allows_null_binding:
-            self.statistics.rejected_queries += 1
+            self.statistics.record_rejection()
             raise NullBindingError(
                 f"source {self.name!r} does not support binding NULL values"
             )
@@ -185,12 +200,12 @@ class AutonomousSource:
     def _validate(self, query: SelectionQuery) -> None:
         for attribute in query.constrained_attributes:
             if attribute not in self._view.schema:
-                self.statistics.rejected_queries += 1
+                self.statistics.record_rejection()
                 raise UnsupportedAttributeError(
                     f"source {self.name!r} does not support attribute {attribute!r}"
                 )
             if not self.capabilities.can_bind(attribute):
-                self.statistics.rejected_queries += 1
+                self.statistics.record_rejection()
                 raise UnsupportedAttributeError(
                     f"source {self.name!r} exposes {attribute!r} but its web form "
                     "cannot bind it"

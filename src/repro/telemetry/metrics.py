@@ -10,6 +10,7 @@ metric whatever the traffic.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 __all__ = ["Counter", "Histogram", "MetricsRegistry"]
@@ -48,31 +49,46 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Holds every counter and histogram of one telemetry pipeline."""
+    """Holds every counter and histogram of one telemetry pipeline.
+
+    Registration and updates are locked so exact counters (the span/issued
+    pins in the telemetry tests) survive a concurrent plan executor.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- access ------------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
-        found = self._counters.get(name)
-        if found is None:
-            found = self._counters[name] = Counter(name)
-        return found
+        with self._lock:
+            found = self._counters.get(name)
+            if found is None:
+                found = self._counters[name] = Counter(name)
+            return found
 
     def histogram(self, name: str) -> Histogram:
-        found = self._histograms.get(name)
-        if found is None:
-            found = self._histograms[name] = Histogram(name)
-        return found
+        with self._lock:
+            found = self._histograms.get(name)
+            if found is None:
+                found = self._histograms[name] = Histogram(name)
+            return found
 
     def count(self, name: str, amount: float = 1) -> None:
-        self.counter(name).increment(amount)
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+            counter.increment(amount)
 
     def observe(self, name: str, value: float) -> None:
-        self.histogram(name).observe(value)
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name)
+            histogram.observe(value)
 
     def value(self, name: str) -> float:
         """A counter's current value; 0 when it was never touched."""
@@ -108,5 +124,6 @@ class MetricsRegistry:
         }
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()

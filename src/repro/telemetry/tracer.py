@@ -16,6 +16,7 @@ dropped.  Export (text trees, JSON) lives in
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -111,6 +112,10 @@ class Tracer:
         self._spans: list[Span] = []
         self._open: list[int] = []
         self._next_id = 1
+        # Concurrent engine threads open/close spans against one tracer;
+        # id allocation and the span list must stay consistent.  Parentage
+        # (the open-span stack) is best-effort above one thread.
+        self._lock = threading.Lock()
 
     @property
     def spans(self) -> tuple[Span, ...]:
@@ -130,17 +135,18 @@ class Tracer:
 
     def start(self, name: str, kind: str, **attributes: Any) -> Span:
         """Open a span; it becomes the parent of spans started before its finish."""
-        span = Span(
-            span_id=self._next_id,
-            parent_id=self._open[-1] if self._open else None,
-            name=name,
-            kind=kind,
-            started=self._clock(),
-            attributes=dict(attributes),
-        )
-        self._next_id += 1
-        self._spans.append(span)
-        self._open.append(span.span_id)
+        with self._lock:
+            span = Span(
+                span_id=self._next_id,
+                parent_id=self._open[-1] if self._open else None,
+                name=name,
+                kind=kind,
+                started=self._clock(),
+                attributes=dict(attributes),
+            )
+            self._next_id += 1
+            self._spans.append(span)
+            self._open.append(span.span_id)
         return span
 
     def finish(self, span: Span, error: "BaseException | str | None" = None) -> Span:
@@ -149,10 +155,11 @@ class Tracer:
         if error is not None:
             span.status = "error"
             span.error = str(error)
-        if self._open and self._open[-1] == span.span_id:
-            self._open.pop()
-        elif span.span_id in self._open:  # tolerate out-of-order finishes
-            self._open.remove(span.span_id)
+        with self._lock:
+            if self._open and self._open[-1] == span.span_id:
+                self._open.pop()
+            elif span.span_id in self._open:  # tolerate out-of-order finishes
+                self._open.remove(span.span_id)
         return span
 
     def span(self, name: str, kind: str, **attributes: Any) -> "SpanContext":
@@ -160,9 +167,10 @@ class Tracer:
         return SpanContext(self, name, kind, attributes)
 
     def reset(self) -> None:
-        self._spans.clear()
-        self._open.clear()
-        self._next_id = 1
+        with self._lock:
+            self._spans.clear()
+            self._open.clear()
+            self._next_id = 1
 
 
 class SpanContext:

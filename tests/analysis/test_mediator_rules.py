@@ -1,6 +1,6 @@
-"""Tests for the mediator autonomy rule (raw-relation-access)."""
+"""Tests for the mediator autonomy rules (raw-relation-access, raw-source-call-in-core)."""
 
-from repro.analysis.rules.mediator import RawRelationAccessRule
+from repro.analysis.rules.mediator import RawRelationAccessRule, RawSourceCallRule
 
 
 class TestRawRelationAccess:
@@ -74,3 +74,67 @@ class TestRawRelationAccess:
         )
         assert result.findings == []
         assert result.suppressed_count == 1
+
+
+class TestRawSourceCall:
+    rule = RawSourceCallRule()
+
+    # -- positives ---------------------------------------------------------
+
+    def test_flags_direct_execute_in_core(self, check):
+        findings = check(
+            self.rule,
+            "rows = self.source.execute(query)\n",
+            module="repro.core.qpiad",
+        )
+        assert [f.rule for f in findings] == ["raw-source-call-in-core"]
+        assert "RetrievalEngine" in findings[0].message
+
+    def test_flags_every_source_surface_method(self, check):
+        findings = check(
+            self.rule,
+            """
+            a = source.execute(q)
+            b = source.execute_null_binding(q, max_nulls=None)
+            c = source.execute_certain_or_possible(q)
+            d = source.scan(10)
+            """,
+            module="repro.core.baselines",
+        )
+        assert len(findings) == 4
+
+    # -- negatives ---------------------------------------------------------
+
+    def test_engine_package_is_out_of_scope(self, check):
+        # The engine *is* the sanctioned caller.
+        assert (
+            check(
+                self.rule,
+                "rows = source.execute(query)\n",
+                module="repro.engine.engine",
+            )
+            == []
+        )
+
+    def test_other_layers_are_out_of_scope(self, check):
+        assert (
+            check(
+                self.rule,
+                "rows = self.inner.execute(query)\n",
+                module="repro.faults.injecting",
+            )
+            == []
+        )
+
+    def test_engine_mediated_calls_are_clean(self, check):
+        assert (
+            check(
+                self.rule,
+                """
+                for step, retrieved in engine.stream(plan):
+                    merge(step, retrieved)
+                """,
+                module="repro.core.qpiad",
+            )
+            == []
+        )

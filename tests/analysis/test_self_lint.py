@@ -27,6 +27,9 @@ def test_src_repro_lints_clean():
 def test_suppressions_stay_bounded():
     # Every suppression is a reviewed exemption; if this number creeps up,
     # the autonomy discipline is eroding.  Raise it only with a justification
-    # comment at the new suppression site.
+    # comment at the new suppression site.  Raised 10 -> 15 with the
+    # raw-source-call-in-core rule: its seven sanctioned bypasses (the
+    # counterfactual baselines, the not-yet-ported relaxer, the federation's
+    # certain-only path) each carry a justification comment.
     report = lint_paths([SRC])
-    assert report.suppressed_count <= 10
+    assert report.suppressed_count <= 15

@@ -1,0 +1,108 @@
+"""The chaos properties under the concurrent plan executor.
+
+With faults in the schedule, a concurrent run is *not* replay-identical
+to a serial one — the fault plan maps decisions onto calls in the order
+threads reach the source, which is scheduling-dependent.  What must hold
+at any concurrency width, every seed:
+
+* the accounting invariant — ``queries_issued`` equals the wrapped
+  source's own call log *exactly* (every billing site is locked);
+* certain answers are never lost (the base query is outside the plan);
+* surviving ranked answers are a subsequence of the clean ranking
+  (outcomes merge in plan order whatever the interleaving);
+* degradation is reported honestly (failure log matches absorbed
+  faults, ``degraded`` set iff something was absorbed).
+"""
+
+import pytest
+
+from repro.core import QpiadConfig, QpiadMediator
+from repro.core.results import RetrievalStats
+from repro.faults import FaultInjectingSource, FaultPlan
+from repro.query import SelectionQuery
+
+QUERY = SelectionQuery.equals("body_style", "Convt")
+SEEDS = (0, 1, 2, 3, 4, 5, 6, 7)
+WIDTH = 4
+
+
+def chaos_mediate(env, seed, width=WIDTH):
+    plan = FaultPlan(
+        seed=seed,
+        unavailable_rate=0.25,
+        churn_rate=0.1,
+        truncate_rate=0.1,
+        spare_first=1,  # the base query must land
+    )
+    source = FaultInjectingSource(env.web_source(), plan)
+    mediator = QpiadMediator(
+        source, env.knowledge, QpiadConfig(k=10, max_concurrency=width)
+    )
+    return mediator, source
+
+
+@pytest.fixture(scope="module")
+def clean(cars_env):
+    return QpiadMediator(
+        cars_env.web_source(), cars_env.knowledge, QpiadConfig(k=10)
+    ).query(QUERY)
+
+
+def is_subsequence(rows, reference):
+    iterator = iter(reference)
+    return all(row in iterator for row in rows)
+
+
+class TestAccountingInvariantConcurrently:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_queries_issued_matches_source_call_log(self, cars_env, seed):
+        mediator, source = chaos_mediate(cars_env, seed)
+        result = mediator.query(QUERY)
+        assert result.stats.queries_issued == source.statistics.calls
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_invariant_holds_for_the_streaming_interface(self, cars_env, seed):
+        mediator, source = chaos_mediate(cars_env, seed)
+        stats = RetrievalStats()
+        list(mediator.iter_possible(QUERY, stats))
+        assert stats.queries_issued == source.statistics.calls
+
+    @pytest.mark.parametrize("width", (2, 4, 8))
+    def test_invariant_holds_at_every_width(self, cars_env, width):
+        mediator, source = chaos_mediate(cars_env, seed=3, width=width)
+        result = mediator.query(QUERY)
+        assert result.stats.queries_issued == source.statistics.calls
+
+
+class TestDegradationConcurrently:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_certain_answers_are_never_lost(self, cars_env, clean, seed):
+        mediator, __ = chaos_mediate(cars_env, seed)
+        result = mediator.query(QUERY)
+        assert list(result.certain) == list(clean.certain)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_surviving_ranking_is_order_consistent(self, cars_env, clean, seed):
+        mediator, __ = chaos_mediate(cars_env, seed)
+        result = mediator.query(QUERY)
+        assert is_subsequence(
+            [answer.row for answer in result.ranked],
+            [answer.row for answer in clean.ranked],
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_degradation_is_reported_honestly(self, cars_env, seed):
+        mediator, source = chaos_mediate(cars_env, seed)
+        result = mediator.query(QUERY)
+        absorbed = source.statistics.unavailable + source.statistics.churned
+        assert len(result.stats.failures) == absorbed
+        assert result.degraded == (absorbed > 0)
+
+    def test_faults_actually_landed_somewhere(self, cars_env):
+        # The concurrent leg is vacuous if no seed ever injects a fault.
+        landed = []
+        for seed in SEEDS:
+            mediator, source = chaos_mediate(cars_env, seed)
+            mediator.query(QUERY)
+            landed.append(source.statistics.faults_injected)
+        assert any(count > 0 for count in landed)
