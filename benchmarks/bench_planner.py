@@ -1,0 +1,228 @@
+"""Plan caching: cache-off vs cold-cache vs warm-cache planning (PR 5).
+
+Not a paper figure: this bench guards the *implementation* property of the
+knowledge-versioned plan cache — warm lookups beat rebuilding the plan by
+a wide margin, while returning plans that are bit-identical to the ones
+the uncached pipeline builds (same steps, same ranks, same estimates,
+same skip tallies).
+
+The workload plans a small query battery repeatedly against one mined
+knowledge base, the repetitive shape a long-lived mediator session (or a
+federation fanning the same user query across sources) produces.  Three
+legs are timed:
+
+* **off** — ``cache=None``: every repetition runs the full generate/
+  rank/gate pipeline; no fingerprint is ever computed (the disabled path
+  must cost nothing over the raw pipeline);
+* **cold** — a fresh :class:`~repro.planner.PlanCache`: every plan is a
+  miss, paying fingerprinting *on top of* the build (the worst case);
+* **warm** — the same cache, subsequent repetitions: every plan is a
+  fingerprint computation plus a dictionary hit.
+
+Results go to a JSON file (``BENCH_5.json`` at the repo root by default)
+so CI can diff them.
+
+Run directly::
+
+    python benchmarks/bench_planner.py [--quick] [--check] [--out BENCH_5.json]
+
+``--quick`` shrinks the workload for CI smoke runs; ``--check`` exits
+non-zero when warm planning is not at least :data:`SPEEDUP_BAR` times
+faster than cache-off planning, or when any cached plan diverges from
+its uncached twin at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets import generate_cars, make_incomplete  # noqa: E402
+from repro.mining import KnowledgeBase  # noqa: E402
+from repro.planner import PlanCache, PlannerConfig, QueryPlanner  # noqa: E402
+from repro.query import SelectionQuery  # noqa: E402
+from repro.sources import AutonomousSource  # noqa: E402
+
+WORKLOAD = (
+    SelectionQuery.equals("body_style", "Convt"),
+    SelectionQuery.equals("body_style", "Sedan"),
+    SelectionQuery.equals("make", "BMW"),
+    SelectionQuery.equals("make", "Honda"),
+)
+
+#: Warm-cache planning must be at least this much faster than cache-off
+#: planning in --check mode.  A warm lookup is three content fingerprints
+#: and a dict hit; a rebuild runs candidate generation and per-candidate
+#: classifier scoring, so the real ratio is far above this bar.
+SPEEDUP_BAR = 2.0
+
+
+def _build(size: int):
+    dataset = make_incomplete(generate_cars(size, seed=7), seed=9)
+    relation = dataset.incomplete
+    source = AutonomousSource("cars", relation)
+    knowledge = KnowledgeBase(relation.take(500), database_size=size)
+    # Plan-only workload: the base set a mediator would have retrieved is
+    # computed locally, so the bench times planning and nothing else.
+    base_sets = {
+        query: relation.select(
+            lambda row, q=query: q.predicate.matches(row, relation.schema)
+        )
+        for query in WORKLOAD
+    }
+    return source, knowledge, base_sets
+
+
+def _plan_fingerprint(plan) -> tuple:
+    """Everything observable about a plan, for bit-identity comparison."""
+    return (
+        tuple(
+            (
+                repr(step.query),
+                step.kind,
+                step.rank,
+                step.estimated_precision,
+                step.estimated_recall,
+                step.target_attribute,
+                repr(step.explanation),
+            )
+            for step in plan.steps
+        ),
+        plan.generated,
+        plan.skipped_unanswerable,
+        plan.skipped_below_confidence,
+    )
+
+
+def _one_leg(planner: QueryPlanner, source, base_sets, repetitions: int):
+    """Wall-clock seconds plus the fingerprint of every produced plan."""
+    fingerprints = []
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        for query in WORKLOAD:
+            plan = planner.plan_selection(query, base_sets[query], source=source)
+            fingerprints.append(_plan_fingerprint(plan))
+    return time.perf_counter() - start, fingerprints
+
+
+def run(size: int, repetitions: int) -> dict:
+    source, knowledge, base_sets = _build(size)
+    config = PlannerConfig(alpha=0.0, k=10)
+
+    uncached = QueryPlanner(knowledge, config)
+    off_s, off_plans = _one_leg(uncached, source, base_sets, repetitions)
+
+    cache = PlanCache()
+    cached = QueryPlanner(knowledge, config, cache=cache)
+    cold_s, cold_plans = _one_leg(cached, source, base_sets, 1)
+    warm_s, warm_plans = _one_leg(cached, source, base_sets, repetitions)
+
+    plans = repetitions * len(WORKLOAD)
+    off_per_plan = off_s / plans
+    warm_per_plan = warm_s / plans
+    return {
+        "bench": "bench_planner",
+        "workload": {
+            "database_size": size,
+            "distinct_queries": len(WORKLOAD),
+            "repetitions": repetitions,
+            "plans_per_leg": plans,
+        },
+        "off": {
+            "seconds": round(off_s, 6),
+            "plans_per_second": round(plans / off_s, 1),
+        },
+        "cold": {
+            "seconds": round(cold_s, 6),
+            "plans_per_second": round(len(WORKLOAD) / cold_s, 1),
+        },
+        "warm": {
+            "seconds": round(warm_s, 6),
+            "plans_per_second": round(plans / warm_s, 1),
+        },
+        "speedup_warm": round(off_per_plan / warm_per_plan, 3),
+        "speedup_bar": SPEEDUP_BAR,
+        "cache": {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "evictions": cache.evictions,
+            "entries": len(cache),
+        },
+        # The parity pin, measured rather than assumed: cold plans and warm
+        # plans are bit-identical to the plans the uncached pipeline builds.
+        "plans_identical": (
+            cold_plans == off_plans[: len(cold_plans)]
+            and warm_plans == off_plans
+        ),
+        "all_warm_hits": cache.hits == plans,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=6000, help="database cardinality")
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=25,
+        help="times the query battery is re-planned per leg",
+    )
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_5.json")
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload for CI smoke runs"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit 1 unless plans are identical and warm speedup >= {SPEEDUP_BAR}x",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        # Planning cost scales with the sample behind the knowledge base,
+        # not the database, so even the small workload keeps the warm-hit
+        # signal far above the bar on a noisy CI box.
+        args.size, args.repetitions = 2000, 10
+
+    result = run(args.size, args.repetitions)
+    args.out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"bench_planner: off {result['off']['seconds']}s, "
+        f"cold {result['cold']['seconds']}s, warm {result['warm']['seconds']}s "
+        f"-> {result['speedup_warm']}x warm speedup, plans "
+        f"{'identical' if result['plans_identical'] else 'DIVERGED'} "
+        f"-> {args.out}"
+    )
+
+    if args.check:
+        if not result["plans_identical"]:
+            print(
+                "bench_planner: FAILED — cached plans diverged from uncached plans",
+                file=sys.stderr,
+            )
+            return 1
+        if not result["all_warm_hits"]:
+            print(
+                "bench_planner: FAILED — warm leg missed the cache",
+                file=sys.stderr,
+            )
+            return 1
+        if result["speedup_warm"] < SPEEDUP_BAR:
+            print(
+                f"bench_planner: FAILED — warm speedup {result['speedup_warm']}x "
+                f"below {SPEEDUP_BAR}x bar",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

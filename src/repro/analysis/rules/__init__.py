@@ -15,7 +15,11 @@ from repro.analysis.rules.hygiene import (
     MutableDefaultArgRule,
     NaiveFloatEqualityRule,
 )
-from repro.analysis.rules.mediator import RawRelationAccessRule, RawSourceCallRule
+from repro.analysis.rules.mediator import (
+    RawRelationAccessRule,
+    RawRewriteCallRule,
+    RawSourceCallRule,
+)
 from repro.analysis.rules.null_semantics import (
     NullCompareRule,
     NullInPredicateLiteralRule,
@@ -29,6 +33,7 @@ __all__ = [
     "NullCompareRule",
     "NullInPredicateLiteralRule",
     "RawRelationAccessRule",
+    "RawRewriteCallRule",
     "RawSourceCallRule",
     "UnseededRngRule",
     "BannedImportRule",
@@ -43,6 +48,7 @@ ALL_RULES: "tuple[type[Rule], ...]" = (
     NullInPredicateLiteralRule,
     RawRelationAccessRule,
     RawSourceCallRule,
+    RawRewriteCallRule,
     UnseededRngRule,
     BannedImportRule,
     MutableDefaultArgRule,

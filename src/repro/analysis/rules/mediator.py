@@ -21,7 +21,7 @@ from typing import Iterator
 
 from repro.analysis.framework import Finding, ModuleContext, Rule, Severity
 
-__all__ = ["RawRelationAccessRule", "RawSourceCallRule"]
+__all__ = ["RawRelationAccessRule", "RawRewriteCallRule", "RawSourceCallRule"]
 
 #: Dotted package prefixes that constitute "mediator-side" code.
 MEDIATOR_PACKAGES = ("repro.core", "repro.query", "repro.rewriting")
@@ -142,3 +142,80 @@ class RawSourceCallRule(Rule):
                     "the call through RetrievalEngine so it is billed, "
                     "policy-checked, and traced (or suppress with a reason)",
                 )
+
+
+#: The rewrite-pipeline stage functions mediators must reach via the planner.
+_REWRITE_STAGE_CALLS = frozenset(
+    {
+        "generate_rewritten_queries",
+        "order_rewritten_queries",
+        "score_rewritten_queries",
+    }
+)
+
+#: Modules that legitimately *implement* the rewrite pipeline and so may
+#: name its stage functions: the stage implementations themselves and the
+#: compatibility shim that re-exports the moved ranking functions.
+_REWRITE_PIPELINE_MODULES = ("repro.core.rewriting", "repro.core.ranking")
+
+
+class RawRewriteCallRule(Rule):
+    """Flag ``repro.core`` code invoking rewrite-pipeline stages directly."""
+
+    id = "raw-rewrite-call-in-core"
+    severity = Severity.ERROR
+    description = (
+        "core mediators must plan rewritten queries through "
+        "repro.planner.QueryPlanner, not by calling the generation/ranking "
+        "stage functions directly"
+    )
+    rationale = (
+        "The planner facade is the one place candidate generation, F-measure "
+        "ranking and gating compose in a fixed order — it is what makes "
+        "every mediator rank identically, keeps skip accounting attached to "
+        "the plan, and makes the result cacheable under the knowledge "
+        "fingerprint.  A mediator calling generate_rewritten_queries() or "
+        "order_rewritten_queries() by hand re-creates the copy-paste "
+        "divergence (tie-break drift between qpiad/joins/correlated) the "
+        "planner extraction removed."
+    )
+
+    def __init__(self, packages: "tuple[str, ...]" = ("repro.core",)):
+        self.packages = packages
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.in_package(*self.packages):
+            return
+        if context.in_package(*_REWRITE_PIPELINE_MODULES):
+            return  # the pipeline's own implementation and its shim
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                name = _attr_or_name(node.func)
+                if name in _REWRITE_STAGE_CALLS:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"{name}() called directly in a core mediator; plan "
+                        "through repro.planner.QueryPlanner so ranking, "
+                        "gating and caching stay unified",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.startswith("repro"):
+                    for alias in node.names:
+                        if alias.name in _REWRITE_STAGE_CALLS:
+                            yield self.finding(
+                                context,
+                                node,
+                                f"imports {alias.name} into a core mediator; "
+                                "rewrite planning belongs to "
+                                "repro.planner.QueryPlanner",
+                            )
+
+
+def _attr_or_name(func: ast.AST) -> "str | None":
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None

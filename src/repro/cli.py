@@ -6,6 +6,9 @@ Installed as ``qpiad``.  Subcommands mirror the mediator's life cycle:
 * ``qpiad stats cars.csv`` — Table-1 style incompleteness report
 * ``qpiad mine cars.csv --db-size 50000 --out cars.kb.json``
 * ``qpiad query cars.csv --kb cars.kb.json --where body_style=Convt``
+* ``qpiad plan cars.csv --kb cars.kb.json --where body_style=Convt`` — print
+  the ranked rewriting plan (P/R estimates, F-measure, justifying AFDs)
+  without issuing a single source call (see ``docs/planner.md``)
 * ``qpiad relax cars.csv --where make=Porsche --where price=6000..9000``
 * ``qpiad impute cars.csv --out clean.csv [--min-confidence 0.8]``
 * ``qpiad shell cars.csv`` — interactive session with explanations (§6.1)
@@ -114,6 +117,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="rewritten queries in flight at once (1 = serial; answers are "
         "identical either way)",
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the ranked rewriting plan (P/R estimates, F-measure, "
+        "justifying AFDs, cache status) after the answers",
+    )
+
+    plan_cmd = sub.add_parser(
+        "plan",
+        help="print the ranked rewriting plan without issuing any source call",
+    )
+    plan_cmd.add_argument("data", type=Path, help="the (incomplete) database CSV")
+    plan_cmd.add_argument(
+        "--kb", type=Path, help="knowledge-base JSON (default: mine on the fly)"
+    )
+    plan_cmd.add_argument(
+        "--where",
+        action="append",
+        required=True,
+        metavar="ATTR=VALUE|ATTR=LOW..HIGH",
+        help="conjunct; repeatable",
+    )
+    plan_cmd.add_argument("--alpha", type=float, default=0.0)
+    plan_cmd.add_argument("--k", type=int, default=10)
+    plan_cmd.add_argument(
+        "--min-confidence",
+        type=float,
+        default=0.0,
+        help="drop rewritten queries whose estimated precision is below this",
     )
 
     trace = sub.add_parser(
@@ -287,6 +320,8 @@ def _cmd_mine(args) -> int:
 
 def _mediate_csv(args, telemetry=None):
     """Shared query/trace core: load data, build the mediator, run the query."""
+    from repro.planner import PlanCache
+
     relation = read_csv(args.data)
     knowledge = _load_or_mine(args.data, args.kb, relation)
     predicates = [_parse_where(spec, relation) for spec in args.where]
@@ -297,15 +332,40 @@ def _mediate_csv(args, telemetry=None):
         k=args.k,
         max_concurrency=getattr(args, "concurrency", 1),
     )
-    mediator = QpiadMediator(source, knowledge, config, telemetry=telemetry)
-    return query, mediator.query(query)
+    plan_cache = PlanCache() if getattr(args, "explain", False) else None
+    mediator = QpiadMediator(
+        source, knowledge, config, telemetry=telemetry, plan_cache=plan_cache
+    )
+    return query, mediator, mediator.query(query)
+
+
+def _render_plan(plan, alpha: float) -> str:
+    """Text rendering of a :class:`~repro.planner.SelectionPlan`."""
+    from repro.planner import Ranker
+
+    ranker = Ranker(alpha)
+    lines = [
+        f"plan: {len(plan.steps)} rewritten queries to issue "
+        f"({plan.generated} generated, {plan.skipped_unanswerable} inexpressible, "
+        f"{plan.skipped_below_confidence} below confidence); "
+        f"plan cache: {'hit' if plan.cached else 'miss'}"
+    ]
+    for step in plan.steps:
+        f = ranker.f_measure(step.estimated_precision, step.estimated_recall)
+        lines.append(f"  [{step.rank}] {step.query}")
+        lines.append(
+            f"      P={step.estimated_precision:.3f}  "
+            f"R={step.estimated_recall:.4f}  F(alpha={alpha:g})={f:.4f}  "
+            f"via {step.explanation}"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_query(args) -> int:
     from repro.telemetry import Telemetry, render_telemetry_text
 
     telemetry = Telemetry() if args.trace else None
-    query, result = _mediate_csv(args, telemetry)
+    query, mediator, result = _mediate_csv(args, telemetry)
 
     print(f"query: {query}")
     print(f"{len(result.certain)} certain answers; first 5:")
@@ -317,9 +377,41 @@ def _cmd_query(args) -> int:
         f"\ncost: {result.stats.queries_issued} queries, "
         f"{result.stats.tuples_retrieved} tuples transferred"
     )
+    if args.explain and mediator.last_plan is not None:
+        print()
+        print(_render_plan(mediator.last_plan, args.alpha))
     if telemetry is not None:
         print()
         print(render_telemetry_text(telemetry))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.planner import PlanCache, PlannerConfig, QueryPlanner
+
+    relation = read_csv(args.data)
+    knowledge = _load_or_mine(args.data, args.kb, relation)
+    predicates = [_parse_where(spec, relation) for spec in args.where]
+    query = SelectionQuery.conjunction(predicates)
+    source = AutonomousSource(args.data.name, relation, SourceCapabilities.web_form())
+    # Plan-only mode: the base set is computed mediator-side from the CSV
+    # the source wraps, so nothing is ever put on the wire — the source's
+    # access statistics stay at zero.
+    base_set = relation.select(
+        lambda row: query.predicate.matches(row, relation.schema)
+    )
+    planner = QueryPlanner(
+        knowledge,
+        PlannerConfig(alpha=args.alpha, k=args.k, min_confidence=args.min_confidence),
+        cache=PlanCache(),
+    )
+    plan = planner.plan_selection(query, base_set, source=source)
+    print(f"query: {query}")
+    print(
+        f"base set: {len(base_set)} certain answers "
+        f"(computed locally; {source.statistics.queries_answered} source calls)"
+    )
+    print(_render_plan(plan, args.alpha))
     return 0
 
 
@@ -327,7 +419,7 @@ def _cmd_trace(args) -> int:
     from repro.telemetry import Telemetry, render_telemetry_json, render_telemetry_text
 
     telemetry = Telemetry()
-    query, result = _mediate_csv(args, telemetry)
+    query, __, result = _mediate_csv(args, telemetry)
     if args.json:
         print(render_telemetry_json(telemetry))
         return 0
@@ -515,6 +607,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "mine": _cmd_mine,
     "query": _cmd_query,
+    "plan": _cmd_plan,
     "trace": _cmd_trace,
     "relax": _cmd_relax,
     "impute": _cmd_impute,

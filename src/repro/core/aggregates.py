@@ -12,9 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.ranking import order_rewritten_queries
 from repro.core.results import RetrievalStats
-from repro.core.rewriting import RewrittenQuery, generate_rewritten_queries
 from repro.engine import (
     ExecutionPolicy,
     PlanExecutor,
@@ -22,9 +20,10 @@ from repro.engine import (
     QueryKind,
     RetrievalEngine,
 )
-from repro.errors import QueryError, RewritingError
+from repro.errors import QueryError
 from repro.mining.knowledge import KnowledgeBase
-from repro.query.query import AggregateFunction, AggregateQuery, SelectionQuery
+from repro.planner import PlanCache, PlannerConfig, QueryPlanner
+from repro.query.query import AggregateFunction, AggregateQuery
 from repro.relational.relation import Relation
 from repro.relational.values import is_null
 from repro.sources.autonomous import AutonomousSource
@@ -116,6 +115,7 @@ class AggregateProcessor:
         max_concurrency: int = 1,
         telemetry: Telemetry | None = None,
         executor: PlanExecutor | None = None,
+        plan_cache: PlanCache | None = None,
     ):
         if inclusion_rule not in ("argmax", "fractional"):
             raise QueryError(
@@ -135,6 +135,17 @@ class AggregateProcessor:
         self.max_concurrency = max_concurrency
         self._telemetry = telemetry
         self._executor = executor
+        self.planner = QueryPlanner(
+            knowledge,
+            PlannerConfig(
+                alpha=alpha,
+                k=k,
+                classifier_method=classifier_method,
+                inclusion_rule=inclusion_rule,
+            ),
+            cache=plan_cache,
+            telemetry=telemetry,
+        )
 
     def query(self, aggregate: AggregateQuery) -> AggregateResult:
         """Process *aggregate*, returning certain and predicted values.
@@ -172,50 +183,18 @@ class AggregateProcessor:
             stats=stats,
         )
 
-        try:
-            candidates = generate_rewritten_queries(
-                selection, base_set, self.knowledge, self.classifier_method
-            )
-        except RewritingError:
-            result.predicted_value = predicted_acc.value()
-            return result
-
-        ordered = order_rewritten_queries(candidates, self.alpha, self.k)
-        stats.rewritten_generated = len(candidates)
-        result.considered_queries = len(ordered)
+        # Inclusion gating happens at plan time — inside the planner: the
+        # argmax / fractional rule depends only on mined statistics, never
+        # on retrieved rows, so gated-out rewritings cost nothing on the
+        # wire and the whole gate result caches with the plan.
+        plan = self.planner.plan_aggregate(selection, base_set)
+        stats.rewritten_generated = plan.generated
+        stats.rewritten_skipped += plan.skipped
+        result.considered_queries = plan.considered
         seen_rows = set(base_set)
         schema = self.source.schema
 
-        # Inclusion gating happens at plan time: the argmax / fractional
-        # rule depends only on mined statistics, never on retrieved rows,
-        # so gated-out rewritings cost nothing on the wire.
-        steps: list[PlannedQuery] = []
-        weights: list[float] = []
-        for rewritten in ordered:
-            if self.inclusion_rule == "argmax":
-                if not self._argmax_matches(rewritten, selection):
-                    stats.rewritten_skipped += 1
-                    continue
-                weight = 1.0
-            else:
-                weight = rewritten.estimated_precision
-                if weight <= 0.0:
-                    stats.rewritten_skipped += 1
-                    continue
-            steps.append(
-                PlannedQuery(
-                    query=rewritten.query,
-                    kind=QueryKind.REWRITTEN,
-                    rank=len(steps),
-                    estimated_precision=rewritten.estimated_precision,
-                    estimated_recall=rewritten.estimated_recall,
-                    target_attribute=rewritten.target_attribute,
-                    explanation=rewritten.afd,
-                )
-            )
-            weights.append(weight)
-
-        for step, retrieved in engine.stream(steps):
+        for step, retrieved in engine.stream(plan.steps):
             assert step.target_attribute is not None
             target_index = schema.index_of(step.target_attribute)
             rows = [
@@ -233,30 +212,13 @@ class AggregateProcessor:
             partial = Relation(schema, rows)  # qpiadlint: disable=raw-relation-access
             self._accumulate(
                 predicted_acc, aggregate, partial, predict=True,
-                weight=weights[step.rank],
+                weight=plan.weights[step.rank],
             )
 
         result.predicted_value = predicted_acc.value()
         return result
 
     # ------------------------------------------------------------------
-
-    def _argmax_matches(
-        self, rewritten: RewrittenQuery, selection: SelectionQuery
-    ) -> bool:
-        """Section 4.4's inclusion rule: most-likely completion == query value."""
-        try:
-            value = selection.equality_value(rewritten.target_attribute)
-        except QueryError:
-            # Range-constrained target: include when the majority of the
-            # posterior mass satisfies the constraint (natural extension).
-            return rewritten.estimated_precision > 0.5
-        return self.knowledge.predict_matches(
-            rewritten.target_attribute,
-            value,
-            rewritten.evidence,
-            self.classifier_method,
-        )
 
     def _accumulate(
         self,

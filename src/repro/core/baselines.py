@@ -19,13 +19,41 @@ from typing import Callable
 
 from repro.core.results import QueryResult, RankedAnswer, RetrievalStats
 from repro.core.rewriting import target_probability
+from repro.engine import ExecutionPolicy, RetrievalEngine
 from repro.mining.knowledge import KnowledgeBase
+from repro.planner import baseline_plan
 from repro.query.query import SelectionQuery
-from repro.relational.relation import Row
+from repro.relational.relation import Relation, Row
 from repro.relational.values import is_null
 from repro.sources.autonomous import AutonomousSource
 
 __all__ = ["all_returned", "all_ranked"]
+
+
+def _retrieve(
+    source: AutonomousSource,
+    query: SelectionQuery,
+    max_nulls: int | None,
+) -> tuple[Relation, Relation, RetrievalStats]:
+    """Run the two-step counterfactual plan: certain set, then NULL fetch.
+
+    Both calls go through the engine under a strict policy, so issuance is
+    billed before each call and spans appear when traced, exactly as for
+    the mediated pipelines.  The NULL-binding step is *required*: a source
+    that cannot bind NULL fails the baseline loudly — that incapability is
+    the entire point of the comparison.
+    """
+    stats = RetrievalStats()
+    engine = RetrievalEngine(
+        source,
+        ExecutionPolicy.strict(),
+        stats,
+        label=str(query),
+    )
+    outcomes: dict[int, Relation] = {}
+    for step, retrieved in engine.stream(baseline_plan(query, max_nulls=max_nulls)):
+        outcomes[step.rank] = retrieved
+    return outcomes[0], outcomes[1], stats
 
 
 def all_returned(
@@ -38,17 +66,7 @@ def all_returned(
     Possible answers carry confidence 0 (the baseline does not assess
     relevance); order is whatever the source returns.
     """
-    stats = RetrievalStats()
-    # Counterfactual baseline: exactly two calls against a NULL-binding
-    # source, deliberately outside the engine's planning and policies.
-    certain = source.execute(query)  # qpiadlint: disable=raw-source-call-in-core
-    stats.queries_issued += 1
-    stats.tuples_retrieved += len(certain)
-
-    possible = source.execute_null_binding(query, max_nulls=max_nulls)  # qpiadlint: disable=raw-source-call-in-core
-    stats.queries_issued += 1
-    stats.tuples_retrieved += len(possible)
-
+    certain, possible, stats = _retrieve(source, query, max_nulls)
     result = QueryResult(query=query, certain=certain, stats=stats)
     null_attr = _single_null_attribute(source, query)
     for row in possible:
@@ -76,16 +94,7 @@ def all_ranked(
     classifier posterior that its missing value satisfies the query — the
     per-tuple analogue of QPIAD's per-query precision.
     """
-    stats = RetrievalStats()
-    # Same counterfactual shape as all_returned above: two calls, no plan.
-    certain = source.execute(query)  # qpiadlint: disable=raw-source-call-in-core
-    stats.queries_issued += 1
-    stats.tuples_retrieved += len(certain)
-
-    possible = source.execute_null_binding(query, max_nulls=max_nulls)  # qpiadlint: disable=raw-source-call-in-core
-    stats.queries_issued += 1
-    stats.tuples_retrieved += len(possible)
-
+    certain, possible, stats = _retrieve(source, query, max_nulls)
     result = QueryResult(query=query, certain=certain, stats=stats)
     schema = source.schema
     null_attr = _single_null_attribute(source, query)

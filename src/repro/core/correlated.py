@@ -16,14 +16,13 @@ source's classifier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.core.ranking import order_rewritten_queries
 from repro.core.results import QueryResult, RankedAnswer, RetrievalStats
-from repro.core.rewriting import generate_rewritten_queries
 from repro.engine import ExecutionPolicy, PlannedQuery, QueryKind, RetrievalEngine
 from repro.errors import RewritingError, UnsupportedAttributeError
 from repro.mining.knowledge import KnowledgeBase
+from repro.planner import PlanCache, PlannerConfig, QueryPlanner
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Row
 from repro.sources.autonomous import AutonomousSource
@@ -91,6 +90,11 @@ class CorrelatedSourceMediator:
         Optional :class:`~repro.telemetry.Telemetry` hook; every call to
         the correlated and deficient sources becomes a span, so federated
         traces cover the §4.3 path too.
+    plan_cache:
+        Optional shared :class:`~repro.planner.PlanCache`.  Plans are
+        keyed by the correlated knowledge base's fingerprint and the
+        target source's capability token, so one cache safely serves
+        every (correlated, deficient) pairing.
     """
 
     def __init__(
@@ -99,11 +103,25 @@ class CorrelatedSourceMediator:
         knowledge_bases: dict[str, KnowledgeBase],
         config: CorrelatedConfig | None = None,
         telemetry: Telemetry | None = None,
+        plan_cache: PlanCache | None = None,
     ):
         self.registry = registry
         self.knowledge_bases = knowledge_bases
         self.config = config or CorrelatedConfig()
         self._telemetry = telemetry
+        self._plan_cache = plan_cache
+
+    def _planner(self, knowledge: KnowledgeBase) -> QueryPlanner:
+        return QueryPlanner(
+            knowledge,
+            PlannerConfig(
+                alpha=self.config.alpha,
+                k=self.config.k,
+                classifier_method=self.config.classifier_method,
+            ),
+            cache=self._plan_cache,
+            telemetry=self._telemetry,
+        )
 
     def query(self, query: SelectionQuery, target: AutonomousSource) -> QueryResult:
         """Retrieve relevant possible answers for *query* from *target*.
@@ -171,31 +189,16 @@ class CorrelatedSourceMediator:
             stats=stats,
         )
 
-        try:
-            candidates = generate_rewritten_queries(
-                query, base_set, knowledge, self.config.classifier_method
-            )
-        except RewritingError:
-            return result
-        # Only queries the deficient source can actually answer are usable.
-        usable = [
-            candidate for candidate in candidates if target.can_answer(candidate.query)
-        ]
-        stats.rewritten_generated = len(usable)
-        ordered = order_rewritten_queries(usable, self.config.alpha, self.config.k)
-        steps = [
-            PlannedQuery(
-                query=rewritten.query,
-                kind=QueryKind.REWRITTEN,
-                rank=rank,
-                estimated_precision=rewritten.estimated_precision,
-                estimated_recall=rewritten.estimated_recall,
-                target_attribute=attribute,
-                explanation=rewritten.afd,
-                source=target,
-            )
-            for rank, rewritten in enumerate(ordered)
-        ]
+        # The planner gates on what the deficient source can express
+        # *before* ranking (§4.3's usable-rewritings filter), forces the
+        # unsupported attribute as every step's target, and caches under
+        # the target's capability token.  Cached steps carry no source, so
+        # the target is attached here at execution time.
+        plan = self._planner(knowledge).plan_correlated(
+            query, base_set, attribute, target
+        )
+        stats.rewritten_generated = plan.generated
+        steps = [replace(step, source=target) for step in plan.steps]
 
         seen: set[Row] = set()
         for step, retrieved in engine.stream(steps):

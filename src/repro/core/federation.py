@@ -40,6 +40,7 @@ from repro.core.results import QueryResult, RankedAnswer
 from repro.engine import ExecutionTask, PlanExecutor, build_executor
 from repro.errors import RewritingError, SourceUnavailableError, UnsupportedAttributeError
 from repro.mining.knowledge import KnowledgeBase
+from repro.planner import PlanCache
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation, Row
 from repro.sources.autonomous import AutonomousSource
@@ -142,6 +143,13 @@ class FederatedMediator:
     executor:
         Optional explicit :class:`~repro.engine.PlanExecutor` for the
         per-source fan-out, overriding ``config.max_concurrency``.
+    plan_cache:
+        Optional shared :class:`~repro.planner.PlanCache`, threaded into
+        every per-source mediator (regular and correlated).  Keys include
+        each knowledge base's fingerprint and each source's capability
+        token, so one cache serves the whole federation without
+        cross-talk.  The cache is thread-safe; it composes with
+        ``config.max_concurrency`` above 1.
     """
 
     def __init__(
@@ -152,14 +160,20 @@ class FederatedMediator:
         correlated_config: CorrelatedConfig | None = None,
         telemetry: Telemetry | None = None,
         executor: PlanExecutor | None = None,
+        plan_cache: PlanCache | None = None,
     ):
         self.registry = registry
         self.knowledge_bases = knowledge_bases
         self.config = config or QpiadConfig()
         self._telemetry = telemetry
         self._executor = executor
+        self._plan_cache = plan_cache
         self.correlated = CorrelatedSourceMediator(
-            registry, knowledge_bases, correlated_config, telemetry=telemetry
+            registry,
+            knowledge_bases,
+            correlated_config,
+            telemetry=telemetry,
+            plan_cache=plan_cache,
         )
 
     def query(self, query: SelectionQuery) -> FederatedResult:
@@ -243,7 +257,11 @@ class FederatedMediator:
             # run, just the user's own query passed straight through.
             return (_CERTAIN_ONLY, source.execute(query))  # qpiadlint: disable=raw-source-call-in-core
         outcome = QpiadMediator(
-            source, knowledge, self.config, telemetry=self._telemetry
+            source,
+            knowledge,
+            self.config,
+            telemetry=self._telemetry,
+            plan_cache=self._plan_cache,
         ).query(query)
         return (_MEDIATED, outcome)
 

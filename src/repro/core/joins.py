@@ -20,9 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from repro.core.ranking import f_measure
 from repro.core.results import RetrievalStats
-from repro.core.rewriting import RewrittenQuery, generate_rewritten_queries
+from repro.core.rewriting import RewrittenQuery
 from repro.engine import (
     ExecutionPolicy,
     PlanExecutor,
@@ -30,9 +29,10 @@ from repro.engine import (
     QueryKind,
     RetrievalEngine,
 )
-from repro.errors import MiningError, QpiadError, RewritingError
+from repro.errors import MiningError, QpiadError
 from repro.mining.afd import Afd
 from repro.mining.knowledge import KnowledgeBase
+from repro.planner import PlanCache, PlannerConfig, QueryPlanner, Ranker
 from repro.query.predicates import Equals
 from repro.query.query import JoinQuery, SelectionQuery
 from repro.relational.relation import Relation, Row
@@ -155,6 +155,7 @@ class JoinProcessor:
         config: JoinConfig | None = None,
         telemetry: Telemetry | None = None,
         executor: PlanExecutor | None = None,
+        plan_cache: PlanCache | None = None,
     ):
         self.left_source = left_source
         self.right_source = right_source
@@ -163,6 +164,21 @@ class JoinProcessor:
         self.config = config or JoinConfig()
         self._telemetry = telemetry
         self._executor = executor
+        # One planner per side: candidates come unlimited (k=None) because
+        # the top-K budget applies to *pairs*, not components; the pair
+        # ranker below applies it after joint scoring.
+        component_config = PlannerConfig(
+            alpha=self.config.alpha,
+            k=None,
+            classifier_method=self.config.classifier_method,
+        )
+        self._left_planner = QueryPlanner(
+            left_knowledge, component_config, cache=plan_cache, telemetry=telemetry
+        )
+        self._right_planner = QueryPlanner(
+            right_knowledge, component_config, cache=plan_cache, telemetry=telemetry
+        )
+        self._pair_ranker = Ranker(self.config.alpha, self.config.k_pairs)
 
     def query(self, join: JoinQuery) -> JoinResult:
         """Execute *join*, returning certain + ranked possible joined tuples."""
@@ -199,11 +215,11 @@ class JoinProcessor:
         left_base, right_base = bases[0], bases[1]
 
         left_sides = self._build_sides(
-            join.left, left_base, self.left_source, self.left_knowledge,
+            join.left, left_base, self._left_planner, self.left_knowledge,
             join.left_join_attribute,
         )
         right_sides = self._build_sides(
-            join.right, right_base, self.right_source, self.right_knowledge,
+            join.right, right_base, self._right_planner, self.right_knowledge,
             join.right_join_attribute,
         )
 
@@ -212,18 +228,21 @@ class JoinProcessor:
 
         est_sels = {id(pair): pair.estimated_selectivity() for pair in pairs}
         total = sum(est_sels.values())
-        scored: list[tuple[float, _QueryPair]] = []
-        for pair in pairs:
-            recall = est_sels[id(pair)] / total if total > 0 else 0.0
-            scored.append((f_measure(pair.precision, recall, self.config.alpha), pair))
-        scored.sort(
-            key=lambda item: (
-                -item[0],
-                -item[1].precision,
-                repr(item[1].left.query) + repr(item[1].right.query),
+        f_scores = {
+            id(pair): self._pair_ranker.f_measure(
+                pair.precision, est_sels[id(pair)] / total if total > 0 else 0.0
             )
+            for pair in pairs
+        }
+        # Pair selection uses the shared ranker's canonical tie-break
+        # (-F, -expected throughput, repr).  This path used to break F ties
+        # on bare precision, silently diverging from every other pipeline.
+        selected = self._pair_ranker.select_top(
+            pairs,
+            f=lambda pair: f_scores[id(pair)],
+            throughput=lambda pair: pair.precision * est_sels[id(pair)],
+            key=lambda pair: repr(pair.left.query) + repr(pair.right.query),
         )
-        selected = [pair for __, pair in scored[: self.config.k_pairs]]
         result.pairs_issued = len(selected)
 
         left_results, right_results = self._issue_components(
@@ -248,7 +267,7 @@ class JoinProcessor:
         self,
         complete_query: SelectionQuery,
         base_set: Relation,
-        source: AutonomousSource,
+        planner: QueryPlanner,
         knowledge: KnowledgeBase,
         join_attribute: str,
     ) -> list[_Side]:
@@ -262,12 +281,7 @@ class JoinProcessor:
                 join_distribution=_empirical_distribution(base_set, join_attribute),
             )
         ]
-        try:
-            rewritten = generate_rewritten_queries(
-                complete_query, base_set, knowledge, self.config.classifier_method
-            )
-        except RewritingError:
-            return sides
+        rewritten = planner.rewrite_candidates(complete_query, base_set)
         for candidate in rewritten:
             sides.append(
                 _Side(

@@ -22,6 +22,7 @@ from repro.core.qpiad import QpiadConfig, QpiadMediator
 from repro.engine import ExecutionTask, PlanExecutor, build_executor
 from repro.errors import MiningError, QpiadError
 from repro.mining.knowledge import KnowledgeBase
+from repro.planner import PlanCache
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Row
 from repro.relational.values import is_null
@@ -109,7 +110,8 @@ class MultiJoinProcessor:
                  k: int | None = 10, alpha: float = 0.5,
                  max_concurrency: int = 1,
                  telemetry: "Telemetry | None" = None,
-                 executor: "PlanExecutor | None" = None):
+                 executor: "PlanExecutor | None" = None,
+                 plan_cache: "PlanCache | None" = None):
         steps = list(steps)
         if len(steps) < 2:
             raise QpiadError("a multi-way join needs at least two steps")
@@ -125,6 +127,10 @@ class MultiJoinProcessor:
         self.max_concurrency = max_concurrency
         self._telemetry = telemetry
         self._executor = executor
+        # One shared cache across all per-step mediators: keys carry each
+        # step's knowledge fingerprint, so chains over different sources
+        # coexist in it safely (including under a concurrent executor).
+        self._plan_cache = plan_cache
 
     def query(self) -> MultiJoinResult:
         result = MultiJoinResult()
@@ -180,6 +186,7 @@ class MultiJoinProcessor:
                 step.knowledge,
                 QpiadConfig(alpha=self.alpha, k=self.k),
                 telemetry=self._telemetry,
+                plan_cache=self._plan_cache,
             )
             retrieval = mediator.query(step.query)
             answers: list[tuple[Row, float, bool]] = [

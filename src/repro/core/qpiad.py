@@ -18,9 +18,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
-from repro.core.ranking import order_rewritten_queries
 from repro.core.results import QueryResult, RankedAnswer, RetrievalStats
-from repro.core.rewriting import generate_rewritten_queries
 from repro.engine import (
     ExecutionPolicy,
     PlanExecutor,
@@ -28,8 +26,9 @@ from repro.engine import (
     QueryKind,
     RetrievalEngine,
 )
-from repro.errors import QpiadError, RewritingError
+from repro.errors import QpiadError
 from repro.mining.knowledge import KnowledgeBase
+from repro.planner import PlanCache, PlannerConfig, QueryPlanner, SelectionPlan
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation, Row
 from repro.relational.values import is_null
@@ -174,6 +173,12 @@ class QpiadMediator:
         Optional explicit :class:`~repro.engine.PlanExecutor`, overriding
         the one ``config.max_concurrency`` would build (tests inject
         instrumented executors this way).
+    plan_cache:
+        Optional :class:`~repro.planner.PlanCache` shared across
+        retrievals (and, if desired, across mediators).  With a cache,
+        repeat plannings over unchanged knowledge and an identical base
+        set are served from memory; without one (the default) the planner
+        runs the plain pipeline with zero caching overhead.
     """
 
     def __init__(
@@ -184,6 +189,7 @@ class QpiadMediator:
         clock: Callable[[], float] = time.monotonic,
         telemetry: Telemetry | None = None,
         executor: PlanExecutor | None = None,
+        plan_cache: PlanCache | None = None,
     ):
         self.source = source
         self.knowledge = knowledge
@@ -191,6 +197,20 @@ class QpiadMediator:
         self._clock = clock
         self._telemetry = telemetry
         self._executor = executor
+        self.planner = QueryPlanner(
+            knowledge,
+            PlannerConfig(
+                alpha=self.config.alpha,
+                k=self.config.k,
+                classifier_method=self.config.classifier_method,
+                min_confidence=self.config.min_confidence,
+            ),
+            cache=plan_cache,
+            telemetry=telemetry,
+        )
+        #: The most recent :class:`~repro.planner.SelectionPlan`, kept for
+        #: diagnostics (``qpiad query --explain`` renders it).
+        self.last_plan: SelectionPlan | None = None
 
     def _engine(
         self,
@@ -244,55 +264,35 @@ class QpiadMediator:
         base_set: Relation,
         stats: RetrievalStats,
     ) -> list[PlannedQuery]:
-        """The rewritten-query plan: generated, ordered, gated, ranked.
+        """The rewritten-query plan, via the shared :class:`QueryPlanner`.
 
-        Gating happens here — at plan time — so an inexpressible or
-        below-threshold rewriting never spends source budget: it lands in
-        ``stats.rewritten_skipped`` instead of being retrieved and
-        discarded.
+        Gating happens at plan time — inside the planner — so an
+        inexpressible or below-threshold rewriting never spends source
+        budget: it lands in ``stats.rewritten_skipped`` instead of being
+        retrieved and discarded.  The skip tallies travel *with* the plan,
+        which keeps stats and telemetry identical whether the plan was
+        freshly built or served from the cache.
         """
+        plan = self.planner.plan_selection(query, base_set, source=self.source)
+        self.last_plan = plan
+        stats.rewritten_generated = plan.generated
+        stats.rewritten_skipped += plan.skipped
         telemetry = self._telemetry
-        try:
-            candidates = generate_rewritten_queries(
-                query, base_set, self.knowledge, self.config.classifier_method
-            )
-        except RewritingError:
-            # No AFD covers any constrained attribute: certain answers only.
-            return []
-        stats.rewritten_generated = len(candidates)
-        ordered = order_rewritten_queries(candidates, self.config.alpha, self.config.k)
+        if telemetry is not None:
+            if plan.skipped_unanswerable:
+                telemetry.count(
+                    "mediator.rewritten_unanswerable", plan.skipped_unanswerable
+                )
+            if plan.skipped_below_confidence:
+                telemetry.count(
+                    "mediator.rewritten_below_confidence",
+                    plan.skipped_below_confidence,
+                )
         logger.debug(
             "query %r: %d certain answers, %d rewritten candidates, issuing %d",
-            query, len(base_set), len(candidates), len(ordered),
+            query, len(base_set), plan.generated, len(plan.steps),
         )
-        steps: list[PlannedQuery] = []
-        for rewritten in ordered:
-            if not self._can_answer(rewritten.query):
-                stats.rewritten_skipped += 1
-                if telemetry is not None:
-                    telemetry.count("mediator.rewritten_unanswerable")
-                continue  # the web form cannot express this rewriting
-            if rewritten.estimated_precision < self.config.min_confidence:
-                # Plan-time confidence gate: every row this rewriting could
-                # retrieve would carry a confidence below the user's
-                # threshold, so issuing it would only burn the source's
-                # query budget on rows the post-filter must discard.
-                stats.rewritten_skipped += 1
-                if telemetry is not None:
-                    telemetry.count("mediator.rewritten_below_confidence")
-                continue
-            steps.append(
-                PlannedQuery(
-                    query=rewritten.query,
-                    kind=QueryKind.REWRITTEN,
-                    rank=len(steps),
-                    estimated_precision=rewritten.estimated_precision,
-                    estimated_recall=rewritten.estimated_recall,
-                    target_attribute=rewritten.target_attribute,
-                    explanation=rewritten.afd,
-                )
-            )
-        return steps
+        return list(plan.steps)
 
     def _mediate(self, query: SelectionQuery) -> QueryResult:
         stats = RetrievalStats()
@@ -386,17 +386,6 @@ class QpiadMediator:
                     target_attribute=step.target_attribute,
                     explanation=step.explanation,
                 )
-
-    def _can_answer(self, query: SelectionQuery) -> bool:
-        """Whether the source's interface can express *query*.
-
-        Sources (and wrappers) expose :meth:`can_answer`; anything without
-        it is assumed fully capable.
-        """
-        checker = getattr(self.source, "can_answer", None)
-        if checker is None:
-            return True
-        return bool(checker(query))
 
     def _fetch_multi_null(
         self,

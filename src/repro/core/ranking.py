@@ -1,94 +1,17 @@
-"""F-measure ordering and top-K selection of rewritten queries (Section 4.1/4.2).
+"""F-measure ordering of rewritten queries — now owned by :mod:`repro.planner`.
 
-Two orthogonal quantities rate a rewritten query: its expected *precision*
-(probability the retrieved tuples answer the original query) and its
-*selectivity* (how many tuples it brings in).  QPIAD trades them off with
-the IR F-measure:
-
-    F_α = (1 + α) · P · R / (α · P + R)
-
-where the recall ``R`` of a query is its expected throughput
-(precision × selectivity) normalized by the cumulative expected throughput
-of all rewritten queries.  ``α = 0`` reduces to precision-only ordering;
-larger α weights recall more.
-
-The top-K queries by F-measure are then *issued in order of precision*, so
-each returned tuple inherits its retrieving query's precision as its rank —
-no per-tuple re-ranking is needed (step 2c).
+The implementation moved to :mod:`repro.planner.ranker` as part of the
+unified rewrite-planning pipeline; this module re-exports the public
+functions so existing imports (``from repro.core.ranking import ...``)
+keep working.  New code should import from :mod:`repro.planner` directly.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
-from repro.core.rewriting import RewrittenQuery
-from repro.errors import QpiadError
+from repro.planner.ranker import (
+    f_measure,
+    order_rewritten_queries,
+    score_rewritten_queries,
+)
 
 __all__ = ["f_measure", "score_rewritten_queries", "order_rewritten_queries"]
-
-
-def f_measure(precision: float, recall: float, alpha: float) -> float:
-    """The weighted harmonic mean used for query ordering.
-
-    Degenerate cases: with ``α = 0`` the measure reduces exactly to the
-    precision; when both terms are zero the score is zero.
-    """
-    if alpha < 0:
-        raise QpiadError(f"alpha must be non-negative, got {alpha}")
-    if alpha == 0:
-        return precision
-    denominator = alpha * precision + recall
-    if denominator <= 0.0:
-        return 0.0
-    return (1.0 + alpha) * precision * recall / denominator
-
-
-def score_rewritten_queries(
-    rewritten: Sequence[RewrittenQuery], alpha: float
-) -> list[RewrittenQuery]:
-    """Attach estimated recall and F-measure to every rewritten query.
-
-    Recall is expected throughput normalized by the cumulative expected
-    throughput over *all* candidates (the paper's estimate of the fraction
-    of reachable relevant answers each query contributes).
-    """
-    total_throughput = sum(query.expected_throughput for query in rewritten)
-    scored = []
-    for query in rewritten:
-        if total_throughput > 0:
-            recall = query.expected_throughput / total_throughput
-        else:
-            recall = 0.0
-        scored.append(
-            query.with_ordering_scores(recall, f_measure(query.estimated_precision, recall, alpha))
-        )
-    return scored
-
-
-def order_rewritten_queries(
-    rewritten: Sequence[RewrittenQuery],
-    alpha: float = 0.0,
-    k: int | None = None,
-) -> list[RewrittenQuery]:
-    """Select and order the rewritten queries to issue.
-
-    1. Score every candidate with the F-measure at the given α.
-    2. Keep the top-K by F-measure (``k = None`` keeps all).
-    3. Re-order the survivors by estimated precision, descending, so that
-       issuing them in order yields answers in rank order (step 2c).
-
-    Ties break on expected throughput, then on the query's repr for
-    determinism.
-    """
-    if k is not None and k < 0:
-        raise QpiadError(f"k must be non-negative, got {k}")
-    scored = score_rewritten_queries(rewritten, alpha)
-    by_f = sorted(
-        scored,
-        key=lambda q: (-q.f_measure, -q.expected_throughput, repr(q.query)),
-    )
-    selected = by_f if k is None else by_f[:k]
-    return sorted(
-        selected,
-        key=lambda q: (-q.estimated_precision, -q.expected_throughput, repr(q.query)),
-    )

@@ -18,16 +18,19 @@ mined statistics.  This module implements the relaxation half:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
 from typing import Sequence
 
-from repro.errors import QpiadError, QueryError
+from repro.core.results import RetrievalStats
+from repro.engine import ExecutionPolicy, PlannedQuery, QueryKind, RetrievalEngine
+from repro.errors import QpiadError
 from repro.mining.knowledge import KnowledgeBase
+from repro.planner import PlanCache, QueryPlanner, attribute_influence
 from repro.query.predicates import Predicate
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Row
 from repro.relational.schema import Schema
 from repro.sources.autonomous import AutonomousSource
+from repro.telemetry import Telemetry
 
 __all__ = ["RelaxedAnswer", "RelaxationPlan", "QueryRelaxer"]
 
@@ -61,6 +64,14 @@ class QueryRelaxer:
         The autonomous source and its mined statistics.
     max_dropped:
         Never drop more than this many conjuncts (default: all but one).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hook; every relaxed
+        probe becomes a ``relaxed-query`` span and plan builds a ``plan``
+        span, matching the other pipelines.
+    plan_cache:
+        Optional shared :class:`~repro.planner.PlanCache`; relaxation
+        plans depend only on the query and the mined AFDs, so they cache
+        under the knowledge fingerprint like every other plan.
     """
 
     def __init__(
@@ -68,10 +79,16 @@ class QueryRelaxer:
         source: AutonomousSource,
         knowledge: KnowledgeBase,
         max_dropped: int | None = None,
+        telemetry: Telemetry | None = None,
+        plan_cache: PlanCache | None = None,
     ):
         self.source = source
         self.knowledge = knowledge
         self.max_dropped = max_dropped
+        self._telemetry = telemetry
+        self.planner = QueryPlanner(
+            knowledge, cache=plan_cache, telemetry=telemetry
+        )
 
     # ------------------------------------------------------------------
 
@@ -82,49 +99,18 @@ class QueryRelaxer:
         the attribute.  Attributes that determine nothing score 0 and are
         relaxed first.
         """
-        return sum(
-            afd.confidence
-            for afd in self.knowledge.afds
-            if attribute in afd.determining
-        )
+        return attribute_influence(self.knowledge.afds, attribute)
 
     def plan(self, query: SelectionQuery) -> RelaxationPlan:
         """The relaxed queries, least-painful first.
 
         Queries dropping fewer conjuncts come first; among equal counts,
         the dropped set with the smallest total influence comes first.
+        (Built by the shared planner; see
+        :class:`~repro.planner.RelaxationGenerator`.)
         """
-        conjuncts = query.conjuncts
-        if len(conjuncts) < 2:
-            raise QueryError(
-                "relaxation needs at least two conjuncts; a single-conjunct "
-                "query can only be relaxed to a full scan"
-            )
-        influence = {
-            attribute: self.attribute_influence(attribute)
-            for attribute in query.constrained_attributes
-        }
-        limit = self.max_dropped if self.max_dropped is not None else len(conjuncts) - 1
-        limit = min(limit, len(conjuncts) - 1)
-
-        relaxed: list[tuple[int, float, SelectionQuery]] = []
-        for dropped_count in range(1, limit + 1):
-            for dropped in combinations(conjuncts, dropped_count):
-                kept = [c for c in conjuncts if c not in dropped]
-                if not kept:
-                    continue
-                pain = sum(
-                    influence[a] for c in dropped for a in c.attributes()
-                )
-                relaxed.append(
-                    (dropped_count, pain, SelectionQuery.conjunction(kept, query.relation))
-                )
-        relaxed.sort(key=lambda item: (item[0], item[1], repr(item[2])))
-        return RelaxationPlan(
-            original=query,
-            queries=tuple(q for __, __, q in relaxed),
-            influence=influence,
-        )
+        plan: RelaxationPlan = self.planner.plan_relaxation(query, self.max_dropped)
+        return plan
 
     def query(self, query: SelectionQuery, target_count: int = 10) -> list[RelaxedAnswer]:
         """Retrieve at least *target_count* answers, relaxing as needed.
@@ -137,12 +123,19 @@ class QueryRelaxer:
             raise QpiadError(f"target_count must be positive, got {target_count}")
         plan = self.plan(query)
         schema = self.source.schema
+        stats = RetrievalStats()
+        engine = RetrievalEngine(
+            self.source,
+            ExecutionPolicy.strict(),
+            stats,
+            telemetry=self._telemetry,
+            label=str(query),
+        )
 
         collected: dict[Row, RelaxedAnswer] = {}
-        # The relaxer predates the engine and keeps its own early-exit loop
-        # (stop as soon as target_count answers are collected); porting it
-        # is tracked in the roadmap.
-        exact = self.source.execute(query)  # qpiadlint: disable=raw-source-call-in-core
+        exact = engine.run_base(
+            PlannedQuery(query=query, kind=QueryKind.BASE, rank=0)
+        )
         for row in exact:
             collected[row] = RelaxedAnswer(
                 row=row,
@@ -153,25 +146,33 @@ class QueryRelaxer:
             )
 
         total_influence = sum(plan.influence.values()) or 1.0
-        for relaxed_query in plan.queries:
-            if len(collected) >= target_count:
-                break
-            for row in self.source.execute(relaxed_query):  # qpiadlint: disable=raw-source-call-in-core
-                if row in collected:
-                    continue
-                satisfied, violated = self._split(query.conjuncts, row, schema)
-                weight = sum(plan.influence[a] for a in satisfied) / total_influence
-                plain = len(satisfied) / len(query.constrained_attributes)
-                # Blend structural and influence-weighted similarity so
-                # zero-influence attributes still count for something.
-                similarity = 0.5 * weight + 0.5 * plain
-                collected[row] = RelaxedAnswer(
-                    row=row,
-                    similarity=similarity,
-                    satisfied=satisfied,
-                    violated=violated,
-                    retrieved_by=relaxed_query,
-                )
+        steps = [
+            PlannedQuery(query=relaxed_query, kind=QueryKind.RELAXED, rank=rank)
+            for rank, relaxed_query in enumerate(plan.queries)
+        ]
+        # The serial executor issues lazily, so guarding entry and breaking
+        # as soon as the target is met preserves the historical economy:
+        # a relaxed query is only put on the wire while answers are short.
+        if len(collected) < target_count:
+            for step, retrieved in engine.stream(steps):
+                for row in retrieved:
+                    if row in collected:
+                        continue
+                    satisfied, violated = self._split(query.conjuncts, row, schema)
+                    weight = sum(plan.influence[a] for a in satisfied) / total_influence
+                    plain = len(satisfied) / len(query.constrained_attributes)
+                    # Blend structural and influence-weighted similarity so
+                    # zero-influence attributes still count for something.
+                    similarity = 0.5 * weight + 0.5 * plain
+                    collected[row] = RelaxedAnswer(
+                        row=row,
+                        similarity=similarity,
+                        satisfied=satisfied,
+                        violated=violated,
+                        retrieved_by=step.query,
+                    )
+                if len(collected) >= target_count:
+                    break
 
         answers = sorted(collected.values(), key=lambda a: -a.similarity)
         return answers

@@ -69,6 +69,7 @@ class _SourceLike(Protocol):
 _SPAN_KINDS = {
     QueryKind.BASE: SpanKind.BASE_QUERY,
     QueryKind.REWRITTEN: SpanKind.REWRITTEN_QUERY,
+    QueryKind.RELAXED: SpanKind.RELAXED_QUERY,
     QueryKind.MULTI_NULL: SpanKind.MULTI_NULL,
 }
 
@@ -230,7 +231,9 @@ class RetrievalEngine:
             telemetry, step.span_name(), _SPAN_KINDS[step.kind], **attributes
         ) as span:
             if step.kind == QueryKind.MULTI_NULL:
-                retrieved = source.execute_null_binding(step.query, max_nulls=None)
+                retrieved = source.execute_null_binding(
+                    step.query, max_nulls=step.max_nulls
+                )
             else:
                 retrieved = source.execute(step.query)
             if span is not None:
@@ -246,6 +249,10 @@ class RetrievalEngine:
     # semantics do not depend on the execution strategy)
 
     def _absorb(self, step: PlannedQuery, error: BaseException) -> str:
+        if step.required:
+            # Required steps are exempt from every absorption rule: their
+            # failure is the retrieval's failure (counterfactual baselines).
+            return _RAISE
         if isinstance(error, NullBindingError) and step.kind == QueryKind.MULTI_NULL:
             # A capability gap, not a failure: the attempt was billed (the
             # source's own log records the rejection) but lost no answers.

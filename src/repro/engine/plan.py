@@ -21,13 +21,15 @@ __all__ = ["PlannedQuery", "QueryKind", "RetrievalPlan"]
 
 
 class QueryKind:
-    """The three ways a mediated retrieval touches a source (Figure 1)."""
+    """The ways a mediated retrieval touches a source (Figure 1, plus the
+    relaxation extension of Section 7)."""
 
     BASE = "base"
     REWRITTEN = "rewritten"
+    RELAXED = "relaxed"
     MULTI_NULL = "multi-null"
 
-    ALL = (BASE, REWRITTEN, MULTI_NULL)
+    ALL = (BASE, REWRITTEN, RELAXED, MULTI_NULL)
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,17 @@ class PlannedQuery:
     label:
         Optional span-name prefix override (defaults to *kind*), e.g.
         ``"correlated-base"``.
+    max_nulls:
+        For :attr:`QueryKind.MULTI_NULL` steps, the NULL budget handed to
+        ``execute_null_binding`` (``None`` = unlimited, the mediator's
+        historical behaviour; the baselines bind exactly one).
+    required:
+        A required step's failure always propagates, whatever the policy —
+        it is exempt from every absorption rule, including the
+        capability-gap pass the multi-NULL fetch normally gets.  The
+        counterfactual baselines use this: they exist to quantify what
+        NULL binding would buy, so a source that cannot bind NULL must
+        fail the retrieval loudly.
     """
 
     query: SelectionQuery
@@ -75,6 +88,8 @@ class PlannedQuery:
     explanation: Any = None
     source: AutonomousSource | None = None
     label: str | None = None
+    max_nulls: int | None = None
+    required: bool = False
 
     def span_name(self) -> str:
         return f"{self.label or self.kind} {self.query}"

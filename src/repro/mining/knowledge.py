@@ -128,6 +128,33 @@ class KnowledgeBase:
         )
         self._classifiers: dict[tuple[str, str], ValueDistributionClassifier] = {}
         self._training_views: dict[str, Relation] = {}
+        self._fingerprint: str | None = None
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Deterministic content digest of everything planning reads.
+
+        Hashes the sample (schema + rows, in order), the database size,
+        the mining configuration, the mined and pruned AFDs, the AKeys,
+        and the discretizer's bin edges — so two knowledge bases share a
+        fingerprint exactly when they are content-identical.  A knowledge
+        base saved with :func:`~repro.mining.persistence.save_knowledge`
+        and loaded back fingerprints identically; re-mining from a
+        different sample (or under different knobs) never does.  The plan
+        cache keys on this value, which is what makes cached plans expire
+        exactly when knowledge changes.
+
+        Computed lazily and memoized: the knowledge base is immutable
+        after construction, so the digest never goes stale.
+        """
+        if self._fingerprint is None:
+            from repro.planner.fingerprint import knowledge_fingerprint
+
+            self._fingerprint = knowledge_fingerprint(self)
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Attribute correlations

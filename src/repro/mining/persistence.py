@@ -29,7 +29,11 @@ from repro.relational.values import NULL, is_null
 
 __all__ = ["save_knowledge", "load_knowledge"]
 
-_FORMAT_VERSION = 1
+# Version 2 added the knowledge fingerprint (verified on load so a stale or
+# hand-edited file cannot silently serve plans mined from different data).
+# Version-1 files load fine — they simply skip the verification.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _encode_value(value: Any) -> Any:
@@ -64,6 +68,7 @@ def save_knowledge(knowledge: KnowledgeBase, path: "str | Path") -> None:
     discretizer = knowledge._discretizer
     payload = {
         "format_version": _FORMAT_VERSION,
+        "fingerprint": knowledge.fingerprint(),
         "database_size": knowledge.database_size,
         "config": {
             "tane": {
@@ -128,10 +133,10 @@ def load_knowledge(path: "str | Path") -> KnowledgeBase:
     except (OSError, json.JSONDecodeError) as exc:
         raise MiningError(f"cannot load knowledge base from {path}: {exc}") from exc
     version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise MiningError(
             f"unsupported knowledge-base format version {version!r} "
-            f"(expected {_FORMAT_VERSION})"
+            f"(expected one of {_SUPPORTED_VERSIONS})"
         )
 
     config_payload = payload["config"]
@@ -187,4 +192,12 @@ def load_knowledge(path: "str | Path") -> KnowledgeBase:
     )
     knowledge._classifiers = {}
     knowledge._training_views = {}
+    knowledge._fingerprint = None
+    stored = payload.get("fingerprint")
+    if version >= 2 and stored != knowledge.fingerprint():
+        raise MiningError(
+            f"knowledge base at {path} failed fingerprint verification: the "
+            f"stored digest {stored!r} does not match the rebuilt content "
+            f"({knowledge.fingerprint()!r}); the file is stale or corrupted"
+        )
     return knowledge

@@ -1,0 +1,156 @@
+"""The shared F-measure ranker (Section 4.1/4.2).
+
+Two orthogonal quantities rate a rewritten query: its expected *precision*
+(probability the retrieved tuples answer the original query) and its
+*selectivity* (how many tuples it brings in).  QPIAD trades them off with
+the IR F-measure:
+
+    F_α = (1 + α) · P · R / (α · P + R)
+
+where the recall ``R`` of a query is its expected throughput
+(precision × selectivity) normalized by the cumulative expected throughput
+of all candidates.  ``α = 0`` reduces to precision-only ordering; larger α
+weights recall more.
+
+This module is the *one* place ordering and tie-breaking policy lives.
+Every pipeline — selection rewriting, correlated-source retrieval,
+aggregate processing, join-pair selection — ranks through it, so the
+policy cannot drift between mediators again (it had: the join processor
+once broke F-measure ties on bare precision instead of expected
+throughput).  The canonical tie-break for top-K selection is::
+
+    (-F_α, -expected throughput, canonical repr)
+
+and the survivors of a selection plan are issued in precision order
+(``-precision, -throughput, repr``) so each returned tuple inherits its
+retrieving query's precision as its rank — no per-tuple re-ranking needed
+(step 2c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+from repro.core.rewriting import RewrittenQuery
+from repro.errors import QpiadError
+
+__all__ = ["Ranker", "f_measure", "order_rewritten_queries", "score_rewritten_queries"]
+
+T = TypeVar("T")
+
+
+def f_measure(precision: float, recall: float, alpha: float) -> float:
+    """The weighted harmonic mean used for query ordering.
+
+    Degenerate cases: with ``α = 0`` the measure reduces exactly to the
+    precision; when both terms are zero the score is zero.
+    """
+    if alpha < 0:
+        raise QpiadError(f"alpha must be non-negative, got {alpha}")
+    if alpha == 0:
+        return precision
+    denominator = alpha * precision + recall
+    if denominator <= 0.0:
+        return 0.0
+    return (1.0 + alpha) * precision * recall / denominator
+
+
+def score_rewritten_queries(
+    rewritten: Sequence[RewrittenQuery], alpha: float
+) -> "list[RewrittenQuery]":
+    """Attach estimated recall and F-measure to every rewritten query.
+
+    Recall is expected throughput normalized by the cumulative expected
+    throughput over *all* candidates (the paper's estimate of the fraction
+    of reachable relevant answers each query contributes).
+    """
+    total_throughput = sum(query.expected_throughput for query in rewritten)
+    scored = []
+    for query in rewritten:
+        if total_throughput > 0:
+            recall = query.expected_throughput / total_throughput
+        else:
+            recall = 0.0
+        scored.append(
+            query.with_ordering_scores(
+                recall, f_measure(query.estimated_precision, recall, alpha)
+            )
+        )
+    return scored
+
+
+def order_rewritten_queries(
+    rewritten: Sequence[RewrittenQuery],
+    alpha: float = 0.0,
+    k: "int | None" = None,
+) -> "list[RewrittenQuery]":
+    """Select and order the rewritten queries to issue.
+
+    1. Score every candidate with the F-measure at the given α.
+    2. Keep the top-K by F-measure (``k = None`` keeps all).
+    3. Re-order the survivors by estimated precision, descending, so that
+       issuing them in order yields answers in rank order (step 2c).
+
+    Ties break on expected throughput, then on the query's repr for
+    determinism.
+    """
+    if k is not None and k < 0:
+        raise QpiadError(f"k must be non-negative, got {k}")
+    scored = score_rewritten_queries(rewritten, alpha)
+    by_f = sorted(
+        scored,
+        key=lambda q: (-q.f_measure, -q.expected_throughput, repr(q.query)),
+    )
+    selected = by_f if k is None else by_f[:k]
+    return sorted(
+        selected,
+        key=lambda q: (-q.estimated_precision, -q.expected_throughput, repr(q.query)),
+    )
+
+
+@dataclass(frozen=True)
+class Ranker:
+    """One pipeline's ranking policy: α plus the top-K budget.
+
+    A small value object so every planner stage — and anything else that
+    needs F-measure selection over jointly scored items, like the join
+    processor's query pairs — applies *identical* scoring, selection, and
+    tie-breaking.
+    """
+
+    alpha: float = 0.0
+    k: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise QpiadError(f"alpha must be non-negative, got {self.alpha}")
+        if self.k is not None and self.k < 0:
+            raise QpiadError(f"k must be non-negative, got {self.k}")
+
+    def f_measure(self, precision: float, recall: float) -> float:
+        return f_measure(precision, recall, self.alpha)
+
+    def score(self, rewritten: Sequence[RewrittenQuery]) -> "list[RewrittenQuery]":
+        return score_rewritten_queries(rewritten, self.alpha)
+
+    def order(self, rewritten: Sequence[RewrittenQuery]) -> "list[RewrittenQuery]":
+        return order_rewritten_queries(rewritten, self.alpha, self.k)
+
+    def select_top(
+        self,
+        items: Sequence[T],
+        *,
+        f: Callable[[T], float],
+        throughput: Callable[[T], float],
+        key: Callable[[T], str],
+    ) -> "list[T]":
+        """Top-K of *items* under the canonical selection tie-break.
+
+        Sorts by ``(-F, -expected throughput, canonical key)`` and keeps
+        the first K — the exact policy :func:`order_rewritten_queries`
+        applies to rewritten queries, generalized to any jointly scored
+        item (the join processor's query pairs use it directly).
+        """
+        ranked = sorted(items, key=lambda item: (-f(item), -throughput(item), key(item)))
+        return ranked if self.k is None else ranked[: self.k]

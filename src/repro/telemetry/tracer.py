@@ -28,23 +28,27 @@ class SpanKind:
     """String constants classifying what a span measures."""
 
     RETRIEVAL = "retrieval"  # one whole mediated query (the root)
+    PLAN = "plan"  # one planner build (rewrite generation + ranking + gating)
     BASE_QUERY = "base-query"  # the user's original query against the source
     REWRITTEN_QUERY = "rewritten-query"  # one AFD-rewritten probe
+    RELAXED_QUERY = "relaxed-query"  # one influence-guided relaxation probe
     MULTI_NULL = "multi-null-fetch"  # the >= 2-NULL counterfactual fetch
     FEDERATION = "federation"  # one federated query (root over sources)
     FEDERATION_SOURCE = "federation-source"  # one source's share of it
 
     ALL = (
         RETRIEVAL,
+        PLAN,
         BASE_QUERY,
         REWRITTEN_QUERY,
+        RELAXED_QUERY,
         MULTI_NULL,
         FEDERATION,
         FEDERATION_SOURCE,
     )
 
     # The kinds that correspond to exactly one source call each.
-    SOURCE_CALLS = (BASE_QUERY, REWRITTEN_QUERY, MULTI_NULL)
+    SOURCE_CALLS = (BASE_QUERY, REWRITTEN_QUERY, RELAXED_QUERY, MULTI_NULL)
 
 
 @dataclass

@@ -1,6 +1,11 @@
-"""Tests for the mediator autonomy rules (raw-relation-access, raw-source-call-in-core)."""
+"""Tests for the mediator autonomy rules (raw-relation-access,
+raw-source-call-in-core, raw-rewrite-call-in-core)."""
 
-from repro.analysis.rules.mediator import RawRelationAccessRule, RawSourceCallRule
+from repro.analysis.rules.mediator import (
+    RawRelationAccessRule,
+    RawRewriteCallRule,
+    RawSourceCallRule,
+)
 
 
 class TestRawRelationAccess:
@@ -134,6 +139,83 @@ class TestRawSourceCall:
                 for step, retrieved in engine.stream(plan):
                     merge(step, retrieved)
                 """,
+                module="repro.core.qpiad",
+            )
+            == []
+        )
+
+
+class TestRawRewriteCall:
+    rule = RawRewriteCallRule()
+
+    # -- positives ---------------------------------------------------------
+
+    def test_flags_direct_generation_call_in_core(self, check):
+        findings = check(
+            self.rule,
+            "candidates = generate_rewritten_queries(knowledge, query, base)\n",
+            module="repro.core.qpiad",
+        )
+        assert [f.rule for f in findings] == ["raw-rewrite-call-in-core"]
+        assert "QueryPlanner" in findings[0].message
+
+    def test_flags_every_stage_function(self, check):
+        findings = check(
+            self.rule,
+            """
+            a = generate_rewritten_queries(kb, q, base)
+            b = score_rewritten_queries(cands, alpha=0.5)
+            c = order_rewritten_queries(cands, alpha=0.5)
+            """,
+            module="repro.core.joins",
+        )
+        assert len(findings) == 3
+
+    def test_flags_stage_import_into_core(self, check):
+        findings = check(
+            self.rule,
+            "from repro.core.rewriting import generate_rewritten_queries\n",
+            module="repro.core.correlated",
+        )
+        assert len(findings) == 1
+        assert "imports generate_rewritten_queries" in findings[0].message
+
+    # -- negatives ---------------------------------------------------------
+
+    def test_pipeline_implementation_modules_are_exempt(self, check):
+        assert (
+            check(
+                self.rule,
+                "queries = generate_rewritten_queries(kb, q, base)\n",
+                module="repro.core.rewriting",
+            )
+            == []
+        )
+        assert (
+            check(
+                self.rule,
+                "ranked = order_rewritten_queries(cands, alpha=0.0)\n",
+                module="repro.core.ranking",
+            )
+            == []
+        )
+
+    def test_planner_package_is_out_of_scope(self, check):
+        # The planner is the sanctioned caller of the stage functions.
+        assert (
+            check(
+                self.rule,
+                "candidates = generate_rewritten_queries(kb, q, base)\n",
+                module="repro.planner.generators",
+            )
+            == []
+        )
+
+    def test_planner_mediated_calls_are_clean(self, check):
+        assert (
+            check(
+                self.rule,
+                "plan = self.planner.plan_selection(query, base, source=src)\n",
                 module="repro.core.qpiad",
             )
             == []

@@ -77,12 +77,13 @@ class TestLintPaths:
 
 
 class TestRuleSelection:
-    def test_rule_ids_lists_all_nine(self):
+    def test_rule_ids_lists_all_ten(self):
         ids = rule_ids()
-        assert len(ids) == 9
+        assert len(ids) == 10
         assert "null-compare" in ids
         assert "naive-float-equality" in ids
         assert "raw-source-call-in-core" in ids
+        assert "raw-rewrite-call-in-core" in ids
 
     def test_select_narrows_and_ignore_removes(self):
         rules = select_rules(("null-compare", "bare-except"), None)

@@ -155,6 +155,54 @@ class TestRecoveryStack:
         assert faulty.statistics.calls == 3  # base + the two real attempts
 
 
+class TestChaosCachedPlans:
+    """The plan cache must not change what a faulty retrieval returns.
+
+    The fault schedule keys off the *sequence* of source calls, so this
+    holds only when the cached plan issues the identical call sequence —
+    exactly the bit-identical guarantee the planner promises.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cached_leg_matches_uncached_under_faults(self, cars_env, seed):
+        from repro.planner import PlanCache
+
+        cache = PlanCache()
+        legs = []
+        for plan_cache in (None, cache, cache):  # plain, cold, warm
+            plan = FaultPlan(seed=seed, **DROP_PLAN)
+            source = FaultInjectingSource(cars_env.web_source(), plan)
+            mediator = QpiadMediator(
+                source, cars_env.knowledge, QpiadConfig(k=10), plan_cache=plan_cache
+            )
+            result = mediator.query(QUERY)
+            legs.append(
+                (
+                    list(result.certain),
+                    [(a.row, a.confidence) for a in result.ranked],
+                    result.degraded,
+                    [str(f) for f in result.stats.failures],
+                    source.statistics.events,
+                )
+            )
+        assert legs[0] == legs[1] == legs[2]
+        assert cache.hits >= 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_certain_answers_survive_with_a_warm_cache(self, cars_env, clean, seed):
+        from repro.planner import PlanCache
+
+        cache = PlanCache()
+        for __ in range(2):
+            plan = FaultPlan(seed=seed, **DROP_PLAN)
+            source = FaultInjectingSource(cars_env.web_source(), plan)
+            result = QpiadMediator(
+                source, cars_env.knowledge, QpiadConfig(k=10), plan_cache=cache
+            ).query(QUERY)
+            assert list(result.certain) == list(clean.certain)
+        assert cache.hits == 1
+
+
 class TestChaosStreaming:
     @pytest.mark.parametrize("seed", SEEDS)
     def test_stream_survivors_keep_clean_order(self, cars_env, clean, seed):

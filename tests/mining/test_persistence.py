@@ -69,6 +69,51 @@ class TestRoundTrip:
         assert [a.row for a in original.ranked] == [a.row for a in reloaded.ranked]
 
 
+class TestFingerprintVerification:
+    """Format v2: the file carries the knowledge fingerprint, checked on load."""
+
+    def test_saved_payload_is_version_two_with_fingerprint(self, cars_env, saved):
+        payload = json.loads(saved.read_text())
+        assert payload["format_version"] == 2
+        assert payload["fingerprint"] == cars_env.knowledge.fingerprint()
+
+    def test_reload_preserves_the_fingerprint(self, cars_env, saved):
+        loaded = load_knowledge(saved)
+        assert loaded.fingerprint() == cars_env.knowledge.fingerprint()
+
+    def test_tampered_content_fails_verification(self, saved, tmp_path):
+        # Mutate a planning-relevant field while keeping the stored digest:
+        # exactly the stale-file hazard the fingerprint check exists for.
+        payload = json.loads(saved.read_text())
+        payload["database_size"] += 1
+        path = tmp_path / "tampered.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(MiningError, match="fingerprint"):
+            load_knowledge(path)
+
+    def test_version_one_files_still_load(self, cars_env, saved, tmp_path):
+        payload = json.loads(saved.read_text())
+        payload["format_version"] = 1
+        del payload["fingerprint"]
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(payload))
+        legacy = load_knowledge(path)
+        assert legacy.afds == cars_env.knowledge.afds
+        assert legacy.sample == cars_env.knowledge.sample
+        assert legacy.fingerprint() == cars_env.knowledge.fingerprint()
+
+    def test_version_one_skips_verification_even_when_edited(self, saved, tmp_path):
+        # v1 predates the digest, so edits load silently — the documented
+        # reason to re-save probing results in the current format.
+        payload = json.loads(saved.read_text())
+        payload["format_version"] = 1
+        del payload["fingerprint"]
+        payload["database_size"] += 1
+        path = tmp_path / "legacy-edited.json"
+        path.write_text(json.dumps(payload))
+        assert load_knowledge(path).database_size == payload["database_size"]
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(MiningError, match="cannot load"):

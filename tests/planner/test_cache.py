@@ -1,0 +1,97 @@
+"""The PlanCache: LRU bookkeeping, counters, and thread safety."""
+
+import threading
+
+import pytest
+
+from repro.errors import QpiadError
+from repro.planner import PlanCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = PlanCache()
+        assert cache.lookup("k") is None
+        cache.store("k", "plan")
+        assert cache.lookup("k") == "plan"
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_store_refreshes_existing_key(self):
+        cache = PlanCache()
+        cache.store("k", "old")
+        cache.store("k", "new")
+        assert cache.lookup("k") == "new"
+        assert len(cache) == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(QpiadError):
+            PlanCache(max_entries=0)
+
+    def test_repr_reports_counters(self):
+        cache = PlanCache(max_entries=8)
+        cache.store("k", "plan")
+        cache.lookup("k")
+        assert "1/8 entries" in repr(cache)
+        assert "1 hits" in repr(cache)
+
+
+class TestLru:
+    def test_least_recently_used_is_evicted(self):
+        cache = PlanCache(max_entries=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        assert cache.lookup("a") == 1  # refresh a; b becomes LRU
+        evicted = cache.store("c", 3)
+        assert evicted is True
+        assert cache.lookup("b") is None
+        assert cache.lookup("a") == 1
+        assert cache.lookup("c") == 3
+        assert cache.evictions == 1
+
+    def test_store_within_capacity_reports_no_eviction(self):
+        cache = PlanCache(max_entries=2)
+        assert cache.store("a", 1) is False
+        assert cache.store("b", 2) is False
+
+    def test_clear_drops_entries_but_keeps_counters(self):
+        cache = PlanCache()
+        cache.store("a", 1)
+        cache.lookup("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        assert cache.lookup("a") is None
+        assert cache.misses == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_traffic_keeps_exact_counts(self):
+        cache = PlanCache(max_entries=16)
+        lookups_per_thread = 200
+        threads = 8
+        errors = []
+
+        def worker(tid: int) -> None:
+            try:
+                for i in range(lookups_per_thread):
+                    key = ("k", i % 32)
+                    if cache.lookup(key) is None:
+                        cache.store(key, ("plan", key))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker, args=(t,)) for t in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        assert errors == []
+        assert cache.hits + cache.misses == threads * lookups_per_thread
+        assert len(cache) <= 16
+        # Every retained entry still maps to its own key (no torn writes).
+        for i in range(32):
+            key = ("k", i)
+            plan = cache.lookup(key)
+            if plan is not None:
+                assert plan == ("plan", key)

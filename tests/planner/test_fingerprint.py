@@ -1,0 +1,157 @@
+"""Content fingerprints: deterministic, canonical, and input-sensitive.
+
+The cache-correctness contract rests entirely on these properties: two
+inputs share a fingerprint exactly when they are content-identical, and
+every planning-relevant difference — one base row, one sample tuple, one
+capability bit — changes the digest.
+"""
+
+import pytest
+
+from repro.mining import KnowledgeBase
+from repro.planner.fingerprint import (
+    knowledge_fingerprint,
+    query_fingerprint,
+    relation_fingerprint,
+    source_token,
+    stable_digest,
+)
+from repro.query import Between, Equals, SelectionQuery
+from repro.relational import NULL, AttributeType, Relation, Schema
+from repro.sources import AutonomousSource, SourceCapabilities
+
+
+class TestStableDigest:
+    def test_deterministic_across_calls(self):
+        payload = ("q", 1, 2.5, ["a", "b"], {"k": (1, 2)})
+        assert stable_digest(payload) == stable_digest(payload)
+
+    def test_type_tags_prevent_collisions(self):
+        assert stable_digest(1) != stable_digest("1")
+        assert stable_digest(True) != stable_digest(1)
+        assert stable_digest(1.0) != stable_digest(1)
+        assert stable_digest(None) != stable_digest("~")
+        assert stable_digest(NULL) != stable_digest("NULL")
+
+    def test_sequences_are_order_sensitive(self):
+        assert stable_digest([1, 2]) != stable_digest([2, 1])
+
+    def test_sets_and_dicts_are_order_insensitive(self):
+        assert stable_digest({1, 2, 3}) == stable_digest({3, 2, 1})
+        assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
+
+    def test_string_length_prefix_blocks_delimiter_smuggling(self):
+        assert stable_digest(["a,b"]) != stable_digest(["a", "b"])
+
+
+class TestQueryFingerprint:
+    def test_conjunct_order_is_canonicalized(self):
+        a, b = Equals("make", "BMW"), Equals("body_style", "Convt")
+        assert query_fingerprint(
+            SelectionQuery.conjunction([a, b])
+        ) == query_fingerprint(SelectionQuery.conjunction([b, a]))
+
+    def test_value_changes_the_fingerprint(self):
+        assert query_fingerprint(
+            SelectionQuery.equals("make", "BMW")
+        ) != query_fingerprint(SelectionQuery.equals("make", "Audi"))
+
+    def test_predicate_shape_changes_the_fingerprint(self):
+        assert query_fingerprint(
+            SelectionQuery.conjunction([Equals("price", 6000)])
+        ) != query_fingerprint(
+            SelectionQuery.conjunction([Between("price", 6000, 6000)])
+        )
+
+
+@pytest.fixture()
+def fragment_schema():
+    return Schema.of(
+        "id", "make", "model", ("year", AttributeType.NUMERIC), "body_style"
+    )
+
+
+class TestRelationFingerprint:
+    def test_identical_copies_agree(self, car_fragment):
+        twin = Relation(car_fragment.schema, list(car_fragment))
+        assert relation_fingerprint(car_fragment) == relation_fingerprint(twin)
+
+    def test_row_order_is_semantic(self, car_fragment):
+        # Rewritten queries bind the determining values of the *first* base
+        # tuple per class, so a reordered base set must start a new entry.
+        rows = list(car_fragment)
+        rows[0], rows[1] = rows[1], rows[0]
+        reordered = Relation(car_fragment.schema, rows)
+        assert relation_fingerprint(car_fragment) != relation_fingerprint(reordered)
+
+    def test_single_cell_change_is_detected(self, car_fragment):
+        rows = list(car_fragment)
+        rows[-1] = rows[-1][:-1] + ("Coupe",)
+        assert relation_fingerprint(car_fragment) != relation_fingerprint(
+            Relation(car_fragment.schema, rows)
+        )
+
+    def test_null_is_not_the_string_null(self, fragment_schema):
+        with_null = Relation(
+            fragment_schema, [(1, "Audi", "A4", 2001, NULL)]
+        )
+        with_text = Relation(
+            fragment_schema, [(1, "Audi", "A4", 2001, "NULL")]
+        )
+        assert relation_fingerprint(with_null) != relation_fingerprint(with_text)
+
+
+class TestSourceToken:
+    def test_none_has_a_reserved_token(self):
+        assert source_token(None) == "source:none"
+
+    def test_equal_surfaces_share_a_token(self, car_fragment):
+        one = AutonomousSource("cars", car_fragment, SourceCapabilities.web_form())
+        two = AutonomousSource("cars", car_fragment, SourceCapabilities.web_form())
+        assert source_token(one) == source_token(two)
+
+    def test_local_schema_changes_the_token(self, car_fragment):
+        full = AutonomousSource("cars", car_fragment)
+        narrow = AutonomousSource(
+            "cars", car_fragment, local_attributes=("id", "make", "model", "year")
+        )
+        assert source_token(full) != source_token(narrow)
+
+    def test_capabilities_change_the_token(self, car_fragment):
+        form = AutonomousSource("cars", car_fragment, SourceCapabilities.web_form())
+        capped = AutonomousSource(
+            "cars", car_fragment, SourceCapabilities.web_form(max_results=3)
+        )
+        assert source_token(form) != source_token(capped)
+
+
+class TestKnowledgeFingerprint:
+    def test_same_content_mines_to_the_same_fingerprint(self, car_fragment):
+        one = KnowledgeBase(car_fragment, database_size=60)
+        two = KnowledgeBase(car_fragment, database_size=60)
+        assert one.fingerprint() == two.fingerprint()
+        assert one.fingerprint() == knowledge_fingerprint(one)
+
+    def test_fingerprint_is_memoized(self, car_fragment):
+        knowledge = KnowledgeBase(car_fragment, database_size=60)
+        assert knowledge.fingerprint() is knowledge.fingerprint()
+
+    def test_one_sample_row_changes_the_fingerprint(self, car_fragment):
+        full = KnowledgeBase(car_fragment, database_size=60)
+        shorter = KnowledgeBase(car_fragment.take(5), database_size=60)
+        assert full.fingerprint() != shorter.fingerprint()
+
+    def test_database_size_changes_the_fingerprint(self, car_fragment):
+        assert (
+            KnowledgeBase(car_fragment, database_size=60).fingerprint()
+            != KnowledgeBase(car_fragment, database_size=61).fingerprint()
+        )
+
+    def test_mining_config_changes_the_fingerprint(self, car_fragment):
+        from repro.mining import MiningConfig
+
+        default = KnowledgeBase(car_fragment, database_size=60)
+        rebinned = KnowledgeBase(
+            car_fragment, database_size=60, config=MiningConfig(discretize_bins=4)
+        )
+        assert default.fingerprint() != rebinned.fingerprint()

@@ -119,6 +119,50 @@ class TestMineAndQuery:
         assert code == 2
 
 
+class TestPlan:
+    def test_plan_prints_ranked_rewrites_without_source_calls(
+        self, cars_ed_csv, capsys
+    ):
+        code = main(["plan", str(cars_ed_csv), "--where", "body_style=Convt"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rewritten queries to issue" in out
+        assert "plan cache: miss" in out
+        assert "0 source calls" in out  # plan-only mode never touches the source
+        assert "P=" in out and "R=" in out and "F(alpha=" in out
+
+    def test_plan_respects_k_budget(self, cars_ed_csv, capsys):
+        assert main(
+            ["plan", str(cars_ed_csv), "--where", "body_style=Convt", "--k", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        steps = [line for line in out.splitlines() if line.startswith("  [")]
+        assert 1 <= len(steps) <= 2
+
+    def test_plan_bad_where_clause_reports_an_error(self, cars_ed_csv, capsys):
+        assert main(["plan", str(cars_ed_csv), "--where", "nonsense"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_query_explain_appends_the_executed_plan(self, cars_ed_csv, capsys):
+        code = main(
+            ["query", str(cars_ed_csv), "--where", "body_style=Convt", "--explain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certain answers" in out
+        assert "possible answers" in out
+        assert "rewritten queries to issue" in out
+        assert "plan cache: miss" in out
+
+    def test_query_without_explain_stays_quiet_about_plans(
+        self, cars_ed_csv, capsys
+    ):
+        assert main(["query", str(cars_ed_csv), "--where", "body_style=Convt"]) == 0
+        assert "plan cache" not in capsys.readouterr().out
+
+
 class TestRelax:
     def test_relax_returns_answers_for_empty_queries(self, cars_ed_csv, capsys):
         code = main(
