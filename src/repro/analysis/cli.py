@@ -11,8 +11,14 @@ import sys
 from pathlib import Path
 
 from repro.analysis.framework import LintConfigError
-from repro.analysis.reporting import render_json, render_text
-from repro.analysis.rules import ALL_RULES, select_rules
+from repro.analysis.reporting import (
+    render_json,
+    render_rule_list,
+    render_rule_reference,
+    render_sarif,
+    render_text,
+)
+from repro.analysis.rules import select_project_rules, select_rules
 from repro.analysis.runner import lint_paths
 
 __all__ = ["main", "run_lint", "add_lint_arguments"]
@@ -29,21 +35,41 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif", "markdown"),
         default="text",
-        help="report format (json output is sorted and byte-stable)",
+        help=(
+            "report format (json and sarif output is sorted and byte-stable; "
+            "markdown is only valid with --list-rules and emits the docs "
+            "rule-reference table)"
+        ),
     )
     parser.add_argument(
         "--select",
         action="append",
         metavar="RULE",
-        help="run only this rule (repeatable)",
+        help="run only this rule (repeatable; module and project rules alike)",
     )
     parser.add_argument(
         "--ignore",
         action="append",
         metavar="RULE",
-        help="skip this rule (repeatable)",
+        help="skip this rule (repeatable; module and project rules alike)",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help=(
+            "skip the whole-program passes (project index + call graph); "
+            "they otherwise run whenever the linted set contains a package"
+        ),
+    )
+    parser.add_argument(
+        "--strict-suppressions",
+        action="store_true",
+        help=(
+            "report suppression directives that suppressed nothing as "
+            "unused-suppression findings (on in CI)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -52,24 +78,22 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _render_rule_list() -> str:
-    lines = []
-    for rule in ALL_RULES:
-        lines.append(f"{rule.id} [{rule.severity!s}]")
-        lines.append(f"    {rule.description}")
-    return "\n".join(lines)
-
-
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a lint run described by parsed *args*."""
     if args.list_rules:
-        print(_render_rule_list())
+        if args.format == "markdown":
+            print(render_rule_reference())
+        else:
+            print(render_rule_list())
         return 0
+    if args.format == "markdown":
+        print("error: --format markdown is only valid with --list-rules", file=sys.stderr)
+        return 2
+    select = tuple(args.select) if args.select else None
+    ignore = tuple(args.ignore) if args.ignore else None
     try:
-        rules = select_rules(
-            tuple(args.select) if args.select else None,
-            tuple(args.ignore) if args.ignore else None,
-        )
+        rules = select_rules(select, ignore)
+        project_rules = select_project_rules(select, ignore)
     except LintConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -78,11 +102,22 @@ def run_lint(args: argparse.Namespace) -> int:
         print(f"error: no such path: {missing[0]}", file=sys.stderr)
         return 2
     try:
-        report = lint_paths(args.paths, rules)
+        report = lint_paths(
+            args.paths,
+            rules,
+            project_rules=project_rules,
+            include_project=not args.no_project,
+            strict_suppressions=args.strict_suppressions,
+        )
     except LintConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    rendered = render_json(report) if args.format == "json" else render_text(report)
+    if args.format == "json":
+        rendered = render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(report)
+    else:
+        rendered = render_text(report)
     print(rendered)
     return report.exit_code
 

@@ -24,10 +24,20 @@ string literals that merely *look* like directives are ignored):
   for the whole module (conventionally placed right under the docstring
   with a justification);
 * ``# qpiadlint: disable-package=rule-a`` — in a package's ``__init__.py``,
-  suppresses for every module under that package.
+  suppresses for every module under that package.  In any other module the
+  directive is *ignored* and reported as a ``misplaced-directive`` finding
+  (it used to silently act as ``disable-file``, which contradicted this
+  grammar).
 
 ``disable=all`` is deliberately rejected: suppressions must name the rule
 they silence so every exemption stays searchable and reviewable.
+
+Alongside the per-module :class:`Rule`, :class:`ProjectRule` is the
+whole-program pass kind: it checks a parsed
+:class:`~repro.analysis.project.ProjectIndex` (plus its call graph) rather
+than one module at a time, so invariants that span module boundaries —
+lock discipline on state shared across executor threads, seed provenance
+across call chains — are checkable too.
 """
 
 from __future__ import annotations
@@ -40,7 +50,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from enum import IntEnum
 from pathlib import Path
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.errors import QpiadError
 
@@ -50,6 +60,7 @@ __all__ = [
     "Finding",
     "ModuleContext",
     "Rule",
+    "ProjectRule",
     "SuppressionIndex",
     "parse_directives",
 ]
@@ -117,7 +128,11 @@ class ModuleContext:
 
     def __post_init__(self) -> None:
         if self.suppressions is None:
-            self.suppressions = SuppressionIndex.from_source(self.source)
+            # ``disable-package`` is only meaningful in a package __init__.py;
+            # elsewhere it is collected as misplaced and never honoured.
+            self.suppressions = SuppressionIndex.from_source(
+                self.source, allow_package=self.path.name == "__init__.py"
+            )
 
     @classmethod
     def from_source(
@@ -173,6 +188,45 @@ class Rule(ABC):
         return f"<Rule {self.id}>"
 
 
+class ProjectRule(ABC):
+    """One whole-program invariant check.
+
+    Where :class:`Rule` sees one module's AST at a time, a project rule
+    checks the fully indexed tree — symbol tables, inferred attribute
+    types, and the call graph — so it can follow values and control flow
+    across module boundaries.  Project rules run once per lint invocation
+    (after every module has been parsed) and must likewise be stateless
+    across runs.  Findings are anchored in whichever module the evidence
+    lives in; the runner routes each finding through that module's
+    suppression index exactly as for per-module rules.
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    rationale: str = ""
+
+    @abstractmethod
+    def check(self, project: "Any", graph: "Any") -> Iterator[Finding]:
+        """Yield every violation over *project* (a
+        :class:`~repro.analysis.project.ProjectIndex`) and its *graph*
+        (a :class:`~repro.analysis.project.CallGraph`)."""
+
+    def finding(self, path: "Path | str", node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` anchored at *node* in the module at *path*."""
+        return Finding(
+            path=str(path),
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+    def __repr__(self) -> str:
+        return f"<ProjectRule {self.id}>"
+
+
 def parse_directives(source: str) -> Iterator[tuple[str, int, frozenset[str]]]:
     """Yield ``(kind, line, rules)`` for each suppression comment in *source*.
 
@@ -206,26 +260,45 @@ def parse_directives(source: str) -> Iterator[tuple[str, int, frozenset[str]]]:
 
 
 class SuppressionIndex:
-    """Which rules are suppressed at which lines of one module."""
+    """Which rules are suppressed at which lines of one module.
+
+    Besides answering :meth:`is_suppressed`, the index remembers every
+    directive it was built from (with its line) and which of them actually
+    fired, so the runner can report stale suppressions
+    (``unused-suppression``) and ``disable-package`` directives declared
+    outside a package ``__init__.py`` (``misplaced-directive``).
+    """
 
     def __init__(
         self,
         line_rules: "dict[int, frozenset[str]] | None" = None,
         file_rules: "frozenset[str] | None" = None,
         package_rules: "frozenset[str] | None" = None,
+        *,
+        directives: "tuple[tuple[str, int, frozenset[str]], ...]" = (),
+        misplaced_package_directives: "tuple[tuple[int, frozenset[str]], ...]" = (),
     ):
         self._line_rules: dict[int, set[str]] = {
             line: set(rules) for line, rules in (line_rules or {}).items()
         }
         self.file_rules = frozenset(file_rules or ())
         self.package_rules = frozenset(package_rules or ())
+        #: Every parsed directive, as ``(kind, line, rules)``.
+        self.directives = directives
+        #: ``disable-package`` directives found outside an ``__init__.py``.
+        self.misplaced_package_directives = misplaced_package_directives
         self._used: set[str] = set()
+        self._used_lines: set[tuple[int, str]] = set()
+        self._used_file: set[str] = set()
+        self._used_package: set[str] = set()
 
     @classmethod
-    def from_source(cls, source: str) -> "SuppressionIndex":
+    def from_source(cls, source: str, *, allow_package: bool = True) -> "SuppressionIndex":
         line_rules: dict[int, set[str]] = {}
         file_rules: set[str] = set()
         package_rules: set[str] = set()
+        directives: list[tuple[str, int, frozenset[str]]] = []
+        misplaced: list[tuple[int, frozenset[str]]] = []
         for kind, line, rules in parse_directives(source):
             if kind == "disable":
                 line_rules.setdefault(line, set()).update(rules)
@@ -233,12 +306,18 @@ class SuppressionIndex:
                 line_rules.setdefault(line + 1, set()).update(rules)
             elif kind == "disable-file":
                 file_rules.update(rules)
-            else:  # disable-package; only honoured for __init__.py by the runner
+            elif allow_package:  # disable-package, legitimately in an __init__.py
                 package_rules.update(rules)
+            else:  # disable-package outside an __init__.py: ignored, reported
+                misplaced.append((line, rules))
+                continue
+            directives.append((kind, line, rules))
         return cls(
             {line: frozenset(rules) for line, rules in line_rules.items()},
             frozenset(file_rules),
             frozenset(package_rules),
+            directives=tuple(directives),
+            misplaced_package_directives=tuple(misplaced),
         )
 
     def add_package_rules(self, rules: frozenset[str]) -> None:
@@ -246,12 +325,18 @@ class SuppressionIndex:
         self.package_rules = self.package_rules | rules
 
     def is_suppressed(self, finding: Finding) -> bool:
-        if finding.rule in self.file_rules or finding.rule in self.package_rules:
+        if finding.rule in self.file_rules:
             self._used.add(finding.rule)
+            self._used_file.add(finding.rule)
+            return True
+        if finding.rule in self.package_rules:
+            self._used.add(finding.rule)
+            self._used_package.add(finding.rule)
             return True
         rules = self._line_rules.get(finding.line, ())
         if finding.rule in rules:
             self._used.add(finding.rule)
+            self._used_lines.add((finding.line, finding.rule))
             return True
         return False
 
@@ -259,3 +344,37 @@ class SuppressionIndex:
     def used_rules(self) -> frozenset[str]:
         """Rules that actually suppressed at least one finding."""
         return frozenset(self._used)
+
+    @property
+    def used_package_rules(self) -> frozenset[str]:
+        """Rules suppressed here *via an inherited package directive*."""
+        return frozenset(self._used_package)
+
+    def unused_directives(
+        self, active: frozenset[str], known: frozenset[str]
+    ) -> "list[tuple[int, str, str]]":
+        """Line/file directives that suppressed nothing, as ``(line, rule, why)``.
+
+        Directives naming a *known but inactive* rule (``--select`` narrowed
+        the run) are skipped — absence of findings proves nothing there.
+        ``disable-package`` directives are excluded too: their usage spans
+        modules, so the runner aggregates them package-wide.
+        """
+        stale: list[tuple[int, str, str]] = []
+        for kind, line, rules in self.directives:
+            if kind == "disable-package":
+                continue
+            for rule in sorted(rules):
+                if rule not in known:
+                    stale.append((line, rule, "unknown rule"))
+                    continue
+                if rule not in active:
+                    continue
+                if kind == "disable-file":
+                    if rule not in self._used_file:
+                        stale.append((line, rule, "suppressed nothing"))
+                    continue
+                effective_line = line + 1 if kind == "disable-next-line" else line
+                if (effective_line, rule) not in self._used_lines:
+                    stale.append((line, rule, "suppressed nothing"))
+        return stale

@@ -1,0 +1,33 @@
+"""Whole-program analysis layer for qpiadlint.
+
+Per-module rules see one file at a time; the passes in this package see
+the project: a :class:`ProjectIndex` (modules, symbols, name resolution)
+and a :class:`CallGraph` (best-effort call edges with thread-reachability
+queries), both built from the same parsed trees the module rules consume.
+Passes are :class:`~repro.analysis.framework.ProjectRule` subclasses and
+run once per lint, after every module has been parsed.
+"""
+
+from repro.analysis.project.callgraph import CallGraph, CallSite, build_call_graph
+from repro.analysis.project.concurrency import UnguardedSharedWriteRule
+from repro.analysis.project.determinism import UnseededRngFlowRule
+from repro.analysis.project.index import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    dotted_name,
+)
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "UnguardedSharedWriteRule",
+    "UnseededRngFlowRule",
+    "build_call_graph",
+    "dotted_name",
+]

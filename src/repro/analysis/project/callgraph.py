@@ -1,0 +1,428 @@
+"""Best-effort call graph with thread-reachability queries.
+
+Edges come from one intraprocedural pass per function:
+
+* direct calls to resolvable names (module functions, imported symbols),
+* ``self.method()`` within a class (following project-local bases),
+* calls on locals whose type was inferred from a constructor assignment
+  (``stats = AccessStatistics(); stats.record(...)``),
+* calls on ``self.<attr>`` using the index's inferred attribute types.
+
+Unresolvable attribute calls (``source.execute()`` where ``source`` is a
+parameter) degrade to **dynamic edges** keyed by method name, resolved
+CHA-style against every project class during reachability queries — an
+over-approximation that is exactly right for deciding *which classes the
+concurrency pass must hold to lock discipline*.
+
+Thread reachability starts from **thread roots**: callables handed to
+``pool.submit(...)`` / ``Thread(target=...)``, plus — whenever the
+project contains any thread machinery at all — every callable whose
+reference *escapes* (is passed, returned, or stored rather than called).
+Once a callable escapes, static analysis cannot bound which execution
+context invokes it; in a codebase with a thread pool the safe assumption
+is a worker thread.  Lambdas are pseudo-nodes (``parent.<lambda:LINE>``)
+and always count as escaped, which is how ``lambda: self._issue(step)``
+thunks built by the engine reach the executor's pool.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.project.index import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    dotted_name,
+)
+
+__all__ = ["CallGraph", "CallSite", "build_call_graph"]
+
+#: Qualified callables that put their argument on another thread.
+_THREAD_CONSTRUCTORS = frozenset({"threading.Thread", "threading.Timer"})
+_POOL_CONSTRUCTORS = frozenset(
+    {"concurrent.futures.ThreadPoolExecutor", "concurrent.futures.ProcessPoolExecutor"}
+)
+
+
+@dataclass
+class CallSite:
+    """One resolved call: who called what, where, and how."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+    module: str
+    #: True when the callee was invoked through an instance (``x.m()``),
+    #: i.e. its ``self`` parameter is bound implicitly.
+    via_instance: bool = False
+
+
+@dataclass
+class _FunctionFacts:
+    edges: set[str] = field(default_factory=set)
+    dynamic: set[str] = field(default_factory=set)
+    instantiates: set[str] = field(default_factory=set)
+
+
+class CallGraph:
+    """Call edges over a :class:`ProjectIndex`, plus reachability."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self._facts: dict[str, _FunctionFacts] = {}
+        self._call_sites: dict[str, list[CallSite]] = {}
+        self.escaped: set[str] = set()
+        self.thread_roots: set[str] = set()
+        self.has_thread_machinery = False
+        #: lambda pseudo-nodes created during the build, by qualname.
+        self.lambdas: dict[str, ast.Lambda] = {}
+
+    # ------------------------------------------------------------------ #
+    # Queries
+
+    def callees(self, caller: str) -> frozenset[str]:
+        facts = self._facts.get(caller)
+        return frozenset(facts.edges) if facts else frozenset()
+
+    def dynamic_names(self, caller: str) -> frozenset[str]:
+        facts = self._facts.get(caller)
+        return frozenset(facts.dynamic) if facts else frozenset()
+
+    def instantiated_in(self, caller: str) -> frozenset[str]:
+        facts = self._facts.get(caller)
+        return frozenset(facts.instantiates) if facts else frozenset()
+
+    def call_sites_of(self, callee: str) -> "tuple[CallSite, ...]":
+        return tuple(self._call_sites.get(callee, ()))
+
+    def reachable(self, roots: "set[str] | frozenset[str]", *, dynamic: bool = True) -> set[str]:
+        """Transitive closure of call edges from *roots*.
+
+        With ``dynamic`` (the default), unresolved ``x.name()`` calls fan
+        out to every project method called ``name`` — the conservative
+        reading suited to safety passes.
+        """
+        seen: set[str] = set()
+        stack = [root for root in roots]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            facts = self._facts.get(current)
+            if facts is None:
+                continue
+            stack.extend(callee for callee in facts.edges if callee not in seen)
+            if dynamic:
+                for name in facts.dynamic:
+                    for method in self.index.methods_named(name):
+                        if method.qualname not in seen:
+                            stack.append(method.qualname)
+        return seen
+
+    def thread_entry_points(self) -> set[str]:
+        """Callables that may run on a worker thread (see module docstring)."""
+        roots = set(self.thread_roots)
+        if self.has_thread_machinery:
+            roots |= self.escaped
+        return roots
+
+    def thread_reachable(self) -> set[str]:
+        """Everything reachable from a possible worker-thread entry point."""
+        return self.reachable(self.thread_entry_points())
+
+    # ------------------------------------------------------------------ #
+    # Construction
+
+    def _facts_for(self, caller: str) -> _FunctionFacts:
+        facts = self._facts.get(caller)
+        if facts is None:
+            facts = self._facts[caller] = _FunctionFacts()
+        return facts
+
+    def _add_edge(
+        self,
+        caller: str,
+        callee: str,
+        node: ast.Call,
+        module: str,
+        via_instance: bool,
+    ) -> None:
+        self._facts_for(caller).edges.add(callee)
+        self._call_sites.setdefault(callee, []).append(
+            CallSite(caller, callee, node, module, via_instance)
+        )
+
+
+def build_call_graph(index: ProjectIndex) -> CallGraph:
+    graph = CallGraph(index)
+    for module in index.modules.values():
+        _ModuleWalker(graph, module).run()
+    return graph
+
+
+class _ModuleWalker:
+    """Builds edges for one module, scope by scope."""
+
+    def __init__(self, graph: CallGraph, module: ModuleInfo):
+        self.graph = graph
+        self.index = graph.index
+        self.module = module
+
+    def run(self) -> None:
+        # Module-level code is a caller in its own right (dataset builders,
+        # registry tables); it is never a thread root itself.
+        self._process_scope(
+            self.module.name, self.module.tree, cls=None, function=None
+        )
+        for cls in self.module.classes.values():
+            for method in cls.methods.values():
+                self._process_scope(method.qualname, method.node, cls=cls, function=method)
+        for function in self.module.functions.values():
+            self._process_scope(function.qualname, function.node, cls=None, function=function)
+            self._process_nested(function, cls=None)
+        for cls in self.module.classes.values():
+            for method in cls.methods.values():
+                self._process_nested(method, cls=cls)
+
+    def _process_nested(self, parent: FunctionInfo, cls: "ClassInfo | None") -> None:
+        for nested in ast.walk(parent.node):
+            if nested is parent.node or not isinstance(
+                nested, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            qualname = f"{parent.qualname}.{nested.name}"
+            info = self.index.functions.get(qualname)
+            if info is not None:
+                self._process_scope(qualname, nested, cls=cls, function=info)
+
+    # ------------------------------------------------------------------ #
+
+    def _process_scope(
+        self,
+        caller: str,
+        scope: ast.AST,
+        cls: "ClassInfo | None",
+        function: "FunctionInfo | None",
+    ) -> None:
+        local_types = self._infer_local_types(scope, cls)
+        call_funcs: set[int] = set()
+        for node in self._scope_walk(scope, caller, cls, local_types):
+            if isinstance(node, ast.Call):
+                call_funcs.add(id(node.func))
+                self._process_call(caller, node, cls, local_types)
+        # Second pass: callable references that appear as values (escapes).
+        for node in self._scope_walk(scope, caller, cls, local_types):
+            if id(node) in call_funcs:
+                continue
+            target = self._resolve_callable_ref(node, cls, local_types)
+            if target is not None:
+                self.graph.escaped.add(target)
+
+    def _scope_walk(
+        self,
+        scope: ast.AST,
+        caller: str,
+        cls: "ClassInfo | None",
+        local_types: dict[str, str],
+    ) -> Iterator[ast.AST]:
+        """Walk *scope* without entering nested functions or classes.
+
+        Lambdas become pseudo-scopes processed on first encounter; their
+        bodies are not re-walked here.
+        """
+        stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(node, ast.Lambda):
+                qualname = f"{caller}.<lambda:{node.lineno}>"
+                if qualname not in self.graph.lambdas:
+                    self.graph.lambdas[qualname] = node
+                    self.graph.escaped.add(qualname)
+                    self._process_lambda(qualname, node, cls, dict(local_types))
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _process_lambda(
+        self,
+        qualname: str,
+        node: ast.Lambda,
+        cls: "ClassInfo | None",
+        local_types: dict[str, str],
+    ) -> None:
+        call_funcs: set[int] = set()
+        for child in self._scope_walk(node, qualname, cls, local_types):
+            if isinstance(child, ast.Call):
+                call_funcs.add(id(child.func))
+                self._process_call(qualname, child, cls, local_types)
+        for child in self._scope_walk(node, qualname, cls, local_types):
+            if id(child) in call_funcs:
+                continue
+            target = self._resolve_callable_ref(child, cls, local_types)
+            if target is not None:
+                self.graph.escaped.add(target)
+
+    # ------------------------------------------------------------------ #
+
+    def _infer_local_types(
+        self, scope: ast.AST, cls: "ClassInfo | None"
+    ) -> dict[str, str]:
+        """``x -> class qualname`` for ``x = ClassName(...)`` assignments."""
+        types: dict[str, str] = {}
+        for node in ast.walk(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not scope:
+                continue
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if isinstance(value, ast.Call):
+                constructor = dotted_name(value.func)
+                if constructor:
+                    resolved = self.index.resolve(self.module, constructor)
+                    if resolved and resolved in self.index.classes:
+                        types[target.id] = resolved
+            elif (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and cls is not None
+            ):
+                inferred = cls.attr_types.get(value.attr)
+                if inferred:
+                    types[target.id] = inferred
+        return types
+
+    def _process_call(
+        self,
+        caller: str,
+        node: ast.Call,
+        cls: "ClassInfo | None",
+        local_types: dict[str, str],
+    ) -> None:
+        func = node.func
+        resolved = self._resolve_call_target(func, cls, local_types)
+        if resolved is not None:
+            qualified, via_instance = resolved
+            self._note_thread_machinery(qualified)
+            if qualified in self.index.classes:
+                facts = self.graph._facts_for(caller)
+                facts.instantiates.add(qualified)
+                init = self.index.classes[qualified].methods.get("__init__")
+                if init is not None:
+                    self.graph._add_edge(caller, init.qualname, node, self.module.name, True)
+                self._check_thread_site(qualified, node, cls, local_types)
+                return
+            if qualified in self.index.functions:
+                self.graph._add_edge(
+                    caller, qualified, node, self.module.name, via_instance
+                )
+                return
+            self._check_thread_site(qualified, node, cls, local_types)
+            return
+        if isinstance(func, ast.Attribute):
+            # Unresolvable receiver: degrade to a dynamic (by-name) edge.
+            self.graph._facts_for(caller).dynamic.add(func.attr)
+            if func.attr in ("submit", "apply_async", "map_async"):
+                self.graph.has_thread_machinery = True
+                for argument in node.args[:1]:
+                    target = self._resolve_callable_ref(argument, cls, local_types)
+                    if target is not None:
+                        self.graph.thread_roots.add(target)
+
+    def _note_thread_machinery(self, qualified: str) -> None:
+        if qualified in _POOL_CONSTRUCTORS or qualified in _THREAD_CONSTRUCTORS:
+            self.graph.has_thread_machinery = True
+
+    def _check_thread_site(
+        self,
+        qualified: str,
+        node: ast.Call,
+        cls: "ClassInfo | None",
+        local_types: dict[str, str],
+    ) -> None:
+        if qualified not in _THREAD_CONSTRUCTORS:
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "target":
+                target = self._resolve_callable_ref(keyword.value, cls, local_types)
+                if target is not None:
+                    self.graph.thread_roots.add(target)
+
+    def _resolve_call_target(
+        self,
+        func: ast.expr,
+        cls: "ClassInfo | None",
+        local_types: dict[str, str],
+    ) -> "tuple[str, bool] | None":
+        """Resolve a call's target to ``(qualified, via_instance)``."""
+        if isinstance(func, ast.Name):
+            resolved = self.index.resolve(self.module, func.id)
+            if resolved is not None:
+                return resolved, False
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id == "self" and cls is not None:
+                method = self.index.method_in_hierarchy(cls, func.attr)
+                if method is not None:
+                    return method.qualname, True
+                return None
+            inferred = local_types.get(base.id)
+            if inferred is not None:
+                owner = self.index.classes.get(inferred)
+                if owner is not None:
+                    method = self.index.method_in_hierarchy(owner, func.attr)
+                    if method is not None:
+                        return method.qualname, True
+                return None
+        elif (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+            and cls is not None
+        ):
+            inferred = cls.attr_types.get(base.attr)
+            if inferred is not None:
+                owner = self.index.classes.get(inferred)
+                if owner is not None:
+                    method = self.index.method_in_hierarchy(owner, func.attr)
+                    if method is not None:
+                        return method.qualname, True
+                return None
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        resolved = self.index.resolve(self.module, dotted)
+        if resolved is not None:
+            return resolved, False
+        return None
+
+    def _resolve_callable_ref(
+        self,
+        node: ast.AST,
+        cls: "ClassInfo | None",
+        local_types: dict[str, str],
+    ) -> "str | None":
+        """A function/method qualname when *node* is a reference to one."""
+        if isinstance(node, ast.Name):
+            resolved = self.index.resolve(self.module, node.id)
+            if resolved is not None and resolved in self.index.functions:
+                return resolved
+            return None
+        if isinstance(node, ast.Attribute):
+            target = self._resolve_call_target(node, cls, local_types)
+            if target is not None and target[0] in self.index.functions:
+                return target[0]
+        return None

@@ -1,0 +1,496 @@
+"""Interprocedural seed-provenance pass.
+
+The per-module ``unseeded-rng`` rule catches ``random.Random()`` with no
+argument, but it cannot see that ``make_rng(seed=None)`` in a helper
+module hands an effectively unseeded generator to a mediator three calls
+away.  This pass follows the seed *value* instead of the constructor
+syntax:
+
+1. find every RNG construction site in the project
+   (``random.Random(x)``, ``numpy.random.default_rng(x)``, …);
+2. classify the seed expression: constants are seeded, attribute reads
+   (``config.seed``, ``self.seed``) are assumed config-fed, calls to
+   wall-clock/entropy sources (``time.time()``, ``os.urandom()``) are
+   nondeterministic, and a **parameter** is traced to every call site of
+   the enclosing function through the call graph — recursively, so a
+   seed default of ``None`` or an omitted argument surfaces at the
+   outermost caller that failed to provide one;
+3. report the flow only when it is *determinism-relevant*: some frame of
+   the traced chain lives in mediator/mining/fault code, or the
+   constructing function is reachable from such code.
+
+Constructions guarded by an explicit ``x is None`` check (``None if seed
+is None else Random(seed)``) accept ``None`` deliberately and are not
+flagged.  Zero-argument constructions are left to the per-module rule so
+each defect is reported exactly once.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.framework import Finding, ProjectRule, Severity
+from repro.analysis.project.callgraph import CallGraph
+from repro.analysis.project.index import FunctionInfo, ProjectIndex, dotted_name
+
+__all__ = ["UnseededRngFlowRule"]
+
+#: Qualified RNG constructors whose first argument (or ``seed=``) is the seed.
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+    }
+)
+
+#: Calls whose result is wall-clock / entropy — never a reproducible seed.
+_NONDETERMINISTIC = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "os.urandom",
+        "os.getpid",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+    }
+)
+
+#: Module-name components marking determinism-sensitive code: the mediators
+#: (every reproduced figure flows through them), knowledge mining (mined
+#: AFDs/NBC feed the rewrite ranking), and fault schedules (chaos replays).
+_SENSITIVE_COMPONENTS = frozenset({"core", "mediator", "mediators", "mining", "faults"})
+
+_MAX_TRACE_DEPTH = 10
+
+
+def _module_is_sensitive(module_name: str) -> bool:
+    return any(part in _SENSITIVE_COMPONENTS for part in module_name.split("."))
+
+
+@dataclass
+class _Site:
+    """One RNG construction: where, what, and its seed expression."""
+
+    constructor: str
+    node: ast.Call
+    scope: str  # qualname of the enclosing function, or the module name
+    module: str
+    seed: "ast.expr | None"
+    nonnull: frozenset[str]  # names proven non-None at this point
+
+
+@dataclass
+class _Evidence:
+    """An unseeded flow: the terminal frame plus a readable chain."""
+
+    node: ast.AST
+    module: str
+    chain: "tuple[str, ...]"
+    reason: str
+
+
+class _SiteCollector:
+    """Finds RNG construction sites with ``is None``-guard context."""
+
+    def __init__(self, index: ProjectIndex, module_name: str):
+        self.index = index
+        self.module = module_name
+        self.sites: list[_Site] = []
+
+    def collect(self) -> "list[_Site]":
+        module = self.index.modules[self.module]
+        self._visit_body(module.tree.body, self.module, frozenset())
+        return self.sites
+
+    def _visit_body(
+        self, statements: "list[ast.stmt]", scope: str, nonnull: frozenset[str]
+    ) -> None:
+        for statement in statements:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = self._function_qualname(scope, statement)
+                self._visit_body(statement.body, qualname, frozenset())
+                continue
+            if isinstance(statement, ast.ClassDef):
+                self._visit_body(
+                    statement.body, f"{scope}.{statement.name}", frozenset()
+                )
+                continue
+            if isinstance(statement, ast.If):
+                name, positive = self._none_test(statement.test)
+                if name is not None:
+                    in_body = nonnull | {name} if positive else nonnull
+                    in_else = nonnull if positive else nonnull | {name}
+                    self._scan_expressions(statement.test, scope, nonnull)
+                    self._visit_body(statement.body, scope, in_body)
+                    self._visit_body(statement.orelse, scope, in_else)
+                    continue
+            for expression in self._statement_expressions(statement):
+                self._scan_expressions(expression, scope, nonnull)
+            for body in self._statement_bodies(statement):
+                self._visit_body(body, scope, nonnull)
+
+    def _function_qualname(
+        self, scope: str, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> str:
+        return f"{scope}.{node.name}"
+
+    @staticmethod
+    def _statement_expressions(statement: ast.stmt) -> "Iterator[ast.expr]":
+        for _, value in ast.iter_fields(statement):
+            if isinstance(value, ast.expr):
+                yield value
+            elif isinstance(value, list):
+                for element in value:
+                    if isinstance(element, ast.expr):
+                        yield element
+                    elif isinstance(element, ast.withitem):
+                        yield element.context_expr
+
+    @staticmethod
+    def _statement_bodies(statement: ast.stmt) -> "Iterator[list[ast.stmt]]":
+        for attr in ("body", "orelse", "finalbody"):
+            body = getattr(statement, attr, None)
+            if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+                yield body
+        for handler in getattr(statement, "handlers", ()):
+            yield handler.body
+
+    @staticmethod
+    def _none_test(test: ast.expr) -> "tuple[str | None, bool]":
+        """``(name, True)`` for ``name is not None``, ``(name, False)`` for
+        ``name is None``, ``(None, ...)`` otherwise."""
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+            and isinstance(test.left, ast.Name)
+        ):
+            if isinstance(test.ops[0], ast.IsNot):
+                return test.left.id, True
+            if isinstance(test.ops[0], ast.Is):
+                return test.left.id, False
+        return None, True
+
+    def _scan_expressions(
+        self, expression: ast.expr, scope: str, nonnull: frozenset[str]
+    ) -> None:
+        """Find RNG calls in *expression*, tracking ``IfExp`` None-guards."""
+        if isinstance(expression, ast.IfExp):
+            name, positive = self._none_test(expression.test)
+            if name is not None:
+                in_body = nonnull | {name} if positive else nonnull
+                in_else = nonnull if positive else nonnull | {name}
+                self._scan_expressions(expression.body, scope, in_body)
+                self._scan_expressions(expression.orelse, scope, in_else)
+                self._scan_expressions(expression.test, scope, nonnull)
+                return
+        if isinstance(expression, (ast.Lambda, ast.FunctionDef)):
+            return
+        if isinstance(expression, ast.Call):
+            self._note_call(expression, scope, nonnull)
+        for child in ast.iter_child_nodes(expression):
+            if isinstance(child, ast.expr):
+                self._scan_expressions(child, scope, nonnull)
+            elif isinstance(child, ast.keyword):
+                self._scan_expressions(child.value, scope, nonnull)
+
+    def _note_call(self, node: ast.Call, scope: str, nonnull: frozenset[str]) -> None:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        resolved = self.index.resolve(self.module, dotted)
+        if resolved not in _RNG_CONSTRUCTORS:
+            return
+        seed: "ast.expr | None" = node.args[0] if node.args else None
+        if seed is None:
+            for keyword in node.keywords:
+                if keyword.arg == "seed":
+                    seed = keyword.value
+                    break
+        if seed is None:
+            return  # zero-argument construction: the per-module rule owns it
+        self.sites.append(
+            _Site(
+                constructor=resolved,
+                node=node,
+                scope=scope,
+                module=self.module,
+                seed=seed,
+                nonnull=nonnull,
+            )
+        )
+
+
+class _SeedTracer:
+    """Classifies seed expressions, ascending through call sites."""
+
+    def __init__(self, index: ProjectIndex, graph: CallGraph):
+        self.index = index
+        self.graph = graph
+        self.evidence: list[_Evidence] = []
+
+    # The classifier returns True when the expression is provably fed by a
+    # deterministic value on every path it could take; False means at least
+    # one unseeded flow was recorded in ``self.evidence``.
+
+    def trace(self, site: _Site) -> None:
+        chain = (f"{site.constructor} at {_frame_label(site)}",)
+        self._classify(
+            site.seed, site.scope, site.module, site.nonnull, chain, depth=0,
+            anchor=site.node, visited=frozenset(),
+        )
+
+    def _classify(
+        self,
+        expr: "ast.expr | None",
+        scope: str,
+        module: str,
+        nonnull: frozenset[str],
+        chain: "tuple[str, ...]",
+        depth: int,
+        anchor: ast.AST,
+        visited: "frozenset[tuple[str, str]]",
+    ) -> None:
+        if depth > _MAX_TRACE_DEPTH or expr is None:
+            return
+        if isinstance(expr, ast.Constant):
+            if expr.value is None:
+                self.evidence.append(
+                    _Evidence(anchor, module, chain, "the seed is literally None")
+                )
+            return
+        if isinstance(expr, ast.Name):
+            if expr.id in nonnull:
+                return
+            self._classify_name(
+                expr, scope, module, chain, depth, anchor, visited
+            )
+            return
+        if isinstance(expr, ast.Call):
+            dotted = dotted_name(expr.func)
+            resolved = self.index.resolve(module, dotted) if dotted else None
+            if resolved in _NONDETERMINISTIC or (
+                dotted is not None and dotted in _NONDETERMINISTIC
+            ):
+                self.evidence.append(
+                    _Evidence(
+                        anchor,
+                        module,
+                        chain,
+                        f"the seed comes from nondeterministic {dotted}()",
+                    )
+                )
+            return
+        if isinstance(expr, ast.BinOp):
+            self._classify(
+                expr.left, scope, module, nonnull, chain, depth, anchor, visited
+            )
+            self._classify(
+                expr.right, scope, module, nonnull, chain, depth, anchor, visited
+            )
+            return
+        if isinstance(expr, ast.IfExp):
+            self._classify(
+                expr.body, scope, module, nonnull, chain, depth, anchor, visited
+            )
+            self._classify(
+                expr.orelse, scope, module, nonnull, chain, depth, anchor, visited
+            )
+            return
+        # Attributes (config.seed, self.seed), f-strings over them, tuples,
+        # etc.: assumed config-fed.  Best-effort means no false positives here.
+
+    def _classify_name(
+        self,
+        expr: ast.Name,
+        scope: str,
+        module: str,
+        chain: "tuple[str, ...]",
+        depth: int,
+        anchor: ast.AST,
+        visited: "frozenset[tuple[str, str]]",
+    ) -> None:
+        function = self.index.functions.get(scope)
+        if function is None:
+            return  # module-level name: out of best-effort scope
+        name = expr.id
+        if name in function.params:
+            key = (scope, name)
+            if key in visited:
+                return
+            self._trace_parameter(
+                function, name, chain, depth, visited | {key}
+            )
+            return
+        assigned = _local_assignment(function, name)
+        if assigned is not None:
+            self._classify(
+                assigned, scope, module, frozenset(), chain, depth, anchor, visited
+            )
+
+    def _trace_parameter(
+        self,
+        function: FunctionInfo,
+        param: str,
+        chain: "tuple[str, ...]",
+        depth: int,
+        visited: "frozenset[tuple[str, str]]",
+    ) -> None:
+        call_sites = self.graph.call_sites_of(function.qualname)
+        for call_site in call_sites:
+            passed = _argument_for(function, param, call_site.node, call_site.via_instance)
+            caller_module = call_site.module
+            frame = f"{call_site.caller} at {caller_module}:{call_site.node.lineno}"
+            next_chain = (*chain, f"called from {frame}")
+            if passed is _OMITTED:
+                default = function.defaults.get(param)
+                if (
+                    isinstance(default, ast.Constant)
+                    and default.value is None
+                ):
+                    self.evidence.append(
+                        _Evidence(
+                            call_site.node,
+                            caller_module,
+                            next_chain,
+                            f"no seed is passed for {function.name}()'s "
+                            f"'{param}' (default None)",
+                        )
+                    )
+                continue
+            if passed is _UNKNOWN:
+                continue
+            self._classify(
+                passed,  # type: ignore[arg-type]
+                call_site.caller,
+                caller_module,
+                frozenset(),
+                next_chain,
+                depth + 1,
+                call_site.node,
+                visited,
+            )
+        # A function nobody visibly calls proves nothing; stay silent.
+
+
+class _Sentinel:
+    pass
+
+
+_OMITTED = _Sentinel()
+_UNKNOWN = _Sentinel()
+
+
+def _argument_for(
+    function: FunctionInfo, param: str, call: ast.Call, via_instance: bool
+) -> "ast.expr | _Sentinel":
+    """The expression passed for *param* at *call*, best-effort."""
+    if any(isinstance(argument, ast.Starred) for argument in call.args) or any(
+        keyword.arg is None for keyword in call.keywords
+    ):
+        return _UNKNOWN
+    params = list(function.params)
+    if via_instance and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    for index, argument in enumerate(call.args):
+        if index < len(params) and params[index] == param:
+            return argument
+    for keyword in call.keywords:
+        if keyword.arg == param:
+            return keyword.value
+    return _OMITTED
+
+
+def _local_assignment(function: FunctionInfo, name: str) -> "ast.expr | None":
+    """The last simple ``name = <expr>`` in *function*, if any."""
+    found: "ast.expr | None" = None
+    for node in ast.walk(function.node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == name
+        ):
+            found = node.value
+    return found
+
+
+def _frame_label(site: _Site) -> str:
+    return f"{site.module}:{site.node.lineno}"
+
+
+class UnseededRngFlowRule(ProjectRule):
+    """Flag RNGs whose seed provably fails to flow from config/constants."""
+
+    id = "unseeded-rng-flow"
+    severity = Severity.ERROR
+    description = (
+        "an RNG reaching mediator/mining/fault code must receive a seed that "
+        "flows from configuration — a None default, an omitted argument, or a "
+        "wall-clock seed anywhere along the call chain breaks reproducibility"
+    )
+    rationale = (
+        "The per-module unseeded-rng rule sees one file at a time, so "
+        "random.Random(seed) looks fine even when every caller leaves seed=None.  "
+        "Reproduced figures are only as deterministic as the furthest call site: "
+        "this pass walks seed values across module boundaries the same way the "
+        "planner certifies rewrite precision without issuing source calls — "
+        "statically, before anything runs."
+    )
+
+    def check(self, project: ProjectIndex, graph: CallGraph) -> Iterator[Finding]:
+        tracer = _SeedTracer(project, graph)
+        for module_name in sorted(project.modules):
+            for site in _SiteCollector(project, module_name).collect():
+                tracer.trace(site)
+        if not tracer.evidence:
+            return
+        sensitive_functions = {
+            qualname
+            for qualname, function in project.functions.items()
+            if _module_is_sensitive(function.module)
+        }
+        fed_by_sensitive = graph.reachable(sensitive_functions)
+        seen: set[tuple[str, int, str]] = set()
+        for item in tracer.evidence:
+            if not self._relevant(item, fed_by_sensitive):
+                continue
+            path = project.path_of(item.module)
+            if path is None:  # pragma: no cover - modules always carry paths
+                continue
+            message = (
+                f"unseeded RNG flow: {item.reason}; "
+                f"flow: {' -> '.join(item.chain)}"
+            )
+            key = (str(path), getattr(item.node, "lineno", 1), message)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(path, item.node, message)
+
+    @staticmethod
+    def _relevant(item: _Evidence, fed_by_sensitive: "set[str]") -> bool:
+        if _module_is_sensitive(item.module):
+            return True
+        # chain frames: "constructor at module:line" / "called from fn at module:line"
+        for frame in item.chain:
+            location = frame.rsplit(" at ", 1)[-1]
+            module = location.split(":", 1)[0]
+            if _module_is_sensitive(module):
+                return True
+        construction = item.chain[0]
+        # "random.Random at module:line" — relevance via reachability from
+        # sensitive code is keyed on the constructing scope's module.
+        location = construction.rsplit(" at ", 1)[-1]
+        module = location.split(":", 1)[0]
+        return any(fn.startswith(module + ".") for fn in fed_by_sensitive)

@@ -1,0 +1,414 @@
+"""The whole-program index: every module parsed once, symbols resolved.
+
+A :class:`ProjectIndex` is built from the same :class:`ModuleContext`
+objects the per-module rules consume — the tree is parsed exactly once
+per lint run — and adds the three things module-local analysis cannot
+have:
+
+* a **module registry** mapping dotted names to parsed modules,
+* a **symbol table** of every class, function, method and nested
+  function, keyed by qualified name (``repro.engine.executor.
+  ConcurrentExecutor.map``),
+* **name resolution**: per-module import bindings (``import numpy as
+  np``, ``from .plan import FaultPlan``) plus re-export chasing, so
+  ``np.random.default_rng`` and a symbol imported through a package
+  ``__init__`` both resolve to their defining qualified name.
+
+Resolution is deliberately best-effort: anything dynamic (``getattr``,
+star imports, reassignment) resolves to ``None`` and downstream passes
+treat it conservatively.  The index also infers instance-attribute types
+from ``self.x = ClassName(...)`` assignments in ``__init__`` /
+``__post_init__`` and from annotated dataclass fields, which is what
+lets the concurrency pass follow ``self.statistics.record(...)`` into
+:class:`AccessStatistics`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.framework import ModuleContext
+
+__all__ = ["ClassInfo", "FunctionInfo", "ModuleInfo", "ProjectIndex", "dotted_name"]
+
+
+def dotted_name(node: ast.AST) -> "str | None":
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything richer."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class FunctionInfo:
+    """One function, method, or nested function."""
+
+    qualname: str
+    module: str
+    name: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    lineno: int
+    class_qualname: "str | None" = None
+    params: "tuple[str, ...]" = ()
+    defaults: "dict[str, ast.expr]" = field(default_factory=dict)
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_qualname is not None
+
+    def __repr__(self) -> str:
+        return f"<FunctionInfo {self.qualname}>"
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods, bases, and inferred attribute types."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    lineno: int
+    methods: "dict[str, FunctionInfo]" = field(default_factory=dict)
+    base_names: "tuple[str, ...]" = ()
+    #: ``self.<attr>`` -> qualified class name, inferred from constructor
+    #: assignments and annotated class-level fields.
+    attr_types: "dict[str, str]" = field(default_factory=dict)
+    #: raw ``(attr, dotted constructor / annotation name)`` pairs, resolved
+    #: into :attr:`attr_types` once the whole project is indexed.
+    _raw_attr_sources: "list[tuple[str, str]]" = field(default_factory=list, repr=False)
+
+    def __repr__(self) -> str:
+        return f"<ClassInfo {self.qualname}>"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its local name bindings."""
+
+    name: str
+    path: Path
+    tree: ast.Module
+    #: local name -> qualified target ("np" -> "numpy", "Random" -> "random.Random")
+    bindings: "dict[str, str]" = field(default_factory=dict)
+    classes: "dict[str, ClassInfo]" = field(default_factory=dict)
+    functions: "dict[str, FunctionInfo]" = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"<ModuleInfo {self.name}>"
+
+
+_ATTR_INIT_METHODS = ("__init__", "__post_init__")
+
+
+class ProjectIndex:
+    """Symbol tables and name resolution over one parsed tree."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self._methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self._paths: dict[str, Path] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+
+    @classmethod
+    def build(cls, contexts: Iterable[ModuleContext]) -> "ProjectIndex":
+        index = cls()
+        for context in contexts:
+            index._add_module(context)
+        index._resolve_attr_types()
+        return index
+
+    def _add_module(self, context: ModuleContext) -> None:
+        module = ModuleInfo(name=context.module, path=context.path, tree=context.tree)
+        self.modules[module.name] = module
+        self._paths[module.name] = context.path
+        is_init = context.path.name == "__init__.py"
+        self._collect_bindings(module, is_init)
+        for statement in context.tree.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._register_function(module, statement, parent=module.name)
+                module.functions[info.name] = info
+            elif isinstance(statement, ast.ClassDef):
+                self._register_class(module, statement)
+
+    def _collect_bindings(self, module: ModuleInfo, is_init: bool) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        module.bindings[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        module.bindings[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_import_base(module.name, node, is_init)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    module.bindings[bound] = f"{base}.{alias.name}" if base else alias.name
+
+    @staticmethod
+    def _resolve_import_base(
+        module_name: str, node: ast.ImportFrom, is_init: bool
+    ) -> "str | None":
+        if node.level == 0:
+            return node.module or ""
+        parts = module_name.split(".")
+        if not is_init:
+            parts = parts[:-1]
+        ascend = node.level - 1
+        if ascend > len(parts):
+            return None
+        if ascend:
+            parts = parts[:-ascend]
+        if node.module:
+            parts = parts + node.module.split(".")
+        return ".".join(parts)
+
+    def _register_function(
+        self,
+        module: ModuleInfo,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        parent: str,
+        class_qualname: "str | None" = None,
+    ) -> FunctionInfo:
+        qualname = f"{parent}.{node.name}"
+        arguments = node.args
+        params = tuple(
+            arg.arg
+            for arg in (*arguments.posonlyargs, *arguments.args, *arguments.kwonlyargs)
+        )
+        defaults: dict[str, ast.expr] = {}
+        positional = [*arguments.posonlyargs, *arguments.args]
+        for arg, default in zip(positional[len(positional) - len(arguments.defaults):],
+                                arguments.defaults):
+            defaults[arg.arg] = default
+        for arg, default in zip(arguments.kwonlyargs, arguments.kw_defaults):
+            if default is not None:
+                defaults[arg.arg] = default
+        info = FunctionInfo(
+            qualname=qualname,
+            module=module.name,
+            name=node.name,
+            node=node,
+            lineno=node.lineno,
+            class_qualname=class_qualname,
+            params=params,
+            defaults=defaults,
+        )
+        self.functions[qualname] = info
+        if class_qualname is not None:
+            self._methods_by_name.setdefault(node.name, []).append(info)
+        for nested in ast.walk(node):
+            if nested is node:
+                continue
+            if isinstance(nested, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # One level of nesting is enough for the passes; deeper
+                # nesting registers under its textual parent regardless.
+                nested_qual = f"{qualname}.{nested.name}"
+                if nested_qual not in self.functions:
+                    self.functions[nested_qual] = FunctionInfo(
+                        qualname=nested_qual,
+                        module=module.name,
+                        name=nested.name,
+                        node=nested,
+                        lineno=nested.lineno,
+                        params=tuple(
+                            arg.arg
+                            for arg in (
+                                *nested.args.posonlyargs,
+                                *nested.args.args,
+                                *nested.args.kwonlyargs,
+                            )
+                        ),
+                    )
+        return info
+
+    def _register_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{module.name}.{node.name}"
+        bases = tuple(
+            name for name in (dotted_name(base) for base in node.bases) if name
+        )
+        info = ClassInfo(
+            qualname=qualname,
+            module=module.name,
+            name=node.name,
+            node=node,
+            lineno=node.lineno,
+            base_names=bases,
+        )
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = self._register_function(
+                    module, statement, parent=qualname, class_qualname=qualname
+                )
+                info.methods[method.name] = method
+            elif isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                self._note_field_type(info, statement)
+        for method_name in _ATTR_INIT_METHODS:
+            method = info.methods.get(method_name)
+            if method is None:
+                continue
+            for assign in ast.walk(method.node):
+                if not isinstance(assign, ast.Assign) or len(assign.targets) != 1:
+                    continue
+                target = assign.targets[0]
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and isinstance(assign.value, ast.Call)
+                ):
+                    constructor = dotted_name(assign.value.func)
+                    if constructor:
+                        info._raw_attr_sources.append((target.attr, constructor))
+        module.classes[info.name] = info
+        self.classes[qualname] = info
+
+    @staticmethod
+    def _note_field_type(info: ClassInfo, statement: ast.AnnAssign) -> None:
+        """Record a dataclass-style field's type source (annotation or factory)."""
+        attr = statement.target.id  # type: ignore[union-attr]
+        value = statement.value
+        if isinstance(value, ast.Call):
+            factory = next(
+                (
+                    keyword.value
+                    for keyword in value.keywords
+                    if keyword.arg == "default_factory"
+                ),
+                None,
+            )
+            if factory is not None:
+                name = dotted_name(factory)
+                if name:
+                    info._raw_attr_sources.append((attr, name))
+                    return
+        annotation = dotted_name(statement.annotation)
+        if annotation:
+            info._raw_attr_sources.append((attr, annotation))
+
+    def _resolve_attr_types(self) -> None:
+        for cls in self.classes.values():
+            module = self.modules[cls.module]
+            for attr, source in cls._raw_attr_sources:
+                resolved = self.resolve(module, source)
+                if resolved in self.classes:
+                    cls.attr_types[attr] = resolved
+
+    # ------------------------------------------------------------------ #
+    # Resolution and queries
+
+    def resolve(self, module: "ModuleInfo | str", dotted: str) -> "str | None":
+        """The qualified name *dotted* refers to inside *module*, best-effort.
+
+        Local definitions shadow imports; unresolvable heads give ``None``.
+        The result is canonicalized through re-export chains, so a symbol
+        imported via a package ``__init__`` resolves to where it is defined.
+        """
+        if isinstance(module, str):
+            found = self.modules.get(module)
+            if found is None:
+                return None
+            module = found
+        head, _, rest = dotted.partition(".")
+        if head in module.classes or head in module.functions:
+            target = f"{module.name}.{head}"
+        elif head in module.bindings:
+            target = module.bindings[head]
+        else:
+            return None
+        if rest:
+            target = f"{target}.{rest}"
+        return self.canonicalize(target)
+
+    def canonicalize(self, qualified: str) -> str:
+        """Chase *qualified* through module re-exports to its definition."""
+        for _ in range(8):
+            if qualified in self.classes or qualified in self.functions:
+                return qualified
+            module = self._longest_module_prefix(qualified)
+            if module is None:
+                return qualified
+            remainder = qualified[len(module.name) + 1 :]
+            if not remainder:
+                return qualified
+            head, _, rest = remainder.partition(".")
+            if head in module.classes or head in module.functions:
+                resolved = f"{module.name}.{head}"
+            elif head in module.bindings:
+                resolved = module.bindings[head]
+            else:
+                return qualified
+            candidate = f"{resolved}.{rest}" if rest else resolved
+            if candidate == qualified:
+                return qualified
+            qualified = candidate
+        return qualified
+
+    def _longest_module_prefix(self, qualified: str) -> "ModuleInfo | None":
+        parts = qualified.split(".")
+        for cut in range(len(parts), 0, -1):
+            module = self.modules.get(".".join(parts[:cut]))
+            if module is not None and cut < len(parts):
+                return module
+        return None
+
+    def methods_named(self, name: str) -> Sequence[FunctionInfo]:
+        """Every method in the project with this name (CHA-style fallback)."""
+        return tuple(self._methods_by_name.get(name, ()))
+
+    def class_of(self, function: "FunctionInfo | str") -> "ClassInfo | None":
+        if isinstance(function, str):
+            found = self.functions.get(function)
+            if found is None:
+                return None
+            function = found
+        if function.class_qualname is None:
+            return None
+        return self.classes.get(function.class_qualname)
+
+    def path_of(self, module_name: str) -> "Path | None":
+        return self._paths.get(module_name)
+
+    def method_in_hierarchy(self, cls: ClassInfo, name: str) -> "FunctionInfo | None":
+        """Resolve *name* on *cls*, walking project-local base classes."""
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            method = current.methods.get(name)
+            if method is not None:
+                return method
+            module = self.modules.get(current.module)
+            for base in current.base_names:
+                resolved = self.resolve(module, base) if module else None
+                if resolved and resolved in self.classes:
+                    stack.append(self.classes[resolved])
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProjectIndex {len(self.modules)} modules, "
+            f"{len(self.classes)} classes, {len(self.functions)} functions>"
+        )

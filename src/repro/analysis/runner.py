@@ -5,6 +5,22 @@ The runner maps files to dotted module names by walking up through
 ``raw-relation-access`` over ``repro.core``) see the same names imports
 use.  Package-level suppressions declared in an ``__init__.py`` apply to
 every module beneath it.
+
+Each file is parsed exactly once: the resulting :class:`ModuleContext`
+objects feed the per-module rules *and* — when the linted set contains a
+package — the whole-program passes
+(:class:`~repro.analysis.framework.ProjectRule`), whose findings are
+routed back through the owning module's suppression index.
+
+Beyond rule findings, the runner emits three pseudo-rules of its own:
+
+* ``parse-error`` — a file failed to parse (always on; one broken file
+  cannot mask findings in the rest of the tree);
+* ``misplaced-directive`` — a ``disable-package`` directive outside a
+  package ``__init__.py`` (always on; the directive is ignored there);
+* ``unused-suppression`` — a directive that suppressed nothing, or names
+  an unknown rule (only with ``strict_suppressions``; package directives
+  are aggregated across every module they cover before being judged).
 """
 
 from __future__ import annotations
@@ -16,14 +32,25 @@ from typing import Iterable, Iterator, Sequence
 from repro.analysis.framework import (
     Finding,
     ModuleContext,
+    ProjectRule,
     Rule,
     Severity,
     parse_directives,
 )
 
-__all__ = ["LintReport", "lint_paths", "lint_context", "iter_python_files", "module_name_for"]
+__all__ = [
+    "LintReport",
+    "lint_paths",
+    "lint_context",
+    "iter_python_files",
+    "module_name_for",
+    "PSEUDO_RULE_IDS",
+]
 
 _SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv", "build", "dist"})
+
+#: Findings the runner itself may emit, valid in ``--select`` / directives.
+PSEUDO_RULE_IDS = ("parse-error", "misplaced-directive", "unused-suppression")
 
 
 @dataclass
@@ -75,21 +102,52 @@ def module_name_for(path: Path) -> str:
     return ".".join(reversed(parts))
 
 
-def _package_suppressions(path: Path, cache: "dict[Path, frozenset[str]]") -> frozenset[str]:
+def _package_declarations(
+    directory: Path, cache: "dict[Path, dict[str, int]]"
+) -> "dict[str, int]":
+    """``rule -> declaring line`` from *directory*'s ``__init__.py``, cached."""
+    if directory not in cache:
+        declared: dict[str, int] = {}
+        source = (directory / "__init__.py").read_text(encoding="utf-8")
+        for kind, line, names in parse_directives(source):
+            if kind == "disable-package":
+                for name in names:
+                    declared.setdefault(name, line)
+        cache[directory] = declared
+    return cache[directory]
+
+
+def _package_suppressions(
+    path: Path, cache: "dict[Path, dict[str, int]]"
+) -> frozenset[str]:
     """Union of disable-package rules from every enclosing ``__init__.py``."""
     rules: set[str] = set()
     parent = path.resolve().parent
     while (parent / "__init__.py").exists():
-        if parent not in cache:
-            collected: set[str] = set()
-            source = (parent / "__init__.py").read_text(encoding="utf-8")
-            for kind, __, names in parse_directives(source):
-                if kind == "disable-package":
-                    collected.update(names)
-            cache[parent] = frozenset(collected)
-        rules.update(cache[parent])
+        rules.update(_package_declarations(parent, cache))
         parent = parent.parent
     return frozenset(rules)
+
+
+def _misplaced_directive_findings(context: ModuleContext) -> "list[Finding]":
+    findings: list[Finding] = []
+    for line, rules in context.suppressions.misplaced_package_directives:
+        findings.append(
+            Finding(
+                path=str(context.path),
+                line=line,
+                column=1,
+                rule="misplaced-directive",
+                severity=Severity.WARNING,
+                message=(
+                    f"disable-package={','.join(sorted(rules))} is only honoured "
+                    "in a package __init__.py and is ignored here; use "
+                    "disable-file, or move the directive into the package "
+                    "__init__.py"
+                ),
+            )
+        )
+    return findings
 
 
 def lint_context(context: ModuleContext, rules: Iterable[Rule]) -> LintReport:
@@ -101,24 +159,127 @@ def lint_context(context: ModuleContext, rules: Iterable[Rule]) -> LintReport:
                 report.suppressed_count += 1
             else:
                 report.findings.append(finding)
+    for finding in _misplaced_directive_findings(context):
+        if context.suppressions.is_suppressed(finding):
+            report.suppressed_count += 1
+        else:
+            report.findings.append(finding)
     report.sort()
     return report
 
 
+def _run_project_rules(
+    contexts: Sequence[ModuleContext],
+    project_rules: Sequence[ProjectRule],
+    report: LintReport,
+) -> None:
+    from repro.analysis.project import ProjectIndex, build_call_graph
+
+    index = ProjectIndex.build(contexts)
+    graph = build_call_graph(index)
+    by_path = {str(context.path): context for context in contexts}
+    for rule in project_rules:
+        for finding in rule.check(index, graph):
+            owner = by_path.get(finding.path)
+            if owner is not None and owner.suppressions.is_suppressed(finding):
+                report.suppressed_count += 1
+            else:
+                report.findings.append(finding)
+
+
+def _mark_package_usage(
+    contexts: Sequence[ModuleContext],
+    cache: "dict[Path, dict[str, int]]",
+) -> "set[tuple[Path, str]]":
+    """``(package dir, rule)`` pairs whose directive suppressed something."""
+    used: set[tuple[Path, str]] = set()
+    for context in contexts:
+        fired = context.suppressions.used_package_rules
+        if not fired:
+            continue
+        parent = context.path.resolve().parent
+        while (parent / "__init__.py").exists():
+            declared = cache.get(parent, {})
+            used.update((parent, rule) for rule in fired if rule in declared)
+            parent = parent.parent
+    return used
+
+
+def _unused_suppression_findings(
+    contexts: Sequence[ModuleContext],
+    active: frozenset[str],
+    known: frozenset[str],
+    cache: "dict[Path, dict[str, int]]",
+) -> "list[Finding]":
+    findings: list[Finding] = []
+    for context in contexts:
+        for line, rule, why in context.suppressions.unused_directives(active, known):
+            findings.append(
+                Finding(
+                    path=str(context.path),
+                    line=line,
+                    column=1,
+                    rule="unused-suppression",
+                    severity=Severity.WARNING,
+                    message=f"suppression of '{rule}' is stale: {why}",
+                )
+            )
+    used_pairs = _mark_package_usage(contexts, cache)
+    for context in contexts:
+        if context.path.name != "__init__.py":
+            continue
+        directory = context.path.resolve().parent
+        for rule, line in sorted(cache.get(directory, {}).items()):
+            if rule in known:
+                if rule not in active or (directory, rule) in used_pairs:
+                    continue
+                why = "it suppressed nothing anywhere in the package"
+            else:
+                why = "unknown rule"
+            findings.append(
+                Finding(
+                    path=str(context.path),
+                    line=line,
+                    column=1,
+                    rule="unused-suppression",
+                    severity=Severity.WARNING,
+                    message=f"disable-package of '{rule}' is stale: {why}",
+                )
+            )
+    return findings
+
+
 def lint_paths(
-    paths: Sequence["Path | str"], rules: "Iterable[Rule] | None" = None
+    paths: Sequence["Path | str"],
+    rules: "Iterable[Rule] | None" = None,
+    *,
+    project_rules: "Iterable[ProjectRule] | None" = None,
+    include_project: bool = True,
+    strict_suppressions: bool = False,
 ) -> LintReport:
     """Lint every Python file under *paths* and return the merged report.
 
     Files that fail to parse contribute a ``parse-error`` finding rather
     than aborting the run, so one broken file cannot mask findings in the
-    rest of the tree.
+    rest of the tree.  Whole-program passes run when the linted set
+    contains at least one package ``__init__.py`` (there is no "project"
+    to analyse in a bag of loose scripts); ``include_project=False``
+    (the CLI's ``--no-project``) skips them outright.  With
+    ``strict_suppressions``, directives that suppressed nothing become
+    ``unused-suppression`` findings.
     """
-    from repro.analysis.rules import default_rules
+    from repro.analysis.rules import default_project_rules, default_rules
 
     active = list(rules) if rules is not None else default_rules()
+    project_active: "list[ProjectRule]" = []
+    if include_project:
+        project_active = (
+            list(project_rules) if project_rules is not None else default_project_rules()
+        )
     report = LintReport()
-    package_cache: "dict[Path, frozenset[str]]" = {}
+    package_cache: "dict[Path, dict[str, int]]" = {}
+    contexts: list[ModuleContext] = []
+    has_package = False
     for file_path in iter_python_files([Path(p) for p in paths]):
         try:
             context = ModuleContext.from_file(file_path, module_name_for(file_path))
@@ -135,9 +296,30 @@ def lint_paths(
             )
             report.files_checked += 1
             continue
+        if file_path.name == "__init__.py":
+            has_package = True
         context.suppressions.add_package_rules(
             _package_suppressions(file_path, package_cache)
         )
+        contexts.append(context)
         report.merge(lint_context(context, active))
+    ran_project = bool(project_active) and has_package and bool(contexts)
+    if ran_project:
+        _run_project_rules(contexts, project_active, report)
+    if strict_suppressions:
+        from repro.analysis.rules import project_rule_ids, rule_ids
+
+        active_ids = frozenset(rule.id for rule in active) | frozenset(
+            rule.id for rule in (project_active if ran_project else ())
+        )
+        known_ids = (
+            frozenset(rule_ids())
+            | frozenset(project_rule_ids())
+            | frozenset(PSEUDO_RULE_IDS)
+            | active_ids
+        )
+        report.findings.extend(
+            _unused_suppression_findings(contexts, active_ids, known_ids, package_cache)
+        )
     report.sort()
     return report

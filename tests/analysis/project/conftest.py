@@ -1,0 +1,60 @@
+"""Shared helpers for the whole-program analysis tests.
+
+Fixture packages are written to ``tmp_path`` as real files (never checked
+into the tree — the CI lint covers ``tests/``, and a known-bad fixture
+module would fail it) and then indexed exactly the way the runner does.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.framework import ModuleContext
+from repro.analysis.project import CallGraph, ProjectIndex, build_call_graph
+from repro.analysis.runner import (
+    LintReport,
+    iter_python_files,
+    lint_paths,
+    module_name_for,
+)
+
+
+def write_tree(root: Path, files: "dict[str, str]") -> None:
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def build_project(root: Path, files: "dict[str, str]") -> "tuple[ProjectIndex, CallGraph]":
+    write_tree(root, files)
+    contexts = [
+        ModuleContext.from_file(path, module_name_for(path))
+        for path in iter_python_files([root])
+    ]
+    index = ProjectIndex.build(contexts)
+    return index, build_call_graph(index)
+
+
+@pytest.fixture()
+def project(tmp_path):
+    """``project(files) -> (index, graph)`` over a dict of relative paths."""
+
+    def build(files: "dict[str, str]"):
+        return build_project(tmp_path, files)
+
+    return build
+
+
+@pytest.fixture()
+def run_pass(tmp_path):
+    """``run_pass(rule, files) -> LintReport`` with only that project pass."""
+
+    def run(rule, files: "dict[str, str]", **kwargs) -> LintReport:
+        write_tree(tmp_path, files)
+        return lint_paths([tmp_path], rules=[], project_rules=[rule], **kwargs)
+
+    return run

@@ -1,0 +1,217 @@
+"""CallGraph: edge construction, escapes, thread reachability."""
+
+from __future__ import annotations
+
+
+class TestEdges:
+    def test_direct_function_edge(self, project):
+        _, graph = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    def callee():
+                        return 1
+
+                    def caller():
+                        return callee()
+                """,
+            }
+        )
+        assert "pkg.mod.callee" in graph.callees("pkg.mod.caller")
+        sites = graph.call_sites_of("pkg.mod.callee")
+        assert len(sites) == 1 and sites[0].caller == "pkg.mod.caller"
+
+    def test_self_method_edge(self, project):
+        _, graph = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    class C:
+                        def a(self):
+                            return self.b()
+
+                        def b(self):
+                            return 1
+                """,
+            }
+        )
+        assert "pkg.mod.C.b" in graph.callees("pkg.mod.C.a")
+
+    def test_local_constructor_typed_receiver(self, project):
+        _, graph = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    class Stats:
+                        def record(self):
+                            return 1
+
+                    def use():
+                        stats = Stats()
+                        stats.record()
+                """,
+            }
+        )
+        assert "pkg.mod.Stats.record" in graph.callees("pkg.mod.use")
+
+    def test_self_attr_typed_receiver(self, project):
+        _, graph = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    class Stats:
+                        def record(self):
+                            return 1
+
+                    class Owner:
+                        def __init__(self):
+                            self.stats = Stats()
+
+                        def go(self):
+                            self.stats.record()
+                """,
+            }
+        )
+        assert "pkg.mod.Stats.record" in graph.callees("pkg.mod.Owner.go")
+
+    def test_unresolved_receiver_degrades_to_dynamic_edge(self, project):
+        _, graph = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    def use(source):
+                        return source.execute()
+                """,
+            }
+        )
+        assert "execute" in graph.dynamic_names("pkg.mod.use")
+
+    def test_dynamic_edges_fan_out_during_reachability(self, project):
+        _, graph = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/impl.py": """
+                    class Real:
+                        def execute(self):
+                            return self.helper()
+
+                        def helper(self):
+                            return 1
+                """,
+                "pkg/mod.py": """
+                    def use(source):
+                        return source.execute()
+                """,
+            }
+        )
+        reached = graph.reachable({"pkg.mod.use"})
+        assert "pkg.impl.Real.execute" in reached
+        assert "pkg.impl.Real.helper" in reached
+
+
+class TestThreads:
+    def test_no_machinery_means_no_entry_points(self, project):
+        _, graph = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    def f():
+                        return 1
+
+                    def g():
+                        return f()
+                """,
+            }
+        )
+        assert not graph.has_thread_machinery
+        assert graph.thread_entry_points() == set()
+        assert graph.thread_reachable() == set()
+
+    def test_submit_argument_becomes_thread_root(self, project):
+        _, graph = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    class Stats:
+                        def record(self):
+                            return 1
+
+                    def run():
+                        stats = Stats()
+                        with ThreadPoolExecutor(max_workers=2) as pool:
+                            pool.submit(stats.record)
+                """,
+            }
+        )
+        assert graph.has_thread_machinery
+        assert "pkg.mod.Stats.record" in graph.thread_roots
+        assert "pkg.mod.Stats.record" in graph.thread_reachable()
+
+    def test_thread_target_becomes_thread_root(self, project):
+        _, graph = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    import threading
+
+                    def work():
+                        return 1
+
+                    def run():
+                        threading.Thread(target=work).start()
+                """,
+            }
+        )
+        assert "pkg.mod.work" in graph.thread_roots
+
+    def test_escaped_callables_count_when_machinery_present(self, project):
+        _, graph = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/pooled.py": """
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    def run(tasks):
+                        with ThreadPoolExecutor() as pool:
+                            for task in tasks:
+                                pool.submit(task)
+                """,
+                "pkg/mod.py": """
+                    def work():
+                        return 1
+
+                    def enqueue(queue):
+                        queue.append(work)
+                """,
+            }
+        )
+        assert "pkg.mod.work" in graph.escaped
+        assert "pkg.mod.work" in graph.thread_entry_points()
+
+    def test_lambda_is_escaped_pseudo_node_with_edges(self, project):
+        _, graph = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/pooled.py": """
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    def run(thunk):
+                        with ThreadPoolExecutor() as pool:
+                            pool.submit(thunk)
+                """,
+                "pkg/mod.py": """
+                    class Engine:
+                        def _issue(self):
+                            return 1
+
+                        def _runner(self):
+                            return lambda: self._issue()
+                """,
+            }
+        )
+        lambdas = [name for name in graph.lambdas if name.startswith("pkg.mod.Engine._runner")]
+        assert len(lambdas) == 1
+        assert "pkg.mod.Engine._issue" in graph.callees(lambdas[0])
+        assert "pkg.mod.Engine._issue" in graph.thread_reachable()

@@ -1,0 +1,213 @@
+"""The unseeded-rng-flow pass over known-good/known-bad fixtures."""
+
+from __future__ import annotations
+
+from repro.analysis.project import UnseededRngFlowRule
+
+
+def _rule():
+    return UnseededRngFlowRule()
+
+
+class TestKnownBad:
+    def test_omitted_seed_crossing_into_mediator_code_is_flagged(self, run_pass):
+        report = run_pass(
+            _rule(),
+            {
+                "app/__init__.py": "",
+                "app/util.py": """
+                    import random
+
+                    def make_rng(seed=None):
+                        return random.Random(seed)
+                """,
+                "app/core/__init__.py": "",
+                "app/core/mediator.py": """
+                    from app.util import make_rng
+
+                    def mediate():
+                        rng = make_rng()
+                        return rng.random()
+                """,
+            },
+        )
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.rule == "unseeded-rng-flow"
+        assert finding.path.endswith("mediator.py")
+        assert "default None" in finding.message
+        assert "random.Random" in finding.message
+
+    def test_explicit_none_passed_through_helper_is_flagged(self, run_pass):
+        report = run_pass(
+            _rule(),
+            {
+                "app/__init__.py": "",
+                "app/util.py": """
+                    import random
+
+                    def make_rng(seed):
+                        return random.Random(seed)
+                """,
+                "app/core/__init__.py": "",
+                "app/core/mediator.py": """
+                    from app.util import make_rng
+
+                    def mediate():
+                        return make_rng(None)
+                """,
+            },
+        )
+        assert len(report.findings) == 1
+        assert "literally None" in report.findings[0].message
+
+    def test_wall_clock_seed_in_sensitive_module_is_flagged(self, run_pass):
+        report = run_pass(
+            _rule(),
+            {
+                "app/__init__.py": "",
+                "app/core/__init__.py": "",
+                "app/core/sampler.py": """
+                    import random
+                    import time
+
+                    def sample():
+                        return random.Random(time.time())
+                """,
+            },
+        )
+        assert len(report.findings) == 1
+        assert "nondeterministic" in report.findings[0].message
+
+    def test_numpy_default_rng_is_covered(self, run_pass):
+        report = run_pass(
+            _rule(),
+            {
+                "app/__init__.py": "",
+                "app/mining/__init__.py": "",
+                "app/mining/probe.py": """
+                    import numpy as np
+
+                    def probe():
+                        return np.random.default_rng(None)
+                """,
+            },
+        )
+        assert len(report.findings) == 1
+
+
+class TestKnownGood:
+    def test_seed_flowing_from_caller_is_clean(self, run_pass):
+        report = run_pass(
+            _rule(),
+            {
+                "app/__init__.py": "",
+                "app/util.py": """
+                    import random
+
+                    def make_rng(seed=None):
+                        return random.Random(seed)
+                """,
+                "app/core/__init__.py": "",
+                "app/core/mediator.py": """
+                    from app.util import make_rng
+
+                    def mediate(config):
+                        return make_rng(config.seed)
+                """,
+            },
+        )
+        assert report.findings == []
+
+    def test_constant_seed_is_clean(self, run_pass):
+        report = run_pass(
+            _rule(),
+            {
+                "app/__init__.py": "",
+                "app/core/__init__.py": "",
+                "app/core/sampler.py": """
+                    import random
+
+                    def sample():
+                        return random.Random(7)
+                """,
+            },
+        )
+        assert report.findings == []
+
+    def test_none_guard_is_respected(self, run_pass):
+        report = run_pass(
+            _rule(),
+            {
+                "app/__init__.py": "",
+                "app/core/__init__.py": "",
+                "app/core/jitter.py": """
+                    import random
+
+                    def build(jitter_seed=None):
+                        rng = None if jitter_seed is None else random.Random(jitter_seed)
+                        return rng
+                """,
+            },
+        )
+        assert report.findings == []
+
+    def test_zero_arg_construction_is_left_to_module_rule(self, run_pass):
+        # random.Random() with no argument is the per-module unseeded-rng
+        # rule's finding; the flow pass must not duplicate it.
+        report = run_pass(
+            _rule(),
+            {
+                "app/__init__.py": "",
+                "app/core/__init__.py": "",
+                "app/core/sampler.py": """
+                    import random
+
+                    def sample():
+                        return random.Random()
+                """,
+            },
+        )
+        assert report.findings == []
+
+    def test_flow_outside_sensitive_code_is_ignored(self, run_pass):
+        report = run_pass(
+            _rule(),
+            {
+                "app/__init__.py": "",
+                "app/util.py": """
+                    import random
+
+                    def make_rng(seed=None):
+                        return random.Random(seed)
+                """,
+                "app/scripts.py": """
+                    from app.util import make_rng
+
+                    def demo():
+                        return make_rng()
+                """,
+            },
+        )
+        assert report.findings == []
+
+
+class TestSuppression:
+    def test_line_directive_suppresses_the_finding(self, run_pass):
+        report = run_pass(
+            _rule(),
+            {
+                "app/__init__.py": "",
+                "app/core/__init__.py": "",
+                "app/core/sampler.py": """
+                    import random
+                    import time
+
+                    def sample():
+                        # Demo-only path; figures never run through it.
+                        return random.Random(time.time())  # qpiadlint: disable=unseeded-rng-flow
+                """,
+            },
+        )
+        assert report.findings == []
+        assert report.suppressed_count == 1

@@ -1,0 +1,190 @@
+"""ProjectIndex: module registry, symbol tables, name resolution."""
+
+from __future__ import annotations
+
+
+class TestRegistry:
+    def test_modules_classes_functions_registered(self, project):
+        index, _ = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    class Widget:
+                        def spin(self):
+                            return 1
+
+                    def helper():
+                        return 2
+                """,
+            }
+        )
+        assert "pkg.mod" in index.modules
+        assert "pkg.mod.Widget" in index.classes
+        assert "pkg.mod.Widget.spin" in index.functions
+        assert "pkg.mod.helper" in index.functions
+
+    def test_nested_functions_registered_under_parent(self, project):
+        index, _ = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    def outer():
+                        def inner():
+                            return 1
+                        return inner
+                """,
+            }
+        )
+        assert "pkg.mod.outer.inner" in index.functions
+
+    def test_function_params_and_defaults(self, project):
+        index, _ = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    def f(a, b=2, *, c=None):
+                        return a
+                """,
+            }
+        )
+        info = index.functions["pkg.mod.f"]
+        assert info.params == ("a", "b", "c")
+        assert set(info.defaults) == {"b", "c"}
+        assert info.defaults["c"].value is None
+
+
+class TestResolution:
+    def test_import_alias_resolves(self, project):
+        index, _ = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": "import numpy as np\n",
+            }
+        )
+        assert index.resolve("pkg.mod", "np.random.default_rng") == (
+            "numpy.random.default_rng"
+        )
+
+    def test_from_import_resolves(self, project):
+        index, _ = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/impl.py": "class Thing:\n    pass\n",
+                "pkg/mod.py": "from pkg.impl import Thing\n",
+            }
+        )
+        assert index.resolve("pkg.mod", "Thing") == "pkg.impl.Thing"
+
+    def test_relative_import_resolves(self, project):
+        index, _ = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/impl.py": "def f():\n    return 1\n",
+                "pkg/mod.py": "from .impl import f\n",
+            }
+        )
+        assert index.resolve("pkg.mod", "f") == "pkg.impl.f"
+
+    def test_reexport_chain_is_chased(self, project):
+        index, _ = project(
+            {
+                "pkg/__init__.py": "from pkg.impl import Thing\n",
+                "pkg/impl.py": "class Thing:\n    pass\n",
+                "other.py": "from pkg import Thing\n",
+            }
+        )
+        assert index.resolve("other", "Thing") == "pkg.impl.Thing"
+
+    def test_local_definition_shadows_import(self, project):
+        index, _ = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/impl.py": "class Thing:\n    pass\n",
+                "pkg/mod.py": """
+                    from pkg.impl import Thing  # noqa: F401
+
+                    class Thing:
+                        pass
+                """,
+            }
+        )
+        assert index.resolve("pkg.mod", "Thing") == "pkg.mod.Thing"
+
+    def test_unresolvable_head_gives_none(self, project):
+        index, _ = project({"pkg/__init__.py": "", "pkg/mod.py": "x = 1\n"})
+        assert index.resolve("pkg.mod", "mystery.call") is None
+
+
+class TestAttrTypes:
+    def test_constructor_assignment_infers_type(self, project):
+        index, _ = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/stats.py": "class Stats:\n    pass\n",
+                "pkg/owner.py": """
+                    from pkg.stats import Stats
+
+                    class Owner:
+                        def __init__(self):
+                            self.stats = Stats()
+                """,
+            }
+        )
+        owner = index.classes["pkg.owner.Owner"]
+        assert owner.attr_types == {"stats": "pkg.stats.Stats"}
+
+    def test_dataclass_field_annotation_and_factory(self, project):
+        index, _ = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    from dataclasses import dataclass, field
+
+                    class Inner:
+                        pass
+
+                    @dataclass
+                    class Holder:
+                        direct: Inner
+                        made: Inner = field(default_factory=Inner)
+                """,
+            }
+        )
+        holder = index.classes["pkg.mod.Holder"]
+        assert holder.attr_types["direct"] == "pkg.mod.Inner"
+        assert holder.attr_types["made"] == "pkg.mod.Inner"
+
+
+class TestHierarchy:
+    def test_method_in_hierarchy_walks_bases(self, project):
+        index, _ = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/base.py": """
+                    class Base:
+                        def shared(self):
+                            return 1
+                """,
+                "pkg/sub.py": """
+                    from pkg.base import Base
+
+                    class Sub(Base):
+                        pass
+                """,
+            }
+        )
+        sub = index.classes["pkg.sub.Sub"]
+        method = index.method_in_hierarchy(sub, "shared")
+        assert method is not None
+        assert method.qualname == "pkg.base.Base.shared"
+
+    def test_methods_named_spans_the_project(self, project):
+        index, _ = project(
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "class A:\n    def go(self):\n        return 1\n",
+                "pkg/b.py": "class B:\n    def go(self):\n        return 2\n",
+            }
+        )
+        names = {m.qualname for m in index.methods_named("go")}
+        assert names == {"pkg.a.A.go", "pkg.b.B.go"}

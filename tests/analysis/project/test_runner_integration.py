@@ -1,0 +1,120 @@
+"""Whole-program passes wired through the runner and rule registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.framework import LintConfigError
+from repro.analysis.rules import (
+    default_project_rules,
+    project_rule_ids,
+    select_project_rules,
+    select_rules,
+)
+from repro.analysis.runner import lint_paths
+
+from tests.analysis.project.conftest import write_tree
+
+_BAD_FILES = {
+    "app/__init__.py": "",
+    "app/shared.py": """
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.calls = 0
+
+            def record(self, n):
+                with self._lock:
+                    self.calls += n
+
+            def reset(self):
+                self.calls = 0
+    """,
+    "app/driver.py": """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from app.shared import Stats
+
+        def run():
+            stats = Stats()
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                pool.submit(stats.record, 1)
+            return stats
+    """,
+}
+
+
+class TestRegistry:
+    def test_project_rule_ids(self):
+        assert project_rule_ids() == ("unguarded-shared-write", "unseeded-rng-flow")
+
+    def test_default_project_rules_are_fresh_instances(self):
+        first, second = default_project_rules(), default_project_rules()
+        assert [r.id for r in first] == [r.id for r in second]
+        assert all(a is not b for a, b in zip(first, second))
+
+    def test_select_accepts_project_rule_ids(self):
+        assert select_rules(select=("unguarded-shared-write",)) == []
+        selected = select_project_rules(select=("unguarded-shared-write",))
+        assert [r.id for r in selected] == ["unguarded-shared-write"]
+
+    def test_ignore_filters_project_rules(self):
+        remaining = select_project_rules(ignore=("unseeded-rng-flow",))
+        assert [r.id for r in remaining] == ["unguarded-shared-write"]
+
+    def test_unknown_rule_still_rejected(self):
+        with pytest.raises(LintConfigError):
+            select_project_rules(select=("no-such-rule",))
+        with pytest.raises(LintConfigError):
+            select_rules(ignore=("no-such-rule",))
+
+
+class TestRunnerWiring:
+    def test_default_lint_runs_project_passes_on_packages(self, tmp_path):
+        write_tree(tmp_path, _BAD_FILES)
+        report = lint_paths([tmp_path])
+        assert [f.rule for f in report.findings] == ["unguarded-shared-write"]
+
+    def test_include_project_false_skips_passes(self, tmp_path):
+        write_tree(tmp_path, _BAD_FILES)
+        report = lint_paths([tmp_path], include_project=False)
+        assert report.findings == []
+
+    def test_no_package_in_scope_skips_passes(self, tmp_path):
+        # The same code as one loose script: no package root, no project.
+        write_tree(
+            tmp_path,
+            {
+                "script.py": """
+                    import threading
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    class Stats:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self.calls = 0
+
+                        def record(self, n):
+                            with self._lock:
+                                self.calls += n
+
+                        def reset(self):
+                            self.calls = 0
+
+                    def run():
+                        stats = Stats()
+                        with ThreadPoolExecutor(max_workers=2) as pool:
+                            pool.submit(stats.record, 1)
+                        return stats
+                """
+            },
+        )
+        report = lint_paths([tmp_path])
+        assert report.findings == []
+
+    def test_project_findings_count_files_once(self, tmp_path):
+        write_tree(tmp_path, _BAD_FILES)
+        report = lint_paths([tmp_path])
+        assert report.files_checked == 3

@@ -1,4 +1,6 @@
 """Selectivity estimation: EstSel = SmplSel * SmplRatio * PerInc."""
+# Exact-value assertion: the ratio inputs are exactly representable by design.
+# qpiadlint: disable-file=naive-float-equality
 
 import pytest
 

@@ -1,4 +1,6 @@
 """Predicate AST semantics, especially around NULL."""
+# NULL literals are constructed on purpose: the rejection path is under test.
+# qpiadlint: disable-file=null-in-predicate-literal
 
 import pytest
 

@@ -1,4 +1,6 @@
 """NULL sentinel semantics."""
+# ==/!= against NULL is the behaviour under test (SQL three-valued logic).
+# qpiadlint: disable-file=null-compare
 
 import pickle
 
