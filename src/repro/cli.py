@@ -124,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the ranked rewriting plan (P/R estimates, F-measure, "
         "justifying AFDs, cache status) after the answers",
     )
+    query.add_argument(
+        "--admission",
+        action="append",
+        metavar="KEY=VALUE",
+        help="route source calls through a SourceScheduler; repeatable. "
+        "Keys: rate (calls/s), burst, concurrent, queue, dedup (on/off), "
+        "hedge (on/off), hedge-quantile, hedge-min-samples, hedge-min-delay",
+    )
 
     plan_cmd = sub.add_parser(
         "plan",
@@ -237,6 +245,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewritten queries in flight at once; above 1 the replay-identical "
         "check is skipped (fault schedules are call-order dependent)",
     )
+    chaos.add_argument(
+        "--admission",
+        action="append",
+        metavar="KEY=VALUE",
+        help="route the faulty mediator's calls through a SourceScheduler "
+        "(same keys as `qpiad query --admission`); the degradation "
+        "invariants must hold under admission control too",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -271,6 +287,57 @@ def _parse_where(spec: str, relation: Relation) -> Predicate:
         low_text, __, high_text = raw.partition("..")
         return Between(attribute, parse(low_text), parse(high_text))
     return Equals(attribute, parse(raw))
+
+
+_ADMISSION_KEYS = {
+    "rate": ("rate_per_second", float),
+    "burst": ("burst", int),
+    "concurrent": ("max_concurrent", int),
+    "queue": ("max_queue", int),
+    "dedup": ("dedup", None),  # None marks an on/off flag
+    "hedge": ("hedge", None),
+    "hedge-quantile": ("hedge_quantile", float),
+    "hedge-min-samples": ("hedge_min_samples", int),
+    "hedge-min-delay": ("hedge_min_delay_seconds", float),
+}
+
+
+def _parse_admission(specs):
+    """``--admission KEY=VALUE`` pairs → a ``SchedulerConfig`` (or ``None``).
+
+    The parsed policy becomes the scheduler-wide default; per-source
+    overrides stay a library-level feature (``SchedulerConfig.per_source``).
+    """
+    if not specs:
+        return None
+    from repro.resilience import SchedulerConfig, SourcePolicy
+
+    kwargs = {}
+    for spec in specs:
+        key, sep, raw = spec.partition("=")
+        key, raw = key.strip(), raw.strip()
+        if not sep or not raw:
+            raise QpiadError(f"malformed --admission {spec!r}; expected KEY=VALUE")
+        if key not in _ADMISSION_KEYS:
+            known = ", ".join(sorted(_ADMISSION_KEYS))
+            raise QpiadError(f"unknown --admission key {key!r}; known keys: {known}")
+        field, cast = _ADMISSION_KEYS[key]
+        if cast is None:
+            lowered = raw.lower()
+            if lowered in ("on", "true", "yes", "1"):
+                kwargs[field] = True
+            elif lowered in ("off", "false", "no", "0"):
+                kwargs[field] = False
+            else:
+                raise QpiadError(f"--admission {key} expects on/off, got {raw!r}")
+            continue
+        try:
+            kwargs[field] = cast(raw)
+        except ValueError as exc:
+            raise QpiadError(
+                f"--admission {key} expects a {cast.__name__}, got {raw!r}"
+            ) from exc
+    return SchedulerConfig(default=SourcePolicy(**kwargs))
 
 
 def _cmd_generate(args) -> int:
@@ -333,10 +400,23 @@ def _mediate_csv(args, telemetry=None):
         max_concurrency=getattr(args, "concurrency", 1),
     )
     plan_cache = PlanCache() if getattr(args, "explain", False) else None
+    scheduler = None
+    scheduler_config = _parse_admission(getattr(args, "admission", None))
+    if scheduler_config is not None:
+        from repro.resilience import SourceScheduler
+
+        # Mirror scheduler.* counters into the trace telemetry when one
+        # is attached, so `--trace --admission ...` shows admission work.
+        scheduler = SourceScheduler(scheduler_config, telemetry=telemetry)
     mediator = QpiadMediator(
-        source, knowledge, config, telemetry=telemetry, plan_cache=plan_cache
+        source,
+        knowledge,
+        config,
+        telemetry=telemetry,
+        plan_cache=plan_cache,
+        scheduler=scheduler,
     )
-    return query, mediator, mediator.query(query)
+    return query, mediator, mediator.query(query), scheduler
 
 
 def _render_plan(plan, alpha: float) -> str:
@@ -365,7 +445,7 @@ def _cmd_query(args) -> int:
     from repro.telemetry import Telemetry, render_telemetry_text
 
     telemetry = Telemetry() if args.trace else None
-    query, mediator, result = _mediate_csv(args, telemetry)
+    query, mediator, result, scheduler = _mediate_csv(args, telemetry)
 
     print(f"query: {query}")
     print(f"{len(result.certain)} certain answers; first 5:")
@@ -377,6 +457,15 @@ def _cmd_query(args) -> int:
         f"\ncost: {result.stats.queries_issued} queries, "
         f"{result.stats.tuples_retrieved} tuples transferred"
     )
+    if scheduler is not None:
+        admitted = scheduler.metrics.value("scheduler.admitted")
+        shed = scheduler.metrics.value("scheduler.rejected_queue_full")
+        dedup = scheduler.metrics.value("scheduler.dedup_hits")
+        hedged = scheduler.metrics.value("scheduler.hedges_launched")
+        print(
+            f"admission: {admitted:.0f} admitted, {shed:.0f} shed, "
+            f"{dedup:.0f} deduplicated, {hedged:.0f} hedged"
+        )
     if args.explain and mediator.last_plan is not None:
         print()
         print(_render_plan(mediator.last_plan, args.alpha))
@@ -419,7 +508,7 @@ def _cmd_trace(args) -> int:
     from repro.telemetry import Telemetry, render_telemetry_json, render_telemetry_text
 
     telemetry = Telemetry()
-    query, __, result = _mediate_csv(args, telemetry)
+    query, __, result, __ = _mediate_csv(args, telemetry)
     if args.json:
         print(render_telemetry_json(telemetry))
         return 0
@@ -517,12 +606,17 @@ def _cmd_chaos(args) -> int:
         SelectionQuery.equals("make", "BMW"),
     ]
     config = QpiadConfig(k=args.k, max_concurrency=args.concurrency)
+    admission = _parse_admission(args.admission)
     # With concurrent execution the fault schedule maps onto calls in
     # completion-dependent order, so two runs need not inject the same
     # faults at the same calls; the replay-identical check only holds
-    # serially.  The invariants that matter — certain answers survive,
+    # serially.  Hedged requests likewise add latency-dependent extra
+    # calls.  The invariants that matter — certain answers survive,
     # ranking stays a subsequence — are checked at any width.
-    check_replay = args.concurrency == 1
+    check_replay = args.concurrency == 1 and not (
+        admission is not None and admission.default.hedge
+    )
+    shed_total = 0
     verdict = 0
     for index, query in enumerate(queries):
         clean = QpiadMediator(env.web_source(), env.knowledge, config).query(query)
@@ -536,9 +630,21 @@ def _cmd_chaos(args) -> int:
                 spare_first=1,  # the base query must land: QPIAD needs certain answers
             )
             source = FaultInjectingSource(env.web_source(), plan)
-            return QpiadMediator(source, env.knowledge, config).query(query), source
+            scheduler = None
+            if admission is not None:
+                from repro.resilience import SourceScheduler
 
-        faulty, source = run_faulty()
+                # One scheduler per run: replay determinism needs fresh
+                # admission state, not a warm latency history.
+                scheduler = SourceScheduler(admission)
+            mediator = QpiadMediator(
+                source, env.knowledge, config, scheduler=scheduler
+            )
+            return mediator.query(query), source, scheduler
+
+        faulty, source, scheduler = run_faulty()
+        if scheduler is not None:
+            shed_total += int(scheduler.metrics.value("scheduler.rejected_queue_full"))
 
         certain_kept = set(faulty.certain) == set(clean.certain)
         clean_rows = [answer.row for answer in clean.ranked]
@@ -546,7 +652,7 @@ def _cmd_chaos(args) -> int:
             [answer.row for answer in faulty.ranked], clean_rows
         )
         if check_replay:
-            replay, replay_source = run_faulty()
+            replay, replay_source, __ = run_faulty()
             reproducible = (
                 replay_source.statistics.events == source.statistics.events
                 and [a.row for a in replay.ranked] == [a.row for a in faulty.ranked]
@@ -568,6 +674,8 @@ def _cmd_chaos(args) -> int:
         )
         if not (certain_kept and order_kept and reproducible):
             verdict = 1
+    if admission is not None:
+        print(f"admission: {shed_total} call(s) load-shed across faulty runs")
     if verdict:
         print("chaos: FAILED — degradation lost or reordered answers", file=sys.stderr)
     else:

@@ -32,6 +32,7 @@ from repro.planner import PlanCache, PlannerConfig, QueryPlanner, SelectionPlan
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation, Row
 from repro.relational.values import is_null
+from repro.resilience.scheduler import SourceScheduler
 from repro.sources.autonomous import AutonomousSource
 from repro.telemetry import SpanKind, Telemetry, maybe_span
 
@@ -173,6 +174,13 @@ class QpiadMediator:
         Optional explicit :class:`~repro.engine.PlanExecutor`, overriding
         the one ``config.max_concurrency`` would build (tests inject
         instrumented executors this way).
+    scheduler:
+        Optional :class:`~repro.resilience.SourceScheduler` this
+        mediator's source calls are routed through.  When ``None`` (the
+        default) the engine falls back to the process-wide scheduler
+        installed via :func:`repro.resilience.install_scheduler`, if
+        any; with neither, calls go straight to the source stack as
+        before.
     plan_cache:
         Optional :class:`~repro.planner.PlanCache` shared across
         retrievals (and, if desired, across mediators).  With a cache,
@@ -190,6 +198,7 @@ class QpiadMediator:
         telemetry: Telemetry | None = None,
         executor: PlanExecutor | None = None,
         plan_cache: PlanCache | None = None,
+        scheduler: "SourceScheduler | None" = None,
     ):
         self.source = source
         self.knowledge = knowledge
@@ -197,6 +206,7 @@ class QpiadMediator:
         self._clock = clock
         self._telemetry = telemetry
         self._executor = executor
+        self._scheduler = scheduler
         self.planner = QueryPlanner(
             knowledge,
             PlannerConfig(
@@ -228,6 +238,7 @@ class QpiadMediator:
             clock=self._clock,
             record_failures=record_failures,
             label=str(query),
+            scheduler=self._scheduler,
         )
 
     def query(self, query: SelectionQuery) -> QueryResult:

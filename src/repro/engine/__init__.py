@@ -26,7 +26,7 @@ issuing.  See ``docs/engine.md`` for the model and its determinism
 guarantees.
 """
 
-from repro.engine.engine import RetrievalEngine
+from repro.engine.engine import FailureKind, RetrievalEngine
 from repro.engine.executor import (
     ConcurrentExecutor,
     ExecutionTask,
@@ -42,6 +42,7 @@ __all__ = [
     "ConcurrentExecutor",
     "ExecutionPolicy",
     "ExecutionTask",
+    "FailureKind",
     "PlanExecutor",
     "PlannedQuery",
     "QueryKind",

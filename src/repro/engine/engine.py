@@ -22,6 +22,7 @@ from repro.engine.executor import ExecutionTask, PlanExecutor, build_executor
 from repro.engine.plan import PlannedQuery, QueryKind
 from repro.engine.policy import ExecutionPolicy
 from repro.errors import (
+    AdmissionRejectedError,
     DeadlineExceededError,
     NullBindingError,
     QueryBudgetExceededError,
@@ -29,6 +30,8 @@ from repro.errors import (
 )
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation
+from repro.resilience.deadline import Deadline, deadline_scope
+from repro.resilience.scheduler import SourceScheduler, current_scheduler
 from repro.telemetry import SpanKind, Telemetry, maybe_span
 
 __all__ = ["FailureKind", "RetrievalEngine", "RetrievalStatsLike"]
@@ -42,6 +45,7 @@ class FailureKind:
     SOURCE_UNAVAILABLE = "source-unavailable"
     BUDGET_EXHAUSTED = "budget-exhausted"
     DEADLINE = "deadline"
+    ADMISSION_REJECTED = "admission-rejected"
 
 
 class RetrievalStatsLike(Protocol):
@@ -121,20 +125,30 @@ class RetrievalEngine:
         clock: Callable[[], float] = time.monotonic,
         record_failures: bool = True,
         label: str | None = None,
+        scheduler: SourceScheduler | None = None,
     ):
         self._source = source
         self._policy = policy
         self.stats = stats
+        self._scheduler = scheduler if scheduler is not None else current_scheduler()
         self._executor = executor if executor is not None else build_executor(
-            policy.max_concurrency
+            policy.max_concurrency, scheduler=self._scheduler
         )
         self._telemetry = telemetry
         self._clock = clock
         self._record_failures = record_failures
         self._label = label
         self._started = clock()
+        # The policy deadline as a propagatable value: queued admission
+        # waits and retry backoffs below this engine cap against it.
+        self._deadline = (
+            Deadline(self._started + policy.deadline_seconds, clock)
+            if policy.deadline_seconds is not None
+            else None
+        )
         self._lock = threading.Lock()
         self._source_failures = 0
+        self._deadline_noted = False
         self.degraded = False
 
     # ------------------------------------------------------------------ #
@@ -230,12 +244,7 @@ class RetrievalEngine:
         with maybe_span(
             telemetry, step.span_name(), _SPAN_KINDS[step.kind], **attributes
         ) as span:
-            if step.kind == QueryKind.MULTI_NULL:
-                retrieved = source.execute_null_binding(
-                    step.query, max_nulls=step.max_nulls
-                )
-            else:
-                retrieved = source.execute(step.query)
+            retrieved = self._call_source(source, step)
             if span is not None:
                 span.set(tuples=len(retrieved))
         with self._lock:
@@ -243,6 +252,51 @@ class RetrievalEngine:
         if telemetry is not None:
             telemetry.count("mediator.tuples_retrieved", len(retrieved))
         return retrieved
+
+    def _call_source(self, source: Any, step: PlannedQuery) -> Relation:
+        """Put one planned call on the wire, via the scheduler when present.
+
+        The thunk carries the engine's deadline as ambient state so
+        layers beneath the call (retry backoff sleeps, hedge copies on
+        scheduler threads) see the same budget the engine enforces
+        between calls.  Hedge backups launched by the scheduler are
+        billed through ``_bill_hedge`` the moment they fire, keeping
+        ``stats.queries_issued`` equal to the source's own call log.
+        """
+        if step.kind == QueryKind.MULTI_NULL:
+            operation = f"null-binding:{step.max_nulls}"
+
+            def perform() -> Relation:
+                return source.execute_null_binding(step.query, max_nulls=step.max_nulls)
+        else:
+            operation = "execute"
+
+            def perform() -> Relation:
+                return source.execute(step.query)
+
+        def thunk() -> Relation:
+            with deadline_scope(self._deadline):
+                return perform()
+
+        scheduler = self._scheduler
+        if scheduler is None:
+            return thunk()
+        return scheduler.call(
+            source,
+            step.query,
+            operation,
+            thunk,
+            deadline=self._deadline,
+            on_hedge_launch=self._bill_hedge,
+        )
+
+    def _bill_hedge(self) -> None:
+        """Count a hedge backup as one more issued query, as it launches."""
+        with self._lock:
+            self.stats.queries_issued += 1
+        if self._telemetry is not None:
+            self._telemetry.count("mediator.queries_issued")
+            self._telemetry.count("mediator.hedges_issued")
 
     # ------------------------------------------------------------------ #
     # Policy enforcement (absorbed in plan-merge order, so failure
@@ -269,6 +323,36 @@ class RetrievalEngine:
             if self._policy.tolerate_budget_exhaustion:
                 return _HALT  # degrade gracefully: ship what we have
             return _RAISE
+        if isinstance(error, AdmissionRejectedError):
+            # Load shedding: the scheduler refused to queue the call.
+            # Absorbed under the same failure budget as transient source
+            # errors — the plan degrades instead of failing outright —
+            # but counted separately so congestion is visible as such.
+            with self._lock:
+                self._source_failures += 1
+                failures = self._source_failures
+            if self._record_failures:
+                self.stats.record_failure(
+                    failure_query, FailureKind.ADMISSION_REJECTED, str(error)
+                )
+            self.degraded = True
+            if self._telemetry is not None:
+                self._telemetry.count("mediator.load_shed")
+            budget = self._policy.max_source_failures
+            if budget is not None and failures > budget:
+                return _RAISE
+            logger.info(
+                "planned query %r was load-shed by the source scheduler; "
+                "continuing with the remaining plan", step.query,
+            )
+            return _CONTINUE
+        if isinstance(error, DeadlineExceededError):
+            # A layer below the engine (admission wait, retry backoff,
+            # dedup follower timeout) hit the propagated deadline.  Note
+            # it once and halt: nothing later in the plan can be
+            # admitted either.
+            self._note_deadline()
+            return _HALT
         if isinstance(error, SourceUnavailableError):
             with self._lock:
                 self._source_failures += 1
@@ -291,7 +375,16 @@ class RetrievalEngine:
         return _RAISE
 
     def _note_deadline(self) -> None:
-        """Record the blown deadline; raise when strict mode demands it."""
+        """Record the blown deadline; raise when strict mode demands it.
+
+        Noted at most once per retrieval: a deadline error absorbed from
+        a plan step and the post-stream deadline check must not produce
+        two failure records for the same spent budget.
+        """
+        with self._lock:
+            if self._deadline_noted:
+                return
+            self._deadline_noted = True
         elapsed = self._clock() - self._started
         message = (
             f"retrieval for {self._label} exceeded its deadline of "

@@ -79,9 +79,19 @@ class SerialExecutor:
     exactly: a task only runs when its outcome is consumed, so a caller
     that stops reading (the streaming interface) never spends budget on
     queries it did not need.
+
+    *scheduler*, when given, is the process's
+    :class:`~repro.resilience.SourceScheduler`; the executor notes each
+    task start with it so admission telemetry can attribute load to the
+    execution strategy that generated it.  (The actual admission /
+    dedup / hedging happens inside the engine's per-call routing, not
+    here — the executor's job is only *when* tasks run.)
     """
 
     name = "serial"
+
+    def __init__(self, scheduler: Any = None):
+        self.scheduler = scheduler
 
     def map(
         self,
@@ -91,6 +101,8 @@ class SerialExecutor:
         for task in tasks:
             if should_stop():
                 return
+            if self.scheduler is not None:
+                self.scheduler.note_task_start(self.name)
             try:
                 value = task.run()
             except Exception as exc:
@@ -113,10 +125,11 @@ class ConcurrentExecutor:
 
     name = "concurrent"
 
-    def __init__(self, max_workers: int):
+    def __init__(self, max_workers: int, scheduler: Any = None):
         if max_workers < 1:
             raise QpiadError(f"max_workers must be at least 1, got {max_workers}")
         self.max_workers = max_workers
+        self.scheduler = scheduler
 
     def map(
         self,
@@ -139,6 +152,8 @@ class ConcurrentExecutor:
                     except StopIteration:
                         exhausted = True
                         break
+                    if self.scheduler is not None:
+                        self.scheduler.note_task_start(self.name)
                     window.append((task, pool.submit(task.run)))
                 if not window:
                     return
@@ -150,12 +165,17 @@ class ConcurrentExecutor:
                     yield TaskOutcome(task.rank, value=future.result())
 
 
-def build_executor(max_concurrency: int) -> PlanExecutor:
-    """The executor for a concurrency width: serial at 1, thread pool above."""
+def build_executor(max_concurrency: int, scheduler: Any = None) -> PlanExecutor:
+    """The executor for a concurrency width: serial at 1, thread pool above.
+
+    *scheduler* (a :class:`~repro.resilience.SourceScheduler`) is handed
+    to the executor for load attribution; it is duck-typed here to keep
+    this module free of a resilience-package import.
+    """
     if max_concurrency < 1:
         raise QpiadError(
             f"max_concurrency must be at least 1, got {max_concurrency}"
         )
     if max_concurrency == 1:
-        return SerialExecutor()
-    return ConcurrentExecutor(max_concurrency)
+        return SerialExecutor(scheduler=scheduler)
+    return ConcurrentExecutor(max_concurrency, scheduler=scheduler)

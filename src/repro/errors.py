@@ -62,6 +62,22 @@ class CircuitOpenError(SourceUnavailableError):
     """
 
 
+class AdmissionRejectedError(QpiadError):
+    """The source scheduler shed this call instead of queueing it.
+
+    Raised by :class:`repro.resilience.SourceScheduler` when a source's
+    bounded wait queue is already full: admitting one more caller would
+    only grow the backlog, so the scheduler fails the call immediately
+    (load shedding).  Deliberately *not* a
+    :class:`SourceUnavailableError` — the source itself is healthy, the
+    mediator-side admission queue is the resource that ran out — so
+    :class:`repro.sources.retrying.RetryingSource` does not hammer an
+    overloaded scheduler with immediate retries and the circuit breaker
+    does not open over local congestion.  The engine absorbs it under
+    the same failure budget as transient source errors.
+    """
+
+
 class DeadlineExceededError(QpiadError):
     """A mediated retrieval ran past its wall-clock deadline.
 

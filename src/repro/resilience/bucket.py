@@ -1,0 +1,139 @@
+"""A deadline-aware token bucket.
+
+The classic pacing primitive: tokens refill continuously at
+``rate_per_second`` up to a ``burst`` capacity, and each admitted call
+spends one.  Two properties matter for the scheduler built on top:
+
+* **Injectable time.**  Both the clock and the sleep are parameters, so
+  simulations and tests drive refills manually and never wait on the
+  wall clock.
+* **Deadline-capped waits.**  :meth:`acquire` takes the caller's
+  remaining budget and raises
+  :class:`~repro.errors.DeadlineExceededError` *instead of* sleeping
+  past it — a queued call whose token would only arrive after the
+  caller's deadline is pure waste on both sides of the wire.
+
+Refunds exist for hedging: a hedge backup that loses the race gives its
+token back, so hedged retrievals do not pay double against the source's
+rate budget ("cancel the loser's budget charge").
+
+Lock discipline: ``_advanced()`` is a *pure* computation of the refilled
+state; every assignment to ``_tokens`` / ``_updated`` happens
+syntactically inside ``with self._lock`` so the repo's
+``unguarded-shared-write`` whole-program pass can verify the invariant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import DeadlineExceededError, QpiadError
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Continuous-refill token bucket with blocking, deadline-capped waits.
+
+    Parameters
+    ----------
+    rate_per_second:
+        Sustained refill rate; must be positive.
+    burst:
+        Bucket capacity (maximum tokens banked while idle); at least 1.
+        The bucket starts full, so a cold source allows an initial burst.
+    clock:
+        Injectable monotonic clock.
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate_per_second <= 0:
+            raise QpiadError(
+                f"rate_per_second must be positive, got {rate_per_second}"
+            )
+        if burst < 1:
+            raise QpiadError(f"burst must be at least 1, got {burst}")
+        self.rate_per_second = float(rate_per_second)
+        self.burst = burst
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _advanced(self) -> "tuple[float, float]":
+        """The refilled ``(tokens, now)`` pair; pure — callers assign it
+        back under the lock."""
+        now = self._clock()
+        elapsed = now - self._updated
+        tokens = self._tokens
+        if elapsed > 0:
+            tokens = min(float(self.burst), tokens + elapsed * self.rate_per_second)
+        return tokens, now
+
+    def try_acquire(self) -> bool:
+        """Take a token if one is banked; never waits."""
+        with self._lock:
+            tokens, now = self._advanced()
+            taken = tokens >= 1.0
+            self._tokens = tokens - 1.0 if taken else tokens
+            self._updated = now
+            return taken
+
+    def acquire(
+        self,
+        timeout: "float | None" = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> float:
+        """Take a token, sleeping until one refills; returns seconds waited.
+
+        *timeout* is the caller's remaining deadline budget: when the
+        next token would land beyond it, the bucket raises
+        :class:`DeadlineExceededError` immediately — it never sleeps past
+        a deadline only to fail afterwards.
+        """
+        waited = 0.0
+        while True:
+            with self._lock:
+                tokens, now = self._advanced()
+                taken = tokens >= 1.0
+                self._tokens = tokens - 1.0 if taken else tokens
+                self._updated = now
+                if taken:
+                    return waited
+                deficit = (1.0 - tokens) / self.rate_per_second
+            if timeout is not None and waited + deficit > timeout:
+                raise DeadlineExceededError(
+                    f"rate limit wait of {deficit:.3f}s exceeds the remaining "
+                    f"deadline budget of {max(timeout - waited, 0.0):.3f}s"
+                )
+            sleep(deficit)
+            waited += deficit
+
+    def refund(self) -> None:
+        """Return one token (a hedge loser's charge is cancelled)."""
+        with self._lock:
+            tokens, now = self._advanced()
+            self._tokens = min(float(self.burst), tokens + 1.0)
+            self._updated = now
+
+    @property
+    def available(self) -> float:
+        """Currently banked tokens (after refill), for diagnostics."""
+        with self._lock:
+            tokens, now = self._advanced()
+            self._tokens = tokens
+            self._updated = now
+            return tokens
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenBucket(rate={self.rate_per_second}/s, burst={self.burst}, "
+            f"available={self.available:.2f})"
+        )

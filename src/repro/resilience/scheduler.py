@@ -1,0 +1,581 @@
+"""The shared source-admission scheduler.
+
+Every mediated retrieval in the process ultimately funnels its source
+calls through one :class:`SourceScheduler`.  The scheduler owns the
+cross-cutting concerns no single mediator can see:
+
+* **Admission control.**  Each source gets a bounded wait queue, an
+  optional concurrency cap, and an optional token-bucket rate limit —
+  declared per source via
+  :class:`~repro.sources.capabilities.SourceCapabilities` or configured
+  explicitly through :class:`SchedulerConfig`.  A call arriving at a
+  full queue is shed immediately with
+  :class:`~repro.errors.AdmissionRejectedError` instead of deepening the
+  backlog.
+* **Single-flight dedup.**  Identical in-flight calls — same source,
+  same operation, same query fingerprint — collapse onto one wire call;
+  followers share the leader's outcome (value *or* exception).
+* **Hedged requests.**  Once a source's latency distribution is warm,
+  a straggling call races a backup fired after the policy percentile of
+  observed latency; the first result wins and the loser's rate-limit
+  charge is refunded.
+* **Deadline propagation.**  The caller's remaining budget caps every
+  queue, slot, and token wait — a call that could only be admitted
+  after its deadline fails fast with
+  :class:`~repro.errors.DeadlineExceededError`.
+
+Ordering relative to the source-wrapper stack: the scheduler sits
+*outside* retry and breaker wrappers (the engine routes the whole
+wrapped call through :meth:`SourceScheduler.call`), so a retry's second
+attempt re-enters neither admission nor dedup — it is the same admitted
+call still running.  See ``docs/robustness.md`` for the full layering
+diagram.
+
+Lock discipline follows the repo's ``unguarded-shared-write`` pass:
+every mutation of shared state sits syntactically inside a
+``with self._lock`` block; helpers that compute next states are pure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as wait_futures
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.errors import AdmissionRejectedError, DeadlineExceededError, QpiadError
+from repro.resilience.bucket import TokenBucket
+from repro.resilience.deadline import Deadline
+from repro.resilience.singleflight import SingleFlight
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "SourcePolicy",
+    "SchedulerConfig",
+    "SourceScheduler",
+    "install_scheduler",
+    "current_scheduler",
+    "scheduler_scope",
+]
+
+
+# ---------------------------------------------------------------------------
+# policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SourcePolicy:
+    """Admission rules for one source (or the scheduler-wide default).
+
+    Parameters
+    ----------
+    rate_per_second:
+        Token-bucket refill rate; ``None`` disables rate limiting.
+    burst:
+        Token-bucket capacity (calls allowed back-to-back from cold).
+    max_concurrent:
+        Cap on calls in flight against the source; ``None`` = unlimited.
+    max_queue:
+        Bound on callers *waiting* for admission (dedup followers
+        included); one more is shed with ``AdmissionRejectedError``.
+        ``None`` = unbounded queue (admission never sheds).
+    dedup:
+        Collapse identical in-flight calls onto one wire call.
+    hedge:
+        Race a backup call against stragglers once latency is warm.
+    hedge_quantile:
+        Latency percentile (0..1) after which the backup fires.
+    hedge_min_samples:
+        Observed-latency samples required before hedging arms; until
+        then every call runs inline, which keeps cold-start behaviour
+        bit-identical to an unhedged scheduler.
+    hedge_min_delay_seconds:
+        Floor on the hedge delay so a momentarily fast window cannot
+        make the scheduler double-fire every call.
+    """
+
+    rate_per_second: "float | None" = None
+    burst: int = 4
+    max_concurrent: "int | None" = None
+    max_queue: "int | None" = 64
+    dedup: bool = True
+    hedge: bool = False
+    hedge_quantile: float = 0.95
+    hedge_min_samples: int = 20
+    hedge_min_delay_seconds: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.rate_per_second is not None and self.rate_per_second <= 0:
+            raise QpiadError(
+                f"rate_per_second must be positive, got {self.rate_per_second}"
+            )
+        if self.burst < 1:
+            raise QpiadError(f"burst must be at least 1, got {self.burst}")
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise QpiadError(
+                f"max_concurrent must be at least 1, got {self.max_concurrent}"
+            )
+        if self.max_queue is not None and self.max_queue < 0:
+            raise QpiadError(f"max_queue must be >= 0, got {self.max_queue}")
+        if not 0.0 < self.hedge_quantile < 1.0:
+            raise QpiadError(
+                f"hedge_quantile must be within (0, 1), got {self.hedge_quantile}"
+            )
+        if self.hedge_min_samples < 1:
+            raise QpiadError(
+                f"hedge_min_samples must be at least 1, got {self.hedge_min_samples}"
+            )
+
+
+@dataclass
+class SchedulerConfig:
+    """Scheduler-wide defaults plus per-source overrides.
+
+    Resolution order in :meth:`policy_for`: an explicit ``per_source``
+    entry wins outright; otherwise the default policy is specialised
+    with whatever pacing the source's own capabilities declare
+    (``rate_limit_per_second`` / ``burst`` / ``max_concurrent_requests``).
+    """
+
+    default: SourcePolicy = field(default_factory=SourcePolicy)
+    per_source: "Mapping[str, SourcePolicy]" = field(default_factory=dict)
+
+    def policy_for(self, source: Any) -> SourcePolicy:
+        name = source_name(source)
+        explicit = self.per_source.get(name)
+        if explicit is not None:
+            return explicit
+        capabilities = getattr(source, "capabilities", None)
+        if capabilities is None:
+            return self.default
+        overrides: "dict[str, Any]" = {}
+        declared_rate = getattr(capabilities, "rate_limit_per_second", None)
+        if declared_rate is not None:
+            overrides["rate_per_second"] = declared_rate
+            declared_burst = getattr(capabilities, "burst", None)
+            if declared_burst is not None:
+                overrides["burst"] = declared_burst
+        declared_cap = getattr(capabilities, "max_concurrent_requests", None)
+        if declared_cap is not None:
+            overrides["max_concurrent"] = declared_cap
+        return replace(self.default, **overrides) if overrides else self.default
+
+
+def _fingerprint(query: Any) -> str:
+    """The planner's content fingerprint for *query*.
+
+    Imported lazily: the fingerprint module lives in ``repro.planner``,
+    whose package init reaches back into ``repro.engine`` — importing it
+    at module load would close a cycle with the engine's import of this
+    scheduler.  By the first call every package is fully initialised.
+    """
+    from repro.planner.fingerprint import query_fingerprint
+
+    return query_fingerprint(query)
+
+
+def source_name(source: Any) -> str:
+    """The logical identity admission state is keyed by.
+
+    Two wrappers reporting the same ``name`` are treated as the same
+    backend: they share one rate budget and their identical in-flight
+    calls dedup against each other.
+    """
+    name = getattr(source, "name", None)
+    return name if isinstance(name, str) and name else type(source).__name__
+
+
+# ---------------------------------------------------------------------------
+# per-source runtime state
+# ---------------------------------------------------------------------------
+
+
+class _SourceState:
+    """Queue/slot/bucket state of one source, shared across callers.
+
+    ``self._lock`` is a :class:`threading.Condition`: the same object
+    guards the counters and wakes slot waiters, so a release can never
+    race a wait on a different lock.
+    """
+
+    def __init__(self, name: str, policy: SourcePolicy, clock: Callable[[], float]):
+        self.name = name
+        self.policy = policy
+        self._lock = threading.Condition()
+        self.inflight = 0
+        self.queued = 0
+        self.bucket: "TokenBucket | None" = (
+            TokenBucket(policy.rate_per_second, policy.burst, clock)
+            if policy.rate_per_second is not None
+            else None
+        )
+
+    # -- bounded wait queue -------------------------------------------------
+
+    def enter_queue(self) -> None:
+        """Count this caller as waiting; shed when the queue is full."""
+        with self._lock:
+            limit = self.policy.max_queue
+            if limit is not None and self.queued >= limit:
+                raise AdmissionRejectedError(
+                    f"source {self.name!r} admission queue is full "
+                    f"({self.queued}/{limit} waiting); call shed"
+                )
+            self.queued += 1
+
+    def exit_queue(self) -> None:
+        with self._lock:
+            self.queued -= 1
+
+    # -- concurrency slots --------------------------------------------------
+
+    def acquire_slot(self, deadline: "Deadline | None") -> None:
+        """Take an in-flight slot, waiting no longer than the deadline."""
+        cap = self.policy.max_concurrent
+        with self._lock:
+            while cap is not None and self.inflight >= cap:
+                remaining = None if deadline is None else deadline.remaining()
+                if remaining is not None and remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"no execution slot freed on source {self.name!r} "
+                        "within the remaining deadline budget"
+                    )
+                self._lock.wait(timeout=remaining)
+            self.inflight += 1
+
+    def try_acquire_slot(self) -> bool:
+        """Non-blocking slot grab (hedge backups never queue)."""
+        with self._lock:
+            cap = self.policy.max_concurrent
+            if cap is not None and self.inflight >= cap:
+                return False
+            self.inflight += 1
+            return True
+
+    def release_slot(self) -> None:
+        with self._lock:
+            self.inflight -= 1
+            self._lock.notify()
+
+
+# ---------------------------------------------------------------------------
+# the scheduler
+# ---------------------------------------------------------------------------
+
+
+class SourceScheduler:
+    """Process-wide admission, dedup, and hedging for source calls.
+
+    One instance is meant to be shared by every engine in the process
+    (see :func:`install_scheduler`); per-source state is created lazily
+    on first call.  The scheduler keeps its own always-on
+    :class:`MetricsRegistry` (``scheduler.*`` counters and per-source
+    latency histograms) and mirrors every emission into an attached
+    :class:`~repro.telemetry.Telemetry` when one is given.
+    """
+
+    def __init__(
+        self,
+        config: "SchedulerConfig | None" = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        telemetry: Any = None,
+        hedge_pool_size: int = 16,
+    ):
+        self.config = config if config is not None else SchedulerConfig()
+        self.metrics = MetricsRegistry()
+        self._clock = clock
+        self._sleep = sleep
+        self._telemetry = telemetry
+        self._hedge_pool_size = hedge_pool_size
+        self._lock = threading.Lock()
+        self._states: "dict[str, _SourceState]" = {}
+        self._flights = SingleFlight()
+        self._pool: "ThreadPoolExecutor | None" = None
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        self.metrics.count(name, amount)
+        if self._telemetry is not None:
+            self._telemetry.count(name, amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+        if self._telemetry is not None:
+            self._telemetry.observe(name, value)
+
+    def _latency_metric(self, name: str) -> str:
+        return f"scheduler.source.{name}.latency_seconds"
+
+    # -- state access -------------------------------------------------------
+
+    def state_for(self, source: Any) -> _SourceState:
+        name = source_name(source)
+        with self._lock:
+            state = self._states.get(name)
+            if state is None:
+                state = self._states[name] = _SourceState(
+                    name, self.config.policy_for(source), self._clock
+                )
+            return state
+
+    def _hedge_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._hedge_pool_size,
+                    thread_name_prefix="qpiad-hedge",
+                )
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Release the hedge pool's threads (idempotent)."""
+        with self._lock:
+            pool = self._pool
+            self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def note_task_start(self, executor_name: str) -> None:
+        """Executor hook: count a plan task handed to this scheduler's care.
+
+        Plan executors carrying a scheduler call this as each task
+        starts, so ``scheduler.executor.<name>.tasks`` exposes which
+        execution strategy is driving the admission load.
+        """
+        self._count(f"scheduler.executor.{executor_name}.tasks")
+
+    # -- the one entry point ------------------------------------------------
+
+    def call(
+        self,
+        source: Any,
+        query: Any,
+        operation: str,
+        thunk: Callable[[], Any],
+        *,
+        deadline: "Deadline | None" = None,
+        on_hedge_launch: "Callable[[], None] | None" = None,
+    ) -> Any:
+        """Route one source call through admission → dedup → hedging.
+
+        *thunk* is the fully wrapped call (retry, breaker, and the
+        source itself); the scheduler decides when — and how many times
+        concurrently — it runs.  *operation* disambiguates call shapes
+        sharing a query (``"execute"`` vs ``"null-binding:2"``) so dedup
+        never conflates them.  *on_hedge_launch* lets the caller bill a
+        hedge backup as an extra issued query the moment it is fired.
+        """
+        self._count("scheduler.calls")
+        state = self.state_for(source)
+        if not state.policy.dedup or query is None:
+            return self._admitted_call(state, thunk, deadline, on_hedge_launch)
+
+        key = (state.name, operation, _fingerprint(query))
+        flight, leader = self._flights.lead_or_join(key)
+        if leader:
+            value: Any = None
+            error: "BaseException | None" = None
+            try:
+                value = self._admitted_call(state, thunk, deadline, on_hedge_launch)
+                return value
+            except BaseException as exc:
+                error = exc
+                raise
+            finally:
+                shared = self._flights.complete(key, flight, value, error)
+                if shared:
+                    self._count("scheduler.dedup_flights_shared")
+
+        # Follower: no wire call of its own, but it still occupies the
+        # bounded queue — a thousand piled-up followers are load too.
+        self._count("scheduler.dedup_hits")
+        try:
+            state.enter_queue()
+        except AdmissionRejectedError:
+            self._count("scheduler.rejected_queue_full")
+            raise
+        try:
+            timeout = None if deadline is None else max(deadline.remaining(), 0.0)
+            return self._flights.wait(flight, timeout)
+        finally:
+            state.exit_queue()
+
+    # -- admission ----------------------------------------------------------
+
+    def _admitted_call(
+        self,
+        state: _SourceState,
+        thunk: Callable[[], Any],
+        deadline: "Deadline | None",
+        on_hedge_launch: "Callable[[], None] | None",
+    ) -> Any:
+        arrived = self._clock()
+        try:
+            state.enter_queue()
+        except AdmissionRejectedError:
+            self._count("scheduler.rejected_queue_full")
+            raise
+        slot_held = False
+        try:
+            state.acquire_slot(deadline)
+            slot_held = True
+            if state.bucket is not None:
+                remaining = None if deadline is None else deadline.remaining()
+                state.bucket.acquire(timeout=remaining, sleep=self._sleep)
+        except DeadlineExceededError:
+            if slot_held:
+                state.release_slot()
+            self._count("scheduler.rejected_deadline")
+            raise
+        except BaseException:
+            if slot_held:
+                state.release_slot()
+            raise
+        finally:
+            state.exit_queue()
+
+        self._count("scheduler.admitted")
+        self._observe("scheduler.queue_wait_seconds", self._clock() - arrived)
+
+        delay = self._hedge_delay(state)
+        if delay is None:
+            started = self._clock()
+            try:
+                value = thunk()
+            finally:
+                state.release_slot()
+            self._observe(self._latency_metric(state.name), self._clock() - started)
+            return value
+        return self._race_hedge(state, thunk, delay, on_hedge_launch)
+
+    # -- hedging ------------------------------------------------------------
+
+    def _hedge_delay(self, state: _SourceState) -> "float | None":
+        """Seconds to wait before firing a backup; ``None`` = run inline."""
+        policy = state.policy
+        if not policy.hedge:
+            return None
+        metric = self._latency_metric(state.name)
+        if self.metrics.histogram(metric).count < policy.hedge_min_samples:
+            return None
+        estimate = self.metrics.percentile(metric, policy.hedge_quantile)
+        if estimate is None:
+            return None
+        return max(estimate, policy.hedge_min_delay_seconds)
+
+    def _race_hedge(
+        self,
+        state: _SourceState,
+        thunk: Callable[[], Any],
+        delay: float,
+        on_hedge_launch: "Callable[[], None] | None",
+    ) -> Any:
+        """Run *thunk*, racing a backup copy once *delay* elapses.
+
+        Slot accounting moves from the caller to done-callbacks here:
+        each launched copy holds its slot until *it* finishes, not until
+        the race is decided — the loser is still occupying the source.
+        """
+        pool = self._hedge_pool()
+        started = self._clock()
+
+        def _settle(future: Future) -> None:
+            state.release_slot()
+            future.exception()  # consume, so a loser's error is never orphaned
+
+        primary = pool.submit(thunk)
+        primary.add_done_callback(_settle)
+        try:
+            value = primary.result(timeout=delay)
+        except FutureTimeoutError:
+            pass
+        else:
+            self._observe(self._latency_metric(state.name), self._clock() - started)
+            return value
+
+        # Primary is straggling past the latency percentile: try to fire
+        # a backup without waiting — a hedge that queues is no hedge.
+        hedged = state.try_acquire_slot()
+        if hedged and state.bucket is not None and not state.bucket.try_acquire():
+            state.release_slot()
+            hedged = False
+        if not hedged:
+            self._count("scheduler.hedges_suppressed")
+            value = primary.result()
+            self._observe(self._latency_metric(state.name), self._clock() - started)
+            return value
+
+        if on_hedge_launch is not None:
+            on_hedge_launch()
+        self._count("scheduler.hedges_launched")
+        backup = pool.submit(thunk)
+        backup.add_done_callback(_settle)
+
+        failures: "dict[Future, BaseException]" = {}
+        pending = {primary, backup}
+        while pending:
+            done, pending = wait_futures(pending, return_when=FIRST_COMPLETED)
+            for future in sorted(done, key=lambda f: f is not primary):
+                error = future.exception()
+                if error is not None:
+                    failures[future] = error
+                    continue
+                self._count(
+                    "scheduler.hedge_wins"
+                    if future is backup
+                    else "scheduler.hedge_losses"
+                )
+                if state.bucket is not None:
+                    state.bucket.refund()  # cancel the loser's rate charge
+                self._observe(
+                    self._latency_metric(state.name), self._clock() - started
+                )
+                return future.result()
+        # Both copies failed: surface the primary's error when it has one
+        # so hedging never changes which exception the caller sees.
+        raise failures.get(primary) or next(iter(failures.values()))
+
+
+# ---------------------------------------------------------------------------
+# process-wide default
+# ---------------------------------------------------------------------------
+
+_INSTALL_LOCK = threading.Lock()
+_installed: "SourceScheduler | None" = None
+
+
+def install_scheduler(scheduler: "SourceScheduler | None") -> "SourceScheduler | None":
+    """Set the process-wide scheduler; returns the previous one.
+
+    Engines built without an explicit ``scheduler=`` fall back to this,
+    so one ``install_scheduler(SourceScheduler(...))`` at startup routes
+    every mediator in the process through shared admission control.
+    ``None`` uninstalls.
+    """
+    global _installed
+    with _INSTALL_LOCK:
+        previous = _installed
+        _installed = scheduler
+    return previous
+
+
+def current_scheduler() -> "SourceScheduler | None":
+    return _installed
+
+
+@contextmanager
+def scheduler_scope(scheduler: "SourceScheduler | None") -> Iterator[None]:
+    """Temporarily install *scheduler* (tests, CLI invocations)."""
+    previous = install_scheduler(scheduler)
+    try:
+        yield
+    finally:
+        install_scheduler(previous)

@@ -10,18 +10,23 @@ three-state breaker:
   counted, and reaching ``failure_threshold`` opens the circuit;
 * **open** — calls fail fast with :class:`~repro.errors.CircuitOpenError`
   (no source contact) until ``recovery_seconds`` elapse;
-* **half-open** — one trial call is let through: success closes the
-  circuit, failure re-opens it for another recovery window.
+* **half-open** — exactly one trial call (the *probe*) is let through:
+  success closes the circuit, failure re-opens it for another recovery
+  window.  Concurrent callers arriving while the probe is in flight fail
+  fast — a recovering backend gets one feeler, not a stampede of every
+  caller that was queued up behind the outage.
 
 Only :class:`~repro.errors.SourceUnavailableError` trips the breaker.
 Capability errors (unsupported attributes, NULL binding, exhausted budgets)
 say nothing about source *health* — they pass through without touching the
 failure count.  Time is read from an injectable clock so tests and
-simulations never sleep.
+simulations never sleep.  All state transitions happen under a lock, so
+the breaker is safe under the concurrent plan executor.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -96,70 +101,131 @@ class CircuitBreakerSource:
         self.recovery_seconds = recovery_seconds
         self._clock = clock
         self._telemetry = telemetry
+        self._lock = threading.Lock()
         self.statistics = BreakerStatistics()
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
+        self._probe_in_flight = False
 
     # -- breaker core ------------------------------------------------------
+
+    # Decisions _admit can reach about one call.
+    _PASS = "pass"
+    _REJECT_OPEN = "reject-open"
+    _REJECT_PROBE = "reject-probe"
 
     @property
     def state(self) -> str:
         """The current state, advancing open → half-open when time is up."""
-        if (
-            self._state == BreakerState.OPEN
-            and self._clock() - self._opened_at >= self.recovery_seconds
-        ):
-            self._state = BreakerState.HALF_OPEN
-            if self._telemetry is not None:
-                self._telemetry.count("breaker.transitions")
-        return self._state
+        transitioned = False
+        with self._lock:
+            if (
+                self._state == BreakerState.OPEN
+                and self._clock() - self._opened_at >= self.recovery_seconds
+            ):
+                self._state = BreakerState.HALF_OPEN
+                self._probe_in_flight = False
+                transitioned = True
+            current = self._state
+        if transitioned and self._telemetry is not None:
+            self._telemetry.count("breaker.transitions")
+        return current
+
+    def _admit(self) -> "tuple[str, str, int, float]":
+        """Decide one call's fate atomically.
+
+        Returns ``(decision, state_at_call, consecutive_failures,
+        seconds_until_half_open)`` — the latter two captured under the
+        lock so rejection messages never read torn state.  In half-open,
+        the first caller claims the probe slot; everyone else is
+        rejected until the probe's outcome resolves the state.
+        """
+        transitioned = False
+        with self._lock:
+            if (
+                self._state == BreakerState.OPEN
+                and self._clock() - self._opened_at >= self.recovery_seconds
+            ):
+                self._state = BreakerState.HALF_OPEN
+                self._probe_in_flight = False
+                transitioned = True
+            state = self._state
+            failures = self._consecutive_failures
+            remaining = self.recovery_seconds - (self._clock() - self._opened_at)
+            if state == BreakerState.OPEN:
+                self.statistics.fast_failures += 1
+                decision = self._REJECT_OPEN
+            elif state == BreakerState.HALF_OPEN and self._probe_in_flight:
+                self.statistics.fast_failures += 1
+                decision = self._REJECT_PROBE
+            elif state == BreakerState.HALF_OPEN:
+                self._probe_in_flight = True
+                decision = self._PASS
+            else:
+                decision = self._PASS
+        if transitioned and self._telemetry is not None:
+            self._telemetry.count("breaker.transitions")
+        return decision, state, failures, remaining
 
     def _call(self, operation: Callable[[], Any]) -> Any:
-        state = self.state
-        if state == BreakerState.OPEN:
-            self.statistics.fast_failures += 1
+        decision, state, failures, remaining = self._admit()
+        if decision == self._REJECT_OPEN:
             if self._telemetry is not None:
                 self._telemetry.count("breaker.fast_failures")
-            remaining = self.recovery_seconds - (self._clock() - self._opened_at)
             raise CircuitOpenError(
                 f"circuit for source {self.inner.name!r} is open after "
-                f"{self._consecutive_failures} consecutive failures; "
-                f"retry in {remaining:.1f}s"
+                f"{failures} consecutive failures; retry in {remaining:.1f}s"
+            )
+        if decision == self._REJECT_PROBE:
+            if self._telemetry is not None:
+                self._telemetry.count("breaker.fast_failures")
+            raise CircuitOpenError(
+                f"circuit for source {self.inner.name!r} is half-open and its "
+                "trial call is already in flight; failing fast"
             )
         try:
             result = operation()
         except SourceUnavailableError:
-            self._on_failure()
+            self._on_failure(state)
             raise
         self._on_success(state)
         return result
 
-    def _on_failure(self) -> None:
-        self.statistics.failures += 1
-        self._consecutive_failures += 1
-        # A failed half-open trial re-opens immediately, whatever the count.
-        if (
-            self._state == BreakerState.HALF_OPEN
-            or self._consecutive_failures >= self.failure_threshold
-        ):
-            if self._state != BreakerState.OPEN:
-                self.statistics.opens += 1
-                if self._telemetry is not None:
-                    self._telemetry.count("breaker.opens")
-                    self._telemetry.count("breaker.transitions")
-            self._state = BreakerState.OPEN
-            self._opened_at = self._clock()
+    def _on_failure(self, state_at_call: str) -> None:
+        opened = False
+        with self._lock:
+            self.statistics.failures += 1
+            self._consecutive_failures += 1
+            if state_at_call == BreakerState.HALF_OPEN:
+                self._probe_in_flight = False
+            # A failed half-open probe re-opens immediately, whatever the count.
+            if (
+                state_at_call == BreakerState.HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                if self._state != BreakerState.OPEN:
+                    self.statistics.opens += 1
+                    opened = True
+                self._state = BreakerState.OPEN
+                self._opened_at = self._clock()
+        if opened and self._telemetry is not None:
+            self._telemetry.count("breaker.opens")
+            self._telemetry.count("breaker.transitions")
 
     def _on_success(self, state_at_call: str) -> None:
-        self.statistics.successes += 1
-        if state_at_call == BreakerState.HALF_OPEN:
-            self.statistics.recoveries += 1
-            if self._telemetry is not None:
-                self._telemetry.count("breaker.recoveries")
-                self._telemetry.count("breaker.transitions")
-        self._state = BreakerState.CLOSED
-        self._consecutive_failures = 0
+        recovered = False
+        with self._lock:
+            self.statistics.successes += 1
+            if state_at_call == BreakerState.HALF_OPEN:
+                self.statistics.recoveries += 1
+                self._probe_in_flight = False
+                recovered = True
+            self._state = BreakerState.CLOSED
+            self._consecutive_failures = 0
+        if recovered and self._telemetry is not None:
+            self._telemetry.count("breaker.recoveries")
+            self._telemetry.count("breaker.transitions")
 
     # -- the source surface -------------------------------------------------
 
@@ -203,7 +269,8 @@ class CircuitBreakerSource:
 
     def reset_statistics(self) -> None:
         self.inner.reset_statistics()
-        self.statistics = BreakerStatistics()
+        with self._lock:
+            self.statistics = BreakerStatistics()
 
     def __repr__(self) -> str:
         return (

@@ -9,10 +9,21 @@ mediator puts in front of a rate-limited web source.
 The wrapper is transparent: it exposes the same interface as
 :class:`~repro.sources.AutonomousSource` and enforces nothing itself; cache
 *misses* still hit the underlying source with all its restrictions.
+
+Two robustness guarantees the test suite pins:
+
+* **Failures never poison the cache.**  A call that raises inserts
+  nothing — the next identical query goes back to the source instead of
+  replaying a cached exception or an empty placeholder.
+* **Thread safety.**  Cache and statistics mutations are locked, so the
+  wrapper can sit under the concurrent plan executor; the inner call
+  itself runs outside the lock (it may sleep in a retry backoff) so a
+  slow miss never blocks concurrent hits.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -70,6 +81,7 @@ class CachingSource:
         self.capacity = capacity
         self.statistics = CacheStatistics()
         self._telemetry = telemetry
+        self._lock = threading.Lock()
         self._cache: "OrderedDict[SelectionQuery, Relation]" = OrderedDict()
 
     # -- the AutonomousSource surface the mediator uses -------------------
@@ -96,23 +108,33 @@ class CachingSource:
         return self.inner.cardinality()
 
     def execute(self, query: SelectionQuery) -> Relation:
-        """Answer from the cache when possible; otherwise delegate."""
-        cached = self._cache.get(query)
+        """Answer from the cache when possible; otherwise delegate.
+
+        A raising inner call inserts nothing (no negative caching, no
+        poisoned entries) and counts as neither hit nor miss — the
+        failure is the retry/breaker layers' business, not the cache's.
+        """
+        with self._lock:
+            cached = self._cache.get(query)
+            if cached is not None:
+                self._cache.move_to_end(query)
+                self.statistics.hits += 1
         if cached is not None:
-            self._cache.move_to_end(query)
-            self.statistics.hits += 1
             if self._telemetry is not None:
                 self._telemetry.count("cache.hits")
             return cached
         result = self.inner.execute(query)
-        self.statistics.misses += 1
+        evicted = False
+        with self._lock:
+            self.statistics.misses += 1
+            self._cache[query] = result
+            if len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+                self.statistics.evictions += 1
+                evicted = True
         if self._telemetry is not None:
             self._telemetry.count("cache.misses")
-        self._cache[query] = result
-        if len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
-            self.statistics.evictions += 1
-            if self._telemetry is not None:
+            if evicted:
                 self._telemetry.count("cache.evictions")
         return result
 
@@ -127,11 +149,13 @@ class CachingSource:
 
     def reset_statistics(self) -> None:
         self.inner.reset_statistics()
-        self.statistics = CacheStatistics()
+        with self._lock:
+            self.statistics = CacheStatistics()
 
     def invalidate(self) -> None:
         """Drop every cached result (e.g. after a known source refresh)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def __repr__(self) -> str:
         return (

@@ -9,6 +9,13 @@ wraps any source and retries calls that raise
 Permanent failures (capability violations, budget exhaustion) are *not*
 retried: repeating a query a web form cannot express never helps, and
 retrying against an exhausted budget only burns goodwill.
+
+The wrapper is deadline-aware: before each backoff sleep it consults the
+ambient :func:`repro.resilience.remaining_deadline` (published by the
+engine around every source call) and raises
+:class:`~repro.errors.DeadlineExceededError` instead of sleeping past
+the retrieval's budget — a retry that could only land after the caller
+stopped listening is pure waste.
 """
 
 from __future__ import annotations
@@ -18,10 +25,11 @@ import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
-from repro.errors import QpiadError, SourceUnavailableError
+from repro.errors import DeadlineExceededError, QpiadError, SourceUnavailableError
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
+from repro.resilience.deadline import remaining_deadline
 from repro.telemetry import Telemetry
 
 __all__ = ["RetryStatistics", "RetryingSource"]
@@ -114,7 +122,7 @@ class RetryingSource:
                 self._telemetry.count("retry.attempts")
             try:
                 return operation()
-            except SourceUnavailableError:
+            except SourceUnavailableError as exc:
                 if attempt == self.max_attempts:
                     self.statistics.gave_up += 1
                     if self._telemetry is not None:
@@ -124,7 +132,20 @@ class RetryingSource:
                 if self._telemetry is not None:
                     self._telemetry.count("retry.retries")
                 if delay:
-                    self._sleep(self._jittered(delay))
+                    pause = self._jittered(delay)
+                    budget = remaining_deadline()
+                    if budget is not None and pause >= budget:
+                        # Sleeping would outlive the retrieval's budget:
+                        # surface the deadline now instead of waking up
+                        # only to find nobody listening.
+                        self.statistics.gave_up += 1
+                        if self._telemetry is not None:
+                            self._telemetry.count("retry.deadline_preempted")
+                        raise DeadlineExceededError(
+                            f"retry backoff of {pause:.3f}s exceeds the "
+                            f"remaining deadline budget of {max(budget, 0.0):.3f}s"
+                        ) from exc
+                    self._sleep(pause)
                     delay = self._capped(delay * 2)
         raise AssertionError("unreachable")  # pragma: no cover
 

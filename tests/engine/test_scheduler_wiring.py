@@ -1,0 +1,218 @@
+"""The engine ↔ scheduler contract: routing, billing, failure absorption."""
+
+import pytest
+
+from repro.core import QpiadConfig, QpiadMediator
+from repro.core.results import RetrievalStats
+from repro.engine import ExecutionPolicy, FailureKind, PlannedQuery, QueryKind
+from repro.engine.engine import RetrievalEngine
+from repro.errors import AdmissionRejectedError, DeadlineExceededError
+from repro.query import SelectionQuery
+from repro.relational import Relation, Schema
+from repro.resilience import (
+    SchedulerConfig,
+    SourcePolicy,
+    SourceScheduler,
+    remaining_deadline,
+    scheduler_scope,
+)
+from repro.sources import AutonomousSource
+
+QUERY = SelectionQuery.equals("body_style", "Convt")
+
+
+def make_scheduler(**policy):
+    return SourceScheduler(SchedulerConfig(default=SourcePolicy(**policy)))
+
+
+class TestMediatorRouting:
+    def test_every_source_call_passes_through_the_scheduler(self, cars_env):
+        scheduler = make_scheduler()
+        source = cars_env.web_source()
+        mediator = QpiadMediator(
+            source, cars_env.knowledge, QpiadConfig(k=10), scheduler=scheduler
+        )
+        result = mediator.query(QUERY)
+        calls = scheduler.metrics.value("scheduler.calls")
+        source_calls = (
+            source.statistics.queries_answered + source.statistics.rejected_queries
+        )
+        assert calls == result.stats.queries_issued
+        assert calls == source_calls
+
+    def test_answers_are_bit_identical_with_and_without_the_scheduler(
+        self, cars_env
+    ):
+        def run(scheduler):
+            return QpiadMediator(
+                cars_env.web_source(),
+                cars_env.knowledge,
+                QpiadConfig(k=10),
+                scheduler=scheduler,
+            ).query(QUERY)
+
+        plain = run(None)
+        scheduled = run(make_scheduler(rate_per_second=10_000, burst=64))
+        assert list(scheduled.certain) == list(plain.certain)
+        assert [(a.row, a.confidence) for a in scheduled.ranked] == [
+            (a.row, a.confidence) for a in plain.ranked
+        ]
+        assert scheduled.stats.queries_issued == plain.stats.queries_issued
+
+    def test_installed_scheduler_is_the_engine_default(self, cars_env):
+        scheduler = make_scheduler()
+        with scheduler_scope(scheduler):
+            result = QpiadMediator(
+                cars_env.web_source(), cars_env.knowledge, QpiadConfig(k=5)
+            ).query(QUERY)
+        assert scheduler.metrics.value("scheduler.calls") == (
+            result.stats.queries_issued
+        )
+
+    def test_accounting_invariant_holds_at_every_width(self, cars_env):
+        for width in (1, 2, 4, 8):
+            scheduler = make_scheduler(max_concurrent=4)
+            source = cars_env.web_source()
+            result = QpiadMediator(
+                source,
+                cars_env.knowledge,
+                QpiadConfig(k=10, max_concurrency=width),
+                scheduler=scheduler,
+            ).query(QUERY)
+            source_calls = (
+                source.statistics.queries_answered
+                + source.statistics.rejected_queries
+            )
+            assert result.stats.queries_issued == source_calls
+
+
+def engine_for(source, policy=None, stats=None, scheduler=None):
+    return RetrievalEngine(
+        source,
+        policy if policy is not None else ExecutionPolicy(),
+        stats if stats is not None else RetrievalStats(),
+        scheduler=scheduler,
+        label="test",
+    )
+
+
+def backend():
+    relation = Relation(
+        Schema.of("make", "body_style"), [("BMW", "Convt"), ("Audi", "Sedan")]
+    )
+    return AutonomousSource("cars", relation)
+
+
+def step(query, rank=0, kind=QueryKind.REWRITTEN):
+    return PlannedQuery(query=query, kind=kind, rank=rank)
+
+
+class TestFailureAbsorption:
+    def test_admission_rejection_is_absorbed_and_recorded(self):
+        stats = RetrievalStats()
+        engine = engine_for(backend(), stats=stats)
+        outcome = engine._absorb(
+            step(QUERY), AdmissionRejectedError("queue full")
+        )
+        assert outcome == "continue"
+        assert engine.degraded
+        assert [f.kind for f in stats.failures] == [FailureKind.ADMISSION_REJECTED]
+
+    def test_admission_rejections_count_against_the_failure_budget(self):
+        stats = RetrievalStats()
+        engine = engine_for(
+            backend(), policy=ExecutionPolicy(max_source_failures=1), stats=stats
+        )
+        assert engine._absorb(step(QUERY), AdmissionRejectedError("shed")) == (
+            "continue"
+        )
+        assert engine._absorb(step(QUERY), AdmissionRejectedError("shed")) == (
+            "raise"
+        )
+
+    def test_deadline_error_from_below_halts_and_notes_once(self):
+        stats = RetrievalStats()
+        engine = engine_for(
+            backend(),
+            policy=ExecutionPolicy(deadline_seconds=10.0),
+            stats=stats,
+        )
+        outcome = engine._absorb(step(QUERY), DeadlineExceededError("too slow"))
+        assert outcome == "halt"
+        # Noted exactly once even if the post-stream check fires too.
+        engine._note_deadline()
+        assert [f.kind for f in stats.failures] == [FailureKind.DEADLINE]
+
+    def test_strict_deadline_policy_reraises(self):
+        engine = engine_for(
+            backend(),
+            policy=ExecutionPolicy(
+                deadline_seconds=10.0, tolerate_deadline_exceeded=False
+            ),
+        )
+        with pytest.raises(DeadlineExceededError):
+            engine._absorb(step(QUERY), DeadlineExceededError("too slow"))
+
+    def test_required_steps_always_reraise(self):
+        engine = engine_for(backend())
+        required = PlannedQuery(
+            query=QUERY, kind=QueryKind.REWRITTEN, rank=0, required=True
+        )
+        assert engine._absorb(
+            required, AdmissionRejectedError("shed")
+        ) == "raise"
+
+
+class TestDeadlinePropagation:
+    def test_source_calls_see_the_engine_deadline(self):
+        seen = []
+
+        class PeekingSource:
+            name = "peek"
+            schema = Schema.of("make")
+            capabilities = backend().capabilities
+
+            def execute(self, query):
+                seen.append(remaining_deadline())
+                return Relation(Schema.of("make"), [("BMW",)])
+
+        engine = engine_for(
+            PeekingSource(), policy=ExecutionPolicy(deadline_seconds=30.0)
+        )
+        engine.run_base(step(SelectionQuery.equals("make", "BMW"), kind=QueryKind.BASE))
+        assert len(seen) == 1
+        assert seen[0] is not None and 0 < seen[0] <= 30.0
+
+    def test_no_policy_deadline_means_unbounded_calls(self):
+        seen = []
+
+        class PeekingSource:
+            name = "peek"
+            schema = Schema.of("make")
+            capabilities = backend().capabilities
+
+            def execute(self, query):
+                seen.append(remaining_deadline())
+                return Relation(Schema.of("make"), [("BMW",)])
+
+        engine = engine_for(PeekingSource())
+        engine.run_base(step(SelectionQuery.equals("make", "BMW"), kind=QueryKind.BASE))
+        assert seen == [None]
+
+    def test_scheduler_receives_the_deadline(self):
+        scheduler = make_scheduler(rate_per_second=0.0001, burst=1)
+        source = backend()
+        stats = RetrievalStats()
+        engine = engine_for(
+            source,
+            policy=ExecutionPolicy(deadline_seconds=0.05),
+            stats=stats,
+            scheduler=scheduler,
+        )
+        engine.run_base(step(QUERY, kind=QueryKind.BASE))  # spends the burst
+        # The next token is ~10000s away; the deadline preempts the wait.
+        with pytest.raises(DeadlineExceededError):
+            engine.run_base(
+                step(SelectionQuery.equals("make", "Audi"), kind=QueryKind.BASE)
+            )
+        assert scheduler.metrics.value("scheduler.rejected_deadline") == 1

@@ -1,0 +1,144 @@
+"""Hedged requests: percentile trigger, racing, billing, suppression."""
+
+import threading
+
+import pytest
+
+from repro.errors import SourceUnavailableError
+from repro.query import SelectionQuery
+from repro.resilience import SchedulerConfig, SourcePolicy, SourceScheduler
+
+QUERY = SelectionQuery.equals("make", "BMW")
+
+
+class FakeSource:
+    name = "hedged"
+
+
+def make_scheduler(**overrides):
+    policy = dict(
+        hedge=True,
+        hedge_min_samples=3,
+        hedge_quantile=0.5,
+        hedge_min_delay_seconds=0.005,
+        dedup=False,
+    )
+    policy.update(overrides)
+    return SourceScheduler(SchedulerConfig(default=SourcePolicy(**policy)))
+
+
+def warm(scheduler, source, calls=3):
+    """Seed the latency histogram with fast successful calls."""
+    for index in range(calls):
+        query = SelectionQuery.equals("year", 2000 + index)
+        scheduler.call(source, query, "execute", lambda: "warm")
+
+
+class SlowThenFast:
+    """First invocation blocks until released; later ones return at once."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.invocations = 0
+        self.release = threading.Event()
+
+    def __call__(self):
+        with self.lock:
+            self.invocations += 1
+            first = self.invocations == 1
+        if first:
+            self.release.wait(5.0)
+            return "primary"
+        return "backup"
+
+
+class TestHedging:
+    def test_cold_histogram_runs_inline_without_hedging(self):
+        scheduler = make_scheduler()
+        source = FakeSource()
+        value = scheduler.call(source, QUERY, "execute", lambda: "inline")
+        assert value == "inline"
+        assert scheduler.metrics.value("scheduler.hedges_launched") == 0
+
+    def test_straggler_is_hedged_and_the_backup_wins(self):
+        scheduler = make_scheduler()
+        source = FakeSource()
+        warm(scheduler, source)
+        thunk = SlowThenFast()
+        try:
+            value = scheduler.call(source, QUERY, "execute", thunk)
+            assert value == "backup"
+            assert scheduler.metrics.value("scheduler.hedges_launched") == 1
+            assert scheduler.metrics.value("scheduler.hedge_wins") == 1
+        finally:
+            thunk.release.set()
+            scheduler.shutdown()
+
+    def test_hedge_launch_bills_through_the_callback(self):
+        scheduler = make_scheduler()
+        source = FakeSource()
+        warm(scheduler, source)
+        thunk = SlowThenFast()
+        billed = []
+        try:
+            scheduler.call(
+                source,
+                QUERY,
+                "execute",
+                thunk,
+                on_hedge_launch=lambda: billed.append(1),
+            )
+            assert billed == [1]
+        finally:
+            thunk.release.set()
+            scheduler.shutdown()
+
+    def test_fast_primary_never_hedges(self):
+        scheduler = make_scheduler(hedge_min_delay_seconds=0.5)
+        source = FakeSource()
+        warm(scheduler, source)
+        value = scheduler.call(source, QUERY, "execute", lambda: "quick")
+        scheduler.shutdown()
+        assert value == "quick"
+        assert scheduler.metrics.value("scheduler.hedges_launched") == 0
+
+    def test_hedge_suppressed_when_no_slot_is_free(self):
+        scheduler = make_scheduler(max_concurrent=1)
+        source = FakeSource()
+        warm(scheduler, source)
+        thunk = SlowThenFast()
+        # Release the primary after the scheduler has had time to attempt
+        # (and suppress) the hedge.
+        threading.Timer(0.1, thunk.release.set).start()
+        try:
+            value = scheduler.call(source, QUERY, "execute", thunk)
+            assert value == "primary"
+            assert scheduler.metrics.value("scheduler.hedges_suppressed") == 1
+            assert scheduler.metrics.value("scheduler.hedges_launched") == 0
+        finally:
+            scheduler.shutdown()
+
+    def test_both_copies_failing_surfaces_the_primary_error(self):
+        scheduler = make_scheduler()
+        source = FakeSource()
+        warm(scheduler, source)
+        # Make the primary slow enough to trigger the hedge, then fail both.
+        release = threading.Event()
+        invocations = []
+        lock = threading.Lock()
+
+        def slow_failing():
+            with lock:
+                invocations.append(1)
+                first = len(invocations) == 1
+            if first:
+                release.wait(5.0)
+            raise SourceUnavailableError("down")
+
+        try:
+            with pytest.raises(SourceUnavailableError):
+                threading.Timer(0.1, release.set).start()
+                scheduler.call(source, QUERY, "execute", slow_failing)
+        finally:
+            release.set()
+            scheduler.shutdown()

@@ -1,0 +1,125 @@
+"""TokenBucket: pacing, deadline-capped waits, refunds."""
+
+import threading
+
+import pytest
+
+from repro.errors import DeadlineExceededError, QpiadError
+from repro.resilience import TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestConstruction:
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(QpiadError):
+            TokenBucket(0)
+
+    def test_rejects_zero_burst(self):
+        with pytest.raises(QpiadError):
+            TokenBucket(10, burst=0)
+
+    def test_starts_full(self):
+        bucket = TokenBucket(1, burst=3, clock=FakeClock())
+        assert bucket.available == pytest.approx(3.0)
+
+
+class TestTryAcquire:
+    def test_spends_banked_tokens_then_refuses(self):
+        bucket = TokenBucket(1, burst=2, clock=FakeClock())
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_continuously_at_the_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2, burst=1, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s × 0.5s = 1 token
+        assert bucket.try_acquire()
+
+    def test_never_banks_beyond_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10, burst=2, clock=clock)
+        clock.advance(100)
+        assert bucket.available == pytest.approx(2.0)
+
+
+class TestAcquire:
+    def test_returns_zero_wait_when_a_token_is_banked(self):
+        bucket = TokenBucket(1, burst=1, clock=FakeClock())
+        assert bucket.acquire(sleep=lambda s: None) == 0.0
+
+    def test_sleeps_exactly_the_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(4, burst=1, clock=clock)
+        bucket.try_acquire()
+        slept = []
+
+        def sleep(seconds):
+            slept.append(seconds)
+            clock.advance(seconds)
+
+        waited = bucket.acquire(sleep=sleep)
+        assert slept == [pytest.approx(0.25)]
+        assert waited == pytest.approx(0.25)
+
+    def test_raises_instead_of_sleeping_past_the_deadline(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1, burst=1, clock=clock)
+        bucket.try_acquire()  # empty; next token in 1s
+        with pytest.raises(DeadlineExceededError):
+            bucket.acquire(timeout=0.5, sleep=lambda s: clock.advance(s))
+
+    def test_deadline_error_leaves_no_token_spent(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1, burst=1, clock=clock)
+        bucket.try_acquire()
+        with pytest.raises(DeadlineExceededError):
+            bucket.acquire(timeout=0.1, sleep=lambda s: clock.advance(s))
+        clock.advance(1.0)
+        assert bucket.try_acquire()  # the refilled token is intact
+
+
+class TestRefund:
+    def test_refund_returns_one_token(self):
+        bucket = TokenBucket(1, burst=2, clock=FakeClock())
+        bucket.try_acquire()
+        bucket.try_acquire()
+        bucket.refund()
+        assert bucket.try_acquire()
+
+    def test_refund_respects_the_burst_ceiling(self):
+        bucket = TokenBucket(1, burst=1, clock=FakeClock())
+        bucket.refund()
+        assert bucket.available == pytest.approx(1.0)
+
+
+class TestThreadSafety:
+    def test_concurrent_try_acquire_never_overspends(self):
+        bucket = TokenBucket(1000, burst=50, clock=FakeClock())
+        taken = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(20):
+                if bucket.try_acquire():
+                    with lock:
+                        taken.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(taken) == 50  # exactly the banked burst, no double-spend

@@ -1,0 +1,129 @@
+"""The ``--admission`` knobs on ``qpiad query`` and ``qpiad chaos``."""
+
+import pytest
+
+from repro.cli import _parse_admission, main
+from repro.errors import QpiadError
+
+
+@pytest.fixture()
+def cars_ed_csv(tmp_path):
+    path = tmp_path / "cars_ed.csv"
+    code = main(
+        ["generate", "cars", "--size", "1200", "--out", str(path), "--incomplete", "0.1"]
+    )
+    assert code == 0
+    return path
+
+
+class TestParseAdmission:
+    def test_no_specs_means_no_scheduler(self):
+        assert _parse_admission(None) is None
+        assert _parse_admission([]) is None
+
+    def test_numeric_keys_build_the_default_policy(self):
+        config = _parse_admission(
+            ["rate=250", "burst=8", "concurrent=4", "queue=16"]
+        )
+        policy = config.default
+        assert policy.rate_per_second == 250.0
+        assert policy.burst == 8
+        assert policy.max_concurrent == 4
+        assert policy.max_queue == 16
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("on", True), ("true", True), ("yes", True), ("1", True),
+        ("off", False), ("false", False), ("no", False), ("0", False),
+    ])
+    def test_on_off_flags(self, raw, expected):
+        config = _parse_admission([f"dedup={raw}", f"hedge={raw}"])
+        assert config.default.dedup is expected
+        assert config.default.hedge is expected
+
+    def test_hedge_tuning_keys(self):
+        config = _parse_admission(
+            ["hedge=on", "hedge-quantile=0.9", "hedge-min-samples=5",
+             "hedge-min-delay=0.002"]
+        )
+        policy = config.default
+        assert policy.hedge and policy.hedge_quantile == 0.9
+        assert policy.hedge_min_samples == 5
+        assert policy.hedge_min_delay_seconds == 0.002
+
+    def test_malformed_spec_is_rejected(self):
+        with pytest.raises(QpiadError, match="expected KEY=VALUE"):
+            _parse_admission(["rate"])
+        with pytest.raises(QpiadError, match="expected KEY=VALUE"):
+            _parse_admission(["rate="])
+
+    def test_unknown_key_lists_the_known_ones(self):
+        with pytest.raises(QpiadError, match="known keys: .*burst"):
+            _parse_admission(["ratelimit=5"])
+
+    def test_bad_value_type_is_rejected(self):
+        with pytest.raises(QpiadError, match="expects a float"):
+            _parse_admission(["rate=fast"])
+        with pytest.raises(QpiadError, match="expects on/off"):
+            _parse_admission(["dedup=maybe"])
+
+    def test_invalid_policy_values_surface_as_qpiad_errors(self):
+        with pytest.raises(QpiadError):
+            _parse_admission(["hedge-quantile=1.5"])
+
+
+class TestQueryWithAdmission:
+    def test_query_reports_admission_counters(self, cars_ed_csv, capsys):
+        code = main(
+            [
+                "query",
+                str(cars_ed_csv),
+                "--where",
+                "body_style=Convt",
+                "--admission",
+                "rate=10000",
+                "--admission",
+                "dedup=on",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "admission:" in out
+        assert "admitted" in out and "shed" in out
+
+    def test_answers_match_the_unscheduled_run(self, cars_ed_csv, capsys):
+        args = ["query", str(cars_ed_csv), "--where", "body_style=Convt"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--admission", "queue=32"]) == 0
+        scheduled = capsys.readouterr().out
+        # Identical ranked output; the admission line is purely additive.
+        plain_rows = [l for l in plain.splitlines() if not l.startswith("admission")]
+        rows = [l for l in scheduled.splitlines() if not l.startswith("admission")]
+        assert rows == plain_rows
+
+    def test_query_without_admission_prints_no_counters(self, cars_ed_csv, capsys):
+        assert main(["query", str(cars_ed_csv), "--where", "make=Honda"]) == 0
+        assert "admission:" not in capsys.readouterr().out
+
+
+class TestChaosWithAdmission:
+    def test_chaos_passes_under_admission_control(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--size",
+                "600",
+                "--seed",
+                "2",
+                "--admission",
+                "rate=10000",
+                "--admission",
+                "queue=32",
+                "--concurrency",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos: ok" in out
+        assert "load-shed across faulty runs" in out
