@@ -132,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
         "Keys: rate (calls/s), burst, concurrent, queue, dedup (on/off), "
         "hedge (on/off), hedge-quantile, hedge-min-samples, hedge-min-delay",
     )
+    query.add_argument(
+        "--stream",
+        action="store_true",
+        help="print ranked possible answers incrementally as each source "
+        "call completes (with elapsed time), stopping after --top — the "
+        "streaming interface spends no budget on answers never read",
+    )
 
     plan_cmd = sub.add_parser(
         "plan",
@@ -385,8 +392,8 @@ def _cmd_mine(args) -> int:
     return 0
 
 
-def _mediate_csv(args, telemetry=None):
-    """Shared query/trace core: load data, build the mediator, run the query."""
+def _build_mediation(args, telemetry=None):
+    """Shared query/trace plumbing: load data, build mediator and query."""
     from repro.planner import PlanCache
 
     relation = read_csv(args.data)
@@ -416,6 +423,12 @@ def _mediate_csv(args, telemetry=None):
         plan_cache=plan_cache,
         scheduler=scheduler,
     )
+    return query, mediator, scheduler
+
+
+def _mediate_csv(args, telemetry=None):
+    """Shared query/trace core: load data, build the mediator, run the query."""
+    query, mediator, scheduler = _build_mediation(args, telemetry)
     return query, mediator, mediator.query(query), scheduler
 
 
@@ -441,22 +454,59 @@ def _render_plan(plan, alpha: float) -> str:
     return "\n".join(lines)
 
 
+def _stream_query(args, query, mediator) -> None:
+    """Incremental `qpiad query --stream` output: answers as calls complete.
+
+    Drives the mediator's lazy streaming interface and stamps each answer
+    with its elapsed arrival time, so slow sources are visibly not
+    blocking the fast ones; stops pulling after ``--top`` answers, which
+    (serially) also stops spending the source's query budget.
+    """
+    import time
+
+    from repro.core.results import RetrievalStats
+
+    stats = RetrievalStats()
+    print(f"query: {query}")
+    print(f"streaming ranked possible answers as they arrive (top {args.top}):")
+    started = time.monotonic()
+    shown = 0
+    for answer in mediator.iter_possible(query, stats):
+        shown += 1
+        print(
+            f"  [+{time.monotonic() - started:.3f}s] "
+            f"conf={answer.confidence:.3f}  {answer.row}"
+        )
+        if shown >= args.top:
+            break
+    elapsed = time.monotonic() - started
+    print(
+        f"\n{shown} answers in {elapsed:.3f}s; cost so far: "
+        f"{stats.queries_issued} queries, "
+        f"{stats.tuples_retrieved} tuples transferred"
+    )
+
+
 def _cmd_query(args) -> int:
     from repro.telemetry import Telemetry, render_telemetry_text
 
     telemetry = Telemetry() if args.trace else None
-    query, mediator, result, scheduler = _mediate_csv(args, telemetry)
+    if args.stream:
+        query, mediator, scheduler = _build_mediation(args, telemetry)
+        _stream_query(args, query, mediator)
+    else:
+        query, mediator, result, scheduler = _mediate_csv(args, telemetry)
 
-    print(f"query: {query}")
-    print(f"{len(result.certain)} certain answers; first 5:")
-    print(result.certain.take(5).head())
-    print(f"\n{len(result.ranked)} ranked relevant possible answers; top {args.top}:")
-    for answer in result.top(args.top):
-        print(f"  conf={answer.confidence:.3f}  {answer.row}")
-    print(
-        f"\ncost: {result.stats.queries_issued} queries, "
-        f"{result.stats.tuples_retrieved} tuples transferred"
-    )
+        print(f"query: {query}")
+        print(f"{len(result.certain)} certain answers; first 5:")
+        print(result.certain.take(5).head())
+        print(f"\n{len(result.ranked)} ranked relevant possible answers; top {args.top}:")
+        for answer in result.top(args.top):
+            print(f"  conf={answer.confidence:.3f}  {answer.row}")
+        print(
+            f"\ncost: {result.stats.queries_issued} queries, "
+            f"{result.stats.tuples_retrieved} tuples transferred"
+        )
     if scheduler is not None:
         admitted = scheduler.metrics.value("scheduler.admitted")
         shed = scheduler.metrics.value("scheduler.rejected_queue_full")

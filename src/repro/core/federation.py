@@ -25,19 +25,33 @@ degraded, and mediation continues across the rest of the federation.
 Per-source mediations are independent, so the federation runs them
 through the engine's :class:`~repro.engine.PlanExecutor`: serial by
 default, fanned out over a thread pool when ``config.max_concurrency``
-is raised — with outcomes always merged in registry order, so the
-result does not depend on the execution strategy.
+is raised.  Probe payloads stream back in *completion* order — a fast
+source's answers surface while slower sources are still mediating
+(:meth:`FederatedMediator.stream_answers`, built on the streaming
+union/project operators) — and are then folded into the result in
+registry order, so the final ranking does not depend on the execution
+strategy.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.core.correlated import CorrelatedConfig, CorrelatedSourceMediator
 from repro.core.qpiad import QpiadConfig, QpiadMediator
 from repro.core.results import QueryResult, RankedAnswer
-from repro.engine import ExecutionTask, PlanExecutor, build_executor
+from repro.engine import (
+    ExecutionTask,
+    Inlet,
+    OperatorNode,
+    OperatorTree,
+    PlanExecutor,
+    StreamingProject,
+    StreamingUnion,
+    build_executor,
+)
 from repro.errors import RewritingError, SourceUnavailableError, UnsupportedAttributeError
 from repro.mining.knowledge import KnowledgeBase
 from repro.planner import PlanCache
@@ -182,12 +196,46 @@ class FederatedMediator:
         One source failing transiently never aborts the others: its failure
         is logged on the result, the result is flagged degraded, and the
         remaining sources are still mediated in full.  Probes run through
-        the configured executor; their payloads are merged in registry
-        order, so the federated result is independent of execution
-        interleaving.
+        the configured executor and stream back in completion order; their
+        payloads are then folded in registry order, so the federated
+        result is independent of execution interleaving.
         """
-        telemetry = self._telemetry
         result = FederatedResult(query=query)
+        for __ in self.stream_answers(query, result=result):
+            pass
+        return result
+
+    def stream_answers(
+        self, query: SelectionQuery, result: "FederatedResult | None" = None
+    ) -> Iterator[FederatedAnswer]:
+        """Per-source ranked answers, yielded as each probe completes.
+
+        The streaming interface: a fast source's answers surface while
+        slower sources are still mediating, in arrival order — no ranking
+        is owed mid-stream.  When *result* is given it is fully assembled
+        (registry-order merge, confidence-sorted ``ranked``) by the time
+        the stream is exhausted, identically at every executor width.
+        The latency to the first answer feeds the
+        ``federation.time_to_first_answer_seconds`` histogram.
+        """
+        if result is None:
+            result = FederatedResult(query=query)
+        started = time.monotonic()
+        emitted = False
+        for answer in self._stream(query, result):
+            if not emitted:
+                emitted = True
+                if self._telemetry is not None:
+                    self._telemetry.observe(
+                        "federation.time_to_first_answer_seconds",
+                        time.monotonic() - started,
+                    )
+            yield answer
+
+    def _stream(
+        self, query: SelectionQuery, result: FederatedResult
+    ) -> Iterator[FederatedAnswer]:
+        telemetry = self._telemetry
         executor = (
             self._executor
             if self._executor is not None
@@ -197,22 +245,46 @@ class FederatedMediator:
             telemetry, f"federated {query}", SpanKind.FEDERATION, query=str(query)
         ) as root:
             sources = list(self.registry)
+            tree = self._build_tree(sources) if sources else None
+            payloads: dict[int, _Probe] = {}
+            failures: dict[int, SourceFailure] = {}
             tasks = (
                 ExecutionTask(rank, self._prober(source, query))
                 for rank, source in enumerate(sources)
             )
-            for source, outcome in zip(sources, executor.map(tasks, lambda: False)):
-                if outcome.error is not None:
-                    if isinstance(outcome.error, SourceUnavailableError):
-                        result.failures.append(
-                            SourceFailure(source.name, str(outcome.error))
-                        )
-                        result.degraded = True
-                        if telemetry is not None:
-                            telemetry.count("federation.source_failures")
-                        continue
-                    raise outcome.error
-                self._merge(source, outcome.value, result)
+            outcomes = executor.map_completed(tasks, lambda: False)
+            try:
+                for outcome in outcomes:
+                    source = sources[outcome.rank]
+                    if outcome.error is not None:
+                        if isinstance(outcome.error, SourceUnavailableError):
+                            failures[outcome.rank] = SourceFailure(
+                                source.name, str(outcome.error)
+                            )
+                            result.degraded = True
+                            if telemetry is not None:
+                                telemetry.count("federation.source_failures")
+                            continue
+                        raise outcome.error
+                    payloads[outcome.rank] = outcome.value
+                    tag, payload = outcome.value
+                    if tag == _MEDIATED and tree is not None:
+                        assert isinstance(payload, QueryResult)
+                        for ranked in payload.ranked:
+                            yield from tree.push(f"source:{outcome.rank}", ranked)
+            finally:
+                closer = getattr(outcomes, "close", None)
+                if closer is not None:
+                    closer()
+            if tree is not None:
+                yield from tree.close()
+            # Deterministic assembly: fold payloads and failures in
+            # registry order, whatever order the probes completed in.
+            for rank, source in enumerate(sources):
+                if rank in failures:
+                    result.failures.append(failures[rank])
+                elif rank in payloads:
+                    self._merge(source, payloads[rank], result)
             result.ranked.sort(key=lambda item: -item.confidence)
             if root is not None:
                 root.set(
@@ -225,7 +297,31 @@ class FederatedMediator:
             telemetry.count("federation.queries")
             if result.degraded:
                 telemetry.count("federation.queries_degraded")
-        return result
+
+    def _build_tree(self, sources: list[AutonomousSource]) -> OperatorTree:
+        """The federation's physical plan: N tagging projects into a union.
+
+        ::
+
+                      StreamingUnion
+                    /       |        \\
+              project:s0  project:s1  ...   (tag answers with their source)
+                   |          |
+            Inlet "source:0"  "source:1"
+        """
+
+        def tagger(source: AutonomousSource) -> StreamingProject:
+            return StreamingProject(
+                lambda answer: FederatedAnswer(source.name, answer)
+            )
+
+        arms = [
+            OperatorNode(tagger(source), [Inlet(f"source:{rank}")], f"project:{source.name}")
+            for rank, source in enumerate(sources)
+        ]
+        return OperatorTree(
+            OperatorNode(StreamingUnion(len(arms)), arms, "union")
+        )
 
     # ------------------------------------------------------------------
 

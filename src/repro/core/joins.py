@@ -13,21 +13,36 @@ queries) or the observed base set (for the complete queries).  Pairs are
 ordered by F-measure, the top-K pairs' component queries are issued (each
 component once), and tuples are joined with NULL join values filled in by
 the classifiers' most likely completion.
+
+Execution is *streaming*: component results flow through a symmetric-hash
+operator tree (:mod:`repro.engine.operators`) as source calls complete,
+so the first joined answer surfaces as soon as both halves of any match
+have arrived — the already-retrieved base sets are pushed in first, which
+bounds first-answer latency by the base retrievals rather than by the
+slowest rewritten component.  Candidates stream in arrival order;
+:meth:`JoinProcessor.query` ranks at the edge with a total deterministic
+order, so the final answer list is bit-identical at every executor width.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 
 from repro.core.results import RetrievalStats
 from repro.core.rewriting import RewrittenQuery
 from repro.engine import (
     ExecutionPolicy,
+    Inlet,
+    OperatorNode,
+    OperatorTree,
     PlanExecutor,
     PlannedQuery,
     QueryKind,
     RetrievalEngine,
+    StreamingProject,
+    SymmetricHashJoin,
 )
 from repro.errors import MiningError, QpiadError
 from repro.mining.afd import Afd
@@ -125,12 +140,20 @@ class JoinedAnswer:
 
 @dataclass
 class JoinResult:
-    """Certain and ranked possible answers of a mediated join query."""
+    """Certain and ranked possible answers of a mediated join query.
+
+    ``base_queries_issued`` counts the two base retrievals (plus any
+    hedge backups they spawned); ``component_queries_issued`` counts only
+    the rewritten component calls.  The two always sum to
+    ``stats.queries_issued`` — the base calls used to be double-counted
+    into the component figure.
+    """
 
     query: JoinQuery
     answers: list[JoinedAnswer] = field(default_factory=list)
     pairs_considered: int = 0
     pairs_issued: int = 0
+    base_queries_issued: int = 0
     component_queries_issued: int = 0
     stats: RetrievalStats = field(default_factory=RetrievalStats)
 
@@ -141,6 +164,45 @@ class JoinResult:
     @property
     def possible(self) -> list[JoinedAnswer]:
         return [answer for answer in self.answers if not answer.certain]
+
+
+@dataclass(frozen=True)
+class _Arrival:
+    """One retrieved row entering the operator tree, tagged with its
+    component query's side statistics."""
+
+    side: _Side
+    row: Row
+
+
+@dataclass(frozen=True)
+class _JoinItem:
+    """A post-filtered row ready for the symmetric hash join.
+
+    ``join_value`` is the *effective* value — predicted when the stored
+    one is NULL — and ``confidence`` is already discounted by the
+    prediction probability; ``null_join`` remembers whether the stored
+    value was NULL, which disqualifies the tuple from certainty even on
+    the complete×complete pair.
+    """
+
+    query: SelectionQuery
+    row: Row
+    join_value: Any
+    confidence: float
+    rewritten: bool
+    null_join: bool
+
+
+def _ranking_key(answer: JoinedAnswer) -> tuple[bool, float, str]:
+    """The canonical total order of joined answers: certain first, then by
+    confidence, with a value tie-break so ranking is deterministic at any
+    executor width and any arrival interleaving."""
+    return (
+        not answer.certain,
+        -answer.confidence,
+        repr((answer.left_row, answer.right_row)),
+    )
 
 
 class JoinProcessor:
@@ -181,8 +243,61 @@ class JoinProcessor:
         self._pair_ranker = Ranker(self.config.alpha, self.config.k_pairs)
 
     def query(self, join: JoinQuery) -> JoinResult:
-        """Execute *join*, returning certain + ranked possible joined tuples."""
+        """Execute *join*, returning certain + ranked possible joined tuples.
+
+        Drains the candidate stream of :meth:`stream_answers`, keeps the
+        maximum-confidence version of each distinct ``(left_row,
+        right_row)`` pair — a joined tuple's confidence must not depend
+        on which rewritten component happened to deliver it first — and
+        ranks with the canonical total order, so the answer list is
+        identical at every executor width.
+        """
         result = JoinResult(query=join)
+        best: dict[tuple[Row, Row], JoinedAnswer] = {}
+        for candidate in self.stream_answers(join, result=result):
+            key = (candidate.left_row, candidate.right_row)
+            held = best.get(key)
+            if held is None or (candidate.certain, candidate.confidence) > (
+                held.certain,
+                held.confidence,
+            ):
+                best[key] = candidate
+        result.answers = sorted(best.values(), key=_ranking_key)
+        return result
+
+    def stream_answers(
+        self, join: JoinQuery, result: JoinResult | None = None
+    ) -> Iterator[JoinedAnswer]:
+        """Joined-answer *candidates*, yielded as matches arrive.
+
+        The streaming interface: each candidate surfaces the moment both
+        of its halves have been retrieved, so a caller sees first answers
+        while slower component queries are still on the wire.  The same
+        ``(left_row, right_row)`` pair can appear more than once (with
+        different confidences) when several rewritten components retrieve
+        the same row — callers that need the final ranked answer use
+        :meth:`query`, which keeps the best and sorts at the edge.
+
+        When *result* is given, its counters (pairs, base/component
+        issuance, stats) are populated as the stream is drained.  The
+        latency to the first candidate feeds the
+        ``mediator.time_to_first_answer_seconds`` histogram.
+        """
+        if result is None:
+            result = JoinResult(query=join)
+        started = time.monotonic()
+        emitted = False
+        for candidate in self._stream(join, result):
+            if not emitted:
+                emitted = True
+                if self._telemetry is not None:
+                    self._telemetry.observe(
+                        "mediator.time_to_first_answer_seconds",
+                        time.monotonic() - started,
+                    )
+            yield candidate
+
+    def _stream(self, join: JoinQuery, result: JoinResult) -> Iterator[JoinedAnswer]:
         engine = RetrievalEngine(
             None,  # every planned query carries its own side's source
             self.config.execution_policy(),
@@ -213,6 +328,9 @@ class JoinProcessor:
         ):
             bases[step.rank] = retrieved
         left_base, right_base = bases[0], bases[1]
+        # Snapshot after the bases (and any hedge backups they spawned)
+        # are billed: everything issued beyond this point is a component.
+        result.base_queries_issued = result.stats.queries_issued
 
         left_sides = self._build_sides(
             join.left, left_base, self._left_planner, self.left_knowledge,
@@ -245,21 +363,30 @@ class JoinProcessor:
         )
         result.pairs_issued = len(selected)
 
-        left_results, right_results = self._issue_components(
-            engine, selected, left_base, right_base
-        )
-        result.component_queries_issued = result.stats.queries_issued
+        tree = self._build_tree(join, selected, left_base, right_base)
 
-        seen: set[tuple[Row, Row]] = set()
-        for pair in selected:
-            left_tuples = left_results[pair.left.query]
-            right_tuples = right_results[pair.right.query]
-            self._join_pair(
-                pair, left_tuples, right_tuples, join, seen, result
+        # The base sets are already in hand: feed them to the join first,
+        # so certain base×base answers emit before any component query
+        # returns — first-answer latency is bounded by the base
+        # retrievals, not by the slowest rewritten component.
+        for row in left_base:
+            yield from tree.push("left", _Arrival(left_sides[0], row))
+        for row in right_base:
+            yield from tree.push("right", _Arrival(right_sides[0], row))
+
+        plan, plan_sides = self._component_plan(selected)
+        try:
+            # Component rows arrive in call-completion order and flow
+            # straight into the tree; the executor keeps issuing further
+            # components while the driver thread joins.
+            for step, row in engine.stream_tuples(plan):
+                side, which = plan_sides[step.rank]
+                yield from tree.push(which, _Arrival(side, row))
+        finally:
+            result.component_queries_issued = (
+                result.stats.queries_issued - result.base_queries_issued
             )
-
-        result.answers.sort(key=lambda answer: (not answer.certain, -answer.confidence))
-        return result
+        yield from tree.close()
 
     # ------------------------------------------------------------------
 
@@ -316,44 +443,28 @@ class JoinProcessor:
             join_attribute, rewritten.evidence, self.config.classifier_method
         )
 
-    def _issue_components(
-        self,
-        engine: RetrievalEngine,
-        selected: list[_QueryPair],
-        left_base: Relation,
-        right_base: Relation,
-    ) -> tuple[
-        dict[SelectionQuery, list[tuple[Row, float]]],
-        dict[SelectionQuery, list[tuple[Row, float]]],
-    ]:
-        """Issue each distinct component query once; post-filter rewritten ones.
+    def _component_plan(
+        self, selected: list[_QueryPair]
+    ) -> tuple[list[PlannedQuery], list[tuple[_Side, str]]]:
+        """The selected pairs' rewritten components, each planned once.
 
-        Both sides' components go into one retrieval plan, so a concurrent
-        executor fans out across the two sources at once.  Returns, per
-        side and per query, the retrieved rows paired with their confidence
-        (1.0 for certain answers of the complete query, the rewritten
-        query's precision otherwise).
+        Both sides' components go into one retrieval plan, so a
+        concurrent executor fans out across the two sources at once.
+        Complete queries are never planned — their result is the base
+        set, already pushed into the tree.
         """
-        left_results: dict[SelectionQuery, list[tuple[Row, float]]] = {}
-        right_results: dict[SelectionQuery, list[tuple[Row, float]]] = {}
-        sides_of = {
-            "left": (self.left_source, left_base, left_results),
-            "right": (self.right_source, right_base, right_results),
-        }
         plan: list[PlannedQuery] = []
         plan_sides: list[tuple[_Side, str]] = []
+        enqueued: set[tuple[SelectionQuery, str]] = set()
+        sources = {"left": self.left_source, "right": self.right_source}
 
         def enqueue(side: _Side, which: str) -> None:
-            source, base_set, results = sides_of[which]
-            if side.query in results:
-                return
             if not side.is_rewritten:
-                # The complete query's result is the base set, already
-                # retrieved — no second call.
-                results[side.query] = [(row, 1.0) for row in base_set]
                 return
-            if any(s.query == side.query and w == which for s, w in plan_sides):
+            key = (side.query, which)
+            if key in enqueued:
                 return
+            enqueued.add(key)
             plan.append(
                 PlannedQuery(
                     query=side.query,
@@ -362,7 +473,7 @@ class JoinProcessor:
                     estimated_precision=side.precision,
                     target_attribute=side.target_attribute,
                     explanation=side.afd,
-                    source=source,
+                    source=sources[which],
                 )
             )
             plan_sides.append((side, which))
@@ -370,77 +481,120 @@ class JoinProcessor:
         for pair in selected:
             enqueue(pair.left, "left")
             enqueue(pair.right, "right")
+        return plan, plan_sides
 
-        for step, retrieved in engine.stream(plan):
-            side, which = plan_sides[step.rank]
-            source, base_set, results = sides_of[which]
-            base_rows = set(base_set)
-            target_index = (
-                source.schema.index_of(side.target_attribute)
-                if side.target_attribute is not None
-                else None
-            )
-            rows: list[tuple[Row, float]] = []
-            for row in retrieved:
-                if target_index is not None and not is_null(row[target_index]):
-                    continue  # already a certain answer of the complete query
-                if row in base_rows:
-                    continue
-                rows.append((row, side.precision))
-            results[side.query] = rows
-        return left_results, right_results
-
-    def _join_pair(
+    def _build_tree(
         self,
-        pair: _QueryPair,
-        left_tuples: list[tuple[Row, float]],
-        right_tuples: list[tuple[Row, float]],
         join: JoinQuery,
-        seen: set[tuple[Row, Row]],
-        result: JoinResult,
-    ) -> None:
-        """Join two component result sets, predicting NULL join values."""
+        selected: list[_QueryPair],
+        left_base: Relation,
+        right_base: Relation,
+    ) -> OperatorTree:
+        """The physical plan: per-side project into a symmetric hash join.
+
+        ::
+
+                     SymmetricHashJoin           (match: selected pairs)
+                     /               \\
+            StreamingProject   StreamingProject  (post-filter + NULL fill)
+                    |                 |
+              Inlet "left"      Inlet "right"
+
+        Each project post-filters rewritten rows (drop rows whose target
+        attribute came back non-NULL, drop rows already in the base set)
+        and resolves the effective join value, predicting NULLs; the join
+        emits a candidate the moment a key matches across sides, and the
+        match predicate restricts the cross product to the top-K selected
+        query pairs while each component is still issued only once.
+        """
+        selected_pairs = {
+            (pair.left.query, pair.right.query) for pair in selected
+        }
         left_index = self.left_source.schema.index_of(join.left_join_attribute)
         right_index = self.right_source.schema.index_of(join.right_join_attribute)
 
-        prepared_right: dict[Any, list[tuple[Row, float]]] = {}
-        for row, confidence in right_tuples:
-            value, adjusted = self._effective_join_value(
-                row, right_index, self.right_source, self.right_knowledge,
-                join.right_join_attribute, confidence,
-            )
-            if value is None:
-                continue
-            prepared_right.setdefault(value, []).append((row, adjusted))
+        def prepare(
+            source: AutonomousSource,
+            knowledge: KnowledgeBase,
+            join_attribute: str,
+            join_index: int,
+            base_set: Relation,
+        ) -> StreamingProject:
+            # One frozen base-row set per side, shared by every component
+            # arrival (this used to be rebuilt per retrieved relation).
+            base_rows = frozenset(base_set)
 
-        for row, confidence in left_tuples:
-            value, adjusted = self._effective_join_value(
-                row, left_index, self.left_source, self.left_knowledge,
-                join.left_join_attribute, confidence,
+            def transform(arrival: _Arrival) -> _JoinItem | None:
+                side, row = arrival.side, arrival.row
+                if side.is_rewritten:
+                    if side.target_attribute is not None and not is_null(
+                        row[source.schema.index_of(side.target_attribute)]
+                    ):
+                        return None  # already a certain answer of the complete query
+                    if row in base_rows:
+                        return None
+                confidence = side.precision if side.is_rewritten else 1.0
+                value, adjusted = self._effective_join_value(
+                    row, join_index, source, knowledge, join_attribute, confidence
+                )
+                if value is None:
+                    return None
+                return _JoinItem(
+                    query=side.query,
+                    row=row,
+                    join_value=value,
+                    confidence=adjusted,
+                    rewritten=side.is_rewritten,
+                    null_join=is_null(row[join_index]),
+                )
+
+            return StreamingProject(transform)
+
+        def combine(left: _JoinItem, right: _JoinItem) -> JoinedAnswer:
+            certain = (
+                not left.rewritten
+                and not right.rewritten
+                and not left.null_join
+                and not right.null_join
             )
-            if value is None:
-                continue
-            for right_row, right_confidence in prepared_right.get(value, ()):
-                key = (row, right_row)
-                if key in seen:
-                    continue
-                seen.add(key)
-                combined = adjusted * right_confidence
-                certain = (
-                    not pair.left.is_rewritten
-                    and not pair.right.is_rewritten
-                    and not is_null(row[left_index])
-                    and not is_null(right_row[right_index])
-                )
-                result.answers.append(
-                    JoinedAnswer(
-                        left_row=row,
-                        right_row=right_row,
-                        join_value=value,
-                        confidence=1.0 if certain else combined,
-                        certain=certain,
-                    )
-                )
+            return JoinedAnswer(
+                left_row=left.row,
+                right_row=right.row,
+                join_value=left.join_value,
+                confidence=1.0 if certain else left.confidence * right.confidence,
+                certain=certain,
+            )
+
+        def match(left: _JoinItem, right: _JoinItem) -> bool:
+            return (left.query, right.query) in selected_pairs
+
+        left_project = OperatorNode(
+            prepare(
+                self.left_source, self.left_knowledge,
+                join.left_join_attribute, left_index, left_base,
+            ),
+            [Inlet("left")],
+            "project:left",
+        )
+        right_project = OperatorNode(
+            prepare(
+                self.right_source, self.right_knowledge,
+                join.right_join_attribute, right_index, right_base,
+            ),
+            [Inlet("right")],
+            "project:right",
+        )
+        join_node = OperatorNode(
+            SymmetricHashJoin(
+                left_key=lambda item: item.join_value,
+                right_key=lambda item: item.join_value,
+                combine=combine,
+                match=match,
+            ),
+            [left_project, right_project],
+            "join",
+        )
+        return OperatorTree(join_node)
 
     def _effective_join_value(
         self,

@@ -2,24 +2,43 @@
 
 The paper presents two-way joins and notes the techniques "are applicable to
 cases involving multi-way joins" (footnote 5).  This module provides that
-extension as a left-deep fold: each relation's certain *and* relevant
+extension as a left-deep chain: each relation's certain *and* relevant
 possible answers are retrieved with the regular QPIAD machinery, NULL join
 values are filled with the classifiers' most likely completion, and the
-running result is hash-joined step by step with confidences multiplying.
+chain is evaluated by symmetric-hash operators with confidences
+multiplying.
 
 The pairwise query-pair scoring of Section 4.5 does not scale past two
 relations (the pair lattice is exponential in the number of sources), so
 per-source retrieval budgets (``k`` rewritten queries each) play the role
 of the pair budget here.
+
+Execution is streaming: per-step retrievals run through the executor and
+their answers are pushed into the operator chain in *completion* order —
+a fast source's tuples join the moment their counterparts exist, without
+waiting for the slowest relation.  A symmetric-hash chain emits every
+combination exactly once whatever the interleaving, so the final answer
+set is schedule-independent; :meth:`MultiJoinProcessor.query` ranks it
+with a total deterministic order at the edge.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.core.qpiad import QpiadConfig, QpiadMediator
-from repro.engine import ExecutionTask, PlanExecutor, build_executor
+from repro.engine import (
+    ExecutionTask,
+    Inlet,
+    OperatorNode,
+    OperatorTree,
+    PlanExecutor,
+    StreamingProject,
+    SymmetricHashJoin,
+    build_executor,
+)
 from repro.errors import MiningError, QpiadError
 from repro.mining.knowledge import KnowledgeBase
 from repro.planner import PlanCache
@@ -90,7 +109,7 @@ class MultiJoinResult:
 
 @dataclass(frozen=True)
 class _Partial:
-    """A partially joined tuple flowing through the fold.
+    """A partially joined tuple flowing through the operator chain.
 
     The per-step tuples live in ``row_chain`` (not ``rows``) to keep the
     name distinct from :attr:`Relation.rows` — partials are mediator-side
@@ -101,6 +120,23 @@ class _Partial:
     confidence: float
     certain: bool
     link_values: dict  # attribute name (step<i>.<name>) -> value
+
+
+@dataclass(frozen=True)
+class _StepItem:
+    """One step's retrieved answer, join value resolved, entering a join."""
+
+    row: Row
+    confidence: float
+    certain: bool
+    join_value: Any
+    probability: float
+
+
+def _ranking_key(answer: MultiJoinedAnswer) -> tuple[bool, float, str]:
+    """Canonical total order: certain first, then confidence, then a value
+    tie-break so the ranking is identical at every executor width."""
+    return (not answer.certain, -answer.confidence, repr(answer))
 
 
 class MultiJoinProcessor:
@@ -121,6 +157,20 @@ class MultiJoinProcessor:
             raise QpiadError(
                 f"max_concurrency must be at least 1, got {max_concurrency}"
             )
+        # A link attribute that names nothing in the running result's
+        # step<i>.<name> namespace used to slip through and silently
+        # produce zero answers; fail at construction instead.
+        available: set[str] = set()
+        for index, step in enumerate(steps):
+            if index > 0 and step.link_attribute not in available:
+                raise QpiadError(
+                    f"step {index} link_attribute {step.link_attribute!r} names "
+                    f"nothing in the running result; available link attributes: "
+                    f"{', '.join(sorted(available))}"
+                )
+            available.update(
+                f"step{index}.{name}" for name in step.source.schema.names
+            )
         self.steps = steps
         self.k = k
         self.alpha = alpha
@@ -133,47 +183,162 @@ class MultiJoinProcessor:
         self._plan_cache = plan_cache
 
     def query(self) -> MultiJoinResult:
+        """Drain the streaming chain and rank at the edge."""
         result = MultiJoinResult()
-
-        retrievals = self._retrieve_all()
-        partials = self._initial_partials(self.steps[0], retrievals[0], result)
-        for index, step in enumerate(self.steps[1:], start=1):
-            partials = self._fold(partials, step, retrievals[index], index, result)
-
-        answers = [
-            MultiJoinedAnswer(p.row_chain, 1.0 if p.certain else p.confidence, p.certain)
-            for p in partials
-        ]
-        answers.sort(key=lambda a: (not a.certain, -a.confidence))
+        answers = list(self.stream_answers(result=result))
+        answers.sort(key=_ranking_key)
         result.answers = answers
         return result
 
+    def stream_answers(
+        self, result: "MultiJoinResult | None" = None
+    ) -> Iterator[MultiJoinedAnswer]:
+        """Joined answers in arrival order (streaming interface).
+
+        Each answer surfaces as soon as every step's contributing tuple
+        has been retrieved — no ordering is owed; :meth:`query` sorts.
+        When *result* is given, ``per_step_retrieved`` fills in as step
+        retrievals complete.  The latency to the first answer feeds the
+        ``mediator.time_to_first_answer_seconds`` histogram.
+        """
+        if result is None:
+            result = MultiJoinResult()
+        started = time.monotonic()
+        emitted = False
+        for partial in self._stream(result):
+            if not emitted:
+                emitted = True
+                if self._telemetry is not None:
+                    self._telemetry.observe(
+                        "mediator.time_to_first_answer_seconds",
+                        time.monotonic() - started,
+                    )
+            yield MultiJoinedAnswer(
+                partial.row_chain,
+                1.0 if partial.certain else partial.confidence,
+                partial.certain,
+            )
+
     # ------------------------------------------------------------------
 
-    def _retrieve_all(self) -> list[list[tuple[Row, float, bool]]]:
-        """Every step's answers, retrieved through the engine executor.
+    def _stream(self, result: MultiJoinResult) -> Iterator[_Partial]:
+        """Push per-step retrievals through the chain in completion order.
 
         Step retrievals are independent, so a concurrent executor runs
-        them side by side; outcomes always come back in step order, so
-        the fold (and the result) never depends on the interleaving.
-        Any step's failure propagates — a multi-way join cannot degrade
-        around a missing relation.
+        them side by side; the symmetric-hash chain absorbs their answers
+        in whatever order they land and still emits every combination
+        exactly once.  Any step's failure propagates — a multi-way join
+        cannot degrade around a missing relation.
         """
         executor = (
             self._executor
             if self._executor is not None
             else build_executor(self.max_concurrency)
         )
+        tree = self._build_tree()
+        result.per_step_retrieved = [0] * len(self.steps)
         tasks = (
             ExecutionTask(index, self._retriever(step))
             for index, step in enumerate(self.steps)
         )
-        retrievals: list[list[tuple[Row, float, bool]]] = []
-        for outcome in executor.map(tasks, lambda: False):
-            if outcome.error is not None:
-                raise outcome.error
-            retrievals.append(outcome.value)
-        return retrievals
+        outcomes = executor.map_completed(tasks, lambda: False)
+        try:
+            for outcome in outcomes:
+                if outcome.error is not None:
+                    raise outcome.error
+                answers = outcome.value
+                result.per_step_retrieved[outcome.rank] = len(answers)
+                inlet = f"step{outcome.rank}"
+                for entry in answers:
+                    yield from tree.push(inlet, entry)
+        finally:
+            closer = getattr(outcomes, "close", None)
+            if closer is not None:
+                closer()
+        yield from tree.close()
+
+    def _build_tree(self) -> OperatorTree:
+        """The left-deep physical plan over the chain's steps.
+
+        ::
+
+                            join:stepN
+                            /       \\
+                          ...    project:stepN — Inlet "stepN"
+                          /
+                     join:step1
+                     /       \\
+            project:step0   project:step1
+                   |             |
+            Inlet "step0"  Inlet "step1"
+
+        Projects resolve each answer's join value (predicting NULLs) and,
+        for step 0, seed the partial with its ``step0.*`` link namespace;
+        each join matches the running partial's link attribute against
+        the step's effective join value, multiplying confidences.
+        """
+
+        def step_project(index: int, step: MultiJoinStep) -> StreamingProject:
+            schema = step.source.schema
+
+            def transform(entry: tuple[Row, float, bool]) -> Any:
+                row, confidence, certain = entry
+                if index == 0:
+                    link_values = {
+                        f"step0.{name}": value
+                        for name, value in zip(schema.names, row)
+                    }
+                    return _Partial((row,), confidence, certain, link_values)
+                value, probability = self._join_value(step, row)
+                if value is None:
+                    return None
+                return _StepItem(row, confidence, certain, value, probability)
+
+            return StreamingProject(transform)
+
+        def step_join(index: int, step: MultiJoinStep) -> SymmetricHashJoin:
+            schema = step.source.schema
+
+            def left_key(partial: _Partial) -> Any:
+                value = partial.link_values.get(step.link_attribute)
+                if value is None or is_null(value):
+                    return None
+                return value
+
+            def combine(partial: _Partial, item: _StepItem) -> _Partial:
+                link_values = dict(partial.link_values)
+                link_values.update(
+                    {
+                        f"step{index}.{name}": value
+                        for name, value in zip(schema.names, item.row)
+                    }
+                )
+                return _Partial(
+                    partial.row_chain + (item.row,),
+                    partial.confidence * item.confidence * item.probability,
+                    partial.certain and item.certain and item.probability == 1.0,
+                    link_values,
+                )
+
+            return SymmetricHashJoin(
+                left_key=left_key,
+                right_key=lambda item: item.join_value,
+                combine=combine,
+            )
+
+        upstream = OperatorNode(
+            step_project(0, self.steps[0]), [Inlet("step0")], "project:step0"
+        )
+        for index, step in enumerate(self.steps[1:], start=1):
+            arrival = OperatorNode(
+                step_project(index, step),
+                [Inlet(f"step{index}")],
+                f"project:step{index}",
+            )
+            upstream = OperatorNode(
+                step_join(index, step), [upstream, arrival], f"join:step{index}"
+            )
+        return OperatorTree(upstream)
 
     def _retriever(
         self, step: MultiJoinStep
@@ -214,57 +379,3 @@ class MultiJoinProcessor:
             return step.knowledge.predict_value(step.join_attribute, evidence)
         except MiningError:
             return None, 0.0
-
-    def _initial_partials(
-        self,
-        step: MultiJoinStep,
-        answers: list[tuple[Row, float, bool]],
-        result: MultiJoinResult,
-    ) -> "list[_Partial]":
-        result.per_step_retrieved.append(len(answers))
-        partials: "list[_Partial]" = []
-        schema = step.source.schema
-        for row, confidence, certain in answers:
-            link_values = {
-                f"step0.{name}": value for name, value in zip(schema.names, row)
-            }
-            partials.append(_Partial((row,), confidence, certain, link_values))
-        return partials
-
-    def _fold(
-        self,
-        partials: "list[_Partial]",
-        step: MultiJoinStep,
-        answers: list[tuple[Row, float, bool]],
-        index: int,
-        result: MultiJoinResult,
-    ) -> "list[_Partial]":
-        result.per_step_retrieved.append(len(answers))
-
-        buckets: dict[Any, list[tuple[Row, float, bool, float]]] = {}
-        for row, confidence, certain in answers:
-            value, probability = self._join_value(step, row)
-            if value is None:
-                continue
-            buckets.setdefault(value, []).append((row, confidence, certain, probability))
-
-        schema = step.source.schema
-        joined = []
-        for partial in partials:
-            link_value = partial.link_values.get(step.link_attribute)
-            if link_value is None or is_null(link_value):
-                continue
-            for row, confidence, certain, probability in buckets.get(link_value, ()):
-                link_values = dict(partial.link_values)
-                link_values.update(
-                    {f"step{index}.{name}": value for name, value in zip(schema.names, row)}
-                )
-                joined.append(
-                    _Partial(
-                        partial.row_chain + (row,),
-                        partial.confidence * confidence * probability,
-                        partial.certain and certain and probability == 1.0,
-                        link_values,
-                    )
-                )
-        return joined

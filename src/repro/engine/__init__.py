@@ -35,6 +35,15 @@ from repro.engine.executor import (
     TaskOutcome,
     build_executor,
 )
+from repro.engine.operators import (
+    Inlet,
+    Operator,
+    OperatorNode,
+    OperatorTree,
+    StreamingProject,
+    StreamingUnion,
+    SymmetricHashJoin,
+)
 from repro.engine.plan import PlannedQuery, QueryKind, RetrievalPlan
 from repro.engine.policy import ExecutionPolicy
 
@@ -43,12 +52,19 @@ __all__ = [
     "ExecutionPolicy",
     "ExecutionTask",
     "FailureKind",
+    "Inlet",
+    "Operator",
+    "OperatorNode",
+    "OperatorTree",
     "PlanExecutor",
     "PlannedQuery",
     "QueryKind",
     "RetrievalEngine",
     "RetrievalPlan",
     "SerialExecutor",
+    "StreamingProject",
+    "StreamingUnion",
+    "SymmetricHashJoin",
     "TaskOutcome",
     "build_executor",
 ]

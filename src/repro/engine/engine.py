@@ -207,6 +207,66 @@ class RetrievalEngine:
         if consumed < len(steps) and not halted[0] and self.deadline_exceeded():
             self._note_deadline()
 
+    def stream_tuples(
+        self, plan: Iterable[PlannedQuery]
+    ) -> Iterator[tuple[PlannedQuery, Any]]:
+        """Execute planned queries, yielding ``(step, row)`` as calls complete.
+
+        The incremental tuple path behind the non-blocking operators
+        (:mod:`repro.engine.operators`): instead of merging whole
+        relations back in plan order, each source call's rows surface the
+        moment that call returns — completion order across steps, source
+        row order within a step.  A symmetric-hash join fed by this
+        stream emits its first joined tuple as soon as a match exists,
+        independent of the slowest source.
+
+        Billing, telemetry, and failure absorption are identical to
+        :meth:`stream` — every call is counted before it runs — but
+        failures are absorbed in completion order, so under a failure
+        *budget* the set of absorbed steps may be schedule-dependent
+        (the strict policies the join processors run under are not
+        affected: their first failure raises at any width).  Consumers
+        must impose their own deterministic final order: rank at the
+        end, stream in the middle.
+        """
+        steps = list(plan)
+        if not steps:
+            return
+        halted = [False]
+
+        def should_stop() -> bool:
+            return halted[0] or self.deadline_exceeded()
+
+        tasks = (
+            ExecutionTask(step.rank, self._runner(step)) for step in steps
+        )
+        by_rank = {step.rank: step for step in steps}
+        outcomes = self._executor.map_completed(tasks, should_stop)
+        consumed = 0
+        try:
+            for outcome in outcomes:
+                consumed += 1
+                step = by_rank[outcome.rank]
+                if outcome.error is None:
+                    if step.kind == QueryKind.REWRITTEN:
+                        with self._lock:
+                            self.stats.rewritten_issued += 1
+                    for row in outcome.value:
+                        yield step, row
+                    continue
+                verdict = self._absorb(step, outcome.error)
+                if verdict == _RAISE:
+                    raise outcome.error
+                if verdict == _HALT:
+                    halted[0] = True
+                    break
+        finally:
+            closer = getattr(outcomes, "close", None)
+            if closer is not None:
+                closer()
+        if consumed < len(steps) and not halted[0] and self.deadline_exceeded():
+            self._note_deadline()
+
     def deadline_exceeded(self) -> bool:
         deadline = self._policy.deadline_seconds
         return deadline is not None and self._clock() - self._started > deadline

@@ -20,12 +20,18 @@ historical mediator loop, pulling one task per outcome consumed.
 :class:`ConcurrentExecutor` keeps up to ``max_workers`` tasks in flight
 on a thread pool; it trades the serial executor's strict laziness for
 bounded prefetch.
+
+Both additionally offer ``map_completed``, the streaming relaxation of
+the plan-order contract: outcomes surface in *completion* order, so a
+fast source call is never held behind a slow earlier one.  The
+non-blocking operator layer (:mod:`repro.engine.operators`) is built on
+it; consumers owe their own deterministic final ordering.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Protocol
 
@@ -71,6 +77,21 @@ class PlanExecutor(Protocol):
         """Yield one outcome per started task, in task order."""
         ...
 
+    def map_completed(
+        self,
+        tasks: Iterable[ExecutionTask],
+        should_stop: Callable[[], bool],
+    ) -> Iterator[TaskOutcome]:
+        """Yield one outcome per started task, in *completion* order.
+
+        The streaming relaxation of :meth:`map`: outcomes surface the
+        moment their task finishes, so a fast task is never held back
+        behind a slow earlier one.  Consumers that need determinism must
+        impose their own final order (rank at the end, stream in the
+        middle); prefix semantics and errors-are-data still hold.
+        """
+        ...
+
 
 class SerialExecutor:
     """Run tasks inline, one at a time, pulling lazily.
@@ -109,6 +130,14 @@ class SerialExecutor:
                 yield TaskOutcome(task.rank, error=exc)
             else:
                 yield TaskOutcome(task.rank, value=value)
+
+    def map_completed(
+        self,
+        tasks: Iterable[ExecutionTask],
+        should_stop: Callable[[], bool],
+    ) -> Iterator[TaskOutcome]:
+        """Serially, completion order *is* task order — same lazy loop."""
+        return self.map(tasks, should_stop)
 
 
 class ConcurrentExecutor:
@@ -163,6 +192,50 @@ class ConcurrentExecutor:
                     yield TaskOutcome(task.rank, error=error)
                 else:
                     yield TaskOutcome(task.rank, value=future.result())
+
+    def map_completed(
+        self,
+        tasks: Iterable[ExecutionTask],
+        should_stop: Callable[[], bool],
+    ) -> Iterator[TaskOutcome]:
+        """Yield outcomes the moment their call completes, window bounded.
+
+        Up to ``max_workers`` tasks are in flight; whichever finishes
+        first is yielded first and its slot refilled, so one slow source
+        call never delays the answers of the fast ones.  Stopping and
+        error semantics match :meth:`map` — submission stops when
+        ``should_stop()`` turns true, in-flight work completes, and
+        exceptions travel as data.
+        """
+        iterator = iter(tasks)
+        with ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="qpiad-engine"
+        ) as pool:
+            in_flight: dict[Future[Any], ExecutionTask] = {}
+            exhausted = False
+            while True:
+                while not exhausted and len(in_flight) < self.max_workers:
+                    if should_stop():
+                        exhausted = True
+                        break
+                    try:
+                        task = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    if self.scheduler is not None:
+                        self.scheduler.note_task_start(self.name)
+                    in_flight[pool.submit(task.run)] = task
+                if not in_flight:
+                    return
+                done, __ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = in_flight.pop(future)
+                    error = future.exception()
+                    if error is not None:
+                        yield TaskOutcome(task.rank, error=error)
+                    else:
+                        yield TaskOutcome(task.rank, value=future.result())
 
 
 def build_executor(max_concurrency: int, scheduler: Any = None) -> PlanExecutor:

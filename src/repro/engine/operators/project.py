@@ -1,0 +1,30 @@
+"""Streaming project: per-item transform (and filter) with no buffering."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.engine.operators.base import Operator
+
+__all__ = ["StreamingProject"]
+
+
+class StreamingProject(Operator):
+    """Apply *transform* to each item as it arrives.
+
+    A transform returning ``None`` drops the item, so one operator
+    covers both the projection and the post-filter role (QPIAD's
+    "discard rows already certain / already in the base set" step) —
+    fused, because a streaming pipeline has no place to park a second
+    pass.
+    """
+
+    arity = 1
+
+    def __init__(self, transform: Callable[[Any], Any]):
+        self._transform = transform
+
+    def push(self, port: int, item: Any) -> Iterator[Any]:
+        out = self._transform(item)
+        if out is not None:
+            yield out

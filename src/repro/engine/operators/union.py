@@ -1,0 +1,29 @@
+"""Streaming union: merge N input streams without blocking any of them."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.engine.operators.base import Operator
+from repro.errors import QpiadError
+
+__all__ = ["StreamingUnion"]
+
+
+class StreamingUnion(Operator):
+    """Pass every input item through the moment it arrives.
+
+    The federation's merge operator: each of N per-source answer streams
+    feeds one port, and no source's answers wait on another source.  The
+    union is *bag* semantics — it deduplicates nothing and owes no order;
+    consumers that need registry-order or confidence-order results sort
+    at the edge, as with every streaming operator.
+    """
+
+    def __init__(self, arity: int):
+        if arity < 1:
+            raise QpiadError(f"union arity must be at least 1, got {arity}")
+        self.arity = arity
+
+    def push(self, port: int, item: Any) -> Iterator[Any]:
+        yield item

@@ -58,6 +58,38 @@ class TestValidation:
         with pytest.raises(QpiadError, match="link_attribute"):
             MultiJoinProcessor(broken)
 
+    def test_dangling_link_attribute_rejected_at_construction(self, three_way):
+        """Regression: a link attribute naming nothing used to be accepted
+        and the join silently produced zero answers."""
+        broken = [
+            three_way[0],
+            MultiJoinStep(
+                source=three_way[1].source,
+                knowledge=three_way[1].knowledge,
+                query=three_way[1].query,
+                join_attribute="model",
+                link_attribute="step0.modle",  # typo'd attribute
+            ),
+        ]
+        with pytest.raises(QpiadError, match="names nothing") as excinfo:
+            MultiJoinProcessor(broken)
+        # The error teaches the fix: it lists what *can* be linked.
+        assert "step0.model" in str(excinfo.value)
+
+    def test_link_attribute_may_only_reference_earlier_steps(self, three_way):
+        broken = [
+            three_way[0],
+            MultiJoinStep(
+                source=three_way[1].source,
+                knowledge=three_way[1].knowledge,
+                query=three_way[1].query,
+                join_attribute="model",
+                link_attribute="step1.model",  # self-reference: not yet joined
+            ),
+        ]
+        with pytest.raises(QpiadError, match="names nothing"):
+            MultiJoinProcessor(broken)
+
 
 class TestThreeWayJoin:
     def test_produces_answers(self, result):

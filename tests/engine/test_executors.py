@@ -75,6 +75,88 @@ class TestContract:
         assert list(executor.map([], lambda: False)) == []
 
 
+class TestMapCompleted:
+    """The streaming relaxation: completion order, same economy and errors."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=IDS)
+    def test_one_outcome_per_task(self, executor):
+        outcomes = list(
+            executor.map_completed(
+                _tasks([lambda i=i: i * 10 for i in range(20)]), lambda: False
+            )
+        )
+        assert sorted(o.rank for o in outcomes) == list(range(20))
+        assert all(o.value == o.rank * 10 for o in outcomes)
+
+    def test_serial_completion_order_is_task_order(self):
+        outcomes = list(
+            SerialExecutor().map_completed(
+                _tasks([lambda i=i: i for i in range(10)]), lambda: False
+            )
+        )
+        assert [o.rank for o in outcomes] == list(range(10))
+
+    def test_fast_task_overtakes_slow_one(self):
+        release = threading.Event()
+
+        def slow():
+            assert release.wait(10)
+            return "slow"
+
+        def fast():
+            return "fast"
+
+        outcomes = []
+        for outcome in ConcurrentExecutor(2).map_completed(
+            _tasks([slow, fast]), lambda: False
+        ):
+            outcomes.append(outcome)
+            # Only once "fast" has been *yielded* may "slow" finish, so
+            # the overtaking order is forced, not just likely.
+            release.set()
+        # Plan-order map would hold "fast" behind "slow"; the streaming
+        # path surfaces it first.
+        assert [o.value for o in outcomes] == ["fast", "slow"]
+        assert [o.rank for o in outcomes] == [1, 0]
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=IDS)
+    def test_errors_are_data_not_raises(self, executor):
+        boom = ValueError("boom")
+
+        def fail():
+            raise boom
+
+        outcomes = list(
+            executor.map_completed(_tasks([lambda: 1, fail, lambda: 3]), lambda: False)
+        )
+        by_rank = {o.rank: o for o in outcomes}
+        assert by_rank[1].error is boom
+        assert by_rank[0].value == 1 and by_rank[2].value == 3
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=IDS)
+    def test_should_stop_halts_submission(self, executor):
+        ran = []
+
+        def make(i):
+            def run():
+                ran.append(i)
+                return i
+
+            return run
+
+        consumed = []
+        for outcome in executor.map_completed(
+            _tasks([make(i) for i in range(50)]), lambda: len(consumed) >= 3
+        ):
+            consumed.append(outcome.value)
+        assert 3 <= len(consumed)
+        assert len(ran) <= len(consumed) + getattr(executor, "max_workers", 1)
+
+    @pytest.mark.parametrize("executor", EXECUTORS, ids=IDS)
+    def test_empty_plan_is_empty_stream(self, executor):
+        assert list(executor.map_completed([], lambda: False)) == []
+
+
 class TestSerialLaziness:
     def test_tasks_run_only_when_consumed(self):
         ran = []

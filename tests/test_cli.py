@@ -103,6 +103,41 @@ class TestMineAndQuery:
         )
         assert code == 0
 
+    def test_query_stream_prints_incremental_answers(self, cars_ed_csv, capsys):
+        code = main(
+            [
+                "query",
+                str(cars_ed_csv),
+                "--where",
+                "body_style=Convt",
+                "--top",
+                "3",
+                "--stream",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaming ranked possible answers" in out
+        # Each streamed answer is stamped with its elapsed arrival time.
+        assert "[+" in out
+        assert "cost so far:" in out
+
+    def test_query_stream_stops_at_top(self, cars_ed_csv, capsys):
+        code = main(
+            [
+                "query",
+                str(cars_ed_csv),
+                "--where",
+                "body_style=Convt",
+                "--top",
+                "1",
+                "--stream",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("conf=") == 1
+
     def test_query_mines_on_the_fly_without_kb(self, cars_ed_csv, capsys):
         code = main(["query", str(cars_ed_csv), "--where", "make=Honda"])
         assert code == 0
