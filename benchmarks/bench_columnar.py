@@ -1,0 +1,335 @@
+"""Row vs columnar data plane: the BENCH_8 scale-factor sweep (PR 9).
+
+Not a paper figure: this bench guards the *implementation* property of the
+columnar data plane — the numpy-backed kernels behind the ``Relation``
+facade are strictly faster than the pure-Python row plane at realistic
+sizes while producing **bit-identical** results.
+
+For each dataset (Cars, Census) and each scale factor (1x/10x/100x over a
+~400-row base; 1000x opt-in via ``--factors``) the sweep measures, on both
+planes:
+
+* **mining** — TANE dependency discovery plus NBC training over the
+  experimental dataset (the offline knowledge-acquisition hot path), and
+* **post-filtering** — certain / possible / certain-or-possible answer
+  extraction for a fixed query workload (the per-query hot path),
+
+and asserts parity three ways: the mined AFDs/AKeys and every NBC posterior
+are identical across planes; every filter's answer rows (content *and*
+order) are identical; and a full mediated query — mining, rewriting,
+ranking — returns bit-identical certain and ranked possible answers on both
+planes at every executor width.
+
+Results go to a JSON file (``BENCH_8.json`` at the repo root by default)
+so CI can diff them.
+
+Run directly::
+
+    python benchmarks/bench_columnar.py [--quick] [--check] [--out BENCH_8.json]
+
+``--quick`` shrinks the sweep (factors 1x/10x) for CI smoke runs; ``--check``
+exits non-zero on any parity violation, and — in full mode — when the 100x
+mining speedup drops below 5x or the 100x filter speedup below 3x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import QpiadConfig, QpiadMediator  # noqa: E402
+from repro.datasets import scaled_complete, scaled_incomplete  # noqa: E402
+from repro.evaluation import build_environment  # noqa: E402
+from repro.mining.nbc import NaiveBayesClassifier  # noqa: E402
+from repro.mining.tane import TaneConfig, mine_dependencies  # noqa: E402
+from repro.query import (  # noqa: E402
+    And,
+    Between,
+    Equals,
+    SelectionQuery,
+    certain_answers,
+    certain_or_possible,
+    possible_answers,
+)
+from repro.relational import Relation, data_plane_scope  # noqa: E402
+
+PLANES = ("row", "columnar")
+WIDTHS = (1, 4)
+FULL_FACTORS = (1, 10, 100)
+QUICK_FACTORS = (1, 10)
+
+# The per-query hot-path workload: equalities, ranges and conjunctions.
+FILTER_QUERIES = {
+    "cars": (
+        SelectionQuery.equals("body_style", "Convt"),
+        SelectionQuery.equals("make", "Honda"),
+        SelectionQuery(And([Equals("make", "Honda"), Between("price", 5000, 20000)])),
+        SelectionQuery(Between("mileage", 0, 60000)),
+    ),
+    "census": (
+        SelectionQuery.equals("relationship", "Husband"),
+        SelectionQuery.equals("education", "Bachelors"),
+        SelectionQuery(
+            And([Equals("marital_status", "Married"), Between("age", 30, 50)])
+        ),
+        SelectionQuery(Between("hours_per_week", 35, 60)),
+    ),
+}
+
+# The mediated-parity query per dataset (base + rewritten + ranking).
+PARITY_QUERY = {
+    "cars": SelectionQuery.equals("body_style", "Convt"),
+    "census": SelectionQuery.equals("relationship", "Husband"),
+}
+
+# NBC training target per dataset: class attribute and feature set.
+NBC_TARGETS = {
+    "cars": ("body_style", ("make", "model")),
+    "census": ("relationship", ("marital_status", "sex")),
+}
+
+# Census has 10 attributes; depth-3 TANE over all of them is lattice noise.
+# Mine the correlated core so the sweep times the kernels, not the lattice.
+TANE_ATTRIBUTES = {
+    "cars": None,
+    "census": (
+        "workclass",
+        "education",
+        "marital_status",
+        "occupation",
+        "relationship",
+        "sex",
+    ),
+}
+
+
+def _fresh(relation: Relation) -> Relation:
+    """A copy with no memoized column store, so timing includes encoding."""
+    return Relation(relation.schema, relation.rows)
+
+
+def _mine_once(dataset: str, relation: Relation):
+    attributes = TANE_ATTRIBUTES[dataset]
+    config = TaneConfig(attributes=attributes) if attributes else TaneConfig()
+    tane = mine_dependencies(relation, config)
+    class_attribute, features = NBC_TARGETS[dataset]
+    nbc = NaiveBayesClassifier(relation, class_attribute, features)
+    return tane, nbc
+
+
+def _mining_leg(dataset: str, relation: Relation, repeats: int) -> dict:
+    seconds = {}
+    outcomes = {}
+    for plane in PLANES:
+        with data_plane_scope(plane):
+            best = float("inf")
+            for _ in range(repeats):
+                fresh = _fresh(relation)
+                start = time.perf_counter()
+                tane, nbc = _mine_once(dataset, fresh)
+                best = min(best, time.perf_counter() - start)
+            posteriors = nbc.distribution_batch(_fresh(relation))
+        seconds[plane] = best
+        outcomes[plane] = (
+            tane.afds,
+            tane.akeys,
+            nbc._class_counts,
+            nbc._joint_counts,
+            nbc._domain_sizes,
+            posteriors,
+        )
+    return {
+        "row_seconds": round(seconds["row"], 6),
+        "columnar_seconds": round(seconds["columnar"], 6),
+        "speedup": round(seconds["row"] / seconds["columnar"], 3),
+        "identical": outcomes["row"] == outcomes["columnar"],
+        "afds": len(outcomes["row"][0]),
+        "akeys": len(outcomes["row"][1]),
+    }
+
+
+def _filter_answers(relation: Relation, queries) -> list:
+    answers = []
+    for query in queries:
+        answers.append(
+            (
+                certain_answers(query, relation).rows,
+                possible_answers(query, relation, max_nulls=1).rows,
+                certain_or_possible(query, relation).rows,
+            )
+        )
+    return answers
+
+
+def _filter_leg(dataset: str, relation: Relation, repeats: int) -> dict:
+    queries = FILTER_QUERIES[dataset]
+    seconds = {}
+    answers = {}
+    for plane in PLANES:
+        with data_plane_scope(plane):
+            # One relation per plane, reused across repeats: the column
+            # store is memoized on first use, so best-of-N measures the
+            # steady state a query workload actually sees (the mining leg
+            # is what charges encoding to the columnar plane).
+            fresh = _fresh(relation)
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                result = _filter_answers(fresh, queries)
+                best = min(best, time.perf_counter() - start)
+        seconds[plane] = best
+        answers[plane] = result
+    tuples_scanned = len(relation) * len(queries) * 3
+    return {
+        "row_seconds": round(seconds["row"], 6),
+        "columnar_seconds": round(seconds["columnar"], 6),
+        "speedup": round(seconds["row"] / seconds["columnar"], 3),
+        "row_tuples_per_second": round(tuples_scanned / seconds["row"]),
+        "columnar_tuples_per_second": round(tuples_scanned / seconds["columnar"]),
+        "identical": answers["row"] == answers["columnar"],
+    }
+
+
+def _mediated_fingerprints(dataset: str, factor: int) -> dict:
+    """Certain + ranked answers of one mediated query, per plane and width."""
+    fingerprints = {}
+    for plane in PLANES:
+        with data_plane_scope(plane):
+            environment = build_environment(
+                scaled_complete(dataset, factor), seed=42, name=dataset
+            )
+            for width in WIDTHS:
+                mediator = QpiadMediator(
+                    environment.web_source(),
+                    environment.knowledge,
+                    QpiadConfig(k=10, max_concurrency=width),
+                )
+                result = mediator.query(PARITY_QUERY[dataset])
+                fingerprints[(plane, width)] = (
+                    result.certain.rows,
+                    tuple((answer.row, answer.confidence) for answer in result.ranked),
+                    tuple(result.unranked),
+                )
+    return fingerprints
+
+
+def _one_factor(dataset: str, factor: int, repeats: int) -> dict:
+    relation = scaled_incomplete(dataset, factor).incomplete
+    mining = _mining_leg(dataset, relation, repeats)
+    filters = _filter_leg(dataset, relation, repeats)
+    fingerprints = _mediated_fingerprints(dataset, factor)
+    reference = fingerprints[("row", WIDTHS[0])]
+    mediated_identical = all(fp == reference for fp in fingerprints.values())
+    return {
+        "factor": factor,
+        "rows": len(relation),
+        "mining": mining,
+        "filters": filters,
+        "mediated": {
+            "query": str(PARITY_QUERY[dataset]),
+            "widths": list(WIDTHS),
+            "certain": len(reference[0]),
+            "ranked": len(reference[1]),
+            "identical_across_planes_and_widths": mediated_identical,
+        },
+    }
+
+
+def run(factors: tuple[int, ...], repeats: int) -> dict:
+    datasets = {}
+    for dataset in sorted(FILTER_QUERIES):
+        datasets[dataset] = [
+            _one_factor(dataset, factor, repeats) for factor in factors
+        ]
+
+    largest = max(factors)
+    at_largest = [rows[-1] for rows in datasets.values()]
+    parity = all(
+        row["mining"]["identical"]
+        and row["filters"]["identical"]
+        and row["mediated"]["identical_across_planes_and_widths"]
+        for rows in datasets.values()
+        for row in rows
+    )
+    return {
+        "bench": "bench_columnar",
+        "scale_factors": list(factors),
+        "repeats": repeats,
+        "datasets": datasets,
+        "largest_factor": largest,
+        "mining_speedup_at_largest": min(r["mining"]["speedup"] for r in at_largest),
+        "filter_speedup_at_largest": min(r["filters"]["speedup"] for r in at_largest),
+        "parity_everywhere": parity,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--factors",
+        type=int,
+        nargs="+",
+        default=None,
+        help="scale factors to sweep (default 1 10 100; quick: 1 10)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+    )
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_8.json")
+    parser.add_argument(
+        "--quick", action="store_true", help="small sweep for CI smoke runs"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 on any plane-parity violation; in full mode also "
+        "require >=5x mining and >=3x filter speedup at the largest factor",
+    )
+    args = parser.parse_args(argv)
+
+    factors = tuple(args.factors or (QUICK_FACTORS if args.quick else FULL_FACTORS))
+    repeats = 1 if args.quick else args.repeats
+
+    result = run(factors, repeats)
+    args.out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"bench_columnar: factors {factors}, at {result['largest_factor']}x "
+        f"mining {result['mining_speedup_at_largest']}x / filters "
+        f"{result['filter_speedup_at_largest']}x faster, parity "
+        f"{'OK' if result['parity_everywhere'] else 'VIOLATED'} -> {args.out}"
+    )
+
+    if args.check:
+        if not result["parity_everywhere"]:
+            print(
+                "bench_columnar: FAILED — row and columnar planes diverged",
+                file=sys.stderr,
+            )
+            return 1
+        if not args.quick and max(factors) >= 100:
+            if result["mining_speedup_at_largest"] < 5.0:
+                print(
+                    "bench_columnar: FAILED — mining speedup below 5x at "
+                    f"{result['largest_factor']}x",
+                    file=sys.stderr,
+                )
+                return 1
+            if result["filter_speedup_at_largest"] < 3.0:
+                print(
+                    "bench_columnar: FAILED — filter speedup below 3x at "
+                    f"{result['largest_factor']}x",
+                    file=sys.stderr,
+                )
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,14 @@ Times the two hot paths of the system with real repeated measurement:
 * one mediated selection query (base set + 10 rewritten queries +
   post-filtering) over growing databases.
 
+Sizes come from the shared scale-factor machinery
+(:mod:`repro.datasets.scale`), so these points line up with the BENCH_8
+sweep: ``benchmarks/bench_columnar.py`` runs the same generators at the
+same factors on *both* data planes and asserts bit-identical answers plus
+the row-vs-columnar speedup. This module only tracks absolute wall-clock
+of the default (columnar) plane; for plane parity and speedup numbers,
+read ``BENCH_8.json``.
+
 These are the numbers a downstream adopter asks first; the paper's own cost
 discussion (Section 6.4) is in tuples, covered by Fig. 8.
 """
@@ -13,24 +21,25 @@ discussion (Section 6.4) is in tuples, covered by Fig. 8.
 import pytest
 
 from repro.core import QpiadConfig, QpiadMediator
-from repro.datasets import generate_cars, make_incomplete
+from repro.datasets import scaled_incomplete
 from repro.mining import KnowledgeBase
 from repro.query import SelectionQuery
 from repro.sources import AutonomousSource
 
 
-@pytest.mark.parametrize("sample_size", [250, 1000, 4000])
-def test_mining_scales_with_sample_size(benchmark, sample_size):
-    cars = make_incomplete(generate_cars(sample_size, seed=7), seed=8).incomplete
-    result = benchmark(lambda: KnowledgeBase(cars, database_size=10 * sample_size))
+@pytest.mark.parametrize("factor", [1, 10, 100])
+def test_mining_scales_with_sample_size(benchmark, factor):
+    cars = scaled_incomplete("cars", factor).incomplete
+    result = benchmark(lambda: KnowledgeBase(cars, database_size=10 * len(cars)))
     assert result.afds  # sanity: mining found something at every size
 
 
-@pytest.mark.parametrize("database_size", [2000, 8000, 32000])
-def test_mediated_query_scales_with_database_size(benchmark, database_size):
-    dataset = make_incomplete(generate_cars(database_size, seed=7), seed=9)
+@pytest.mark.parametrize("factor", [1, 10, 100])
+def test_mediated_query_scales_with_database_size(benchmark, factor):
+    dataset = scaled_incomplete("cars", factor)
     source = AutonomousSource("cars", dataset.incomplete)
-    knowledge = KnowledgeBase(dataset.incomplete.take(500), database_size=database_size)
+    sample = dataset.incomplete.take(max(500, len(dataset.incomplete) // 10))
+    knowledge = KnowledgeBase(sample, database_size=len(dataset.incomplete))
     mediator = QpiadMediator(source, knowledge, QpiadConfig(k=10))
     query = SelectionQuery.equals("body_style", "Convt")
 

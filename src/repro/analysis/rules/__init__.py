@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.analysis.framework import LintConfigError, ProjectRule, Rule
 from repro.analysis.project.concurrency import UnguardedSharedWriteRule
 from repro.analysis.project.determinism import UnseededRngFlowRule
+from repro.analysis.rules.dataplane import RowLoopInMiningRule
 from repro.analysis.rules.determinism import UnseededRngRule
 from repro.analysis.rules.hygiene import (
     BannedImportRule,
@@ -48,6 +49,7 @@ __all__ = [
     "MutableDefaultArgRule",
     "BareExceptRule",
     "NaiveFloatEqualityRule",
+    "RowLoopInMiningRule",
     "UnguardedSharedWriteRule",
     "UnseededRngFlowRule",
 ]
@@ -64,6 +66,7 @@ ALL_RULES: "tuple[type[Rule], ...]" = (
     MutableDefaultArgRule,
     BareExceptRule,
     NaiveFloatEqualityRule,
+    RowLoopInMiningRule,
 )
 
 #: Every registered whole-program pass, in reporting order.

@@ -5,6 +5,12 @@ from repro.datasets.census import CENSUS_SCHEMA, generate_census
 from repro.datasets.complaints import COMPLAINTS_SCHEMA, generate_complaints
 from repro.datasets.googlebase import GOOGLEBASE_SCHEMA, generate_googlebase_listings
 from repro.datasets.incompleteness import IncompleteDataset, MaskedCell, make_incomplete
+from repro.datasets.scale import (
+    SCALE_BASE_SIZES,
+    SCALE_FACTORS,
+    scaled_complete,
+    scaled_incomplete,
+)
 from repro.datasets.vocab import ALL_MODELS, BODY_STYLES, CAR_CATALOG, MODEL_TO_MAKE
 
 __all__ = [
@@ -23,4 +29,8 @@ __all__ = [
     "MODEL_TO_MAKE",
     "ALL_MODELS",
     "BODY_STYLES",
+    "SCALE_FACTORS",
+    "SCALE_BASE_SIZES",
+    "scaled_complete",
+    "scaled_incomplete",
 ]

@@ -18,11 +18,17 @@ standard treatment for missing features at prediction time.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+import numpy as np
 
 from repro.errors import ClassifierError
+from repro.relational.columnar import use_columnar
 from repro.relational.relation import Relation
 from repro.relational.values import is_null
+
+if TYPE_CHECKING:
+    from repro.relational.columnar import ColumnStore
 
 __all__ = ["NaiveBayesClassifier"]
 
@@ -65,15 +71,34 @@ class NaiveBayesClassifier:
         self.features = tuple(features)
         self.m = m
 
+        trained = use_columnar() and self._train_from_store(sample.columnar())
+        if not trained:
+            self._train_from_rows(sample)
+
+        if not self._class_counts:
+            raise ClassifierError(
+                f"no training rows with a value for {class_attribute!r}"
+            )
+        self._total = sum(self._class_counts.values())
+        self._domain_sizes = {
+            name: max(1, size) for name, size in self._domain_sizes.items()
+        }
+
+    def _train_from_rows(self, sample: Relation) -> None:
+        """Accumulate counts row by row (the row-plane trainer)."""
         schema = sample.schema
-        class_index = schema.index_of(class_attribute)
-        feature_indices = [schema.index_of(name) for name in features]
+        class_index = schema.index_of(self.class_attribute)
+        feature_indices = [schema.index_of(name) for name in self.features]
+        features = self.features
 
         class_counts: Counter = Counter()
         # joint_counts[feature][class_value][feature_value]
         joint_counts: dict[str, dict[Any, Counter]] = {name: {} for name in features}
         feature_domains: dict[str, set] = {name: set() for name in features}
 
+        # Row-plane fallback (and the semantic reference); the columnar
+        # plane trains via bincount in _train_from_store.
+        # qpiadlint: disable-next-line=row-loop-in-mining
         for row in sample:
             class_value = row[class_index]
             if is_null(class_value):
@@ -86,17 +111,73 @@ class NaiveBayesClassifier:
                 feature_domains[name].add(value)
                 joint_counts[name].setdefault(class_value, Counter())[value] += 1
 
-        if not class_counts:
-            raise ClassifierError(
-                f"no training rows with a value for {class_attribute!r}"
-            )
-
         self._class_counts = class_counts
-        self._total = sum(class_counts.values())
         self._joint_counts = joint_counts
         self._domain_sizes = {
-            name: max(1, len(domain)) for name, domain in feature_domains.items()
+            name: len(domain) for name, domain in feature_domains.items()
         }
+
+    def _train_from_store(self, store: "ColumnStore") -> bool:
+        """Accumulate the same counts via bincount over dictionary codes.
+
+        Returns False when any participating column is opaque (unhashable
+        cells), in which case the caller falls back to the row trainer.  The
+        resulting counters are *identical* to the row trainer's — including
+        insertion order: dictionary codes are minted in first-seen row order
+        and every class dictionary entry has a positive count, so rebuilding
+        the class counter in code order reproduces the row scan exactly.
+        """
+        class_column = store.column(self.class_attribute)
+        feature_columns = [store.column(name) for name in self.features]
+        if class_column.codes is None or any(
+            column.codes is None for column in feature_columns
+        ):
+            return False
+
+        class_codes = class_column.codes
+        class_values = class_column.values
+        n_classes = len(class_values)
+        class_valid = class_codes >= 0
+
+        counts = np.bincount(class_codes[class_valid], minlength=n_classes)
+        class_counts: Counter = Counter()
+        for code, value in enumerate(class_values):
+            class_counts[value] = int(counts[code])
+
+        joint_counts: dict[str, dict[Any, Counter]] = {}
+        domain_sizes: dict[str, int] = {}
+        for name, column in zip(self.features, feature_columns):
+            feature_codes = column.codes
+            assert feature_codes is not None
+            feature_values = column.values
+            n_values = len(feature_values)
+            both = class_valid & (feature_codes >= 0)
+            if n_values == 0 or not bool(both.any()):
+                joint_counts[name] = {}
+                domain_sizes[name] = 0
+                continue
+            pairs = class_codes[both] * n_values + feature_codes[both]
+            matrix = np.bincount(pairs, minlength=n_classes * n_values).reshape(
+                n_classes, n_values
+            )
+            domain_sizes[name] = int((matrix.sum(axis=0) > 0).sum())
+            per_class: dict[Any, Counter] = {}
+            for class_code in range(n_classes):
+                row_counts = matrix[class_code]
+                nonzero = np.flatnonzero(row_counts)
+                if nonzero.shape[0]:
+                    per_class[class_values[class_code]] = Counter(
+                        {
+                            feature_values[position]: int(row_counts[position])
+                            for position in nonzero.tolist()
+                        }
+                    )
+            joint_counts[name] = per_class
+
+        self._class_counts = class_counts
+        self._joint_counts = joint_counts
+        self._domain_sizes = domain_sizes
+        return True
 
     # ------------------------------------------------------------------
 
@@ -145,6 +226,82 @@ class NaiveBayesClassifier:
             # consistent with :meth:`prior`.
             return {value: self.prior(value) for value in scores}
         return {value: score / total for value, score in scores.items()}
+
+    def distribution_batch(self, relation: Relation) -> list[dict[Any, float]]:
+        """Posterior distributions for every row of *relation*, in row order.
+
+        Exactly ``[distribution(evidence_of(row)) for row in relation]`` where
+        each row's evidence is its values on this classifier's features
+        (features absent from the relation's schema are skipped, as are NULL
+        cells).  On the columnar plane the likelihood products run as
+        vectorized per-feature gathers — the float operations are performed
+        in the same order as the scalar path, so the posteriors are
+        bit-identical.
+        """
+        schema = relation.schema
+        present = [name for name in self.features if name in schema.names]
+        if use_columnar():
+            store = relation.columnar()
+            if all(store.column(name).codes is not None for name in present):
+                return self._distribution_batch_store(store, present)
+        positions = {name: schema.index_of(name) for name in present}
+        # Row-plane fallback: per-row scoring through distribution() defines
+        # the semantics _distribution_batch_store must reproduce bit-for-bit.
+        # qpiadlint: disable-next-line=row-loop-in-mining
+        return [
+            self.distribution({name: row[index] for name, index in positions.items()})
+            for row in relation
+        ]
+
+    def _distribution_batch_store(
+        self, store: "ColumnStore", present: Sequence[str]
+    ) -> list[dict[Any, float]]:
+        count = len(store)
+        class_values = list(self._class_counts)
+        scores = [np.full(count, self.prior(value)) for value in class_values]
+        for name in present:
+            column = store.column(name)
+            codes = column.codes
+            assert codes is not None
+            if not column.values:
+                continue  # every cell NULL: the feature is skipped row-wise
+            valid = codes >= 0
+            safe = np.where(valid, codes, 0)
+            for position, class_value in enumerate(class_values):
+                table = np.array(
+                    [
+                        self.likelihood(name, value, class_value)
+                        for value in column.values
+                    ],
+                    dtype=np.float64,
+                )
+                # NULL rows skip the feature; multiplying by 1.0 is the
+                # bit-identical no-op.
+                scores[position] = scores[position] * np.where(
+                    valid, table[safe], 1.0
+                )
+        total = np.zeros(count, dtype=np.float64)
+        for score in scores:
+            total = total + score
+        positive = total > 0.0
+        safe_total = np.where(positive, total, 1.0)
+        normalized = [
+            np.where(positive, score / safe_total, 0.0).tolist() for score in scores
+        ]
+        priors = {value: self.prior(value) for value in class_values}
+        positive_list = positive.tolist()
+        results: list[dict[Any, float]] = []
+        for row_index in range(count):
+            if positive_list[row_index]:
+                results.append(
+                    {
+                        value: normalized[position][row_index]
+                        for position, value in enumerate(class_values)
+                    }
+                )
+            else:
+                results.append(dict(priors))
+        return results
 
     def predict(self, evidence: Mapping[str, Any]) -> tuple[Any, float]:
         """The argmax completion and its posterior probability.

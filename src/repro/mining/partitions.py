@@ -9,6 +9,17 @@ NULL handling: a row with NULL on any attribute of ``X`` carries no evidence
 about the dependency, so it is excluded from the partition; error measures
 are normalized by the number of rows actually partitioned.  This matters in
 QPIAD because the mined sample itself is incomplete.
+
+Two representations coexist behind one :class:`Partition` type.  The
+row-oriented constructors group with Python dicts over attribute values; the
+columnar kernels (:func:`partition_from_codes`, :meth:`Partition.refine` on a
+code array) group dictionary codes with sort-based numpy primitives and keep
+the partition as a pair of flat arrays (row order + class sizes), converting
+to tuples only if somebody asks for :attr:`Partition.classes`.  Because
+dictionary codes are assigned by the same ``dict`` equality used here, both
+planes produce the same classes; every error measure below is an
+order-insensitive sum, so class *order* (which may differ between planes) is
+immaterial.
 """
 
 from __future__ import annotations
@@ -16,10 +27,19 @@ from __future__ import annotations
 from collections import Counter
 from typing import Sequence
 
+import numpy as np
+from numpy.typing import NDArray
+
 from repro.relational.relation import Relation
 from repro.relational.values import is_null
 
-__all__ = ["Partition", "partition_by", "g3_error", "key_error"]
+__all__ = [
+    "Partition",
+    "partition_by",
+    "partition_from_codes",
+    "g3_error",
+    "key_error",
+]
 
 
 class Partition:
@@ -35,23 +55,80 @@ class Partition:
         Total number of rows partitioned (sum of class sizes).
     """
 
-    __slots__ = ("classes", "covered")
+    __slots__ = ("_classes", "_order", "_sizes", "_covered")
 
     def __init__(self, classes: Sequence[Sequence[int]]):
-        self.classes = tuple(tuple(c) for c in classes)
-        self.covered = sum(len(c) for c in self.classes)
+        self._classes: "tuple[tuple[int, ...], ...] | None" = tuple(
+            tuple(c) for c in classes
+        )
+        self._order: "NDArray[np.int64] | None" = None
+        self._sizes: "NDArray[np.int64] | None" = None
+        self._covered = sum(len(c) for c in self._classes)
+
+    @classmethod
+    def _from_arrays(
+        cls, order: "NDArray[np.int64]", sizes: "NDArray[np.int64]"
+    ) -> "Partition":
+        """Wrap the flat representation: concatenated class members + sizes."""
+        partition = cls.__new__(cls)
+        partition._classes = None
+        partition._order = order
+        partition._sizes = sizes
+        partition._covered = int(order.shape[0])
+        return partition
+
+    @property
+    def classes(self) -> tuple[tuple[int, ...], ...]:
+        if self._classes is None:
+            assert self._order is not None and self._sizes is not None
+            if self._sizes.shape[0] == 0:
+                self._classes = ()  # np.split would yield one empty class
+            else:
+                splits = np.cumsum(self._sizes[:-1])
+                self._classes = tuple(
+                    tuple(part.tolist()) for part in np.split(self._order, splits)
+                )
+        return self._classes
+
+    @property
+    def covered(self) -> int:
+        return self._covered
 
     def __len__(self) -> int:
-        return len(self.classes)
+        if self._sizes is not None:
+            return int(self._sizes.shape[0])
+        assert self._classes is not None
+        return len(self._classes)
 
-    def refine(self, labels: Sequence[object]) -> "Partition":
+    def _arrays(self) -> "tuple[NDArray[np.int64], NDArray[np.int64]]":
+        """The flat representation, derived from tuples on first need."""
+        if self._order is None or self._sizes is None:
+            assert self._classes is not None
+            self._order = np.fromiter(
+                (index for cls in self._classes for index in cls),
+                dtype=np.int64,
+                count=self._covered,
+            )
+            self._sizes = np.fromiter(
+                (len(cls) for cls in self._classes),
+                dtype=np.int64,
+                count=len(self._classes),
+            )
+        return self._order, self._sizes
+
+    def refine(self, labels: "Sequence[object] | NDArray[np.int64]") -> "Partition":
         """Refine this partition by an extra attribute's row labels.
 
         ``labels[i]`` is row ``i``'s value on the extra attribute; rows whose
         label is NULL drop out.  Equivalent to the TANE partition product
-        ``Π_X · Π_{A}`` restricted to non-NULL rows.
+        ``Π_X · Π_{A}`` restricted to non-NULL rows.  *labels* may be either
+        raw values (NULL-aware) or a dictionary-code array (``-1`` = NULL).
         """
+        if isinstance(labels, np.ndarray):
+            return self._refine_codes(labels)
         refined: list[tuple[int, ...]] = []
+        # Row-plane reference refinement; codes take _refine_codes above.
+        # qpiadlint: disable-next-line=row-loop-in-mining
         for cls in self.classes:
             groups: dict[object, list[int]] = {}
             for index in cls:
@@ -62,11 +139,43 @@ class Partition:
             refined.extend(tuple(group) for group in groups.values())
         return Partition(refined)
 
+    def _refine_codes(self, codes: "NDArray[np.int64]") -> "Partition":
+        """Sort-based refinement by a dictionary-code column."""
+        order, sizes = self._arrays()
+        if order.shape[0] == 0:
+            return self
+        group_ids = np.repeat(np.arange(sizes.shape[0], dtype=np.int64), sizes)
+        labels = codes[order]
+        valid = labels >= 0
+        order_v = order[valid]
+        if order_v.shape[0] == 0:
+            return Partition._from_arrays(order_v, np.zeros(0, dtype=np.int64))
+        group_v = group_ids[valid]
+        labels_v = labels[valid]
+        width = int(labels_v.max()) + 1
+        combined = group_v * width + labels_v
+        sorter = np.argsort(combined, kind="stable")
+        sorted_keys = combined[sorter]
+        boundary = np.empty(sorted_keys.shape[0], dtype=np.bool_)
+        boundary[0] = True
+        np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        new_sizes = np.diff(np.append(starts, sorted_keys.shape[0]))
+        return Partition._from_arrays(order_v[sorter], new_sizes)
+
+    def covered_with(self, labels: "NDArray[np.int64]") -> int:
+        """Covered rows that are also non-NULL under a code column."""
+        order, _ = self._arrays()
+        return int((labels[order] >= 0).sum())
+
 
 def partition_by(relation: Relation, attributes: Sequence[str]) -> Partition:
     """Partition *relation*'s row indices by their values on *attributes*."""
     indices = relation.schema.indices_of(attributes)
     groups: dict[tuple, list[int]] = {}
+    # This IS the row-plane kernel; the columnar plane routes to
+    # partition_from_codes instead.
+    # qpiadlint: disable-next-line=row-loop-in-mining
     for row_index, row in enumerate(relation.rows):
         key = tuple(row[i] for i in indices)
         if any(is_null(value) for value in key):
@@ -75,17 +184,56 @@ def partition_by(relation: Relation, attributes: Sequence[str]) -> Partition:
     return Partition(list(groups.values()))
 
 
-def g3_error(x_partition: Partition, dependent_labels: Sequence[object]) -> float:
+def partition_from_codes(columns: "Sequence[NDArray[np.int64]]") -> Partition:
+    """Partition row indices by one or more dictionary-code columns.
+
+    The columnar counterpart of :func:`partition_by`: grouping dictionary
+    codes with a stable sort yields exactly the classes dict-grouping of the
+    decoded values would, because codes were assigned with the same ``dict``
+    equality.  Single-column classes even come out in first-seen value order
+    (codes are minted in first-seen order); refinements do not preserve that
+    order, which no consumer depends on.
+    """
+    if not columns:
+        raise ValueError("partition_from_codes requires at least one column")
+    codes = columns[0]
+    valid = np.flatnonzero(codes >= 0)
+    if valid.shape[0] == 0:
+        partition = Partition._from_arrays(valid, np.zeros(0, dtype=np.int64))
+    else:
+        labels = codes[valid]
+        sorter = np.argsort(labels, kind="stable")
+        sorted_labels = labels[sorter]
+        boundary = np.empty(sorted_labels.shape[0], dtype=np.bool_)
+        boundary[0] = True
+        np.not_equal(sorted_labels[1:], sorted_labels[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        sizes = np.diff(np.append(starts, sorted_labels.shape[0]))
+        partition = Partition._from_arrays(valid[sorter], sizes)
+    for column in columns[1:]:
+        partition = partition.refine(column)
+    return partition
+
+
+def g3_error(
+    x_partition: Partition,
+    dependent_labels: "Sequence[object] | NDArray[np.int64]",
+) -> float:
     """The ``g3`` error of ``X ⇝ A`` given ``Π_X`` and A's row labels.
 
     ``g3`` is the minimum fraction of rows that must be removed for the
     dependency to hold exactly: within each X-class, keep the rows of the
     majority A-value and remove the rest.  Rows NULL on A are excluded from
     both numerator and denominator.  Returns 0.0 when no row is covered
-    (vacuously exact).
+    (vacuously exact).  *dependent_labels* may be raw values or a
+    dictionary-code array (``-1`` = NULL); both yield the same error.
     """
+    if isinstance(dependent_labels, np.ndarray):
+        return _g3_error_codes(x_partition, dependent_labels)
     kept = 0
     covered = 0
+    # Row-plane reference g3; code arrays take _g3_error_codes above.
+    # qpiadlint: disable-next-line=row-loop-in-mining
     for cls in x_partition.classes:
         counts: Counter = Counter()
         for index in cls:
@@ -100,6 +248,32 @@ def g3_error(x_partition: Partition, dependent_labels: Sequence[object]) -> floa
         kept += max(counts.values())
     if covered == 0:
         return 0.0
+    return (covered - kept) / covered
+
+
+def _g3_error_codes(
+    x_partition: Partition, dependent_codes: "NDArray[np.int64]"
+) -> float:
+    """``g3`` via (class, code) pair counting; same int arithmetic as above."""
+    order, sizes = x_partition._arrays()
+    if order.shape[0] == 0:
+        return 0.0
+    group_ids = np.repeat(np.arange(sizes.shape[0], dtype=np.int64), sizes)
+    labels = dependent_codes[order]
+    valid = labels >= 0
+    labels_v = labels[valid]
+    covered = int(labels_v.shape[0])
+    if covered == 0:
+        return 0.0
+    group_v = group_ids[valid]
+    width = int(labels_v.max()) + 1
+    combined = group_v * width + labels_v
+    pairs, counts = np.unique(combined, return_counts=True)
+    pair_groups = pairs // width
+    boundary = np.empty(pair_groups.shape[0], dtype=np.bool_)
+    boundary[0] = True
+    np.not_equal(pair_groups[1:], pair_groups[:-1], out=boundary[1:])
+    kept = int(np.maximum.reduceat(counts, np.flatnonzero(boundary)).sum())
     return (covered - kept) / covered
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import MiningError
-from repro.query.executor import certain_answers
+from repro.query.executor import certain_count
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation
 
@@ -65,7 +65,7 @@ class SelectivityEstimator:
 
     def sample_selectivity(self, query: SelectionQuery) -> int:
         """``SmplSel(Q)``: how many sample tuples certainly match *query*."""
-        return len(certain_answers(query, self.sample))
+        return certain_count(query, self.sample)
 
     def estimated_cardinality(self, query: SelectionQuery) -> float:
         """Expected number of tuples *query* retrieves from the database."""

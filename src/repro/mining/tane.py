@@ -24,10 +24,23 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Sequence
 
+import numpy as np
+from numpy.typing import NDArray
+
 from repro.errors import MiningError
 from repro.mining.afd import Afd, AKey
-from repro.mining.partitions import Partition, g3_error, key_error, partition_by
+from repro.mining.partitions import (
+    Partition,
+    g3_error,
+    key_error,
+    partition_by,
+    partition_from_codes,
+)
+from repro.relational.columnar import use_columnar
 from repro.relational.relation import Relation
+
+#: Row labels as mined: raw column values, or dictionary codes (columnar).
+Labels = Sequence[object] | NDArray[np.int64]
 
 __all__ = ["TaneConfig", "TaneResult", "mine_dependencies"]
 
@@ -107,7 +120,7 @@ def mine_dependencies(sample: Relation, config: TaneConfig | None = None) -> Tan
     for name in names:
         sample.schema.index_of(name)  # validate early
 
-    labels = {name: sample.column(name) for name in names}
+    labels = _mining_labels(sample, names)
     result = TaneResult()
     # Determining sets already satisfied per dependent: stop expanding them.
     satisfied: dict[str, list[frozenset[str]]] = {name: [] for name in names}
@@ -171,11 +184,34 @@ def mine_dependencies(sample: Relation, config: TaneConfig | None = None) -> Tan
     return result
 
 
+def _mining_labels(sample: Relation, names: Sequence[str]) -> dict[str, Labels]:
+    """Per-attribute row labels to mine over.
+
+    On the columnar plane these are dictionary-code arrays (``-1`` = NULL),
+    which route partitioning and ``g3`` through the sort-based numpy kernels;
+    grouping by codes and grouping by the decoded values produce identical
+    classes because codes are assigned with the same ``dict`` equality.  If
+    any attribute is opaque (unhashable cells) — or the row plane is active —
+    every attribute falls back to raw value tuples together, so all labels
+    stay mutually consistent.
+    """
+    if use_columnar():
+        store = sample.columnar()
+        columns = [store.column(name) for name in names]
+        if all(column.is_encoded for column in columns):
+            return {
+                name: column.codes
+                for name, column in zip(names, columns)
+                if column.codes is not None
+            }
+    return {name: sample.column(name) for name in names}
+
+
 def _partition_for(
     sample: Relation,
     attributes: tuple[str, ...],
     cache: dict[tuple[str, ...], Partition],
-    labels: dict[str, Sequence[object]],
+    labels: dict[str, Labels],
 ) -> Partition:
     """Compute (or fetch) ``Π_X``, refining a cached prefix when possible."""
     if attributes in cache:
@@ -186,16 +222,27 @@ def _partition_for(
             partition = cache[prefix].refine(labels[attributes[-1]])
             cache[attributes] = partition
             return partition
-    partition = partition_by(sample, attributes)
+    first = labels[attributes[0]]
+    if isinstance(first, np.ndarray):
+        partition = partition_from_codes(
+            [labels[name] for name in attributes]  # type: ignore[misc]
+        )
+    else:
+        partition = partition_by(sample, attributes)
     cache[attributes] = partition
     return partition
 
 
-def _joint_support(partition: Partition, dependent_labels: Sequence[object]) -> int:
+def _joint_support(partition: Partition, dependent_labels: Labels) -> int:
     """Rows covered by ``Π_X`` that are also non-NULL on the dependent."""
+    if isinstance(dependent_labels, np.ndarray):
+        return partition.covered_with(dependent_labels)
     from repro.relational.values import is_null
 
+    # Row-plane fallback; the columnar plane takes the covered_with mask
+    # sum above.
     support = 0
+    # qpiadlint: disable-next-line=row-loop-in-mining
     for cls in partition.classes:
         support += sum(1 for index in cls if not is_null(dependent_labels[index]))
     return support

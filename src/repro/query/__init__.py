@@ -6,6 +6,7 @@ join) and evaluation helpers distinguishing certain from possible answers.
 
 from repro.query.executor import (
     certain_answers,
+    certain_count,
     certain_or_possible,
     evaluate_aggregate,
     natural_join,
@@ -50,6 +51,7 @@ __all__ = [
     "AggregateQuery",
     "JoinQuery",
     "certain_answers",
+    "certain_count",
     "possible_answers",
     "certain_or_possible",
     "evaluate_aggregate",

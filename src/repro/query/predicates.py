@@ -12,18 +12,35 @@ paper needs:
 * :meth:`Predicate.null_constrained` — which constrained attributes are NULL
   in the tuple.  Tuples whose only failures are NULLs are the paper's
   *possible answers* (Definition 2).
+
+Each predicate also knows how to evaluate itself *vectorized* against a
+:class:`~repro.relational.columnar.ColumnStore`: :meth:`Predicate.mask`
+returns a boolean row mask of certain matches and
+:meth:`Predicate.possible_mask` the certain-or-possible mask, both exactly
+equivalent to the per-row methods.  A predicate that cannot be vectorized
+faithfully (opaque column, exotic constant) returns ``None`` and the
+executor falls back to per-row evaluation — correctness never depends on the
+fast path.
 """
 
 from __future__ import annotations
 
 import operator
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+import numpy as np
 
 from repro.errors import QueryError
+from repro.relational.columnar import float64_exact
 from repro.relational.relation import Row
 from repro.relational.schema import Schema
 from repro.relational.values import NULL, is_null
+
+if TYPE_CHECKING:
+    from numpy.typing import NDArray
+
+    from repro.relational.columnar import Column, ColumnStore
 
 __all__ = [
     "Predicate",
@@ -68,6 +85,45 @@ class Predicate(ABC):
                 return False
         return True
 
+    # ------------------------------------------------------------------
+    # Vectorized evaluation (columnar data plane)
+    # ------------------------------------------------------------------
+
+    def mask(self, store: "ColumnStore") -> "NDArray[np.bool_] | None":
+        """Boolean row mask of certain matches, or ``None``.
+
+        ``None`` means "this predicate cannot be vectorized faithfully";
+        callers must evaluate per row.  Masks, when returned, are exactly
+        equivalent to calling :meth:`matches` on every row.
+        """
+        return None
+
+    def null_any_mask(self, store: "ColumnStore") -> "NDArray[np.bool_]":
+        """Rows NULL on at least one constrained attribute.
+
+        The returned array may alias column storage — treat it as read-only.
+        """
+        names = self.attributes()
+        result = store.column(names[0]).null_mask
+        for name in names[1:]:
+            result = result | store.column(name).null_mask
+        return result
+
+    def possible_mask(self, store: "ColumnStore") -> "NDArray[np.bool_] | None":
+        """Certain-or-possible row mask, or ``None`` for per-row fallback.
+
+        A row passes when every conjunct either matches or is NULL-blocked
+        on one of its own attributes — exactly :meth:`possibly_matches`.
+        """
+        result: "NDArray[np.bool_] | None" = None
+        for conjunct in conjuncts_of(self):
+            conjunct_mask = conjunct.mask(store)
+            if conjunct_mask is None:
+                return None
+            allowed = conjunct_mask | conjunct.null_any_mask(store)
+            result = allowed if result is None else result & allowed
+        return result
+
     def __and__(self, other: "Predicate") -> "And":
         return And([self, other])
 
@@ -84,6 +140,18 @@ class AttributePredicate(Predicate):
 
     def attributes(self) -> tuple[str, ...]:
         return (self.attribute,)
+
+    @abstractmethod
+    def matches_value(self, value: Any) -> bool:
+        """True iff a cell holding *value* certainly satisfies the predicate.
+
+        *value* may be NULL; implementations apply SQL semantics (NULL never
+        certainly matches).  The executor compiles row matchers from this so
+        the attribute position is resolved once per query, not once per row.
+        """
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        return self.matches_value(row[schema.index_of(self.attribute)])
 
     def _value_of(self, row: Row, schema: Schema) -> Any:
         return row[schema.index_of(self.attribute)]
@@ -114,9 +182,26 @@ class Equals(AttributePredicate):
             )
         self.value = value
 
-    def matches(self, row: Row, schema: Schema) -> bool:
-        value = self._value_of(row, schema)
+    def matches_value(self, value: Any) -> bool:
         return not is_null(value) and value == self.value
+
+    def mask(self, store: "ColumnStore") -> "NDArray[np.bool_] | None":
+        column = store.column(self.attribute)
+        codes = column.codes
+        if codes is None:
+            return None
+        try:
+            if self.value != self.value:
+                # NaN: dictionary lookup would find an identical object, but
+                # the row plane compares with ``==`` which NaN never passes.
+                return np.zeros(codes.shape[0], dtype=np.bool_)
+            code = column.code_of(self.value)
+        except TypeError:
+            return None
+        if code is None:
+            return np.zeros(codes.shape[0], dtype=np.bool_)
+        result: "NDArray[np.bool_]" = codes == code
+        return result
 
     def _key(self) -> tuple:
         return (self.attribute, self.value)
@@ -134,9 +219,25 @@ class NotEquals(AttributePredicate):
         super().__init__(attribute)
         self.value = value
 
-    def matches(self, row: Row, schema: Schema) -> bool:
-        value = self._value_of(row, schema)
+    def matches_value(self, value: Any) -> bool:
         return not is_null(value) and value != self.value
+
+    def mask(self, store: "ColumnStore") -> "NDArray[np.bool_] | None":
+        column = store.column(self.attribute)
+        codes = column.codes
+        if codes is None:
+            return None
+        non_null: "NDArray[np.bool_]" = codes >= 0
+        try:
+            if self.value != self.value:
+                # NaN (or NULL) constant: ``!=`` holds for every present value.
+                return non_null
+            code = column.code_of(self.value)
+        except TypeError:
+            return None
+        if code is None:
+            return non_null
+        return non_null & (codes != code)
 
     def _key(self) -> tuple:
         return (self.attribute, self.value)
@@ -157,14 +258,23 @@ class Between(AttributePredicate):
         self.low = low
         self.high = high
 
-    def matches(self, row: Row, schema: Schema) -> bool:
-        value = self._value_of(row, schema)
+    def matches_value(self, value: Any) -> bool:
         if is_null(value):
             return False
         try:
-            return self.low <= value <= self.high
+            return bool(self.low <= value <= self.high)
         except TypeError:
             return False
+
+    def mask(self, store: "ColumnStore") -> "NDArray[np.bool_] | None":
+        column = store.column(self.attribute)
+        if column.codes is None:
+            return None
+        if not (float64_exact(self.low) and float64_exact(self.high)):
+            return None
+        values, exact = column.dictionary_numeric()
+        per_value = (self.low <= values) & (values <= self.high) & exact
+        return _patch_inexact(per_value, exact, column, self.matches_value)
 
     def _key(self) -> tuple:
         return (self.attribute, self.low, self.high)
@@ -193,14 +303,23 @@ class Comparison(AttributePredicate):
         self.op = op
         self.value = value
 
-    def matches(self, row: Row, schema: Schema) -> bool:
-        value = self._value_of(row, schema)
+    def matches_value(self, value: Any) -> bool:
         if is_null(value):
             return False
         try:
-            return _COMPARATORS[self.op](value, self.value)
+            return bool(_COMPARATORS[self.op](value, self.value))
         except TypeError:
             return False
+
+    def mask(self, store: "ColumnStore") -> "NDArray[np.bool_] | None":
+        column = store.column(self.attribute)
+        if column.codes is None:
+            return None
+        if not float64_exact(self.value):
+            return None
+        values, exact = column.dictionary_numeric()
+        per_value = _COMPARATORS[self.op](values, self.value) & exact
+        return _patch_inexact(per_value, exact, column, self.matches_value)
 
     def _key(self) -> tuple:
         return (self.attribute, self.op, self.value)
@@ -222,9 +341,21 @@ class OneOf(AttributePredicate):
         if any(value is NULL or value is None for value in self.values):
             raise QueryError(f"OneOf on {attribute!r} cannot include NULL")
 
-    def matches(self, row: Row, schema: Schema) -> bool:
-        value = self._value_of(row, schema)
+    def matches_value(self, value: Any) -> bool:
         return not is_null(value) and value in self.values
+
+    def mask(self, store: "ColumnStore") -> "NDArray[np.bool_] | None":
+        column = store.column(self.attribute)
+        codes = column.codes
+        if codes is None:
+            return None
+        wanted = [code for code in map(column.code_of, self.values) if code is not None]
+        if not wanted:
+            return np.zeros(codes.shape[0], dtype=np.bool_)
+        if len(wanted) == 1:
+            result: "NDArray[np.bool_]" = codes == wanted[0]
+            return result
+        return np.isin(codes, np.array(wanted, dtype=np.int64))
 
     def _key(self) -> tuple:
         return (self.attribute, self.values)
@@ -265,6 +396,15 @@ class And(Predicate):
     def matches(self, row: Row, schema: Schema) -> bool:
         return all(part.matches(row, schema) for part in self.parts)
 
+    def mask(self, store: "ColumnStore") -> "NDArray[np.bool_] | None":
+        result: "NDArray[np.bool_] | None" = None
+        for part in self.parts:
+            part_mask = part.mask(store)
+            if part_mask is None:
+                return None
+            result = part_mask if result is None else result & part_mask
+        return result
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, And) and self.parts == other.parts
 
@@ -273,6 +413,24 @@ class And(Predicate):
 
     def __repr__(self) -> str:
         return " AND ".join(map(repr, self.parts))
+
+
+def _patch_inexact(
+    per_value: "NDArray[np.bool_]",
+    exact: "NDArray[np.bool_]",
+    column: "Column",
+    matches_value: Callable[[Any], bool],
+) -> "NDArray[np.bool_]":
+    """Finish a dictionary-level range mask and scatter it to rows.
+
+    Entries whose float64 image is inexact (strings in a mixed column, huge
+    ints...) are re-evaluated with the exact Python predicate so the mask is
+    bit-identical to per-row evaluation.
+    """
+    if not bool(exact.all()):
+        for position in np.flatnonzero(~exact).tolist():
+            per_value[position] = matches_value(column.values[position])
+    return column.gather_bool(per_value)
 
 
 def conjuncts_of(predicate: Predicate) -> tuple[Predicate, ...]:

@@ -1,11 +1,21 @@
 """NULL-aware in-memory relational substrate.
 
 This package provides the storage layer every other QPIAD component builds
-on: typed schemas, immutable relations with SQL-like NULL semantics, and CSV
-round-tripping.
+on: typed schemas, immutable relations with SQL-like NULL semantics, CSV
+round-tripping, and the columnar (numpy-backed) data plane behind the
+:class:`Relation` facade.
 """
 
 from repro.relational.builders import RelationBuilder
+from repro.relational.columnar import (
+    DATA_PLANES,
+    Column,
+    ColumnStore,
+    data_plane,
+    data_plane_scope,
+    set_data_plane,
+    use_columnar,
+)
 from repro.relational.csvio import infer_schema, read_csv, write_csv
 from repro.relational.relation import Relation, Row
 from repro.relational.schema import Attribute, AttributeType, Schema
@@ -25,4 +35,11 @@ __all__ = [
     "write_csv",
     "infer_schema",
     "RelationBuilder",
+    "Column",
+    "ColumnStore",
+    "DATA_PLANES",
+    "data_plane",
+    "data_plane_scope",
+    "set_data_plane",
+    "use_columnar",
 ]

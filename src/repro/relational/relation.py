@@ -14,11 +14,15 @@ mediator may never modify the underlying data.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from operator import itemgetter
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import SchemaError
 from repro.relational.schema import Schema
 from repro.relational.values import NULL, coerce_value, is_null
+
+if TYPE_CHECKING:
+    from repro.relational.columnar import ColumnStore
 
 __all__ = ["Row", "Relation"]
 
@@ -47,7 +51,7 @@ class Relation:
     1
     """
 
-    __slots__ = ("_schema", "_rows")
+    __slots__ = ("_schema", "_rows", "_columnar")
 
     def __init__(self, schema: Schema, rows: Iterable[Sequence[Any]] = ()):
         self._schema = schema
@@ -61,6 +65,7 @@ class Relation:
                 )
             materialized.append(row)
         self._rows = tuple(materialized)
+        self._columnar: "ColumnStore | None" = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -100,6 +105,21 @@ class Relation:
         index = self._schema.index_of(attribute)
         return tuple(row[index] for row in self._rows)
 
+    def columnar(self) -> "ColumnStore":
+        """The columnar (numpy-backed) image of this relation.
+
+        Built lazily on first use and memoized — the relation is immutable,
+        so the store never goes stale.  Row-oriented callers that never ask
+        for it pay nothing.
+        """
+        store = getattr(self, "_columnar", None)
+        if store is None:
+            from repro.relational.columnar import ColumnStore
+
+            store = ColumnStore.from_relation(self)
+            self._columnar = store
+        return store
+
     # ------------------------------------------------------------------
     # Relational operations
     # ------------------------------------------------------------------
@@ -107,6 +127,20 @@ class Relation:
     def select(self, predicate: Callable[[Row], bool]) -> "Relation":
         """Rows satisfying an arbitrary row predicate."""
         return self._with_rows(row for row in self._rows if predicate(row))
+
+    def select_indices(self, indices: Sequence[int]) -> "Relation":
+        """Rows at *indices*, in the given order.
+
+        This is the gather step of mask-based (columnar) selection: the
+        executor computes a boolean mask over the store and hands the
+        surviving row positions here.  ``itemgetter`` keeps the gather in C.
+        """
+        rows = self._rows
+        if len(indices) == 0:
+            return self._with_rows(())
+        if len(indices) == 1:
+            return self._with_rows((rows[indices[0]],))
+        return self._with_rows(itemgetter(*indices)(rows))
 
     def project(self, names: Sequence[str], distinct: bool = False) -> "Relation":
         """Project onto *names*; optionally de-duplicate.
@@ -166,6 +200,7 @@ class Relation:
         renamed = Relation.__new__(Relation)
         renamed._schema = self._schema.rename(mapping)
         renamed._rows = self._rows
+        renamed._columnar = None
         return renamed
 
     # ------------------------------------------------------------------
@@ -237,4 +272,5 @@ class Relation:
         relation = Relation.__new__(Relation)
         relation._schema = self._schema
         relation._rows = tuple(rows)
+        relation._columnar = None
         return relation

@@ -31,6 +31,11 @@ def test_suppressions_stay_bounded():
     # raw-source-call-in-core rule; the planner extraction then ported the
     # baselines and the relaxer onto the engine (six suppressions deleted)
     # and added two for the raw-rewrite-call-in-core rule's public-API
-    # re-exports in repro.core.__init__, landing at ten.
+    # re-exports in repro.core.__init__, landing at ten.  Raised 12 -> 18
+    # with the row-loop-in-mining rule: the six row-plane reference loops
+    # in repro.mining (partition_by, Partition.refine, g3_error, TANE joint
+    # support, NBC training and batch scoring) are the semantics the
+    # columnar kernels must reproduce bit-for-bit, so each stays — with a
+    # justification — as a reviewed exemption.
     report = lint_paths([SRC])
-    assert report.suppressed_count <= 12
+    assert report.suppressed_count <= 18

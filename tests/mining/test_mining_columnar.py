@@ -1,0 +1,132 @@
+"""End-to-end row-vs-columnar parity of TANE and NBC (PR 9).
+
+The BENCH_8 sweep proves this at scale; these tests pin the same
+property — bit-identical mined knowledge on both data planes — at unit
+size, on generated data and on hand-built corner cases.
+"""
+
+import pytest
+
+from repro.datasets import generate_cars, make_incomplete
+from repro.mining.nbc import NaiveBayesClassifier
+from repro.mining.tane import TaneConfig, mine_dependencies
+from repro.relational import Relation, Schema, data_plane_scope
+from repro.relational.values import NULL
+
+
+def _sample() -> Relation:
+    return make_incomplete(generate_cars(300, seed=7), seed=97).incomplete
+
+
+def _fresh(relation: Relation) -> Relation:
+    # New identity -> no memoized column store leaks across planes.
+    return Relation(relation.schema, relation.rows)
+
+
+def _both_planes(function):
+    results = {}
+    for plane in ("row", "columnar"):
+        with data_plane_scope(plane):
+            results[plane] = function()
+    return results["row"], results["columnar"]
+
+
+class TestTaneParity:
+    def test_afds_and_akeys_identical(self):
+        sample = _sample()
+        row, columnar = _both_planes(lambda: mine_dependencies(_fresh(sample)))
+        assert row.afds == columnar.afds
+        assert row.akeys == columnar.akeys
+
+    def test_confidences_are_float_bit_identical(self):
+        sample = _sample()
+        row, columnar = _both_planes(lambda: mine_dependencies(_fresh(sample)))
+        for mined_row, mined_col in zip(row.afds, columnar.afds):
+            assert mined_row.confidence == mined_col.confidence
+            assert mined_row.support == mined_col.support
+
+    def test_parity_survives_restricted_attribute_sets(self):
+        sample = _sample()
+        config = TaneConfig(attributes=("make", "model", "body_style"))
+        row, columnar = _both_planes(
+            lambda: mine_dependencies(_fresh(sample), config)
+        )
+        assert row.afds == columnar.afds
+
+    def test_parity_on_a_relation_with_unhashable_column(self):
+        # Opaque columns force the row path inside the columnar plane.
+        relation = Relation(
+            Schema.of("make", "tags", "body_style"),
+            [
+                ("Honda", ["a"], "Sedan"),
+                ("Honda", ["b"], "Sedan"),
+                ("BMW", ["a"], "Convt"),
+                ("BMW", NULL, "Convt"),
+            ],
+        )
+        config = TaneConfig(attributes=("make", "body_style"))
+        row, columnar = _both_planes(
+            lambda: mine_dependencies(_fresh(relation), config)
+        )
+        assert row.afds == columnar.afds
+
+
+class TestNbcParity:
+    def test_counts_and_domains_identical_including_order(self):
+        sample = _sample()
+
+        def train():
+            return NaiveBayesClassifier(_fresh(sample), "body_style", ("make", "model"))
+
+        row, columnar = _both_planes(train)
+        # dict equality also checks insertion order indirectly via lists
+        assert list(row._class_counts.items()) == list(columnar._class_counts.items())
+        assert row._joint_counts == columnar._joint_counts
+        assert row._domain_sizes == columnar._domain_sizes
+
+    def test_distribution_batch_matches_per_row_distribution(self):
+        sample = _sample()
+        with data_plane_scope("columnar"):
+            nbc = NaiveBayesClassifier(_fresh(sample), "body_style", ("make", "model"))
+            batch = nbc.distribution_batch(_fresh(sample))
+        positions = {
+            name: sample.schema.index_of(name) for name in ("make", "model")
+        }
+        for row, posterior in zip(sample.rows, batch):
+            evidence = {name: row[index] for name, index in positions.items()}
+            assert posterior == nbc.distribution(evidence)
+
+    def test_distribution_batch_identical_across_planes(self):
+        sample = _sample()
+
+        def score():
+            nbc = NaiveBayesClassifier(_fresh(sample), "body_style", ("make", "model"))
+            return nbc.distribution_batch(_fresh(sample))
+
+        row, columnar = _both_planes(score)
+        assert row == columnar
+
+    def test_nbc_with_nulls_in_class_and_features(self):
+        relation = Relation(
+            Schema.of("cls", "f"),
+            [
+                ("a", "x"),
+                ("a", NULL),
+                (NULL, "x"),
+                ("b", "y"),
+                ("b", "x"),
+                ("a", "y"),
+            ],
+        )
+
+        def train():
+            nbc = NaiveBayesClassifier(_fresh(relation), "cls", ("f",))
+            return (
+                dict(nbc._class_counts),
+                nbc._joint_counts,
+                nbc._domain_sizes,
+                nbc.distribution_batch(_fresh(relation)),
+            )
+
+        row, columnar = _both_planes(train)
+        assert row == columnar

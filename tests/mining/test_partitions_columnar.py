@@ -1,0 +1,136 @@
+"""Row-vs-columnar parity of the TANE partition kernels (PR 9)."""
+
+import numpy as np
+import pytest
+
+from repro.mining.partitions import (
+    Partition,
+    g3_error,
+    key_error,
+    partition_by,
+    partition_from_codes,
+)
+from repro.relational import Relation, Schema
+from repro.relational.values import NULL
+
+
+def _relation() -> Relation:
+    return Relation(
+        Schema.of("make", "model", "body_style"),
+        [
+            ("Honda", "Accord", "Sedan"),
+            ("Honda", "Civic", "Sedan"),
+            ("BMW", "Z4", "Convt"),
+            ("Honda", "Accord", NULL),
+            (NULL, "Civic", "Sedan"),
+            ("BMW", "Z4", "Convt"),
+            ("Honda", "Accord", "Coupe"),
+            ("Audi", NULL, "Sedan"),
+        ],
+    )
+
+
+def _codes(relation: Relation, *names: str) -> list:
+    store = relation.columnar()
+    return [store.column(name).codes for name in names]
+
+
+class TestPartitionFromCodes:
+    @pytest.mark.parametrize(
+        "attributes",
+        [("make",), ("model",), ("make", "model"), ("make", "model", "body_style")],
+    )
+    def test_matches_row_partition_by(self, attributes):
+        # Refined class *order* is unspecified (no consumer depends on it);
+        # the class contents, count and coverage must agree exactly.
+        relation = _relation()
+        row_partition = partition_by(relation, attributes)
+        code_partition = partition_from_codes(_codes(relation, *attributes))
+        assert set(code_partition.classes) == set(row_partition.classes)
+        assert len(code_partition) == len(row_partition)
+        assert code_partition.covered == row_partition.covered
+
+    def test_single_column_classes_come_out_in_first_seen_order(self):
+        relation = _relation()
+        row_partition = partition_by(relation, ("make",))
+        code_partition = partition_from_codes(_codes(relation, "make"))
+        assert code_partition.classes == row_partition.classes
+
+    def test_all_null_column_yields_empty_partition(self):
+        relation = Relation(Schema.of("x"), [(NULL,), (NULL,)])
+        assert partition_from_codes(_codes(relation, "x")).classes == ()
+        assert partition_by(relation, ("x",)).classes == ()
+
+
+class TestRefineParity:
+    def test_refine_with_codes_matches_refine_with_values(self):
+        relation = _relation()
+        base = partition_by(relation, ("make",))
+        values = relation.column("model")
+        codes = relation.columnar().column("model").codes
+        assert set(base.refine(values).classes) == set(base.refine(codes).classes)
+
+    def test_refine_drops_null_labelled_rows_on_both_paths(self):
+        relation = _relation()
+        base = partition_by(relation, ("model",))
+        values = relation.column("body_style")
+        codes = relation.columnar().column("body_style").codes
+        refined_values = base.refine(values)
+        refined_codes = base.refine(codes)
+        assert set(refined_values.classes) == set(refined_codes.classes)
+        assert refined_values.covered == refined_codes.covered
+
+    def test_covered_with_matches_row_count(self):
+        relation = _relation()
+        base = partition_by(relation, ("make",))
+        codes = relation.columnar().column("body_style").codes
+        expected = sum(
+            1 for cls in base.classes for i in cls if codes[i] >= 0
+        )
+        assert base.covered_with(codes) == expected
+
+
+class TestG3Parity:
+    @pytest.mark.parametrize("determining", [("make",), ("make", "model")])
+    @pytest.mark.parametrize("dependent", ["model", "body_style"])
+    def test_g3_identical_for_values_and_codes(self, determining, dependent):
+        relation = _relation()
+        if dependent in determining:
+            pytest.skip("dependent inside determining set")
+        partition = partition_by(relation, determining)
+        values = relation.column(dependent)
+        codes = relation.columnar().column(dependent).codes
+        assert g3_error(partition, values) == g3_error(partition, codes)
+
+    def test_g3_is_exact_rational_arithmetic(self):
+        # Both planes compute (covered - kept) / covered on ints, so the
+        # result is bit-identical, not merely close.
+        relation = _relation()
+        partition = partition_by(relation, ("make",))
+        values = relation.column("body_style")
+        codes = relation.columnar().column("body_style").codes
+        via_values = g3_error(partition, values)
+        via_codes = g3_error(partition, codes)
+        assert via_values == via_codes
+        assert isinstance(via_codes, float)
+
+    def test_key_error_unchanged(self):
+        relation = _relation()
+        partition = partition_by(relation, ("make", "model"))
+        assert 0.0 <= key_error(partition) <= 1.0
+
+
+class TestPartitionObject:
+    def test_tuple_constructor_and_array_roundtrip(self):
+        partition = Partition([(0, 2, 4), (1, 3)])
+        assert partition.classes == ((0, 2, 4), (1, 3))
+        assert partition.covered == 5
+        assert len(partition) == 2
+
+    def test_refine_on_ndarray_splits_by_code(self):
+        partition = Partition([(0, 1, 2, 3)])
+        codes = np.array([1, 0, 1, -1], dtype=np.int64)
+        refined = partition.refine(codes)
+        # NULL (-1) dropped; rows grouped by code (class order unspecified)
+        assert set(refined.classes) == {(0, 2), (1,)}
+        assert refined.covered == 3

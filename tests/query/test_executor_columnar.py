@@ -1,0 +1,150 @@
+"""Row-vs-columnar parity of the answer extractors (PR 9).
+
+Every test runs the same query on both data planes and asserts the
+answers are ``==``-identical — content *and* order — including on the
+adversarial inputs the vectorized kernels special-case: NaN literals,
+floats beyond 2^53, mixed-type columns and unhashable (opaque) values.
+"""
+
+import math
+
+import pytest
+
+from repro.query import (
+    And,
+    Between,
+    Comparison,
+    Equals,
+    NotEquals,
+    OneOf,
+    SelectionQuery,
+    certain_answers,
+    certain_count,
+    certain_or_possible,
+    possible_answers,
+)
+from repro.relational import Relation, Schema, data_plane_scope
+
+
+def _cars() -> Relation:
+    return Relation(
+        Schema.of("make", "body_style", "price"),
+        [
+            ("Honda", "Sedan", 9000),
+            ("Honda", None, 12000),
+            ("BMW", "Convt", None),
+            (None, "Convt", 30000),
+            ("Audi", "Sedan", 15000),
+            ("BMW", None, None),
+            ("Honda", "Convt", 11000),
+        ],
+    )
+
+
+def _both_planes(function, *args, **kwargs):
+    results = {}
+    for plane in ("row", "columnar"):
+        with data_plane_scope(plane):
+            results[plane] = function(*args, **kwargs)
+    return results["row"], results["columnar"]
+
+
+QUERIES = [
+    SelectionQuery.equals("make", "Honda"),
+    SelectionQuery(Equals("make", "Toyota")),  # matches nothing
+    SelectionQuery(NotEquals("body_style", "Sedan")),
+    SelectionQuery(Between("price", 10000, 20000)),
+    SelectionQuery(Comparison("price", ">=", 12000)),
+    SelectionQuery(OneOf("make", ("Honda", "Audi"))),
+    SelectionQuery(And([Equals("make", "Honda"), Between("price", 10000, 20000)])),
+]
+
+
+class TestAnswerParity:
+    @pytest.mark.parametrize("query", QUERIES, ids=str)
+    def test_certain_answers_identical(self, query):
+        row, columnar = _both_planes(certain_answers, query, _cars())
+        assert row.rows == columnar.rows
+
+    @pytest.mark.parametrize("query", QUERIES, ids=str)
+    @pytest.mark.parametrize("max_nulls", [None, 1, 2])
+    def test_possible_answers_identical(self, query, max_nulls):
+        row, columnar = _both_planes(
+            possible_answers, query, _cars(), max_nulls=max_nulls
+        )
+        assert row.rows == columnar.rows
+
+    @pytest.mark.parametrize("query", QUERIES, ids=str)
+    def test_certain_or_possible_identical(self, query):
+        row, columnar = _both_planes(certain_or_possible, query, _cars())
+        assert row.rows == columnar.rows
+
+    @pytest.mark.parametrize("query", QUERIES, ids=str)
+    def test_certain_count_matches_certain_answers(self, query):
+        row_count, columnar_count = _both_planes(certain_count, query, _cars())
+        assert row_count == columnar_count
+        assert columnar_count == len(certain_answers(query, _cars()))
+
+
+class TestAdversarialValues:
+    def test_nan_literal_matches_nothing_on_both_planes(self):
+        relation = Relation(
+            Schema.of("x"), [(float("nan"),), (1.0,), (None,), (float("nan"),)]
+        )
+        for predicate in (Equals("x", float("nan")), NotEquals("x", float("nan"))):
+            query = SelectionQuery(predicate)
+            row, columnar = _both_planes(certain_answers, query, relation)
+            assert row.rows == columnar.rows
+
+    def test_nan_cells_against_ordinary_literals(self):
+        relation = Relation(Schema.of("x"), [(float("nan"),), (1.0,), (2.0,)])
+        for predicate in (
+            Equals("x", 1.0),
+            NotEquals("x", 1.0),
+            Between("x", 0.0, 5.0),
+        ):
+            query = SelectionQuery(predicate)
+            row, columnar = _both_planes(certain_answers, query, relation)
+            assert row.rows == columnar.rows
+
+    def test_integers_beyond_float64_precision(self):
+        # 2**53 and 2**53 + 1 collide as float64; exact Python comparison
+        # must still tell them apart on both planes.
+        big, bigger = 2**53, 2**53 + 1
+        relation = Relation(Schema.of("x"), [(big,), (bigger,), (None,)])
+        for predicate in (
+            Equals("x", bigger),
+            Between("x", big, big),
+            Comparison("x", ">", big),
+        ):
+            query = SelectionQuery(predicate)
+            row, columnar = _both_planes(certain_answers, query, relation)
+            assert row.rows == columnar.rows
+
+    def test_mixed_type_column(self):
+        relation = Relation(
+            Schema.of("x"), [(1,), ("1",), (1.0,), ("word",), (None,), (True,)]
+        )
+        for predicate in (Equals("x", 1), Equals("x", "1"), Between("x", 0, 2)):
+            query = SelectionQuery(predicate)
+            row, columnar = _both_planes(certain_answers, query, relation)
+            assert row.rows == columnar.rows
+
+    def test_opaque_column_falls_back_to_rows(self):
+        # Lists are unhashable -> the column cannot be dictionary-encoded;
+        # the columnar plane must quietly take the per-row path.
+        relation = Relation(
+            Schema.of("x", "y"),
+            [([1], "a"), (None, "b"), ([2], "a"), ([1], None)],
+        )
+        query = SelectionQuery(Equals("y", "a"))
+        row, columnar = _both_planes(certain_answers, query, relation)
+        assert row.rows == columnar.rows
+        row, columnar = _both_planes(possible_answers, query, relation)
+        assert row.rows == columnar.rows
+
+    def test_empty_relation(self):
+        relation = Relation(Schema.of("make", "body_style", "price"))
+        query = SelectionQuery.equals("make", "Honda")
+        row, columnar = _both_planes(certain_or_possible, query, relation)
+        assert row.rows == columnar.rows == ()

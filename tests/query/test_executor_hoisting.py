@@ -1,0 +1,84 @@
+"""Regression: schema lookups are hoisted out of the executor row loops.
+
+Before PR 9, the row-plane matcher resolved ``schema.index_of(attribute)``
+inside the per-row loop — an O(rows x conjuncts) dict-lookup tax on every
+certain/possible scan. The compiled matchers now resolve positions once
+per query. A counting Schema subclass pins that: the number of lookups
+must depend only on the query, never on the relation size.
+"""
+
+from repro.query import And, Between, Equals, SelectionQuery
+from repro.query.executor import certain_answers, certain_or_possible, possible_answers
+from repro.relational import Relation, Schema, data_plane_scope
+
+
+class CountingSchema(Schema):
+    """A Schema that counts ``index_of`` calls."""
+
+    # Schema defines __slots__; give the counter a home.
+    __slots__ = ("index_of_calls",)
+
+    def __init__(self, attributes):
+        super().__init__(attributes)
+        self.index_of_calls = 0
+
+    def index_of(self, name: str) -> int:
+        self.index_of_calls += 1
+        return super().index_of(name)
+
+
+def _relation(rows: int) -> Relation:
+    schema = CountingSchema(Schema.of("make", "body_style", "price"))
+    data = [
+        ("Honda" if i % 3 else "BMW", None if i % 7 == 0 else "Sedan", 9000 + i)
+        for i in range(rows)
+    ]
+    relation = Relation(schema, data)
+    schema.index_of_calls = 0  # ignore lookups spent building the relation
+    return relation
+
+
+QUERY = SelectionQuery(
+    And([Equals("make", "Honda"), Between("price", 9000, 20000)])
+)
+
+
+class TestHoistedLookups:
+    def test_certain_answers_lookups_independent_of_row_count(self):
+        counts = {}
+        for rows in (10, 1000):
+            relation = _relation(rows)
+            with data_plane_scope("row"):
+                certain_answers(QUERY, relation)
+            counts[rows] = relation.schema.index_of_calls
+        assert counts[10] == counts[1000]
+        assert counts[1000] <= 8  # a few per conjunct, not thousands
+
+    def test_possible_answers_lookups_independent_of_row_count(self):
+        counts = {}
+        for rows in (10, 1000):
+            relation = _relation(rows)
+            with data_plane_scope("row"):
+                possible_answers(QUERY, relation, max_nulls=1)
+            counts[rows] = relation.schema.index_of_calls
+        assert counts[10] == counts[1000]
+        assert counts[1000] <= 12
+
+    def test_certain_or_possible_lookups_independent_of_row_count(self):
+        counts = {}
+        for rows in (10, 1000):
+            relation = _relation(rows)
+            with data_plane_scope("row"):
+                certain_or_possible(QUERY, relation)
+            counts[rows] = relation.schema.index_of_calls
+        assert counts[10] == counts[1000]
+
+    def test_answers_unchanged_by_the_counting_schema(self):
+        # The subclass must be semantically inert: same answers both planes.
+        relation = _relation(200)
+        with data_plane_scope("row"):
+            row_answers = certain_answers(QUERY, relation).rows
+        with data_plane_scope("columnar"):
+            columnar_answers = certain_answers(QUERY, relation).rows
+        assert row_answers == columnar_answers
+        assert len(row_answers) > 0
