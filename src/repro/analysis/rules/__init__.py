@@ -14,6 +14,7 @@ from repro.analysis.project.concurrency import UnguardedSharedWriteRule
 from repro.analysis.project.determinism import UnseededRngFlowRule
 from repro.analysis.rules.dataplane import RowLoopInMiningRule
 from repro.analysis.rules.determinism import UnseededRngRule
+from repro.analysis.rules.freshness import StaleKnowledgeCaptureRule
 from repro.analysis.rules.hygiene import (
     BannedImportRule,
     BareExceptRule,
@@ -50,6 +51,7 @@ __all__ = [
     "BareExceptRule",
     "NaiveFloatEqualityRule",
     "RowLoopInMiningRule",
+    "StaleKnowledgeCaptureRule",
     "UnguardedSharedWriteRule",
     "UnseededRngFlowRule",
 ]
@@ -67,6 +69,7 @@ ALL_RULES: "tuple[type[Rule], ...]" = (
     BareExceptRule,
     NaiveFloatEqualityRule,
     RowLoopInMiningRule,
+    StaleKnowledgeCaptureRule,
 )
 
 #: Every registered whole-program pass, in reporting order.

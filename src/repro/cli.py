@@ -20,6 +20,12 @@ Installed as ``qpiad``.  Subcommands mirror the mediator's life cycle:
 * ``qpiad trace cars.csv --where body_style=Convt [--json]`` — mediate one
   query with telemetry attached and print the span tree and counters
   (see ``docs/observability.md``)
+* ``qpiad drift cars.csv --kb cars.kb.json --fresh probe.csv [--json]`` —
+  compare mined statistics against a freshly probed sample; exit 1 when
+  the knowledge base has gone stale (see ``docs/knowledge-refresh.md``)
+* ``qpiad refresh cars.csv --kb cars.kb.json --batch new.csv --out cars.kb.json``
+  — fold a fresh sample batch into the knowledge base without a full
+  re-mine (``--if-stale`` gates on drift, ``--watch`` keeps polling)
 * ``qpiad lint [paths]`` — static domain-invariant checks (NULL semantics,
   mediator discipline, seeded RNGs; see ``docs/linting.md``)
 
@@ -259,6 +265,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="route the faulty mediator's calls through a SourceScheduler "
         "(same keys as `qpiad query --admission`); the degradation "
         "invariants must hold under admission control too",
+    )
+
+    drift = sub.add_parser(
+        "drift",
+        help="compare a knowledge base against a freshly probed sample; "
+        "exit 1 when the mined statistics have gone stale",
+    )
+    drift.add_argument("data", type=Path, help="the (incomplete) database CSV")
+    drift.add_argument(
+        "--kb", type=Path, help="knowledge-base JSON (default: mine on the fly)"
+    )
+    drift.add_argument(
+        "--fresh", required=True, type=Path, help="freshly probed sample CSV"
+    )
+    drift.add_argument(
+        "--confidence-tolerance",
+        type=float,
+        default=0.15,
+        help="flag an AFD when its g3 confidence moved by more than this",
+    )
+    drift.add_argument(
+        "--distribution-tolerance",
+        type=float,
+        default=0.25,
+        help="flag an attribute when its total variation distance exceeds this",
+    )
+    drift.add_argument(
+        "--min-support",
+        type=int,
+        default=20,
+        help="AFDs covering fewer fresh rows than this are unmeasurable",
+    )
+    drift.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of the text rendering",
+    )
+
+    refresh = sub.add_parser(
+        "refresh",
+        help="fold a fresh sample batch into a knowledge base "
+        "(incremental when possible, full re-mine otherwise)",
+    )
+    refresh.add_argument("data", type=Path, help="the (incomplete) database CSV")
+    refresh.add_argument(
+        "--kb", type=Path, help="knowledge-base JSON to refresh (default: mine on the fly)"
+    )
+    refresh.add_argument(
+        "--batch", required=True, type=Path, help="fresh sample batch CSV to fold in"
+    )
+    refresh.add_argument(
+        "--out", type=Path, help="write the refreshed knowledge base here"
+    )
+    refresh.add_argument(
+        "--db-size",
+        type=int,
+        help="updated database cardinality (default: keep the mined one)",
+    )
+    refresh.add_argument(
+        "--if-stale",
+        action="store_true",
+        help="run the drift check first and fold only when it flags staleness",
+    )
+    refresh.add_argument(
+        "--confidence-tolerance",
+        type=float,
+        default=0.15,
+        help="drift gate: AFD confidence tolerance (with --if-stale)",
+    )
+    refresh.add_argument(
+        "--distribution-tolerance",
+        type=float,
+        default=0.25,
+        help="drift gate: total variation tolerance (with --if-stale)",
+    )
+    refresh.add_argument(
+        "--min-support",
+        type=int,
+        default=20,
+        help="drift gate: minimum fresh-row support (with --if-stale)",
+    )
+    refresh.add_argument(
+        "--watch",
+        action="store_true",
+        help="keep polling --batch and fold whenever the file changes",
+    )
+    refresh.add_argument(
+        "--interval",
+        type=float,
+        default=5.0,
+        help="poll interval in seconds (with --watch)",
+    )
+    refresh.add_argument(
+        "--iterations",
+        type=int,
+        help="stop watching after this many polls (default: forever)",
+    )
+    refresh.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable result per fold",
     )
 
     lint = sub.add_parser(
@@ -754,6 +861,112 @@ def _cmd_shell(args) -> int:
     return run_shell(args.data, args.kb)
 
 
+def _cmd_drift(args) -> int:
+    import json
+
+    from repro.mining.drift import detect_drift, drift_payload, render_drift_text
+
+    relation = read_csv(args.data)
+    knowledge = _load_or_mine(args.data, args.kb, relation)
+    fresh = read_csv(args.fresh)
+    report = detect_drift(
+        knowledge,
+        fresh,
+        confidence_tolerance=args.confidence_tolerance,
+        distribution_tolerance=args.distribution_tolerance,
+        min_support=args.min_support,
+    )
+    if args.json:
+        print(json.dumps(drift_payload(report), indent=2))
+    else:
+        print(render_drift_text(report))
+    return 1 if report.is_stale else 0
+
+
+def _refresh_payload(result) -> dict:
+    from repro.mining.drift import drift_payload
+
+    payload = {
+        "mode": result.mode,
+        "refreshed": result.refreshed,
+        "epoch": result.epoch,
+        "fingerprint": result.fingerprint,
+        "previous_fingerprint": result.previous_fingerprint,
+        "rows_folded": result.rows_folded,
+        "seconds": result.seconds,
+    }
+    if result.drift is not None:
+        payload["drift"] = drift_payload(result.drift)
+    return payload
+
+
+def _print_refresh(result, as_json: bool) -> None:
+    if as_json:
+        import json
+
+        print(json.dumps(_refresh_payload(result)))
+        return
+    if not result.refreshed:
+        print(f"refresh: skipped — statistics still fresh (epoch {result.epoch})")
+        return
+    print(
+        f"refresh: {result.mode} fold of {result.rows_folded} row(s) -> "
+        f"epoch {result.epoch} in {result.seconds:.3f}s"
+    )
+    print(f"  fingerprint {result.previous_fingerprint} -> {result.fingerprint}")
+
+
+def _cmd_refresh(args) -> int:
+    import time
+
+    from repro.mining.refresh import KnowledgeRefresher
+
+    relation = read_csv(args.data)
+    knowledge = _load_or_mine(args.data, args.kb, relation)
+    refresher = KnowledgeRefresher(knowledge)
+    refresher.prime()  # seed incremental state; full re-mine when unavailable
+
+    def fold_once() -> int:
+        batch = read_csv(args.batch)
+        if args.if_stale:
+            result = refresher.refresh_if_stale(
+                batch,
+                confidence_tolerance=args.confidence_tolerance,
+                distribution_tolerance=args.distribution_tolerance,
+                min_support=args.min_support,
+                database_size=args.db_size,
+            )
+        else:
+            result = refresher.refresh(batch, database_size=args.db_size)
+        _print_refresh(result, args.json)
+        if result.refreshed and args.out:
+            save_knowledge(refresher.knowledge, args.out)
+            if not args.json:
+                print(f"  wrote {args.out}")
+        return 0 if result.refreshed or args.if_stale else 1
+
+    if not args.watch:
+        return fold_once()
+
+    # Watch mode: the batch CSV is a drop-box the probing job overwrites;
+    # each new version is folded exactly once (mtime-change detection).
+    last_seen: "int | None" = None
+    polls = 0
+    while args.iterations is None or polls < args.iterations:
+        if polls:
+            time.sleep(args.interval)
+        polls += 1
+        try:
+            stamp = args.batch.stat().st_mtime_ns
+        except OSError:
+            continue  # not dropped yet (or mid-replace); retry next poll
+        if stamp == last_seen:
+            continue
+        last_seen = stamp
+        fold_once()
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.cli import run_lint
 
@@ -773,6 +986,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "demo": _cmd_demo,
     "chaos": _cmd_chaos,
+    "drift": _cmd_drift,
+    "refresh": _cmd_refresh,
     "lint": _cmd_lint,
 }
 

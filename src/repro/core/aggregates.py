@@ -22,6 +22,7 @@ from repro.engine import (
 )
 from repro.errors import QueryError
 from repro.mining.knowledge import KnowledgeBase
+from repro.mining.store import KnowledgeStore, as_store
 from repro.planner import PlanCache, PlannerConfig, QueryPlanner
 from repro.query.query import AggregateFunction, AggregateQuery
 from repro.relational.relation import Relation
@@ -107,7 +108,7 @@ class AggregateProcessor:
     def __init__(
         self,
         source: AutonomousSource,
-        knowledge: KnowledgeBase,
+        knowledge: "KnowledgeBase | KnowledgeStore",
         k: int | None = 10,
         alpha: float = 1.0,
         classifier_method: str | None = None,
@@ -127,7 +128,7 @@ class AggregateProcessor:
                 f"max_concurrency must be at least 1, got {max_concurrency}"
             )
         self.source = source
-        self.knowledge = knowledge
+        self._store = as_store(knowledge)
         self.k = k
         self.alpha = alpha
         self.classifier_method = classifier_method
@@ -136,7 +137,7 @@ class AggregateProcessor:
         self._telemetry = telemetry
         self._executor = executor
         self.planner = QueryPlanner(
-            knowledge,
+            self._store,
             PlannerConfig(
                 alpha=alpha,
                 k=k,
@@ -147,6 +148,16 @@ class AggregateProcessor:
             telemetry=telemetry,
         )
 
+    @property
+    def store(self) -> KnowledgeStore:
+        """The knowledge store this processor reads through."""
+        return self._store
+
+    @property
+    def knowledge(self) -> KnowledgeBase:
+        """Snapshot of the current knowledge generation."""
+        return self._store.current
+
     def query(self, aggregate: AggregateQuery) -> AggregateResult:
         """Process *aggregate*, returning certain and predicted values.
 
@@ -155,6 +166,10 @@ class AggregateProcessor:
         sensible partial result to degrade to and any failure propagates.
         """
         selection = aggregate.selection
+        # One generation snapshot serves the whole aggregate: planning and
+        # every per-row prediction read the same statistics even if a
+        # refresh swaps the store mid-query.
+        knowledge = self._store.current
         stats = RetrievalStats()
         engine = RetrievalEngine(
             self.source,
@@ -169,11 +184,11 @@ class AggregateProcessor:
         )
 
         certain_acc = _Accumulator(aggregate.function)
-        self._accumulate(certain_acc, aggregate, base_set, predict=False)
+        self._accumulate(certain_acc, aggregate, base_set, knowledge, predict=False)
         certain_value = certain_acc.value()
 
         predicted_acc = _Accumulator(aggregate.function)
-        self._accumulate(predicted_acc, aggregate, base_set, predict=True)
+        self._accumulate(predicted_acc, aggregate, base_set, knowledge, predict=True)
 
         result = AggregateResult(
             query=aggregate,
@@ -187,7 +202,7 @@ class AggregateProcessor:
         # argmax / fractional rule depends only on mined statistics, never
         # on retrieved rows, so gated-out rewritings cost nothing on the
         # wire and the whole gate result caches with the plan.
-        plan = self.planner.plan_aggregate(selection, base_set)
+        plan = self.planner.plan_aggregate(selection, base_set, knowledge=knowledge)
         stats.rewritten_generated = plan.generated
         stats.rewritten_skipped += plan.skipped
         result.considered_queries = plan.considered
@@ -211,7 +226,7 @@ class AggregateProcessor:
             # can reuse the relation API; not a base-data bypass.
             partial = Relation(schema, rows)  # qpiadlint: disable=raw-relation-access
             self._accumulate(
-                predicted_acc, aggregate, partial, predict=True,
+                predicted_acc, aggregate, partial, knowledge, predict=True,
                 weight=plan.weights[step.rank],
             )
 
@@ -225,6 +240,7 @@ class AggregateProcessor:
         accumulator: _Accumulator,
         aggregate: AggregateQuery,
         rows: Relation,
+        knowledge: KnowledgeBase,
         predict: bool,
         weight: float = 1.0,
     ) -> None:
@@ -251,7 +267,7 @@ class AggregateProcessor:
                     for name, v in zip(rows.schema.names, row)
                     if not is_null(v) and name != attribute
                 }
-                predicted, __ = self.knowledge.predict_value(
+                predicted, __ = knowledge.predict_value(
                     attribute, evidence, self.classifier_method
                 )
                 if is_null(predicted) or not isinstance(predicted, (int, float)):

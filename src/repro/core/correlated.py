@@ -22,6 +22,7 @@ from repro.core.results import QueryResult, RankedAnswer, RetrievalStats
 from repro.engine import ExecutionPolicy, PlannedQuery, QueryKind, RetrievalEngine
 from repro.errors import RewritingError, UnsupportedAttributeError
 from repro.mining.knowledge import KnowledgeBase
+from repro.mining.store import KnowledgeStore, as_store
 from repro.planner import PlanCache, PlannerConfig, QueryPlanner
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Row
@@ -100,16 +101,29 @@ class CorrelatedSourceMediator:
     def __init__(
         self,
         registry: SourceRegistry,
-        knowledge_bases: dict[str, KnowledgeBase],
+        knowledge_bases: "dict[str, KnowledgeBase | KnowledgeStore]",
         config: CorrelatedConfig | None = None,
         telemetry: Telemetry | None = None,
         plan_cache: PlanCache | None = None,
     ):
         self.registry = registry
-        self.knowledge_bases = knowledge_bases
+        self._stores = {
+            name: as_store(knowledge)
+            for name, knowledge in knowledge_bases.items()
+        }
         self.config = config or CorrelatedConfig()
         self._telemetry = telemetry
         self._plan_cache = plan_cache
+
+    @property
+    def stores(self) -> "dict[str, KnowledgeStore]":
+        """The per-source knowledge stores this mediator reads through."""
+        return dict(self._stores)
+
+    @property
+    def knowledge_bases(self) -> "dict[str, KnowledgeBase]":
+        """Snapshots of every source's current knowledge generation."""
+        return {name: store.current for name, store in self._stores.items()}
 
     def _planner(self, knowledge: KnowledgeBase) -> QueryPlanner:
         return QueryPlanner(
@@ -146,7 +160,12 @@ class CorrelatedSourceMediator:
             )
         attribute = unsupported[0]
 
-        found = find_correlated_source(attribute, target, self.registry, self.knowledge_bases)
+        # One coherent set of generation snapshots serves the whole query:
+        # source selection and planning read the same statistics even if a
+        # refresh swaps a store mid-retrieval.
+        found = find_correlated_source(
+            attribute, target, self.registry, self.knowledge_bases
+        )
         if found is None:
             raise RewritingError(
                 f"no correlated source provides an AFD for {attribute!r} whose "

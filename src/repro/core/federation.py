@@ -54,6 +54,7 @@ from repro.engine import (
 )
 from repro.errors import RewritingError, SourceUnavailableError, UnsupportedAttributeError
 from repro.mining.knowledge import KnowledgeBase
+from repro.mining.store import KnowledgeStore, as_store
 from repro.planner import PlanCache
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation, Row
@@ -169,7 +170,7 @@ class FederatedMediator:
     def __init__(
         self,
         registry: SourceRegistry,
-        knowledge_bases: dict[str, KnowledgeBase],
+        knowledge_bases: "dict[str, KnowledgeBase | KnowledgeStore]",
         config: QpiadConfig | None = None,
         correlated_config: CorrelatedConfig | None = None,
         telemetry: Telemetry | None = None,
@@ -177,18 +178,33 @@ class FederatedMediator:
         plan_cache: PlanCache | None = None,
     ):
         self.registry = registry
-        self.knowledge_bases = knowledge_bases
+        self._stores = {
+            name: as_store(knowledge)
+            for name, knowledge in knowledge_bases.items()
+        }
         self.config = config or QpiadConfig()
         self._telemetry = telemetry
         self._executor = executor
         self._plan_cache = plan_cache
+        # The correlated mediator shares the same stores, so a refresh
+        # installing a new generation reaches both pipelines atomically.
         self.correlated = CorrelatedSourceMediator(
             registry,
-            knowledge_bases,
+            dict(self._stores),
             correlated_config,
             telemetry=telemetry,
             plan_cache=plan_cache,
         )
+
+    @property
+    def stores(self) -> "dict[str, KnowledgeStore]":
+        """The per-source knowledge stores this federation reads through."""
+        return dict(self._stores)
+
+    @property
+    def knowledge_bases(self) -> "dict[str, KnowledgeBase]":
+        """Snapshots of every source's current knowledge generation."""
+        return {name: store.current for name, store in self._stores.items()}
 
     def query(self, query: SelectionQuery) -> FederatedResult:
         """Mediate *query* over the whole federation.
@@ -346,15 +362,15 @@ class FederatedMediator:
     def _query_supporting(
         self, source: AutonomousSource, query: SelectionQuery
     ) -> _Probe:
-        knowledge = self.knowledge_bases.get(source.name)
-        if knowledge is None:
+        store = self._stores.get(source.name)
+        if store is None:
             # No statistics: certain answers only.  This is the one place a
             # mediator bypasses the engine on purpose — there is no plan to
             # run, just the user's own query passed straight through.
             return (_CERTAIN_ONLY, source.execute(query))  # qpiadlint: disable=raw-source-call-in-core
         outcome = QpiadMediator(
             source,
-            knowledge,
+            store,
             self.config,
             telemetry=self._telemetry,
             plan_cache=self._plan_cache,

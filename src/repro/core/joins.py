@@ -47,6 +47,7 @@ from repro.engine import (
 from repro.errors import MiningError, QpiadError
 from repro.mining.afd import Afd
 from repro.mining.knowledge import KnowledgeBase
+from repro.mining.store import KnowledgeStore, as_store
 from repro.planner import PlanCache, PlannerConfig, QueryPlanner, Ranker
 from repro.query.predicates import Equals
 from repro.query.query import JoinQuery, SelectionQuery
@@ -212,8 +213,8 @@ class JoinProcessor:
         self,
         left_source: AutonomousSource,
         right_source: AutonomousSource,
-        left_knowledge: KnowledgeBase,
-        right_knowledge: KnowledgeBase,
+        left_knowledge: "KnowledgeBase | KnowledgeStore",
+        right_knowledge: "KnowledgeBase | KnowledgeStore",
         config: JoinConfig | None = None,
         telemetry: Telemetry | None = None,
         executor: PlanExecutor | None = None,
@@ -221,8 +222,8 @@ class JoinProcessor:
     ):
         self.left_source = left_source
         self.right_source = right_source
-        self.left_knowledge = left_knowledge
-        self.right_knowledge = right_knowledge
+        self._left_store = as_store(left_knowledge)
+        self._right_store = as_store(right_knowledge)
         self.config = config or JoinConfig()
         self._telemetry = telemetry
         self._executor = executor
@@ -235,12 +236,22 @@ class JoinProcessor:
             classifier_method=self.config.classifier_method,
         )
         self._left_planner = QueryPlanner(
-            left_knowledge, component_config, cache=plan_cache, telemetry=telemetry
+            self._left_store, component_config, cache=plan_cache, telemetry=telemetry
         )
         self._right_planner = QueryPlanner(
-            right_knowledge, component_config, cache=plan_cache, telemetry=telemetry
+            self._right_store, component_config, cache=plan_cache, telemetry=telemetry
         )
         self._pair_ranker = Ranker(self.config.alpha, self.config.k_pairs)
+
+    @property
+    def left_knowledge(self) -> KnowledgeBase:
+        """Snapshot of the left side's current knowledge generation."""
+        return self._left_store.current
+
+    @property
+    def right_knowledge(self) -> KnowledgeBase:
+        """Snapshot of the right side's current knowledge generation."""
+        return self._right_store.current
 
     def query(self, join: JoinQuery) -> JoinResult:
         """Execute *join*, returning certain + ranked possible joined tuples.
@@ -298,6 +309,11 @@ class JoinProcessor:
             yield candidate
 
     def _stream(self, join: JoinQuery, result: JoinResult) -> Iterator[JoinedAnswer]:
+        # One generation snapshot per side serves the whole join: pair
+        # scoring, rewriting and NULL-fill prediction must read consistent
+        # statistics even if a refresh swaps a store mid-stream.
+        left_knowledge = self._left_store.current
+        right_knowledge = self._right_store.current
         engine = RetrievalEngine(
             None,  # every planned query carries its own side's source
             self.config.execution_policy(),
@@ -333,11 +349,11 @@ class JoinProcessor:
         result.base_queries_issued = result.stats.queries_issued
 
         left_sides = self._build_sides(
-            join.left, left_base, self._left_planner, self.left_knowledge,
+            join.left, left_base, self._left_planner, left_knowledge,
             join.left_join_attribute,
         )
         right_sides = self._build_sides(
-            join.right, right_base, self._right_planner, self.right_knowledge,
+            join.right, right_base, self._right_planner, right_knowledge,
             join.right_join_attribute,
         )
 
@@ -363,7 +379,9 @@ class JoinProcessor:
         )
         result.pairs_issued = len(selected)
 
-        tree = self._build_tree(join, selected, left_base, right_base)
+        tree = self._build_tree(
+            join, selected, left_base, right_base, left_knowledge, right_knowledge
+        )
 
         # The base sets are already in hand: feed them to the join first,
         # so certain base×base answers emit before any component query
@@ -489,6 +507,8 @@ class JoinProcessor:
         selected: list[_QueryPair],
         left_base: Relation,
         right_base: Relation,
+        left_knowledge: KnowledgeBase,
+        right_knowledge: KnowledgeBase,
     ) -> OperatorTree:
         """The physical plan: per-side project into a symmetric hash join.
 
@@ -570,7 +590,7 @@ class JoinProcessor:
 
         left_project = OperatorNode(
             prepare(
-                self.left_source, self.left_knowledge,
+                self.left_source, left_knowledge,
                 join.left_join_attribute, left_index, left_base,
             ),
             [Inlet("left")],
@@ -578,7 +598,7 @@ class JoinProcessor:
         )
         right_project = OperatorNode(
             prepare(
-                self.right_source, self.right_knowledge,
+                self.right_source, right_knowledge,
                 join.right_join_attribute, right_index, right_base,
             ),
             [Inlet("right")],

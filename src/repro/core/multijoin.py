@@ -41,6 +41,7 @@ from repro.engine import (
 )
 from repro.errors import MiningError, QpiadError
 from repro.mining.knowledge import KnowledgeBase
+from repro.mining.store import KnowledgeStore, resolve_knowledge
 from repro.planner import PlanCache
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Row
@@ -58,7 +59,10 @@ class MultiJoinStep:
     Parameters
     ----------
     source / knowledge:
-        The autonomous source and its mined statistics.
+        The autonomous source and its mined statistics — a bare
+        :class:`~repro.mining.KnowledgeBase` snapshot or a
+        :class:`~repro.mining.KnowledgeStore` whose current generation is
+        resolved at each use.
     query:
         This relation's selection constraints.
     join_attribute:
@@ -71,7 +75,7 @@ class MultiJoinStep:
     """
 
     source: AutonomousSource
-    knowledge: KnowledgeBase
+    knowledge: "KnowledgeBase | KnowledgeStore"
     query: SelectionQuery
     join_attribute: str
     link_attribute: str | None = None
@@ -376,6 +380,8 @@ class MultiJoinProcessor:
             if not is_null(v) and name != step.join_attribute
         }
         try:
-            return step.knowledge.predict_value(step.join_attribute, evidence)
+            return resolve_knowledge(step.knowledge).predict_value(
+                step.join_attribute, evidence
+            )
         except MiningError:
             return None, 0.0

@@ -28,6 +28,7 @@ from repro.engine import (
 )
 from repro.errors import QpiadError
 from repro.mining.knowledge import KnowledgeBase
+from repro.mining.store import KnowledgeStore, as_store
 from repro.planner import PlanCache, PlannerConfig, QueryPlanner, SelectionPlan
 from repro.query.query import SelectionQuery
 from repro.relational.relation import Relation, Row
@@ -158,7 +159,12 @@ class QpiadMediator:
         The autonomous database (accessed only through its query interface).
     knowledge:
         Statistics mined off-line from a sample of *source* (or of a
-        correlated source — see :mod:`repro.core.correlated`).
+        correlated source — see :mod:`repro.core.correlated`), as a bare
+        :class:`~repro.mining.KnowledgeBase` or a
+        :class:`~repro.mining.KnowledgeStore`.  The mediator reads through
+        a store and snapshots the current generation once per retrieval,
+        so a :class:`~repro.mining.KnowledgeRefresher` installing a new
+        generation mid-stream never mixes statistics within one query.
     config:
         Mediation parameters.
     clock:
@@ -192,7 +198,7 @@ class QpiadMediator:
     def __init__(
         self,
         source: AutonomousSource,
-        knowledge: KnowledgeBase,
+        knowledge: "KnowledgeBase | KnowledgeStore",
         config: QpiadConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
         telemetry: Telemetry | None = None,
@@ -201,14 +207,14 @@ class QpiadMediator:
         scheduler: "SourceScheduler | None" = None,
     ):
         self.source = source
-        self.knowledge = knowledge
+        self._store = as_store(knowledge)
         self.config = config or QpiadConfig()
         self._clock = clock
         self._telemetry = telemetry
         self._executor = executor
         self._scheduler = scheduler
         self.planner = QueryPlanner(
-            knowledge,
+            self._store,
             PlannerConfig(
                 alpha=self.config.alpha,
                 k=self.config.k,
@@ -221,6 +227,16 @@ class QpiadMediator:
         #: The most recent :class:`~repro.planner.SelectionPlan`, kept for
         #: diagnostics (``qpiad query --explain`` renders it).
         self.last_plan: SelectionPlan | None = None
+
+    @property
+    def store(self) -> KnowledgeStore:
+        """The knowledge store this mediator reads through."""
+        return self._store
+
+    @property
+    def knowledge(self) -> KnowledgeBase:
+        """Snapshot of the current knowledge generation."""
+        return self._store.current
 
     def _engine(
         self,
@@ -428,10 +444,17 @@ class QpiadMediator:
                     seen_rows.add(row)
                     rows.append(row)
         if self.config.rank_multi_null:
-            rows.sort(key=lambda row: -self._joint_probability(query, row))
+            # One generation snapshot ranks the whole batch: a refresh
+            # landing mid-sort must not mix posteriors across generations.
+            knowledge = self._store.current
+            rows.sort(
+                key=lambda row: -self._joint_probability(query, row, knowledge)
+            )
         return rows
 
-    def _joint_probability(self, query: SelectionQuery, row: Row) -> float:
+    def _joint_probability(
+        self, query: SelectionQuery, row: Row, knowledge: KnowledgeBase
+    ) -> float:
         """Naive joint probability that every missing constrained value of
         *row* satisfies its conjuncts (independence assumption)."""
         from repro.core.rewriting import target_probability
@@ -447,7 +470,7 @@ class QpiadMediator:
             if not is_null(row[schema.index_of(attribute)]):
                 continue
             probability *= target_probability(
-                self.knowledge,
+                knowledge,
                 attribute,
                 query.conjuncts_on(attribute),
                 evidence,

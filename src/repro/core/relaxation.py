@@ -24,6 +24,7 @@ from repro.core.results import RetrievalStats
 from repro.engine import ExecutionPolicy, PlannedQuery, QueryKind, RetrievalEngine
 from repro.errors import QpiadError
 from repro.mining.knowledge import KnowledgeBase
+from repro.mining.store import KnowledgeStore, as_store
 from repro.planner import PlanCache, QueryPlanner, attribute_influence
 from repro.query.predicates import Predicate
 from repro.query.query import SelectionQuery
@@ -77,18 +78,28 @@ class QueryRelaxer:
     def __init__(
         self,
         source: AutonomousSource,
-        knowledge: KnowledgeBase,
+        knowledge: "KnowledgeBase | KnowledgeStore",
         max_dropped: int | None = None,
         telemetry: Telemetry | None = None,
         plan_cache: PlanCache | None = None,
     ):
         self.source = source
-        self.knowledge = knowledge
+        self._store = as_store(knowledge)
         self.max_dropped = max_dropped
         self._telemetry = telemetry
         self.planner = QueryPlanner(
-            knowledge, cache=plan_cache, telemetry=telemetry
+            self._store, cache=plan_cache, telemetry=telemetry
         )
+
+    @property
+    def store(self) -> KnowledgeStore:
+        """The knowledge store this relaxer reads through."""
+        return self._store
+
+    @property
+    def knowledge(self) -> KnowledgeBase:
+        """Snapshot of the current knowledge generation."""
+        return self._store.current
 
     # ------------------------------------------------------------------
 

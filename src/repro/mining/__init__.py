@@ -19,13 +19,29 @@ from repro.mining.bayesnet import TreeAugmentedNaiveBayes
 from repro.mining.imputation import ImputationReport, ImputedCell, impute
 from repro.mining.drift import AfdDrift, DistributionDrift, DriftReport, detect_drift
 from repro.mining.discretization import Discretizer, equal_width_edges, quantile_edges
-from repro.mining.knowledge import KnowledgeBase, MiningConfig
+from repro.mining.knowledge import KnowledgeBase, KnowledgeLineage, MiningConfig
 from repro.mining.nbc import NaiveBayesClassifier
 from repro.mining.persistence import load_knowledge, save_knowledge
-from repro.mining.partitions import Partition, g3_error, key_error, partition_by
+from repro.mining.partitions import (
+    Partition,
+    class_counts,
+    g3_error,
+    g3_stats,
+    key_error,
+    partition_by,
+)
 from repro.mining.pruning import DEFAULT_DELTA, is_noisy, prune_noisy_afds
+from repro.mining.refresh import KnowledgeRefresher, RefreshResult
 from repro.mining.selectivity import SelectivityEstimator
-from repro.mining.tane import TaneConfig, TaneResult, mine_dependencies
+from repro.mining.store import KnowledgeStore, as_store, resolve_knowledge
+from repro.mining.tane import (
+    IncrementalMiningUnavailable,
+    MiningState,
+    TaneConfig,
+    TaneResult,
+    mine_dependencies,
+    mine_dependencies_incremental,
+)
 
 __all__ = [
     "Afd",
@@ -33,10 +49,15 @@ __all__ = [
     "Partition",
     "partition_by",
     "g3_error",
+    "g3_stats",
+    "class_counts",
     "key_error",
     "TaneConfig",
     "TaneResult",
+    "MiningState",
+    "IncrementalMiningUnavailable",
     "mine_dependencies",
+    "mine_dependencies_incremental",
     "DEFAULT_DELTA",
     "is_noisy",
     "prune_noisy_afds",
@@ -53,7 +74,13 @@ __all__ = [
     "equal_width_edges",
     "quantile_edges",
     "KnowledgeBase",
+    "KnowledgeLineage",
     "MiningConfig",
+    "KnowledgeStore",
+    "as_store",
+    "resolve_knowledge",
+    "KnowledgeRefresher",
+    "RefreshResult",
     "save_knowledge",
     "load_knowledge",
     "AssociationRule",

@@ -55,6 +55,28 @@ def quantile_edges(values: Sequence[float], bins: int) -> list[float]:
     return edges
 
 
+def _encoded_numeric_column(sample: Relation, name: str) -> "Any | None":
+    """Non-NULL values of column *name* as a float64 array, if cheaply possible.
+
+    Only uses a columnar image the relation has *already* materialized
+    (never builds one just for fitting), and only when every dictionary
+    entry converts to float64 exactly — those two conditions make the
+    gathered array element-for-element identical to the per-row Python
+    extraction, so bin edges cannot depend on which path ran.
+    """
+    store = getattr(sample, "_columnar", None)
+    if store is None:
+        return None
+    column = store.column(name)
+    codes = column.codes
+    if codes is None:
+        return None
+    numeric, exact = column.dictionary_numeric()
+    if not bool(exact.all()):
+        return None
+    return numeric[codes[codes >= 0]]
+
+
 @dataclass(frozen=True)
 class _ColumnBins:
     edges: tuple[float, ...]
@@ -112,12 +134,16 @@ class Discretizer:
         for name in attributes:
             if not sample.schema.is_numeric(name):
                 raise MiningError(f"attribute {name!r} is not numeric")
-            values = [v for v in sample.column(name) if not is_null(v)]
-            if not values:
+            values: Any = _encoded_numeric_column(sample, name)
+            if values is None:
+                values = [v for v in sample.column(name) if not is_null(v)]
+            if not len(values):
                 continue  # an all-NULL column carries no binning information
-            self._bins[name] = _ColumnBins(
-                tuple(edge_fn(values, bins)), float(min(values)), float(max(values))
-            )
+            if isinstance(values, np.ndarray):
+                low, high = float(values.min()), float(values.max())
+            else:
+                low, high = float(min(values)), float(max(values))
+            self._bins[name] = _ColumnBins(tuple(edge_fn(values, bins)), low, high)
 
     @classmethod
     def from_bins(
@@ -198,17 +224,22 @@ class Discretizer:
             for attr in schema
         )
         covered = [
-            (schema.index_of(name), name)
+            (schema.index_of(name), self._bins[name])
             for name in self._bins
             if name in schema and name not in exclude
         ]
         rows = []
         for row in relation:
             values = list(row)
-            for index, name in covered:
-                values[index] = self.bucket(name, values[index])
+            for index, column in covered:
+                value = values[index]
+                # Inlined `bucket` with the column pre-resolved: NULLs and
+                # already-bucketed labels pass through, numbers get binned.
+                if not (is_null(value) or isinstance(value, str)):
+                    values[index] = f"bin{column.label(value)}"
             rows.append(tuple(values))
-        return Relation(new_schema, rows)
+        # Rows come out of an existing relation, so they are already coerced.
+        return Relation.from_coerced(new_schema, rows)
 
     def transform_evidence(self, evidence: dict[str, Any]) -> dict[str, Any]:
         """Bucket the numeric entries of an evidence mapping."""

@@ -26,7 +26,14 @@ from repro.mining.knowledge import KnowledgeBase
 from repro.mining.partitions import g3_error, partition_by
 from repro.relational.relation import Relation
 
-__all__ = ["AfdDrift", "DistributionDrift", "DriftReport", "detect_drift"]
+__all__ = [
+    "AfdDrift",
+    "DistributionDrift",
+    "DriftReport",
+    "detect_drift",
+    "drift_payload",
+    "render_drift_text",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +72,54 @@ class DriftReport:
     @property
     def is_stale(self) -> bool:
         return bool(self.afd_drifts or self.distribution_drifts)
+
+
+def drift_payload(report: DriftReport) -> dict:
+    """The report as a JSON-serializable dict (``qpiad drift --json``)."""
+    return {
+        "is_stale": report.is_stale,
+        "afds_checked": report.afds_checked,
+        "attributes_checked": report.attributes_checked,
+        "afd_drifts": [
+            {
+                "determining": list(drift.determining),
+                "dependent": drift.dependent,
+                "mined_confidence": drift.mined_confidence,
+                "fresh_confidence": drift.fresh_confidence,
+                "shift": drift.shift,
+            }
+            for drift in report.afd_drifts
+        ],
+        "distribution_drifts": [
+            {"attribute": drift.attribute, "total_variation": drift.total_variation}
+            for drift in report.distribution_drifts
+        ],
+    }
+
+
+def render_drift_text(report: DriftReport) -> str:
+    """Human-readable rendering of a :class:`DriftReport`."""
+    verdict = "STALE" if report.is_stale else "fresh"
+    lines = [
+        f"drift: {verdict} "
+        f"({len(report.afd_drifts)} AFD / "
+        f"{len(report.distribution_drifts)} distribution finding(s); "
+        f"checked {report.afds_checked} AFDs, "
+        f"{report.attributes_checked} attributes)"
+    ]
+    for afd in report.afd_drifts:
+        lhs = ", ".join(afd.determining)
+        if afd.fresh_confidence is None:
+            moved = "unmeasurable on the fresh sample"
+        else:
+            moved = f"{afd.mined_confidence:.3f} -> {afd.fresh_confidence:.3f}"
+        lines.append(f"  AFD {{{lhs}}} -> {afd.dependent}: confidence {moved}")
+    for dist in report.distribution_drifts:
+        lines.append(
+            f"  distribution {dist.attribute}: "
+            f"total variation {dist.total_variation:.3f}"
+        )
+    return "\n".join(lines)
 
 
 def _total_variation(old: Relation, fresh: Relation, attribute: str) -> float:

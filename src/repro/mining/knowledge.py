@@ -33,9 +33,33 @@ from repro.mining.tane import TaneConfig, mine_dependencies
 from repro.relational.relation import Relation, Row
 from repro.relational.values import is_null
 
-__all__ = ["MiningConfig", "KnowledgeBase"]
+__all__ = ["MiningConfig", "KnowledgeBase", "KnowledgeLineage"]
 
 logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class KnowledgeLineage:
+    """Provenance of a knowledge generation: how its sample was assembled.
+
+    A freshly-mined generation has empty lineage.  Every refresh extends it
+    with the digest of the folded batch, keeping the fingerprint of the
+    epoch-0 base it all started from — enough to audit (and, with the
+    original batches, replay) how the current sample came to be.  Lineage
+    deliberately does **not** enter the content fingerprint: a refreshed
+    generation and a from-scratch mine of the same union sample are
+    content-identical and must fingerprint identically.
+    """
+
+    base_fingerprint: str | None = None
+    batch_digests: tuple[str, ...] = ()
+
+    def extended(self, batch_digest: str, base_fingerprint: str) -> "KnowledgeLineage":
+        """Lineage after folding one more batch into this generation."""
+        return KnowledgeLineage(
+            self.base_fingerprint or base_fingerprint,
+            self.batch_digests + (batch_digest,),
+        )
 
 
 @dataclass(frozen=True)
@@ -79,7 +103,20 @@ class MiningConfig:
 
 
 class KnowledgeBase:
-    """Learned statistics of one autonomous database.
+    """One immutable *generation* of learned statistics.
+
+    A knowledge base is frozen once constructed: the mined payload
+    (``afds``, ``akeys``, sample, selectivity...) never changes, which is
+    what lets the memoized :meth:`fingerprint` stay valid forever and the
+    plan cache trust it as a version key.  Attribute rebinding after
+    construction raises; the only mutable state is the internal
+    classifier/training-view memo (derived caches whose contents are fully
+    determined by the frozen payload, so they cannot affect identity).
+
+    Refreshing knowledge therefore never mutates a generation — a
+    :class:`~repro.mining.refresh.KnowledgeRefresher` folds a batch into a
+    *new* generation (``epoch`` one higher, lineage extended) and installs
+    it atomically in a :class:`~repro.mining.store.KnowledgeStore`.
 
     Parameters
     ----------
@@ -91,6 +128,12 @@ class KnowledgeBase:
     config:
         Mining configuration; defaults match the paper.
     """
+
+    #: Attributes that may be rebound after construction: only the lazy
+    #: fingerprint memo, whose value is determined by the frozen payload.
+    _MUTABLE_AFTER_FREEZE = frozenset({"_fingerprint"})
+
+    _frozen: bool = False
 
     def __init__(
         self,
@@ -129,6 +172,58 @@ class KnowledgeBase:
         self._classifiers: dict[tuple[str, str], ValueDistributionClassifier] = {}
         self._training_views: dict[str, Relation] = {}
         self._fingerprint: str | None = None
+        self.epoch: int = 0
+        self.lineage: KnowledgeLineage = KnowledgeLineage()
+        self._frozen = True
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if self._frozen and name not in self._MUTABLE_AFTER_FREEZE:
+            raise MiningError(
+                f"KnowledgeBase is frozen; cannot rebind {name!r}. Refresh "
+                "produces a new generation instead of mutating this one "
+                "(see repro.mining.refresh)."
+            )
+        super().__setattr__(name, value)
+
+    @classmethod
+    def _from_parts(
+        cls,
+        *,
+        config: MiningConfig,
+        sample: Relation,
+        database_size: int,
+        discretizer: Discretizer | None,
+        mining_view: Relation,
+        all_afds: tuple[Afd, ...],
+        afds: tuple[Afd, ...],
+        akeys: tuple[AKey, ...],
+        selectivity: SelectivityEstimator,
+        epoch: int = 0,
+        lineage: KnowledgeLineage | None = None,
+    ) -> "KnowledgeBase":
+        """Assemble a generation from already-mined parts (refresh, load).
+
+        Skips the mining pass entirely; the caller vouches that the parts
+        are mutually consistent (i.e. equal to what ``__init__`` would have
+        mined from *sample* under *config*).
+        """
+        knowledge = cls.__new__(cls)
+        knowledge.config = config
+        knowledge.sample = sample
+        knowledge.database_size = database_size
+        knowledge._discretizer = discretizer
+        knowledge._mining_view = mining_view
+        knowledge.all_afds = tuple(all_afds)
+        knowledge.akeys = tuple(akeys)
+        knowledge.afds = tuple(afds)
+        knowledge.selectivity = selectivity
+        knowledge._classifiers = {}
+        knowledge._training_views = {}
+        knowledge._fingerprint = None
+        knowledge.epoch = epoch
+        knowledge.lineage = lineage or KnowledgeLineage()
+        knowledge._frozen = True
+        return knowledge
 
     # ------------------------------------------------------------------
     # Identity

@@ -20,7 +20,7 @@ from typing import Any
 from repro.errors import MiningError
 from repro.mining.afd import Afd, AKey
 from repro.mining.discretization import Discretizer
-from repro.mining.knowledge import KnowledgeBase, MiningConfig
+from repro.mining.knowledge import KnowledgeBase, KnowledgeLineage, MiningConfig
 from repro.mining.selectivity import SelectivityEstimator
 from repro.mining.tane import TaneConfig
 from repro.relational.relation import Relation
@@ -31,9 +31,13 @@ __all__ = ["save_knowledge", "load_knowledge"]
 
 # Version 2 added the knowledge fingerprint (verified on load so a stale or
 # hand-edited file cannot silently serve plans mined from different data).
-# Version-1 files load fine — they simply skip the verification.
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+# Version 3 added generation lineage: the epoch counter plus the fingerprint
+# of the epoch-0 base and the digests of every folded batch, so a refreshed
+# knowledge base reloads as the same generation (and the lineage's internal
+# consistency is verified).  Version-1/2 files load fine — they simply skip
+# the checks their format predates and come back as epoch-0 generations.
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _encode_value(value: Any) -> Any:
@@ -69,6 +73,11 @@ def save_knowledge(knowledge: KnowledgeBase, path: "str | Path") -> None:
     payload = {
         "format_version": _FORMAT_VERSION,
         "fingerprint": knowledge.fingerprint(),
+        "epoch": knowledge.epoch,
+        "lineage": {
+            "base_fingerprint": knowledge.lineage.base_fingerprint,
+            "batch_digests": list(knowledge.lineage.batch_digests),
+        },
         "database_size": knowledge.database_size,
         "config": {
             "tane": {
@@ -160,39 +169,60 @@ def load_knowledge(path: "str | Path") -> KnowledgeBase:
 
     sample = _decode_relation(payload["sample"])
 
-    knowledge = KnowledgeBase.__new__(KnowledgeBase)
-    knowledge.config = config
-    knowledge.sample = sample
-    knowledge.database_size = payload["database_size"]
     if payload["discretizer"] is not None:
-        knowledge._discretizer = Discretizer.from_bins(
+        discretizer = Discretizer.from_bins(
             {
                 name: (tuple(entry["edges"]), entry["low"], entry["high"])
                 for name, entry in payload["discretizer"].items()
             }
         )
-        knowledge._mining_view = knowledge._discretizer.transform(sample)
+        mining_view = discretizer.transform(sample)
     else:
-        knowledge._discretizer = None
-        knowledge._mining_view = sample
-    knowledge.all_afds = tuple(
-        Afd(tuple(a["determining"]), a["dependent"], a["confidence"], a["support"])
-        for a in payload["afds"]
+        discretizer = None
+        mining_view = sample
+
+    epoch = int(payload.get("epoch", 0))
+    lineage_payload = payload.get("lineage") or {}
+    lineage = KnowledgeLineage(
+        base_fingerprint=lineage_payload.get("base_fingerprint"),
+        batch_digests=tuple(lineage_payload.get("batch_digests", ())),
     )
-    knowledge.afds = tuple(
-        Afd(tuple(a["determining"]), a["dependent"], a["confidence"], a["support"])
-        for a in payload["pruned_afds"]
+    if version >= 3:
+        if len(lineage.batch_digests) != epoch:
+            raise MiningError(
+                f"knowledge base at {path} has inconsistent lineage: epoch "
+                f"{epoch} but {len(lineage.batch_digests)} folded batch digests"
+            )
+        if (lineage.base_fingerprint is None) != (epoch == 0):
+            raise MiningError(
+                f"knowledge base at {path} has inconsistent lineage: a base "
+                "fingerprint must be recorded exactly when epoch > 0"
+            )
+
+    knowledge = KnowledgeBase._from_parts(
+        config=config,
+        sample=sample,
+        database_size=payload["database_size"],
+        discretizer=discretizer,
+        mining_view=mining_view,
+        all_afds=tuple(
+            Afd(tuple(a["determining"]), a["dependent"], a["confidence"], a["support"])
+            for a in payload["afds"]
+        ),
+        afds=tuple(
+            Afd(tuple(a["determining"]), a["dependent"], a["confidence"], a["support"])
+            for a in payload["pruned_afds"]
+        ),
+        akeys=tuple(
+            AKey(tuple(k["attributes"]), k["confidence"], k["support"])
+            for k in payload["akeys"]
+        ),
+        selectivity=SelectivityEstimator.from_sample(
+            sample, payload["database_size"]
+        ),
+        epoch=epoch,
+        lineage=lineage,
     )
-    knowledge.akeys = tuple(
-        AKey(tuple(k["attributes"]), k["confidence"], k["support"])
-        for k in payload["akeys"]
-    )
-    knowledge.selectivity = SelectivityEstimator.from_sample(
-        sample, payload["database_size"]
-    )
-    knowledge._classifiers = {}
-    knowledge._training_views = {}
-    knowledge._fingerprint = None
     stored = payload.get("fingerprint")
     if version >= 2 and stored != knowledge.fingerprint():
         raise MiningError(

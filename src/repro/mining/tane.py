@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 from numpy.typing import NDArray
@@ -31,8 +31,9 @@ from repro.errors import MiningError
 from repro.mining.afd import Afd, AKey
 from repro.mining.partitions import (
     Partition,
-    g3_error,
-    key_error,
+    class_counts,
+    code_histogram_items,
+    g3_stats,
     partition_by,
     partition_from_codes,
 )
@@ -42,7 +43,22 @@ from repro.relational.relation import Relation
 #: Row labels as mined: raw column values, or dictionary codes (columnar).
 Labels = Sequence[object] | NDArray[np.int64]
 
-__all__ = ["TaneConfig", "TaneResult", "mine_dependencies"]
+__all__ = [
+    "TaneConfig",
+    "TaneResult",
+    "MiningState",
+    "IncrementalMiningUnavailable",
+    "mine_dependencies",
+    "mine_dependencies_incremental",
+]
+
+
+class IncrementalMiningUnavailable(MiningError):
+    """Incremental mining cannot run on this relation (e.g. opaque columns).
+
+    Raised instead of silently degrading so callers can fall back to a full
+    re-mine — which is always available and produces the same result.
+    """
 
 
 @dataclass(frozen=True)
@@ -114,20 +130,82 @@ def mine_dependencies(sample: Relation, config: TaneConfig | None = None) -> Tan
     dependent attribute ``A ∉ X`` (sharing ``Π_X`` across all dependents).
     """
     config = config or TaneConfig()
+    names = _validated_names(sample, config)
+    labels = _mining_labels(sample, names)
+    return _walk(names, config, _KernelMeasurer(sample, labels))
+
+
+def mine_dependencies_incremental(
+    sample: Relation, config: TaneConfig | None, state: "MiningState"
+) -> TaneResult:
+    """Levelwise search over *sample* backed by folded sufficient statistics.
+
+    *sample* must extend the relation *state* last saw by appended rows
+    only; the new rows are folded into the tracked combination counts and
+    root partitions first, then the same lattice walk as
+    :func:`mine_dependencies` runs against the updated statistics.  Because
+    every measurement is an exact integer statistic feeding the same float
+    divisions as the partition kernels, the result — and therefore the
+    knowledge fingerprint derived from it — is bit-identical to a full
+    re-mine of *sample*.  Pruning decisions are re-derived on every walk
+    (confidences can move in both directions as batches fold in), so no
+    stale minimality or key-pruning state can leak across refreshes.
+
+    Raises :class:`IncrementalMiningUnavailable` when the relation cannot
+    be mined through dictionary codes (opaque columns or the row plane);
+    callers should fall back to :func:`mine_dependencies`.
+    """
+    config = config or TaneConfig()
+    names = _validated_names(sample, config)
+    if state.names != tuple(names):
+        raise MiningError(
+            "mining state tracks attributes "
+            f"{state.names!r}, not {tuple(names)!r}"
+        )
+    labels = _mining_labels(sample, names)
+    arrays: dict[str, NDArray[np.int64]] = {}
+    for name in names:
+        column_labels = labels[name]
+        if not isinstance(column_labels, np.ndarray):
+            raise IncrementalMiningUnavailable(
+                f"attribute {name!r} has no dictionary codes; incremental "
+                "mining requires the columnar plane"
+            )
+        arrays[name] = column_labels
+    state.fold(arrays, len(sample))
+    measurer = _StateMeasurer(sample, state, arrays)
+    result = _walk(names, config, measurer)
+    measurer.save_roots()
+    return result
+
+
+def _validated_names(sample: Relation, config: TaneConfig) -> list[str]:
     names = list(config.attributes or sample.schema.names)
     if len(names) < 2:
         raise MiningError("dependency mining needs at least two attributes")
     for name in names:
         sample.schema.index_of(name)  # validate early
+    return names
 
-    labels = _mining_labels(sample, names)
+
+def _walk(
+    names: list[str],
+    config: TaneConfig,
+    measurer: "_KernelMeasurer | _StateMeasurer",
+) -> TaneResult:
+    """The shared lattice walk, parameterized over how candidates are measured.
+
+    Both measurers return exact integer statistics — ``(covered, classes)``
+    for a key candidate and ``(support, kept)`` for an AFD candidate — and
+    the walk owns the float arithmetic, so the one-shot and incremental
+    paths cannot diverge in what they admit, prune, or score.
+    """
     result = TaneResult()
     # Determining sets already satisfied per dependent: stop expanding them.
     satisfied: dict[str, list[frozenset[str]]] = {name: [] for name in names}
     discovered_keys: list[frozenset[str]] = []
 
     level: list[tuple[str, ...]] = [(name,) for name in sorted(names)]
-    partitions: dict[tuple[str, ...], Partition] = {}
 
     for depth in range(1, config.max_determining_size + 1):
         next_level: list[tuple[str, ...]] = []
@@ -139,14 +217,15 @@ def mine_dependencies(sample: Relation, config: TaneConfig | None = None) -> Tan
                 key < candidate_set for key in discovered_keys
             ):
                 continue
-            partition = _partition_for(sample, candidate, partitions, labels)
-            if partition.covered < config.min_support:
+            covered, class_count = measurer.key_stats(candidate)
+            if covered < config.min_support:
                 continue
 
-            key_conf = 1.0 - key_error(partition)
+            key_error = (covered - class_count) / covered if covered else 0.0
+            key_conf = 1.0 - key_error
             if key_conf >= config.min_confidence:
                 result.akeys.append(
-                    AKey(candidate, confidence=key_conf, support=partition.covered)
+                    AKey(candidate, confidence=key_conf, support=covered)
                 )
                 discovered_keys.append(candidate_set)
                 if not config.expand_near_keys:
@@ -160,9 +239,9 @@ def mine_dependencies(sample: Relation, config: TaneConfig | None = None) -> Tan
                     continue
                 if any(prior <= candidate_set for prior in satisfied[dependent]):
                     continue  # a subset already determines this attribute
-                error = g3_error(partition, labels[dependent])
+                support, kept = measurer.afd_stats(candidate, dependent)
+                error = (support - kept) / support if support else 0.0
                 confidence = 1.0 - error
-                support = _joint_support(partition, labels[dependent])
                 if support < config.min_support:
                     continue
                 if confidence >= config.min_confidence:
@@ -182,6 +261,158 @@ def mine_dependencies(sample: Relation, config: TaneConfig | None = None) -> Tan
     result.afds.sort(key=lambda afd: (afd.dependent, -afd.confidence, len(afd.determining)))
     result.akeys.sort(key=lambda key: (-key.confidence, key.attributes))
     return result
+
+
+class _KernelMeasurer:
+    """Measure candidates directly from partitions (the one-shot path)."""
+
+    def __init__(self, sample: Relation, labels: dict[str, Labels]):
+        self._sample = sample
+        self._labels = labels
+        self._partitions: dict[tuple[str, ...], Partition] = {}
+
+    def key_stats(self, candidate: tuple[str, ...]) -> tuple[int, int]:
+        partition = _partition_for(
+            self._sample, candidate, self._partitions, self._labels
+        )
+        return partition.covered, len(partition)
+
+    def afd_stats(self, candidate: tuple[str, ...], dependent: str) -> tuple[int, int]:
+        partition = self._partitions[candidate]
+        return g3_stats(partition, self._labels[dependent])
+
+
+class _SetStats:
+    """Histogram of one tracked attribute set, plus walk-ready aggregates.
+
+    ``support`` is the running sum of all combination counts, and ``kept``
+    the running sum of per-prefix maxima — the ``g3`` "kept rows" numerator
+    when the set is read as a joint ``X + (A,)``.  Both are maintained
+    incrementally as batches fold in (counts only ever grow, so a prefix
+    maximum moves monotonically and the delta is exact), which makes every
+    candidate measurement during a lattice walk O(1) dictionary reads
+    instead of a full histogram scan.
+    """
+
+    __slots__ = ("counts", "support", "kept", "_best")
+
+    def __init__(self) -> None:
+        self.counts: dict[tuple[int, ...], int] = {}
+        self.support = 0
+        self.kept = 0
+        self._best: dict[tuple[int, ...], int] = {}
+
+    def add(self, fresh: "Iterable[tuple[tuple[int, ...], int]]") -> None:
+        """Fold batch histogram pairs in, keeping every aggregate consistent."""
+        counts = self.counts
+        best = self._best
+        for combo, count in fresh:
+            new = counts.get(combo, 0) + count
+            counts[combo] = new
+            self.support += count
+            prefix = combo[:-1]
+            old = best.get(prefix, 0)
+            if new > old:
+                self.kept += new - old
+                best[prefix] = new
+
+
+class MiningState:
+    """Sufficient statistics carried between incremental mining walks.
+
+    The state tracks, over all rows folded so far:
+
+    * ``_sets`` — for every attribute tuple the walk has ever measured
+      (candidate sets ``X`` and joints ``X + (A,)``), a :class:`_SetStats`:
+      the histogram of value-code combinations to their row counts, plus
+      incrementally maintained aggregates.  Key statistics are
+      ``(support, len(counts))``; ``g3`` statistics are ``(support, kept)``.
+    * ``roots`` — level-1 partitions over the full folded relation,
+      advanced batch-by-batch via :meth:`Partition.extend`; they seed the
+      prefix-refinement cache when the walk reaches a candidate it has not
+      measured before (pruning frontiers shift as confidences move).
+
+    Folding a batch touches only the batch rows (argsort kernels over the
+    batch slice), never the historical rows — that is the whole point.
+    Correctness rests on dictionary codes being minted first-seen: growing
+    a relation never re-codes its existing prefix, so histograms keyed by
+    code tuples stay valid across folds.
+    """
+
+    __slots__ = ("names", "rows", "roots", "_sets")
+
+    def __init__(self, names: Sequence[str]):
+        self.names = tuple(names)
+        self.rows = 0
+        self.roots: dict[str, Partition] = {}
+        self._sets: dict[tuple[str, ...], _SetStats] = {}
+
+    def fold(self, labels: "dict[str, NDArray[np.int64]]", total_rows: int) -> None:
+        """Fold rows ``self.rows..total_rows`` into every tracked statistic."""
+        start = self.rows
+        if total_rows < start:
+            raise MiningError(
+                f"mining state has folded {start} rows but the relation has "
+                f"only {total_rows}; state can only move forward"
+            )
+        if total_rows == start:
+            return
+        batch = {name: labels[name][start:] for name in self.names}
+        for key, stats in self._sets.items():
+            stats.add(code_histogram_items([batch[name] for name in key]))
+        for name, root in self.roots.items():
+            self.roots[name] = root.extend([labels[name]], start)
+        self.rows = total_rows
+
+
+class _StateMeasurer:
+    """Measure candidates from a :class:`MiningState`'s folded statistics.
+
+    Histogram hits are pure dict arithmetic; misses (candidates this state
+    never measured) are computed once from the full code arrays with the
+    same partition kernels the one-shot path uses, then tracked so future
+    folds keep them current.
+    """
+
+    def __init__(
+        self,
+        sample: Relation,
+        state: MiningState,
+        labels: "dict[str, NDArray[np.int64]]",
+    ):
+        self._sample = sample
+        self._state = state
+        self._labels: dict[str, Labels] = dict(labels)
+        self._partitions: dict[tuple[str, ...], Partition] = {
+            (name,): root for name, root in state.roots.items()
+        }
+
+    def key_stats(self, candidate: tuple[str, ...]) -> tuple[int, int]:
+        stats = self._stats(candidate)
+        return stats.support, len(stats.counts)
+
+    def afd_stats(self, candidate: tuple[str, ...], dependent: str) -> tuple[int, int]:
+        stats = self._stats(candidate + (dependent,))
+        return stats.support, stats.kept
+
+    def _stats(self, key: tuple[str, ...]) -> _SetStats:
+        stats = self._state._sets.get(key)
+        if stats is None:
+            partition = _partition_for(
+                self._sample, key, self._partitions, self._labels
+            )
+            columns = [self._labels[name] for name in key]
+            stats = _SetStats()
+            stats.add(class_counts(partition, columns).items())  # type: ignore[arg-type]
+            self._state._sets[key] = stats
+        return stats
+
+    def save_roots(self) -> None:
+        """Keep any level-1 partitions computed this walk for future folds."""
+        for name in self._state.names:
+            partition = self._partitions.get((name,))
+            if partition is not None:
+                self._state.roots[name] = partition
 
 
 def _mining_labels(sample: Relation, names: Sequence[str]) -> dict[str, Labels]:
@@ -231,21 +462,6 @@ def _partition_for(
         partition = partition_by(sample, attributes)
     cache[attributes] = partition
     return partition
-
-
-def _joint_support(partition: Partition, dependent_labels: Labels) -> int:
-    """Rows covered by ``Π_X`` that are also non-NULL on the dependent."""
-    if isinstance(dependent_labels, np.ndarray):
-        return partition.covered_with(dependent_labels)
-    from repro.relational.values import is_null
-
-    # Row-plane fallback; the columnar plane takes the covered_with mask
-    # sum above.
-    support = 0
-    # qpiadlint: disable-next-line=row-loop-in-mining
-    for cls in partition.classes:
-        support += sum(1 for index in cls if not is_null(dependent_labels[index]))
-    return support
 
 
 def _generate_next_level(level: list[tuple[str, ...]]) -> list[tuple[str, ...]]:

@@ -89,17 +89,13 @@ def query_fingerprint(query: Any) -> str:
 
 
 def relation_fingerprint(relation: Relation) -> str:
-    """Fingerprint of a relation's schema and rows, **in row order**."""
-    return stable_digest(
-        (
-            "relation",
-            [
-                (attribute.name, attribute.type.value)
-                for attribute in relation.schema
-            ],
-            [tuple(row) for row in relation],
-        )
-    )
+    """Fingerprint of a relation's schema and rows, **in row order**.
+
+    Delegates to the relation's memoized row-chain digest, which
+    ``concat``/``concat_encoded`` extend in O(appended rows) — the reason
+    an incremental knowledge refresh never re-hashes its base sample.
+    """
+    return relation.content_digest()
 
 
 def source_token(source: Any) -> str:

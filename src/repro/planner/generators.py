@@ -64,7 +64,10 @@ class AfdRewriteGenerator:
     the retrieval proceeds with certain answers only.
     """
 
-    knowledge: KnowledgeBase
+    # A generator lives for exactly one plan_* call; the planner hands it
+    # the per-call generation snapshot on purpose, so candidate generation
+    # and ranking read one coherent set of statistics.
+    knowledge: KnowledgeBase  # qpiadlint: disable=stale-knowledge-capture
     method: "str | None" = None
 
     def generate(
@@ -90,7 +93,9 @@ class CorrelationRewriteGenerator:
     normalization of a plan none of whose queries the target can run.
     """
 
-    knowledge: KnowledgeBase
+    # Same single-query snapshot as AfdRewriteGenerator: one generation
+    # per plan_correlated call, chosen by the planner.
+    knowledge: KnowledgeBase  # qpiadlint: disable=stale-knowledge-capture
     target: Any
     method: "str | None" = None
 

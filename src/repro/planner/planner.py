@@ -40,6 +40,7 @@ from repro.core.rewriting import RewrittenQuery
 from repro.engine.plan import PlannedQuery, QueryKind, RetrievalPlan
 from repro.errors import QueryError
 from repro.mining.knowledge import KnowledgeBase
+from repro.mining.store import KnowledgeStore, as_store
 from repro.planner.cache import PlanCache
 from repro.planner.fingerprint import (
     query_fingerprint,
@@ -155,7 +156,15 @@ class QueryPlanner:
     Parameters
     ----------
     knowledge:
-        The mined statistics every planning decision reads.
+        The mined statistics every planning decision reads — either a
+        bare :class:`~repro.mining.knowledge.KnowledgeBase` or a
+        :class:`~repro.mining.store.KnowledgeStore` holding the current
+        generation.  The planner always reads through a store (a bare
+        knowledge base is wrapped in a private one), snapshotting the
+        current generation once per planning call: one plan is built
+        against one consistent generation, and a refresh swapping the
+        store between calls changes the fingerprint in the cache key, so
+        stale plans miss by construction.
     config:
         Ranking and gating knobs; defaults match :class:`PlannerConfig`.
     cache:
@@ -170,17 +179,27 @@ class QueryPlanner:
 
     def __init__(
         self,
-        knowledge: KnowledgeBase,
+        knowledge: "KnowledgeBase | KnowledgeStore",
         config: "PlannerConfig | None" = None,
         *,
         cache: "PlanCache | None" = None,
         telemetry: "Telemetry | None" = None,
     ):
-        self.knowledge = knowledge
+        self._store = as_store(knowledge)
         self.config = config or PlannerConfig()
         self.cache = cache
         self._telemetry = telemetry
         self._ranker = Ranker(self.config.alpha, self.config.k)
+
+    @property
+    def store(self) -> KnowledgeStore:
+        """The knowledge store this planner reads through."""
+        return self._store
+
+    @property
+    def knowledge(self) -> KnowledgeBase:
+        """Snapshot of the current knowledge generation."""
+        return self._store.current
 
     # ------------------------------------------------------------------
     # Planning modes
@@ -190,14 +209,18 @@ class QueryPlanner:
         query: SelectionQuery,
         base_set: Relation,
         source: Any = None,
+        *,
+        knowledge: "KnowledgeBase | None" = None,
     ) -> SelectionPlan:
         """The QPIAD selection plan: generated, ordered, gated, ranked.
 
         Gating happens here — at plan time — so an inexpressible or
         below-threshold rewriting never spends source budget; the skip
         tallies let the mediator keep its ``rewritten_skipped`` accounting
-        without replanning.
+        without replanning.  Pass *knowledge* to plan against a caller-held
+        generation snapshot instead of the store's current one.
         """
+        snapshot = self._snapshot(knowledge)
         return self._cached(
             "selection",
             lambda: (
@@ -205,8 +228,9 @@ class QueryPlanner:
                 relation_fingerprint(base_set),
                 source_token(source),
             ),
-            lambda: self._build_selection(query, base_set, source),
+            lambda: self._build_selection(query, base_set, source, snapshot),
             name=str(query),
+            knowledge=snapshot,
         )
 
     def plan_correlated(
@@ -215,6 +239,8 @@ class QueryPlanner:
         base_set: Relation,
         attribute: str,
         target: Any,
+        *,
+        knowledge: "KnowledgeBase | None" = None,
     ) -> SelectionPlan:
         """The §4.3 cross-source plan against a deficient *target* source.
 
@@ -223,6 +249,7 @@ class QueryPlanner:
         single unsupported *attribute*.  Steps carry no source — the
         mediator attaches the target at execution time.
         """
+        snapshot = self._snapshot(knowledge)
         return self._cached(
             f"correlated:{attribute}",
             lambda: (
@@ -230,12 +257,19 @@ class QueryPlanner:
                 relation_fingerprint(base_set),
                 source_token(target),
             ),
-            lambda: self._build_correlated(query, base_set, attribute, target),
+            lambda: self._build_correlated(
+                query, base_set, attribute, target, snapshot
+            ),
             name=str(query),
+            knowledge=snapshot,
         )
 
     def plan_aggregate(
-        self, selection: SelectionQuery, base_set: Relation
+        self,
+        selection: SelectionQuery,
+        base_set: Relation,
+        *,
+        knowledge: "KnowledgeBase | None" = None,
     ) -> AggregatePlan:
         """The §4.4 plan: inclusion-gated rewritten queries with weights.
 
@@ -243,50 +277,76 @@ class QueryPlanner:
         never on retrieved rows, so gated-out rewritings cost nothing on
         the wire — and the whole gate result is cacheable.
         """
+        snapshot = self._snapshot(knowledge)
         return self._cached(
             "aggregate",
             lambda: (
                 query_fingerprint(selection),
                 relation_fingerprint(base_set),
             ),
-            lambda: self._build_aggregate(selection, base_set),
+            lambda: self._build_aggregate(selection, base_set, snapshot),
             name=str(selection),
+            knowledge=snapshot,
         )
 
     def rewrite_candidates(
-        self, query: SelectionQuery, base_set: Relation
+        self,
+        query: SelectionQuery,
+        base_set: Relation,
+        *,
+        knowledge: "KnowledgeBase | None" = None,
     ) -> "tuple[RewrittenQuery, ...]":
         """Bare AFD-rewriting candidates, for pipelines with their own
         joint scoring (the join processor scores query *pairs*)."""
+        snapshot = self._snapshot(knowledge)
         return self._cached(
             "candidates",
             lambda: (query_fingerprint(query), relation_fingerprint(base_set)),
             lambda: tuple(
                 AfdRewriteGenerator(
-                    self.knowledge, self.config.classifier_method
+                    snapshot, self.config.classifier_method
                 ).generate(query, base_set)
             ),
             name=str(query),
+            knowledge=snapshot,
         )
 
     def plan_relaxation(
-        self, query: SelectionQuery, max_dropped: "int | None" = None
+        self,
+        query: SelectionQuery,
+        max_dropped: "int | None" = None,
+        *,
+        knowledge: "KnowledgeBase | None" = None,
     ) -> "RelaxationPlan":
         """The influence-guided relaxation plan (least-painful first)."""
+        snapshot = self._snapshot(knowledge)
         return self._cached(
             f"relaxation:{max_dropped!r}",
             lambda: (query_fingerprint(query),),
-            lambda: self._build_relaxation(query, max_dropped),
+            lambda: self._build_relaxation(query, max_dropped, snapshot),
             name=str(query),
+            knowledge=snapshot,
         )
+
+    def _snapshot(self, knowledge: "KnowledgeBase | None") -> KnowledgeBase:
+        """The generation this planning call runs against.
+
+        Taken once per call so generation, builders and cache key all see
+        the same knowledge even if the store is swapped mid-plan.
+        """
+        return self._store.current if knowledge is None else knowledge
 
     # ------------------------------------------------------------------
     # Stage implementations
 
     def _build_selection(
-        self, query: SelectionQuery, base_set: Relation, source: Any
+        self,
+        query: SelectionQuery,
+        base_set: Relation,
+        source: Any,
+        knowledge: KnowledgeBase,
     ) -> SelectionPlan:
-        generator = AfdRewriteGenerator(self.knowledge, self.config.classifier_method)
+        generator = AfdRewriteGenerator(knowledge, self.config.classifier_method)
         candidates = generator.generate(query, base_set)
         ordered = self._ranker.order(candidates)
         steps: "list[PlannedQuery]" = []
@@ -327,9 +387,10 @@ class QueryPlanner:
         base_set: Relation,
         attribute: str,
         target: Any,
+        knowledge: KnowledgeBase,
     ) -> SelectionPlan:
         generator = CorrelationRewriteGenerator(
-            self.knowledge, target, self.config.classifier_method
+            knowledge, target, self.config.classifier_method
         )
         usable = generator.generate(query, base_set)
         ordered = self._ranker.order(usable)
@@ -348,9 +409,12 @@ class QueryPlanner:
         return SelectionPlan(steps=steps, generated=len(usable))
 
     def _build_aggregate(
-        self, selection: SelectionQuery, base_set: Relation
+        self,
+        selection: SelectionQuery,
+        base_set: Relation,
+        knowledge: KnowledgeBase,
     ) -> AggregatePlan:
-        generator = AfdRewriteGenerator(self.knowledge, self.config.classifier_method)
+        generator = AfdRewriteGenerator(knowledge, self.config.classifier_method)
         candidates = generator.generate(selection, base_set)
         ordered = self._ranker.order(candidates)
         steps: "list[PlannedQuery]" = []
@@ -358,7 +422,7 @@ class QueryPlanner:
         skipped = 0
         for rewritten in ordered:
             if self.config.inclusion_rule == "argmax":
-                if not self._argmax_matches(rewritten, selection):
+                if not self._argmax_matches(rewritten, selection, knowledge):
                     skipped += 1
                     continue
                 weight = 1.0
@@ -387,7 +451,9 @@ class QueryPlanner:
             skipped=skipped,
         )
 
-    def _argmax_matches(self, rewritten: Any, selection: SelectionQuery) -> bool:
+    def _argmax_matches(
+        self, rewritten: Any, selection: SelectionQuery, knowledge: KnowledgeBase
+    ) -> bool:
         """Section 4.4's inclusion rule: most-likely completion == query value."""
         try:
             value = selection.equality_value(rewritten.target_attribute)
@@ -395,7 +461,7 @@ class QueryPlanner:
             # Range-constrained target: include when the majority of the
             # posterior mass satisfies the constraint (natural extension).
             return rewritten.estimated_precision > 0.5
-        return self.knowledge.predict_matches(
+        return knowledge.predict_matches(
             rewritten.target_attribute,
             value,
             rewritten.evidence,
@@ -403,13 +469,16 @@ class QueryPlanner:
         )
 
     def _build_relaxation(
-        self, query: SelectionQuery, max_dropped: "int | None"
+        self,
+        query: SelectionQuery,
+        max_dropped: "int | None",
+        knowledge: KnowledgeBase,
     ) -> "RelaxationPlan":
         # Imported lazily: repro.core.relaxation itself plans through this
         # module, and the plan type stays there for API compatibility.
         from repro.core.relaxation import RelaxationPlan
 
-        generator = RelaxationGenerator(self.knowledge.afds, max_dropped)
+        generator = RelaxationGenerator(knowledge.afds, max_dropped)
         influence, queries = generator.generate(query)
         return RelaxationPlan(original=query, queries=queries, influence=influence)
 
@@ -422,6 +491,7 @@ class QueryPlanner:
         key_parts: Callable[[], "tuple[Hashable, ...]"],
         build: Callable[[], PlanT],
         name: str,
+        knowledge: KnowledgeBase,
     ) -> PlanT:
         telemetry = self._telemetry
         cache = self.cache
@@ -432,7 +502,7 @@ class QueryPlanner:
         key = (
             mode,
             self.config.token(),
-            self.knowledge.fingerprint(),
+            knowledge.fingerprint(),
             *key_parts(),
         )
         hit = cache.lookup(key)

@@ -13,6 +13,7 @@ mediator may never modify the underlying data.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from operator import itemgetter
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
@@ -27,6 +28,37 @@ if TYPE_CHECKING:
 __all__ = ["Row", "Relation"]
 
 Row = tuple  # rows are plain tuples aligned with the schema
+
+
+def _canonical_cell(value: Any) -> str:
+    """Canonical, type-tagged string encoding of one row value.
+
+    Mirrors the scalar rules of :func:`repro.planner.fingerprint.stable_digest`
+    so structurally different values never serialize to the same string
+    (``1`` vs ``"1"``, ``NULL`` vs ``"NULL"``).
+    """
+    # Checked most-common-first (cells are mostly strings); bool must stay
+    # ahead of int because bool is an int subclass.
+    if isinstance(value, str):
+        return f"s{len(value)}:{value}"
+    if value is None:
+        return "~"
+    if isinstance(value, bool):
+        return "b1" if value else "b0"
+    if isinstance(value, int):
+        return f"i{value}"
+    if isinstance(value, float):
+        return f"f{value!r}"
+    if is_null(value):
+        return "N"
+    encoded = repr(value)
+    return f"r{len(encoded)}:{encoded}"
+
+
+def _row_bytes(row: Row) -> bytes:
+    return ("[" + ",".join(_canonical_cell(value) for value in row) + "]").encode(
+        "utf-8"
+    )
 
 
 class Relation:
@@ -51,7 +83,7 @@ class Relation:
     1
     """
 
-    __slots__ = ("_schema", "_rows", "_columnar")
+    __slots__ = ("_schema", "_rows", "_columnar", "_digest")
 
     def __init__(self, schema: Schema, rows: Iterable[Sequence[Any]] = ()):
         self._schema = schema
@@ -66,6 +98,25 @@ class Relation:
             materialized.append(row)
         self._rows = tuple(materialized)
         self._columnar: "ColumnStore | None" = None
+        self._digest: "Any | None" = None
+
+    @classmethod
+    def from_coerced(
+        cls, schema: Schema, rows: Iterable[Row]
+    ) -> "Relation":
+        """Construct from rows that are already coerced and arity-checked.
+
+        Trusted fast path for internal transforms whose inputs come out of
+        an existing relation: skips per-cell :func:`coerce_value` and the
+        arity check, which is safe exactly when every row is a tuple of
+        already-normalized values with the schema's arity.
+        """
+        relation = cls.__new__(cls)
+        relation._schema = schema
+        relation._rows = tuple(rows)
+        relation._columnar = None
+        relation._digest = None
+        return relation
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -119,6 +170,31 @@ class Relation:
             store = ColumnStore.from_relation(self)
             self._columnar = store
         return store
+
+    def content_digest(self) -> str:
+        """Order-sensitive SHA-256 over schema and rows (hex), memoized.
+
+        The underlying chain is *foldable*: :meth:`concat` seeds the
+        union's hash state from this relation's and hashes only the
+        appended rows, so a knowledge refresh fingerprints its grown
+        sample in O(batch) — while staying bit-identical to hashing the
+        union from scratch (row order is part of the digest).
+        """
+        return self._digest_state().hexdigest()
+
+    def _digest_state(self) -> Any:
+        state = self._digest
+        if state is None:
+            state = hashlib.sha256()
+            header = ",".join(
+                f"{_canonical_cell(attribute.name)}:{attribute.type.value}"
+                for attribute in self._schema
+            )
+            state.update(f"relation|{header}|".encode("utf-8"))
+            for row in self._rows:
+                state.update(_row_bytes(row))
+            self._digest = state
+        return state
 
     # ------------------------------------------------------------------
     # Relational operations
@@ -189,7 +265,28 @@ class Relation:
         """Union-all with another relation over an identical schema."""
         if other.schema != self._schema:
             raise SchemaError("cannot concat relations with different schemas")
-        return self._with_rows(self._rows + other._rows)
+        result = self._with_rows(self._rows + other._rows)
+        if self._digest is not None:
+            # Fold the digest chain forward: hash only the appended rows.
+            state = self._digest.copy()
+            for row in other._rows:
+                state.update(_row_bytes(row))
+            result._digest = state
+        return result
+
+    def concat_encoded(self, other: "Relation") -> "Relation":
+        """Union-all that carries this relation's columnar dictionary forward.
+
+        Semantically identical to :meth:`concat`; additionally the result's
+        column store is pre-built by encoding only *other*'s rows against
+        this relation's dictionaries (codes are minted first-seen, so the
+        result is bit-identical to encoding the union from scratch).  This
+        turns the per-refresh encoding cost of incremental knowledge
+        maintenance from O(total rows) into O(batch rows).
+        """
+        result = self.concat(other)
+        result._columnar = self.columnar().extended(other._rows)
+        return result
 
     def take(self, count: int) -> "Relation":
         """The first *count* rows."""
@@ -201,6 +298,7 @@ class Relation:
         renamed._schema = self._schema.rename(mapping)
         renamed._rows = self._rows
         renamed._columnar = None
+        renamed._digest = None
         return renamed
 
     # ------------------------------------------------------------------
@@ -228,12 +326,15 @@ class Relation:
             return 0.0
         return self.null_count(attribute) / len(self._rows)
 
+    def incomplete_count(self) -> int:
+        """How many rows have at least one NULL."""
+        return sum(1 for row in self._rows if not self.is_complete_row(row))
+
     def incomplete_fraction(self) -> float:
         """Fraction of rows with at least one NULL (0.0 on empty)."""
         if not self._rows:
             return 0.0
-        incomplete = sum(1 for row in self._rows if not self.is_complete_row(row))
-        return incomplete / len(self._rows)
+        return self.incomplete_count() / len(self._rows)
 
     def rows_with_null_on(self, attributes: Sequence[str]) -> "Relation":
         """Rows that are NULL on at least one of *attributes*."""
@@ -273,4 +374,5 @@ class Relation:
         relation._schema = self._schema
         relation._rows = tuple(rows)
         relation._columnar = None
+        relation._digest = None
         return relation

@@ -35,6 +35,7 @@ class SpanKind:
     MULTI_NULL = "multi-null-fetch"  # the >= 2-NULL counterfactual fetch
     FEDERATION = "federation"  # one federated query (root over sources)
     FEDERATION_SOURCE = "federation-source"  # one source's share of it
+    REFRESH = "knowledge-refresh"  # one incremental/full knowledge refresh
 
     ALL = (
         RETRIEVAL,
@@ -45,6 +46,7 @@ class SpanKind:
         MULTI_NULL,
         FEDERATION,
         FEDERATION_SOURCE,
+        REFRESH,
     )
 
     # The kinds that correspond to exactly one source call each.

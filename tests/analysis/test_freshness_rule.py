@@ -1,0 +1,133 @@
+"""Tests for the freshness rule: stale-knowledge-capture (PR 10)."""
+
+from repro.analysis import Severity
+from repro.analysis.rules.freshness import (
+    KNOWLEDGE_CONSUMER_PACKAGES,
+    StaleKnowledgeCaptureRule,
+)
+
+CORE = "repro.core.example"
+PLANNER = "repro.planner.example"
+
+
+class TestStaleKnowledgeCapture:
+    rule = StaleKnowledgeCaptureRule()
+
+    def test_flags_bare_knowledgebase_dataclass_field(self, check):
+        findings = check(
+            self.rule,
+            """
+            @dataclass(frozen=True)
+            class Generator:
+                knowledge: KnowledgeBase
+                method: str | None = None
+            """,
+            module=PLANNER,
+        )
+        assert [f.rule for f in findings] == ["stale-knowledge-capture"]
+        assert findings[0].severity is Severity.WARNING
+        assert "Generator.knowledge" in findings[0].message
+
+    def test_flags_string_annotated_field(self, check):
+        findings = check(
+            self.rule,
+            """
+            class Step:
+                knowledge: "KnowledgeBase"
+            """,
+            module=CORE,
+        )
+        assert len(findings) == 1
+
+    def test_union_with_store_passes(self, check):
+        findings = check(
+            self.rule,
+            """
+            @dataclass(frozen=True)
+            class Step:
+                knowledge: "KnowledgeBase | KnowledgeStore"
+            """,
+            module=CORE,
+        )
+        assert findings == []
+
+    def test_flags_init_storing_knowledge_parameter_verbatim(self, check):
+        findings = check(
+            self.rule,
+            """
+            class Mediator:
+                def __init__(self, source, knowledge: "KnowledgeBase | KnowledgeStore"):
+                    self.source = source
+                    self.knowledge = knowledge
+            """,
+            module=CORE,
+        )
+        assert [f.rule for f in findings] == ["stale-knowledge-capture"]
+        assert "as_store" in findings[0].message
+        assert "self.knowledge" in findings[0].message
+
+    def test_as_store_wrapping_passes(self, check):
+        findings = check(
+            self.rule,
+            """
+            class Mediator:
+                def __init__(self, source, knowledge: "KnowledgeBase | KnowledgeStore"):
+                    self.source = source
+                    self._store = as_store(knowledge)
+            """,
+            module=CORE,
+        )
+        assert findings == []
+
+    def test_unannotated_parameters_pass(self, check):
+        # Without an annotation naming KnowledgeBase the rule stays quiet:
+        # it checks the declared contract, not inferred flow.
+        findings = check(
+            self.rule,
+            """
+            class Mediator:
+                def __init__(self, knowledge):
+                    self.knowledge = knowledge
+            """,
+            module=CORE,
+        )
+        assert findings == []
+
+    def test_function_scope_annotations_pass(self, check):
+        findings = check(
+            self.rule,
+            """
+            def pick(bases: dict[str, KnowledgeBase]):
+                best: KnowledgeBase | None = None
+                return best
+            """,
+            module=CORE,
+        )
+        assert findings == []
+
+    def test_other_packages_pass(self, check):
+        findings = check(
+            self.rule,
+            """
+            class Holder:
+                knowledge: KnowledgeBase
+            """,
+            module="repro.mining.refresh",
+        )
+        assert findings == []
+
+    def test_consumer_packages_cover_core_and_planner(self):
+        assert "repro.core" in KNOWLEDGE_CONSUMER_PACKAGES
+        assert "repro.planner" in KNOWLEDGE_CONSUMER_PACKAGES
+
+    def test_suppression_comment_silences_the_field(self, report):
+        lint = report(
+            self.rule,
+            """
+            class Generator:
+                knowledge: KnowledgeBase  # qpiadlint: disable=stale-knowledge-capture
+            """,
+            module=PLANNER,
+        )
+        assert lint.findings == []
+        assert lint.suppressed_count == 1

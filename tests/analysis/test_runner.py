@@ -79,10 +79,11 @@ class TestLintPaths:
 class TestRuleSelection:
     def test_rule_ids_lists_every_registered_rule(self):
         ids = rule_ids()
-        assert len(ids) == 11
+        assert len(ids) == 12
         assert "null-compare" in ids
         assert "naive-float-equality" in ids
         assert "row-loop-in-mining" in ids
+        assert "stale-knowledge-capture" in ids
         assert "raw-source-call-in-core" in ids
         assert "raw-rewrite-call-in-core" in ids
 

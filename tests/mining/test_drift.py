@@ -6,7 +6,7 @@ import pytest
 
 from repro.datasets import generate_cars
 from repro.errors import MiningError
-from repro.mining.drift import detect_drift
+from repro.mining.drift import detect_drift, drift_payload, render_drift_text
 from repro.relational import Relation
 from repro.sources import uniform_sample
 
@@ -78,3 +78,50 @@ class TestValidation:
     def test_schema_mismatch_rejected(self, cars_env, census_env):
         with pytest.raises(MiningError, match="schema"):
             detect_drift(cars_env.knowledge, census_env.test)
+
+
+class TestReporting:
+    """`drift_payload` / `render_drift_text` — what `qpiad drift` prints."""
+
+    @pytest.fixture(scope="class")
+    def stale_report(self, cars_env):
+        drifted = generate_cars(1500, seed=500, body_style_fidelity=0.3)
+        return detect_drift(cars_env.knowledge, drifted)
+
+    def test_payload_is_json_serializable_and_faithful(self, stale_report):
+        import json
+
+        payload = drift_payload(stale_report)
+        assert payload["is_stale"] is True
+        assert payload["afds_checked"] == stale_report.afds_checked
+        assert payload["attributes_checked"] == stale_report.attributes_checked
+        assert len(payload["afd_drifts"]) == len(stale_report.afd_drifts)
+        assert len(payload["distribution_drifts"]) == len(
+            stale_report.distribution_drifts
+        )
+        first = payload["afd_drifts"][0]
+        assert set(first) == {
+            "determining",
+            "dependent",
+            "mined_confidence",
+            "fresh_confidence",
+            "shift",
+        }
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_stale_rendering_leads_with_the_verdict(self, stale_report):
+        text = render_drift_text(stale_report)
+        assert text.startswith("drift: STALE")
+        assert "body_style" in text
+        assert "confidence" in text
+
+    def test_fresh_rendering(self, cars_env, fresh_same_distribution):
+        report = detect_drift(cars_env.knowledge, fresh_same_distribution)
+        text = render_drift_text(report)
+        assert text.startswith("drift: fresh")
+        assert drift_payload(report)["is_stale"] is False
+
+    def test_unmeasurable_afds_render_explicitly(self, cars_env):
+        tiny = Relation(cars_env.test.schema, cars_env.test.rows[:5])
+        report = detect_drift(cars_env.knowledge, tiny, min_support=20)
+        assert "unmeasurable on the fresh sample" in render_drift_text(report)

@@ -136,3 +136,29 @@ class TestDiscretizationToggle:
         with pytest.raises(MiningError):
             kb.bucket_bounds("model", "bin0")
         assert kb.representative_value("model", "Accord") == "Accord"
+
+
+class TestFrozenGeneration:
+    """A KnowledgeBase is a frozen generation: content fixed at mining time."""
+
+    @pytest.fixture()
+    def knowledge(self):
+        from repro.datasets import generate_cars
+
+        return KnowledgeBase(generate_cars(300, seed=11), database_size=3000)
+
+    def test_fingerprint_survives_classifier_cache_population(self, knowledge):
+        before = knowledge.fingerprint()
+        # Populating the lazy classifier cache is the one post-construction
+        # mutation left — it must not shift the generation's identity.
+        knowledge.value_distribution("body_style", {"model": "Z4"})
+        knowledge.classifier("make")
+        assert knowledge.fingerprint() == before
+
+    def test_mined_payload_cannot_be_rebound(self, knowledge):
+        with pytest.raises(MiningError, match="frozen"):
+            knowledge.afds = ()
+        with pytest.raises(MiningError, match="frozen"):
+            knowledge.database_size = 1
+        with pytest.raises(MiningError, match="frozen"):
+            knowledge.epoch = 5

@@ -70,11 +70,11 @@ class TestRoundTrip:
 
 
 class TestFingerprintVerification:
-    """Format v2: the file carries the knowledge fingerprint, checked on load."""
+    """Since format v2 the file carries the fingerprint, checked on load."""
 
-    def test_saved_payload_is_version_two_with_fingerprint(self, cars_env, saved):
+    def test_saved_payload_is_current_version_with_fingerprint(self, cars_env, saved):
         payload = json.loads(saved.read_text())
-        assert payload["format_version"] == 2
+        assert payload["format_version"] == 3
         assert payload["fingerprint"] == cars_env.knowledge.fingerprint()
 
     def test_reload_preserves_the_fingerprint(self, cars_env, saved):

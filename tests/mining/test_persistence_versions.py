@@ -1,0 +1,135 @@
+"""Format-version matrix for knowledge persistence (v1 → v2 → v3).
+
+Version 1 predates fingerprints, version 2 added the verified content
+fingerprint, version 3 added generation lineage (epoch + base fingerprint +
+folded-batch digests).  Old files must keep loading — minus the checks
+their format predates — and new files must verify lineage consistency.
+"""
+
+import json
+
+import pytest
+
+from repro.datasets.cars import generate_cars
+from repro.datasets.incompleteness import make_incomplete
+from repro.errors import MiningError
+from repro.mining import KnowledgeBase, KnowledgeRefresher, KnowledgeStore
+from repro.mining.persistence import load_knowledge, save_knowledge
+from repro.relational import Relation, data_plane_scope
+
+
+@pytest.fixture(scope="module")
+def refreshed_knowledge():
+    """An epoch-1 generation: one batch folded into a mined base."""
+    whole = make_incomplete(generate_cars(600, seed=7), 0.10, seed=42).incomplete
+    rows = whole.rows
+    base = Relation(whole.schema, list(rows[:500]))
+    batch = Relation(whole.schema, list(rows[100:200]))
+    with data_plane_scope("columnar"):
+        store = KnowledgeStore(KnowledgeBase(base, database_size=len(whole)))
+        refresher = KnowledgeRefresher(store)
+        refresher.prime()
+        refresher.refresh(batch)
+    return store.current
+
+
+@pytest.fixture(scope="module")
+def saved_v3(refreshed_knowledge, tmp_path_factory):
+    path = tmp_path_factory.mktemp("kbv") / "cars.v3.json"
+    save_knowledge(refreshed_knowledge, path)
+    return path
+
+
+def _downgraded(saved_v3, tmp_path, version: int):
+    """Rewrite a v3 file as an older format, dropping newer-format keys."""
+    payload = json.loads(saved_v3.read_text(encoding="utf-8"))
+    payload["format_version"] = version
+    del payload["epoch"]
+    del payload["lineage"]
+    if version < 2:
+        del payload["fingerprint"]
+    path = tmp_path / f"cars.v{version}.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+class TestV3RoundTrip:
+    def test_epoch_and_lineage_survive(self, refreshed_knowledge, saved_v3):
+        loaded = load_knowledge(saved_v3)
+        assert loaded.epoch == 1
+        assert loaded.lineage == refreshed_knowledge.lineage
+        assert loaded.lineage.base_fingerprint is not None
+        assert len(loaded.lineage.batch_digests) == 1
+
+    def test_fingerprint_identical_after_reload(self, refreshed_knowledge, saved_v3):
+        assert load_knowledge(saved_v3).fingerprint() == refreshed_knowledge.fingerprint()
+
+
+class TestLegacyLoads:
+    def test_v2_loads_as_epoch_zero(self, refreshed_knowledge, saved_v3, tmp_path):
+        loaded = load_knowledge(_downgraded(saved_v3, tmp_path, 2))
+        assert loaded.epoch == 0
+        assert loaded.lineage.base_fingerprint is None
+        assert loaded.lineage.batch_digests == ()
+        assert loaded.afds == refreshed_knowledge.afds
+
+    def test_v1_loads_without_fingerprint_verification(
+        self, refreshed_knowledge, saved_v3, tmp_path
+    ):
+        loaded = load_knowledge(_downgraded(saved_v3, tmp_path, 1))
+        assert loaded.epoch == 0
+        assert loaded.akeys == refreshed_knowledge.akeys
+
+    def test_v1_tolerates_content_drift_v2_does_not(self, saved_v3, tmp_path):
+        """The fingerprint check arrived in v2; v1 files predate it."""
+        for version, should_raise in ((1, False), (2, True)):
+            path = _downgraded(saved_v3, tmp_path, version)
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            payload["database_size"] += 1  # content no longer matches
+            path.write_text(json.dumps(payload), encoding="utf-8")
+            if should_raise:
+                with pytest.raises(MiningError, match="fingerprint verification"):
+                    load_knowledge(path)
+            else:
+                assert load_knowledge(path).database_size == payload["database_size"]
+
+
+class TestV3Rejections:
+    def _tampered(self, saved_v3, tmp_path, name, mutate):
+        payload = json.loads(saved_v3.read_text(encoding="utf-8"))
+        mutate(payload)
+        path = tmp_path / name
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_stale_fingerprint_is_rejected(self, saved_v3, tmp_path):
+        def mutate(payload):
+            payload["fingerprint"] = "0" * 64
+
+        path = self._tampered(saved_v3, tmp_path, "stale.json", mutate)
+        with pytest.raises(MiningError, match="fingerprint verification"):
+            load_knowledge(path)
+
+    def test_epoch_batch_digest_mismatch_is_rejected(self, saved_v3, tmp_path):
+        def mutate(payload):
+            payload["epoch"] = 2  # one digest recorded, two claimed
+
+        path = self._tampered(saved_v3, tmp_path, "badepoch.json", mutate)
+        with pytest.raises(MiningError, match="inconsistent lineage"):
+            load_knowledge(path)
+
+    def test_missing_base_fingerprint_is_rejected(self, saved_v3, tmp_path):
+        def mutate(payload):
+            payload["lineage"]["base_fingerprint"] = None
+
+        path = self._tampered(saved_v3, tmp_path, "nobase.json", mutate)
+        with pytest.raises(MiningError, match="inconsistent lineage"):
+            load_knowledge(path)
+
+    def test_unknown_version_is_rejected(self, saved_v3, tmp_path):
+        def mutate(payload):
+            payload["format_version"] = 99
+
+        path = self._tampered(saved_v3, tmp_path, "future.json", mutate)
+        with pytest.raises(MiningError, match="unsupported"):
+            load_knowledge(path)

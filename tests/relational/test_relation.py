@@ -129,3 +129,51 @@ class TestPresentation:
 
     def test_repr(self, cars):
         assert "5 rows" in repr(cars)
+
+
+class TestContentDigest:
+    def test_digest_is_deterministic_and_order_sensitive(self, cars):
+        again = Relation(cars.schema, cars.rows)
+        assert cars.content_digest() == again.content_digest()
+        reversed_rows = Relation(cars.schema, list(reversed(cars.rows)))
+        assert cars.content_digest() != reversed_rows.content_digest()
+
+    def test_concat_folds_the_memoized_digest(self, cars):
+        batch = Relation(cars.schema, [("Audi", "A4", "Sedan"), ("Audi", NULL, NULL)])
+        cars.content_digest()  # memoize, so concat copies the hash state
+        folded = cars.concat(batch)
+        from_scratch = Relation(cars.schema, [*cars.rows, *batch.rows])
+        assert folded.content_digest() == from_scratch.content_digest()
+
+    def test_concat_without_memoized_digest_matches_too(self, cars):
+        batch = Relation(cars.schema, [("Audi", "A4", "Sedan")])
+        assert (
+            cars.concat(batch).content_digest()
+            == Relation(cars.schema, [*cars.rows, *batch.rows]).content_digest()
+        )
+
+    def test_null_and_the_string_null_hash_differently(self):
+        schema = Schema.of("a")
+        assert (
+            Relation(schema, [(NULL,)]).content_digest()
+            != Relation(schema, [("NULL",)]).content_digest()
+        )
+
+    def test_derived_relations_do_not_inherit_the_digest(self, cars):
+        cars.content_digest()
+        selected = cars.select(lambda row: row[0] == "Honda")
+        assert selected.content_digest() != cars.content_digest()
+        renamed = cars.rename({"make": "manufacturer"})
+        # The schema header is part of the digest, so renaming changes it.
+        assert renamed.content_digest() != cars.content_digest()
+
+
+class TestFromCoerced:
+    def test_matches_normal_construction_on_coerced_rows(self, cars):
+        trusted = Relation.from_coerced(cars.schema, cars.rows)
+        assert trusted == cars
+        assert trusted.content_digest() == cars.content_digest()
+
+    def test_incomplete_count_agrees(self, cars):
+        trusted = Relation.from_coerced(cars.schema, cars.rows)
+        assert trusted.incomplete_count() == cars.incomplete_count() == 2

@@ -285,3 +285,136 @@ class TestLint:
     def test_lint_missing_path_is_a_usage_error(self, tmp_path, capsys):
         assert main(["lint", str(tmp_path / "absent")]) == 2
         assert "no such path" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def mined_kb(cars_ed_csv, tmp_path):
+    """A KB mined (by the CLI) on the *full* CSV, so probing the same CSV
+    measures confidences on the very relation they were mined from — exactly
+    fresh, with no sample-size noise."""
+    kb_path = tmp_path / "kb.json"
+    assert (
+        main(["mine", str(cars_ed_csv), "--db-size", "15000", "--out", str(kb_path)])
+        == 0
+    )
+    return kb_path
+
+
+class TestDrift:
+    def test_fresh_probe_reports_fresh_and_exits_zero(
+        self, cars_ed_csv, mined_kb, capsys
+    ):
+        code = main(
+            ["drift", str(cars_ed_csv), "--kb", str(mined_kb), "--fresh", str(cars_ed_csv)]
+        )
+        assert code == 0
+        assert "drift: fresh" in capsys.readouterr().out
+
+    def test_drifted_probe_reports_stale_and_exits_nonzero(
+        self, cars_ed_csv, mined_kb, tmp_path, capsys
+    ):
+        from repro.relational import read_csv, write_csv
+
+        relation = read_csv(cars_ed_csv)
+        make = relation.schema.index_of("make")
+        bmw_only = relation.select(lambda row: row[make] == "BMW")
+        probe = tmp_path / "bmw.csv"
+        write_csv(bmw_only, probe)
+        code = main(
+            ["drift", str(cars_ed_csv), "--kb", str(mined_kb), "--fresh", str(probe)]
+        )
+        assert code == 1
+        assert "drift: STALE" in capsys.readouterr().out
+
+    def test_json_output_is_parseable(self, cars_ed_csv, mined_kb, capsys):
+        import json
+
+        code = main(
+            [
+                "drift",
+                str(cars_ed_csv),
+                "--kb",
+                str(mined_kb),
+                "--fresh",
+                str(cars_ed_csv),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["is_stale"] is False
+
+
+class TestRefresh:
+    @pytest.fixture()
+    def batch_csv(self, cars_ed_csv, tmp_path):
+        """A batch re-drawn from the mined sample (bin edges stay put)."""
+        from repro.relational import read_csv, write_csv
+
+        relation = read_csv(cars_ed_csv)
+        path = tmp_path / "batch.csv"
+        write_csv(relation.take(800), path)
+        return path
+
+    def test_refresh_folds_and_persists_the_next_epoch(
+        self, cars_ed_csv, mined_kb, batch_csv, tmp_path, capsys
+    ):
+        out = tmp_path / "kb.refreshed.json"
+        code = main(
+            [
+                "refresh",
+                str(cars_ed_csv),
+                "--kb",
+                str(mined_kb),
+                "--batch",
+                str(batch_csv),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "epoch 1" in capsys.readouterr().out
+        from repro.mining.persistence import load_knowledge
+
+        refreshed = load_knowledge(out)
+        assert refreshed.epoch == 1
+        assert len(refreshed.lineage.batch_digests) == 1
+
+    def test_if_stale_skips_a_fresh_batch(
+        self, cars_ed_csv, mined_kb, batch_csv, capsys
+    ):
+        code = main(
+            [
+                "refresh",
+                str(cars_ed_csv),
+                "--kb",
+                str(mined_kb),
+                "--batch",
+                str(batch_csv),
+                "--if-stale",
+            ]
+        )
+        assert code == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_json_reports_mode_and_fingerprints(
+        self, cars_ed_csv, mined_kb, batch_csv, capsys
+    ):
+        import json
+
+        code = main(
+            [
+                "refresh",
+                str(cars_ed_csv),
+                "--kb",
+                str(mined_kb),
+                "--batch",
+                str(batch_csv),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["refreshed"] is True
+        assert payload["epoch"] == 1
+        assert payload["fingerprint"] != payload["previous_fingerprint"]
